@@ -1,0 +1,216 @@
+//! High-level application construction on top of [`pcap_dag::GraphBuilder`].
+//!
+//! Benchmark generators describe execution as a *per-rank frontier*: each
+//! rank has a "current" vertex, and primitives append computation, global
+//! collectives, `MPI_Pcontrol` markers and halo exchanges after it, exactly
+//! like an MPI trace unfolds in program order.
+
+use pcap_dag::{EdgeId, GraphBuilder, GraphError, TaskGraph, VertexId, VertexKind};
+use pcap_machine::TaskModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frontier-style application builder.
+pub struct AppBuilder {
+    gb: GraphBuilder,
+    /// Current (latest) vertex per rank.
+    frontier: Vec<VertexId>,
+    ranks: u32,
+    rng: StdRng,
+}
+
+impl AppBuilder {
+    /// Starts an application: creates the `Init` vertex shared by all ranks.
+    pub fn new(ranks: u32, seed: u64) -> Self {
+        assert!(ranks > 0);
+        let mut gb = GraphBuilder::new(ranks);
+        let init = gb.vertex(VertexKind::Init, None);
+        Self { gb, frontier: vec![init; ranks as usize], ranks, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// A uniform sample in `[1 − amp, 1 + amp]` — the building block for
+    /// load-imbalance multipliers.
+    pub fn jitter(&mut self, amp: f64) -> f64 {
+        if amp == 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.gen_range(-amp..=amp)
+        }
+    }
+
+    /// An approximately normal sample (sum of uniforms) with the given std
+    /// deviation around 1.0, clamped positive.
+    pub fn noise(&mut self, std_dev: f64) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..12 {
+            acc += self.rng.gen_range(0.0..1.0);
+        }
+        (1.0 + (acc - 6.0) * std_dev).max(0.05)
+    }
+
+    /// Every rank runs one computation task (its entry in `models`) and then
+    /// joins a global collective. Returns the per-rank task ids.
+    pub fn compute_then_collective(&mut self, models: &[TaskModel]) -> Vec<EdgeId> {
+        self.compute_then_sync(models, VertexKind::Collective)
+    }
+
+    /// Every rank runs one computation task and then hits an `MPI_Pcontrol`
+    /// iteration marker (a global sync in the paper's instrumented runs).
+    pub fn compute_then_pcontrol(&mut self, models: &[TaskModel]) -> Vec<EdgeId> {
+        self.compute_then_sync(models, VertexKind::Pcontrol)
+    }
+
+    fn compute_then_sync(&mut self, models: &[TaskModel], kind: VertexKind) -> Vec<EdgeId> {
+        assert_eq!(models.len(), self.ranks as usize, "one task model per rank");
+        let sync = self.gb.vertex(kind, None);
+        let mut tasks = Vec::with_capacity(models.len());
+        for r in 0..self.ranks {
+            let e = self.gb.task(self.frontier[r as usize], sync, r, models[r as usize].clone());
+            tasks.push(e);
+            self.frontier[r as usize] = sync;
+        }
+        tasks
+    }
+
+    /// One rank computes on its own: appends a task ending at a new
+    /// rank-local vertex of the given kind.
+    pub fn compute(&mut self, rank: u32, model: TaskModel, kind: VertexKind) -> (EdgeId, VertexId) {
+        let v = self.gb.vertex(kind, Some(rank));
+        let e = self.gb.task(self.frontier[rank as usize], v, rank, model);
+        self.frontier[rank as usize] = v;
+        (e, v)
+    }
+
+    /// A neighbourhood halo exchange: every rank computes (`models[r]`),
+    /// posts sends to its neighbours, then waits for all of its neighbours'
+    /// messages. `neighbours(r)` yields the ranks `r` exchanges with;
+    /// `bytes` is the per-message size; `overlap` models the short window
+    /// between posting the sends and blocking in the wait.
+    ///
+    /// Returns the per-rank *compute* task ids (the overlap stubs are
+    /// bookkeeping, not schedulable work of interest).
+    pub fn halo_exchange(
+        &mut self,
+        models: &[TaskModel],
+        neighbours: impl Fn(u32) -> Vec<u32>,
+        bytes: u64,
+        overlap: TaskModel,
+    ) -> Vec<EdgeId> {
+        assert_eq!(models.len(), self.ranks as usize);
+        let mut tasks = Vec::with_capacity(models.len());
+        let mut sends = Vec::with_capacity(self.ranks as usize);
+        let mut waits = Vec::with_capacity(self.ranks as usize);
+        // Phase 1: compute, then a Send vertex per rank.
+        for r in 0..self.ranks {
+            let (e, s) = self.compute(r, models[r as usize].clone(), VertexKind::Send);
+            tasks.push(e);
+            sends.push(s);
+        }
+        // Phase 2: a Wait vertex per rank, fed by the overlap stub and by
+        // every neighbour's message.
+        for r in 0..self.ranks {
+            let w = self.gb.vertex(VertexKind::Wait, Some(r));
+            self.gb.task(sends[r as usize], w, r, overlap.clone());
+            waits.push(w);
+        }
+        for r in 0..self.ranks {
+            for n in neighbours(r) {
+                assert!(n < self.ranks && n != r, "bad neighbour {n} of {r}");
+                self.gb.message(sends[n as usize], waits[r as usize], n, r, bytes);
+            }
+        }
+        for r in 0..self.ranks {
+            self.frontier[r as usize] = waits[r as usize];
+        }
+        tasks
+    }
+
+    /// Finishes the application: every rank runs a (usually tiny) final task
+    /// into the shared `Finalize` vertex, then validates and freezes.
+    pub fn finalize(mut self, final_models: &[TaskModel]) -> Result<TaskGraph, GraphError> {
+        assert_eq!(final_models.len(), self.ranks as usize);
+        let fin = self.gb.vertex(VertexKind::Finalize, None);
+        for r in 0..self.ranks {
+            self.gb.task(self.frontier[r as usize], fin, r, final_models[r as usize].clone());
+        }
+        self.gb.build()
+    }
+}
+
+/// A 1-D ring neighbourhood (left and right neighbours, periodic).
+pub fn ring_neighbours(ranks: u32) -> impl Fn(u32) -> Vec<u32> {
+    move |r| {
+        if ranks <= 1 {
+            vec![]
+        } else if ranks == 2 {
+            vec![1 - r]
+        } else {
+            vec![(r + ranks - 1) % ranks, (r + 1) % ranks]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ranks: u32) -> Vec<TaskModel> {
+        (0..ranks).map(|_| TaskModel::compute_bound(0.001)).collect()
+    }
+
+    #[test]
+    fn collective_app_builds() {
+        let mut b = AppBuilder::new(4, 1);
+        for _ in 0..3 {
+            let models: Vec<TaskModel> = (0..4).map(|r| TaskModel::compute_bound(1.0 + r as f64)).collect();
+            b.compute_then_collective(&models);
+            b.compute_then_pcontrol(&tiny(4));
+        }
+        let g = b.finalize(&tiny(4)).unwrap();
+        // 3 iterations × (4 + 4) tasks + 4 final tasks.
+        assert_eq!(g.num_tasks(), 28);
+        // Init + 6 syncs + Finalize.
+        assert_eq!(g.num_vertices(), 8);
+    }
+
+    #[test]
+    fn halo_exchange_builds_and_connects() {
+        let mut b = AppBuilder::new(4, 1);
+        let models = tiny(4);
+        b.halo_exchange(&models, ring_neighbours(4), 4096, TaskModel::compute_bound(0.0001));
+        let g = b.finalize(&tiny(4)).unwrap();
+        // Tasks: 4 compute + 4 overlap + 4 final = 12; messages: 4 ranks × 2.
+        assert_eq!(g.num_tasks(), 12);
+        assert_eq!(g.num_edges() - g.num_tasks(), 8);
+    }
+
+    #[test]
+    fn ring_neighbours_shape() {
+        let n = ring_neighbours(4);
+        assert_eq!(n(0), vec![3, 1]);
+        assert_eq!(n(3), vec![2, 0]);
+        let n2 = ring_neighbours(2);
+        assert_eq!(n2(0), vec![1]);
+        assert_eq!(n2(1), vec![0]);
+    }
+
+    #[test]
+    fn jitter_and_noise_are_bounded_and_deterministic() {
+        let mut a = AppBuilder::new(2, 42);
+        let mut b = AppBuilder::new(2, 42);
+        for _ in 0..100 {
+            let ja = a.jitter(0.1);
+            let jb = b.jitter(0.1);
+            assert_eq!(ja, jb);
+            assert!((0.9..=1.1).contains(&ja));
+            let na = a.noise(0.05);
+            assert!(na > 0.0);
+            assert_eq!(na, b.noise(0.05));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! CoMD-like trace generator.
+//!
+//! CoMD is a molecular-dynamics proxy app. The paper (§5.2) highlights that
+//! *all* of its MPI communication is collectives, so the only scheduling
+//! lever is reallocating power between ranks at every collective to soak up
+//! load imbalance — which is mild and mostly static (atoms migrate slowly).
+//! Its tasks are moderately memory-intensive force computations followed by
+//! cheap position/velocity updates and an atom-redistribution step.
+
+use crate::builder::AppBuilder;
+use crate::AppParams;
+use pcap_dag::TaskGraph;
+use pcap_machine::TaskModel;
+
+/// Serial reference seconds of the per-iteration force computation.
+const FORCE_SERIAL_S: f64 = 6.0;
+/// Serial seconds of the position/velocity update.
+const UPDATE_SERIAL_S: f64 = 1.2;
+/// Serial seconds of the atom redistribution step.
+const REDIST_SERIAL_S: f64 = 0.9;
+/// Static per-rank imbalance amplitude (spatial decomposition unevenness).
+const STATIC_IMBALANCE: f64 = 0.045;
+/// Per-iteration jitter (atom migration).
+const ITER_JITTER: f64 = 0.012;
+
+fn force_model(scale: f64) -> TaskModel {
+    TaskModel {
+        activity: 0.88,
+        ..TaskModel::mixed(FORCE_SERIAL_S * scale, 0.25)
+    }
+}
+
+fn update_model(scale: f64) -> TaskModel {
+    TaskModel::mixed(UPDATE_SERIAL_S * scale, 0.40)
+}
+
+fn redist_model(scale: f64) -> TaskModel {
+    TaskModel::mixed(REDIST_SERIAL_S * scale, 0.50)
+}
+
+/// Generates a CoMD-like DAG: per iteration, `force → allreduce → update →
+/// allreduce → redistribute → Pcontrol`, collectives only.
+pub fn generate(params: &AppParams) -> TaskGraph {
+    let mut b = AppBuilder::new(params.ranks, params.seed);
+    let n = params.ranks as usize;
+    let static_imb: Vec<f64> = (0..n).map(|_| b.jitter(STATIC_IMBALANCE)).collect();
+
+    for _ in 0..params.iterations {
+        let force: Vec<TaskModel> =
+            (0..n).map(|r| force_model(static_imb[r] * b.jitter(ITER_JITTER))).collect();
+        b.compute_then_collective(&force);
+        let update: Vec<TaskModel> =
+            (0..n).map(|r| update_model(static_imb[r] * b.jitter(ITER_JITTER))).collect();
+        b.compute_then_collective(&update);
+        let redist: Vec<TaskModel> =
+            (0..n).map(|r| redist_model(static_imb[r] * b.jitter(ITER_JITTER))).collect();
+        b.compute_then_pcontrol(&redist);
+    }
+    let fin: Vec<TaskModel> = (0..n).map(|_| TaskModel::compute_bound(0.01)).collect();
+    b.finalize(&fin).expect("CoMD generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_dag::VertexKind;
+
+    #[test]
+    fn structure_matches_spec() {
+        let p = AppParams { ranks: 8, iterations: 5, seed: 7 };
+        let g = generate(&p);
+        // Per iteration: 3 sync vertices; plus Init and Finalize.
+        assert_eq!(g.num_vertices(), 2 + 3 * 5);
+        // Tasks: 3 per rank per iteration + finals. No messages at all.
+        assert_eq!(g.num_tasks(), 8 * 3 * 5 + 8);
+        assert_eq!(g.num_edges(), g.num_tasks(), "CoMD is collectives-only");
+        // All non-init/finalize vertices are global syncs.
+        assert!(g
+            .vertices()
+            .iter()
+            .all(|v| v.kind.is_global_sync() || v.kind == VertexKind::Pcontrol));
+    }
+
+    #[test]
+    fn imbalance_is_mild() {
+        let p = AppParams { ranks: 16, iterations: 1, seed: 3 };
+        let g = generate(&p);
+        // Compare the per-rank serial work of the force tasks.
+        let mut works: Vec<f64> = g
+            .edges()
+            .iter()
+            .filter_map(|e| e.task_model())
+            .filter(|m| m.serial_seconds() > 3.0)
+            .map(|m| m.serial_seconds())
+            .collect();
+        works.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(works.len(), 16);
+        let spread = works.last().unwrap() / works.first().unwrap();
+        assert!(spread < 1.2, "CoMD imbalance should be mild, got {spread}");
+        assert!(spread > 1.0, "but not exactly zero");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = AppParams { ranks: 4, iterations: 2, seed: 99 };
+        let a = generate(&p);
+        let b = generate(&p);
+        let wa: Vec<f64> =
+            a.edges().iter().filter_map(|e| e.task_model()).map(|m| m.serial_seconds()).collect();
+        let wb: Vec<f64> =
+            b.edges().iter().filter_map(|e| e.task_model()).map(|m| m.serial_seconds()).collect();
+        assert_eq!(wa, wb);
+    }
+}

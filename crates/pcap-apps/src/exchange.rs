@@ -1,0 +1,89 @@
+//! The two-rank asynchronous message exchange of paper Figures 2 and 8.
+//!
+//! This is the micro-benchmark on which the paper compares the fixed-vertex
+//! order LP against the exact flow ILP (Figure 8): small enough (fewer than
+//! 30 DAG edges) for the ILP to be tractable, yet exhibiting real cross-rank
+//! coupling — rank 0's `MPI_Wait` cannot complete before rank 1 has posted
+//! its receive, so slowing either rank shifts co-scheduled task sets.
+
+use pcap_dag::{GraphBuilder, TaskGraph, VertexKind};
+use pcap_machine::TaskModel;
+
+/// Workload knobs for the exchange micro-benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeParams {
+    /// Serial seconds of rank 0's pre-send computation (A1).
+    pub a1_serial_s: f64,
+    /// Serial seconds of rank 0's overlap computation (A2, Isend→Wait).
+    pub a2_serial_s: f64,
+    /// Serial seconds of rank 0's post-wait computation (A3).
+    pub a3_serial_s: f64,
+    /// Serial seconds of rank 1's pre-receive computation (A4).
+    pub a4_serial_s: f64,
+    /// Serial seconds of rank 1's post-receive computation (A6).
+    pub a6_serial_s: f64,
+    /// Message size in bytes (A5).
+    pub message_bytes: u64,
+}
+
+impl Default for ExchangeParams {
+    fn default() -> Self {
+        Self {
+            a1_serial_s: 4.0,
+            a2_serial_s: 2.0,
+            a3_serial_s: 3.0,
+            a4_serial_s: 6.0,
+            a6_serial_s: 2.5,
+            message_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Builds the Figure-2 DAG. Task naming follows the paper:
+/// rank 0: `Init →A1→ Isend →A2→ Wait →A3→ Finalize`;
+/// rank 1: `Init →A4→ Recv →A6→ Finalize`;
+/// message A5 from `Isend` to `Recv` plus a zero-byte completion
+/// notification from `Recv` to `Wait` (rendezvous semantics).
+pub fn generate(p: &ExchangeParams) -> TaskGraph {
+    let mut b = GraphBuilder::new(2);
+    let init = b.vertex(VertexKind::Init, None);
+    let isend = b.vertex(VertexKind::Send, Some(0));
+    let wait = b.vertex(VertexKind::Wait, Some(0));
+    let recv = b.vertex(VertexKind::Recv, Some(1));
+    let fin = b.vertex(VertexKind::Finalize, None);
+
+    let mixed = |s: f64, frac: f64| TaskModel::mixed(s, frac);
+    b.task(init, isend, 0, mixed(p.a1_serial_s, 0.30)); // A1
+    b.task(isend, wait, 0, mixed(p.a2_serial_s, 0.45)); // A2
+    b.task(wait, fin, 0, mixed(p.a3_serial_s, 0.25)); // A3
+    b.task(init, recv, 1, mixed(p.a4_serial_s, 0.35)); // A4
+    b.message(isend, recv, 0, 1, p.message_bytes); // A5
+    b.task(recv, fin, 1, mixed(p.a6_serial_s, 0.40)); // A6
+    b.message(recv, wait, 1, 0, 0); // rendezvous completion
+
+    b.build().expect("exchange generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_small_enough_for_the_flow_ilp() {
+        let g = generate(&ExchangeParams::default());
+        assert!(g.num_edges() < 30, "paper's ILP tractability bound");
+        assert_eq!(g.num_tasks(), 5);
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn wait_depends_on_recv() {
+        let g = generate(&ExchangeParams::default());
+        // There must be a message edge ending at the Wait vertex — the
+        // cross-rank coupling that makes co-scheduling nontrivial.
+        let has_ack = g
+            .iter_edges()
+            .any(|(_, e)| !e.is_task() && g.vertex(e.dst).kind == VertexKind::Wait);
+        assert!(has_ack);
+    }
+}

@@ -1,0 +1,82 @@
+//! # pcap-apps — synthetic benchmark traces
+//!
+//! The paper evaluates on CoMD, LULESH 2.0 and NAS-MZ SP/BT running on a
+//! real cluster, traced through the MPI profiling interface. Without that
+//! cluster, this crate generates application DAGs whose *structure* and
+//! *workload signature* mimic each benchmark — which is all the scheduling
+//! formulations and runtimes ever observe:
+//!
+//! | benchmark | communication structure | signature |
+//! |---|---|---|
+//! | [`comd`]   | collectives only (paper §5.2)            | mild, mostly-static load imbalance; moderate memory intensity |
+//! | [`lulesh`] | p2p halo exchanges between collectives    | cache contention → ~5-thread sweet spot (paper Table 3); clear imbalance |
+//! | [`nasmz`] BT-MZ | p2p zone-boundary exchange        | strong static zone imbalance → big LP headroom at low power |
+//! | [`nasmz`] SP-MZ | p2p zone-boundary exchange        | well balanced → little LP headroom, Conductor can regress |
+//! | [`exchange`] | the two-rank asynchronous message exchange of Figures 2/8 | small enough for the flow ILP |
+//!
+//! Every generator is deterministic given its seed; all randomness flows
+//! through a single seeded PRNG, so experiments are exactly repeatable.
+
+pub mod builder;
+pub mod comd;
+pub mod exchange;
+pub mod lulesh;
+pub mod nasmz;
+pub mod synthetic;
+
+pub use builder::AppBuilder;
+pub use synthetic::{CommPattern, Imbalance, SyntheticSpec};
+
+use pcap_dag::TaskGraph;
+
+/// Common generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppParams {
+    /// Number of MPI ranks (= sockets; the paper uses 32).
+    pub ranks: u32,
+    /// Number of timesteps (iterations between `MPI_Pcontrol` markers).
+    pub iterations: u32,
+    /// PRNG seed for per-rank imbalance and per-iteration jitter.
+    pub seed: u64,
+}
+
+impl Default for AppParams {
+    fn default() -> Self {
+        Self { ranks: 32, iterations: 10, seed: 0x5eed }
+    }
+}
+
+/// The four benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    CoMD,
+    Lulesh,
+    SpMz,
+    BtMz,
+}
+
+impl Benchmark {
+    /// All four, in the order the paper's figures list them.
+    pub const ALL: [Benchmark; 4] =
+        [Benchmark::BtMz, Benchmark::CoMD, Benchmark::Lulesh, Benchmark::SpMz];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::CoMD => "CoMD",
+            Benchmark::Lulesh => "LULESH",
+            Benchmark::SpMz => "SP",
+            Benchmark::BtMz => "BT",
+        }
+    }
+
+    /// Generates the benchmark's application DAG.
+    pub fn generate(self, params: &AppParams) -> TaskGraph {
+        match self {
+            Benchmark::CoMD => comd::generate(params),
+            Benchmark::Lulesh => lulesh::generate(params),
+            Benchmark::SpMz => nasmz::generate_sp(params),
+            Benchmark::BtMz => nasmz::generate_bt(params),
+        }
+    }
+}

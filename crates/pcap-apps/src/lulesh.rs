@@ -1,0 +1,128 @@
+//! LULESH-2.0-like trace generator.
+//!
+//! LULESH is a shock-hydrodynamics proxy app. Unlike CoMD it "relies on a
+//! multitude of point-to-point messages between collective calls" (paper
+//! §5.2): each timestep performs stress/hourglass force halo exchanges with
+//! spatial neighbours and ends with the global `dt` allreduce. Its tasks are
+//! memory-intensive with pronounced cache contention — the reason the LP and
+//! Conductor pick ~5 threads per socket at 50 W while Static's 8 throttled
+//! threads lose ~26% (paper Table 3).
+
+use crate::builder::{ring_neighbours, AppBuilder};
+use crate::AppParams;
+use pcap_dag::TaskGraph;
+use pcap_machine::TaskModel;
+
+/// Serial seconds of the main stress-integration task per phase.
+const STRESS_SERIAL_S: f64 = 7.5;
+/// Serial seconds of the hourglass-force task.
+const HOURGLASS_SERIAL_S: f64 = 5.0;
+/// Serial seconds of the final positions/dt task before the allreduce.
+const DT_SERIAL_S: f64 = 1.0;
+/// Static per-rank imbalance (mesh regions differ in element count).
+const STATIC_IMBALANCE: f64 = 0.09;
+/// Per-iteration jitter.
+const ITER_JITTER: f64 = 0.015;
+/// Halo message size (bytes): plane of a ~90³ local mesh, 8-byte doubles.
+const HALO_BYTES: u64 = 90 * 90 * 8 * 3;
+
+/// The cache-contention signature that produces the 5-thread sweet spot.
+fn contended(total_serial: f64, mem_fraction: f64) -> TaskModel {
+    TaskModel {
+        bw_sat_threads: 4.0,
+        cache_sweet_threads: 5.0,
+        cache_penalty: 0.20,
+        ..TaskModel::mixed(total_serial, mem_fraction)
+    }
+}
+
+fn stress_model(scale: f64) -> TaskModel {
+    contended(STRESS_SERIAL_S * scale, 0.50)
+}
+
+fn hourglass_model(scale: f64) -> TaskModel {
+    contended(HOURGLASS_SERIAL_S * scale, 0.55)
+}
+
+fn dt_model(scale: f64) -> TaskModel {
+    TaskModel::mixed(DT_SERIAL_S * scale, 0.30)
+}
+
+/// The short Isend→Wait overlap window in each halo exchange.
+fn overlap_stub() -> TaskModel {
+    TaskModel::mixed(0.008, 0.2)
+}
+
+/// Generates a LULESH-like DAG: per iteration two p2p halo-exchange phases
+/// (stress, hourglass) followed by the `dt` collective and a `Pcontrol`.
+pub fn generate(params: &AppParams) -> TaskGraph {
+    let mut b = AppBuilder::new(params.ranks, params.seed);
+    let n = params.ranks as usize;
+    let static_imb: Vec<f64> = (0..n).map(|_| b.jitter(STATIC_IMBALANCE)).collect();
+    let neigh = ring_neighbours(params.ranks);
+
+    for _ in 0..params.iterations {
+        let stress: Vec<TaskModel> =
+            (0..n).map(|r| stress_model(static_imb[r] * b.jitter(ITER_JITTER))).collect();
+        b.halo_exchange(&stress, &neigh, HALO_BYTES, overlap_stub());
+
+        let hour: Vec<TaskModel> =
+            (0..n).map(|r| hourglass_model(static_imb[r] * b.jitter(ITER_JITTER))).collect();
+        b.halo_exchange(&hour, &neigh, HALO_BYTES, overlap_stub());
+
+        let dt: Vec<TaskModel> =
+            (0..n).map(|r| dt_model(static_imb[r] * b.jitter(ITER_JITTER))).collect();
+        b.compute_then_collective(&dt);
+
+        let marker: Vec<TaskModel> = (0..n).map(|_| TaskModel::mixed(0.004, 0.2)).collect();
+        b.compute_then_pcontrol(&marker);
+    }
+    let fin: Vec<TaskModel> = (0..n).map(|_| TaskModel::compute_bound(0.01)).collect();
+    b.finalize(&fin).expect("LULESH generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_machine::{convex_frontier, MachineSpec};
+
+    #[test]
+    fn has_point_to_point_messages() {
+        let p = AppParams { ranks: 8, iterations: 3, seed: 11 };
+        let g = generate(&p);
+        let messages = g.num_edges() - g.num_tasks();
+        // 2 halo exchanges × 8 ranks × 2 neighbours × 3 iterations.
+        assert_eq!(messages, 2 * 8 * 2 * 3);
+    }
+
+    #[test]
+    fn five_threads_beat_eight_at_mid_power() {
+        // The Table 3 signature: on the main stress task's frontier, the
+        // points around 50 W use fewer than 8 threads.
+        let m = MachineSpec::e5_2670();
+        let task = stress_model(1.0);
+        let frontier = convex_frontier(&task.config_space(&m));
+        let mix = frontier.mix_for_power(50.0);
+        assert!(mix.is_some());
+        let (i, j, _) = mix.unwrap();
+        let ti = frontier.points()[i].config.threads;
+        let tj = frontier.points()[j].config.threads;
+        assert!(
+            ti < 8 || tj < 8,
+            "expected <8 threads near 50 W, got {ti} and {tj} threads"
+        );
+    }
+
+    #[test]
+    fn structure_counts() {
+        let p = AppParams { ranks: 4, iterations: 2, seed: 5 };
+        let g = generate(&p);
+        // Vertices: Init + per iter (2 × (Send+Wait per rank) + collective +
+        // pcontrol) + Finalize.
+        let expected_v = 2 + 2 * (2 * (4 + 4) + 2);
+        assert_eq!(g.num_vertices(), expected_v);
+        // Tasks per iter: 2 × (compute + overlap) per rank + dt + marker.
+        let expected_tasks = 2 * (2 * (4 + 4) + 4 + 4) + 4;
+        assert_eq!(g.num_tasks(), expected_tasks);
+    }
+}

@@ -1,0 +1,146 @@
+//! NAS Multi-Zone (SP-MZ, BT-MZ)-like trace generators.
+//!
+//! The NAS-MZ suite partitions the mesh into zones distributed over MPI
+//! ranks, with OpenMP inside each rank and point-to-point zone-boundary
+//! exchanges (`exchange_qbc`) every step. The two classes used in the paper
+//! differ in exactly the property that matters for power scheduling:
+//!
+//! * **SP-MZ** uses equally-sized zones — the benchmark is well balanced, so
+//!   uniform power is already near-optimal and an adaptive runtime can only
+//!   lose (the paper measures Conductor *up to 2.6% slower* than Static).
+//! * **BT-MZ** uses zones whose sizes span roughly a 4–5× range — heavy
+//!   static imbalance, so nonuniform power allocation buys enormous speedups
+//!   at tight caps (the paper's 74.9%-over-Static headline at 30 W).
+
+use crate::builder::{ring_neighbours, AppBuilder};
+use crate::AppParams;
+use pcap_dag::TaskGraph;
+use pcap_machine::TaskModel;
+
+/// Serial seconds of one x/y/z sweep on a *unit-weight* zone.
+const SWEEP_SERIAL_S: f64 = 3.2;
+/// Serial seconds of the RHS computation on a unit-weight zone.
+const RHS_SERIAL_S: f64 = 2.2;
+/// Zone-boundary message size.
+const QBC_BYTES: u64 = 64 * 64 * 8 * 5;
+/// BT-MZ largest/smallest zone weight ratio.
+const BT_ZONE_RATIO: f64 = 3.6;
+/// SP-MZ residual imbalance (zones are same-sized; only cache effects).
+const SP_IMBALANCE: f64 = 0.012;
+/// Per-iteration jitter for both.
+const ITER_JITTER: f64 = 0.01;
+
+fn sweep_model(scale: f64) -> TaskModel {
+    TaskModel::mixed(SWEEP_SERIAL_S * scale, 0.22)
+}
+
+fn rhs_model(scale: f64) -> TaskModel {
+    TaskModel::mixed(RHS_SERIAL_S * scale, 0.26)
+}
+
+fn overlap_stub() -> TaskModel {
+    TaskModel::mixed(0.006, 0.2)
+}
+
+/// Per-rank zone weights for BT-MZ: geometric progression so that
+/// `max/min = BT_ZONE_RATIO`, normalized to mean 1.
+fn bt_zone_weights(ranks: u32) -> Vec<f64> {
+    let n = ranks as usize;
+    if n == 1 {
+        return vec![1.0];
+    }
+    let weights: Vec<f64> =
+        (0..n).map(|r| BT_ZONE_RATIO.powf(r as f64 / (n - 1) as f64)).collect();
+    let mean = weights.iter().sum::<f64>() / n as f64;
+    weights.into_iter().map(|w| w / mean).collect()
+}
+
+fn generate_mz(params: &AppParams, zone_weights: Vec<f64>) -> TaskGraph {
+    let mut b = AppBuilder::new(params.ranks, params.seed);
+    let n = params.ranks as usize;
+    let neigh = ring_neighbours(params.ranks);
+
+    for _ in 0..params.iterations {
+        // RHS computation then boundary exchange.
+        let rhs: Vec<TaskModel> =
+            (0..n).map(|r| rhs_model(zone_weights[r] * b.jitter(ITER_JITTER))).collect();
+        b.halo_exchange(&rhs, &neigh, QBC_BYTES, overlap_stub());
+        // The directional sweep then another boundary exchange.
+        let sweep: Vec<TaskModel> =
+            (0..n).map(|r| sweep_model(zone_weights[r] * b.jitter(ITER_JITTER))).collect();
+        b.halo_exchange(&sweep, &neigh, QBC_BYTES, overlap_stub());
+        // Iteration marker (a global sync inserted by the paper's
+        // instrumentation at timestep boundaries).
+        let marker: Vec<TaskModel> = (0..n).map(|_| TaskModel::mixed(0.004, 0.2)).collect();
+        b.compute_then_pcontrol(&marker);
+    }
+    let fin: Vec<TaskModel> = (0..n).map(|_| TaskModel::compute_bound(0.01)).collect();
+    b.finalize(&fin).expect("NAS-MZ generator produces a valid DAG")
+}
+
+/// SP-MZ: equal zones, well balanced.
+pub fn generate_sp(params: &AppParams) -> TaskGraph {
+    // Residual imbalance only (allocation effects, cache state).
+    let mut seed_rng = AppBuilder::new(params.ranks, params.seed ^ 0x5f);
+    let weights: Vec<f64> = (0..params.ranks).map(|_| seed_rng.jitter(SP_IMBALANCE)).collect();
+    generate_mz(params, weights)
+}
+
+/// BT-MZ: zone sizes spanning a ~4.5× range.
+pub fn generate_bt(params: &AppParams) -> TaskGraph {
+    generate_mz(params, bt_zone_weights(params.ranks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bt_zone_weights_span_ratio_and_mean_one() {
+        let w = bt_zone_weights(32);
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        let min = w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max / min - BT_ZONE_RATIO).abs() < 1e-9);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bt_is_imbalanced_sp_is_not() {
+        let p = AppParams { ranks: 16, iterations: 1, seed: 2 };
+        let spread = |g: &TaskGraph| {
+            // Total serial work per rank: the imbalance the schedulers see.
+            let mut per_rank = [0.0_f64; 16];
+            for e in g.edges() {
+                if let (Some(r), Some(m)) = (e.task_rank(), e.task_model()) {
+                    per_rank[r as usize] += m.serial_seconds();
+                }
+            }
+            let max = per_rank.iter().cloned().fold(f64::MIN, f64::max);
+            let min = per_rank.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        let bt = generate_bt(&p);
+        let sp = generate_sp(&p);
+        assert!(spread(&bt) > 3.0, "BT spread {}", spread(&bt));
+        assert!(spread(&sp) < 1.25, "SP spread {}", spread(&sp));
+    }
+
+    #[test]
+    fn structure_counts() {
+        let p = AppParams { ranks: 4, iterations: 3, seed: 9 };
+        let g = generate_sp(&p);
+        // Tasks/iter: 2 exchanges × (compute + overlap) × ranks + marker.
+        let per_iter = 2 * (4 + 4) + 4;
+        assert_eq!(g.num_tasks(), 3 * per_iter + 4);
+        let messages = g.num_edges() - g.num_tasks();
+        assert_eq!(messages, 3 * 2 * 4 * 2);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let p = AppParams { ranks: 1, iterations: 2, seed: 1 };
+        let g = generate_bt(&p);
+        assert_eq!(g.num_edges() - g.num_tasks(), 0, "no self-messages");
+    }
+}

@@ -1,0 +1,221 @@
+//! Fully parameterized synthetic workload generator.
+//!
+//! The four named benchmarks pin their signatures to the paper; this
+//! generator exposes every knob — load-imbalance distribution, memory
+//! intensity, cache contention, communication pattern, task granularity —
+//! so studies can explore the space *between* the benchmarks (e.g. "at what
+//! imbalance does Conductor stop paying off?"). Used heavily by the
+//! property-based tests and the ablation binaries.
+
+use crate::builder::{ring_neighbours, AppBuilder};
+use pcap_dag::TaskGraph;
+use pcap_machine::TaskModel;
+
+/// How per-rank work is distributed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imbalance {
+    /// All ranks identical.
+    None,
+    /// Uniform jitter of the given amplitude around 1 (CoMD/SP-like).
+    Jitter(f64),
+    /// Geometric progression with the given max/min ratio (BT-MZ-like).
+    Geometric(f64),
+    /// A single straggler rank carrying `factor` times the mean work.
+    Straggler(f64),
+}
+
+/// Communication structure per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommPattern {
+    /// One global collective per iteration (CoMD-like).
+    Collectives,
+    /// A ring halo exchange per iteration (NAS-MZ-like).
+    RingHalo,
+    /// Halo exchange then a collective (LULESH-like).
+    HaloThenCollective,
+}
+
+/// Synthetic workload description.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    pub ranks: u32,
+    pub iterations: u32,
+    pub seed: u64,
+    /// Serial reference seconds of the main task per iteration.
+    pub task_serial_s: f64,
+    /// Memory-bound fraction of the serial work.
+    pub mem_fraction: f64,
+    /// Cache-contention penalty per thread beyond the sweet spot
+    /// (0 disables contention, LULESH uses ~0.2).
+    pub cache_penalty: f64,
+    /// Thread count at which contention starts.
+    pub cache_sweet_threads: f64,
+    pub imbalance: Imbalance,
+    pub comm: CommPattern,
+    /// Per-iteration multiplicative jitter amplitude.
+    pub iteration_jitter: f64,
+    /// Message size for halo patterns.
+    pub message_bytes: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        Self {
+            ranks: 8,
+            iterations: 5,
+            seed: 1,
+            task_serial_s: 4.0,
+            mem_fraction: 0.3,
+            cache_penalty: 0.0,
+            cache_sweet_threads: 8.0,
+            imbalance: Imbalance::Jitter(0.05),
+            comm: CommPattern::Collectives,
+            iteration_jitter: 0.01,
+            message_bytes: 64 << 10,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Per-rank static work weights, mean 1.
+    pub fn weights(&self) -> Vec<f64> {
+        let n = self.ranks as usize;
+        let raw: Vec<f64> = match self.imbalance {
+            Imbalance::None => vec![1.0; n],
+            Imbalance::Jitter(amp) => {
+                let mut b = AppBuilder::new(self.ranks, self.seed ^ 0x77);
+                (0..n).map(|_| b.jitter(amp)).collect()
+            }
+            Imbalance::Geometric(ratio) => {
+                if n == 1 {
+                    vec![1.0]
+                } else {
+                    (0..n).map(|r| ratio.powf(r as f64 / (n - 1) as f64)).collect()
+                }
+            }
+            Imbalance::Straggler(factor) => {
+                let mut w = vec![1.0; n];
+                w[n - 1] = factor.max(1.0);
+                w
+            }
+        };
+        let mean = raw.iter().sum::<f64>() / n as f64;
+        raw.into_iter().map(|w| w / mean).collect()
+    }
+
+    fn task(&self, scale: f64) -> TaskModel {
+        TaskModel {
+            cache_penalty: self.cache_penalty,
+            cache_sweet_threads: self.cache_sweet_threads,
+            ..TaskModel::mixed(self.task_serial_s * scale, self.mem_fraction)
+        }
+    }
+
+    /// Generates the task graph.
+    pub fn generate(&self) -> TaskGraph {
+        let mut b = AppBuilder::new(self.ranks, self.seed);
+        let n = self.ranks as usize;
+        let weights = self.weights();
+        let neigh = ring_neighbours(self.ranks);
+        let stub = TaskModel::mixed(0.005, 0.2);
+
+        for _ in 0..self.iterations {
+            let models: Vec<TaskModel> = (0..n)
+                .map(|r| self.task(weights[r] * b.jitter(self.iteration_jitter)))
+                .collect();
+            match self.comm {
+                CommPattern::Collectives => {
+                    b.compute_then_collective(&models);
+                }
+                CommPattern::RingHalo => {
+                    b.halo_exchange(&models, &neigh, self.message_bytes, stub.clone());
+                }
+                CommPattern::HaloThenCollective => {
+                    b.halo_exchange(&models, &neigh, self.message_bytes, stub.clone());
+                    let small: Vec<TaskModel> =
+                        (0..n).map(|_| TaskModel::mixed(0.02, 0.3)).collect();
+                    b.compute_then_collective(&small);
+                }
+            }
+            let marker: Vec<TaskModel> = (0..n).map(|_| TaskModel::mixed(0.002, 0.2)).collect();
+            b.compute_then_pcontrol(&marker);
+        }
+        let fin: Vec<TaskModel> = (0..n).map(|_| TaskModel::compute_bound(0.01)).collect();
+        b.finalize(&fin).expect("synthetic generator produces a valid DAG")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_builds() {
+        let g = SyntheticSpec::default().generate();
+        assert!(g.num_tasks() > 0);
+        assert_eq!(g.num_ranks(), 8);
+    }
+
+    #[test]
+    fn weights_have_mean_one_for_all_distributions() {
+        for imb in [
+            Imbalance::None,
+            Imbalance::Jitter(0.2),
+            Imbalance::Geometric(5.0),
+            Imbalance::Straggler(3.0),
+        ] {
+            let spec = SyntheticSpec { imbalance: imb, ..Default::default() };
+            let w = spec.weights();
+            let mean = w.iter().sum::<f64>() / w.len() as f64;
+            assert!((mean - 1.0).abs() < 1e-12, "{imb:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_ratio_is_honoured() {
+        let spec = SyntheticSpec {
+            imbalance: Imbalance::Geometric(4.0),
+            ranks: 16,
+            ..Default::default()
+        };
+        let w = spec.weights();
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        let min = w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max / min - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straggler_puts_extra_on_last_rank() {
+        let spec = SyntheticSpec {
+            imbalance: Imbalance::Straggler(3.0),
+            ranks: 4,
+            ..Default::default()
+        };
+        let w = spec.weights();
+        assert!(w[3] > w[0] * 2.5);
+    }
+
+    #[test]
+    fn comm_patterns_shape_the_graph() {
+        let mk = |comm| SyntheticSpec { comm, iterations: 2, ..Default::default() }.generate();
+        let coll = mk(CommPattern::Collectives);
+        assert_eq!(coll.num_edges(), coll.num_tasks(), "collectives-only has no messages");
+        let halo = mk(CommPattern::RingHalo);
+        assert!(halo.num_edges() > halo.num_tasks());
+        let both = mk(CommPattern::HaloThenCollective);
+        assert!(both.num_vertices() > halo.num_vertices());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SyntheticSpec::default();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+        let wa: Vec<f64> =
+            a.edges().iter().filter_map(|e| e.task_model()).map(|m| m.serial_seconds()).collect();
+        let wb: Vec<f64> =
+            b.edges().iter().filter_map(|e| e.task_model()).map(|m| m.serial_seconds()).collect();
+        assert_eq!(wa, wb);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benches for the scheduling formulations themselves: one
+//! fixed-order LP window per benchmark iteration, the whole-run decomposed
+//! solve, and the flow ILP on the exchange micro-benchmark. These are the
+//! ablations DESIGN.md calls out: decomposed vs whole-graph solving and
+//! LP vs ILP cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcap_apps::exchange::{generate as gen_exchange, ExchangeParams};
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::{
+    solve_decomposed, solve_fixed_order, solve_flow, FixedLpOptions, FlowOptions, TaskFrontiers,
+};
+use pcap_machine::MachineSpec;
+
+fn bench_fixed_lp_per_benchmark(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let mut group = c.benchmark_group("fixed_lp/one_iteration");
+    group.sample_size(10);
+    for bench in Benchmark::ALL {
+        let g = bench.generate(&AppParams { ranks: 8, iterations: 1, seed: 1 });
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                solve_decomposed(&g, &machine, &frontiers, 8.0 * 50.0, &FixedLpOptions::default())
+                    .unwrap()
+                    .makespan_s
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposed_vs_whole(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let g = Benchmark::CoMD.generate(&AppParams { ranks: 8, iterations: 4, seed: 1 });
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let cap = 8.0 * 50.0;
+    let mut group = c.benchmark_group("fixed_lp/decomposition_ablation");
+    group.sample_size(10);
+    group.bench_function("whole_graph", |b| {
+        b.iter(|| {
+            solve_fixed_order(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
+                .unwrap()
+                .makespan_s
+        })
+    });
+    group.bench_function("decomposed", |b| {
+        b.iter(|| {
+            solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
+                .unwrap()
+                .makespan_s
+        })
+    });
+    group.finish();
+}
+
+fn bench_flow_ilp(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let g = gen_exchange(&ExchangeParams::default());
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let mut group = c.benchmark_group("flow_ilp/exchange");
+    group.sample_size(10);
+    group.bench_function("solve_75w", |b| {
+        b.iter(|| {
+            solve_flow(&g, &machine, &frontiers, 75.0, &FlowOptions::default())
+                .unwrap()
+                .makespan_s
+        })
+    });
+    group.finish();
+}
+
+fn bench_frontier_build(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let g = Benchmark::Lulesh.generate(&AppParams { ranks: 8, iterations: 2, seed: 1 });
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.bench_function("task_frontiers_lulesh_2it", |b| {
+        b.iter(|| TaskFrontiers::build(&g, &machine).iter().count())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fixed_lp_per_benchmark,
+    bench_decomposed_vs_whole,
+    bench_flow_ilp,
+    bench_frontier_build
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the profiling step: configuration-space evaluation
+//! and convex Pareto frontier construction (the per-task offline cost the
+//! paper's tracing/profiling phase pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcap_machine::{convex_frontier, pareto_filter, MachineSpec, TaskModel};
+
+fn bench_config_space(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let task = TaskModel::mixed(5.0, 0.4);
+    c.bench_function("frontier/config_space_120pts", |b| {
+        b.iter(|| task.config_space(&machine).len())
+    });
+}
+
+fn bench_pareto_and_hull(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let task = TaskModel::mixed(5.0, 0.4);
+    let cloud = task.config_space(&machine);
+    c.bench_function("frontier/pareto_filter", |b| b.iter(|| pareto_filter(&cloud).len()));
+    c.bench_function("frontier/convex_hull", |b| b.iter(|| convex_frontier(&cloud).len()));
+}
+
+fn bench_frontier_queries(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let task = TaskModel::mixed(5.0, 0.4);
+    let frontier = convex_frontier(&task.config_space(&machine));
+    c.bench_function("frontier/time_at_power", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut p = frontier.min_power().power_w;
+            while p < frontier.max_power().power_w {
+                acc += frontier.time_at_power(p).unwrap();
+                p += 0.5;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_config_space, bench_pareto_and_hull, bench_frontier_queries);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the simplex/branch-and-bound substrate: solve-time
+//! scaling on structured LPs of growing size, and small MIPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcap_lp::{solve, solve_mip, Bound, BranchOptions, LinExpr, Problem, Sense, VarId};
+
+/// A transportation LP with `n x n` variables and `2n` equality rows —
+/// similar row/column density to one scheduling window.
+fn transport(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let mut xs = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let c = ((i * 7 + j * 3) % 11) as f64 + 1.0;
+            xs.push(p.add_var(0.0, f64::INFINITY, c));
+        }
+    }
+    for i in 0..n {
+        let e = LinExpr::from((0..n).map(|j| (xs[i * n + j], 1.0)).collect::<Vec<_>>());
+        p.add_constraint(e, Bound::Equal(10.0 + (i % 3) as f64));
+    }
+    for j in 0..n {
+        let e = LinExpr::from((0..n).map(|i| (xs[i * n + j], 1.0)).collect::<Vec<_>>());
+        p.add_constraint(e, Bound::Equal(10.0 + (j % 3) as f64));
+    }
+    p
+}
+
+fn knapsack(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let mut e = LinExpr::new();
+    let mut vars: Vec<VarId> = vec![];
+    for k in 0..n {
+        let v = p.add_bin_var(1.0 + (k % 7) as f64 * 0.37);
+        e.add(v, 1.0 + (k % 5) as f64);
+        vars.push(v);
+    }
+    p.add_constraint(e, Bound::Upper(n as f64 * 0.8));
+    p
+}
+
+fn bench_simplex_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex/transport");
+    for n in [8usize, 16, 32] {
+        let p = transport(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve(p).unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mip/knapsack");
+    for n in [10usize, 16] {
+        let p = knapsack(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_mip(p, &BranchOptions::default()).unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex_scaling, bench_branch_and_bound);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the discrete-event simulator: event throughput
+//! under the three runtime policies and under schedule replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::{
+    replay_schedule, solve_decomposed, FixedLpOptions, ReplayMode, TaskFrontiers,
+};
+use pcap_machine::MachineSpec;
+use pcap_sched::{Conductor, ConductorOptions, StaticPolicy};
+use pcap_sim::{SimOptions, Simulator};
+
+fn bench_policies(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let g = Benchmark::Lulesh.generate(&AppParams { ranks: 16, iterations: 5, seed: 1 });
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let cap = 16.0 * 50.0;
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("static_lulesh_16r5i", |b| {
+        b.iter(|| {
+            let mut p = StaticPolicy::uniform(cap, 16, machine.max_threads);
+            Simulator::new(&g, &machine, SimOptions::default()).run(&mut p).unwrap().makespan_s
+        })
+    });
+    group.bench_function("conductor_lulesh_16r5i", |b| {
+        b.iter(|| {
+            let mut p = Conductor::new(
+                cap,
+                16,
+                machine.max_threads,
+                frontiers.clone(),
+                ConductorOptions::default(),
+            );
+            Simulator::new(&g, &machine, SimOptions::default()).run(&mut p).unwrap().makespan_s
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let g = Benchmark::CoMD.generate(&AppParams { ranks: 16, iterations: 5, seed: 1 });
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let cap = 16.0 * 45.0;
+    let sched =
+        solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default()).unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("replay_comd_16r5i", |b| {
+        b.iter(|| {
+            replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::default(), ReplayMode::Segments)
+                .unwrap()
+                .makespan_s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_replay);
+criterion_main!(benches);

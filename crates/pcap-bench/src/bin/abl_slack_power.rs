@@ -1,0 +1,52 @@
+//! **Ablation: slack-power accounting** — the event LP assumes a blocked
+//! rank keeps drawing its task's full power (paper §3.3 chose this to keep
+//! the event count low); the appendix's flow ILP instead charges observed
+//! slack power. This ablation quantifies what the conservative assumption
+//! costs: solve the same workload while sweeping the machine's *actual*
+//! slack-power fraction and compare the LP bound against the realized
+//! replay power, showing how much cap headroom the assumption leaves unused.
+
+use pcap_apps::{AppParams, Benchmark};
+use pcap_bench::table::Table;
+use pcap_core::{replay_schedule, solve_decomposed, FixedLpOptions, ReplayMode, TaskFrontiers};
+use pcap_machine::MachineSpec;
+use pcap_sim::SimOptions;
+
+fn main() {
+    let ranks = 8u32;
+    let per_socket = 40.0;
+    let cap = per_socket * ranks as f64;
+    let g = Benchmark::BtMz.generate(&AppParams { ranks, iterations: 4, seed: 13 });
+
+    let mut table = Table::new(&[
+        "slack_fraction", "lp_bound_s", "avg_power_w", "utilization_pct", "peak_w",
+    ]);
+    for frac in [0.2, 0.4, 0.55, 0.7, 0.85, 1.0] {
+        let mut machine = MachineSpec::e5_2670();
+        machine.slack_power_fraction = frac;
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        let sched = solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
+            .expect("schedulable");
+        let res = replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::ideal(), ReplayMode::Segments)
+            .unwrap();
+        let avg = res.power.average_power();
+        table.row(vec![
+            format!("{frac:.2}"),
+            format!("{:.3}", sched.makespan_s),
+            format!("{avg:.1}"),
+            format!("{:.1}", avg / cap * 100.0),
+            format!("{:.1}", res.power.max_power()),
+        ]);
+    }
+    println!("=== Ablation: slack-power fraction (BT-MZ @ {per_socket} W/socket) ===");
+    println!("{}", table.render());
+    println!("{}", table.render_tsv("abl-slack"));
+    println!(
+        "reading: the LP bound is identical in every row — the formulation budgets \
+         slack at full task power regardless of what slack actually draws (§3.3). \
+         The realized average power (cap utilization) falls with the machine's true \
+         slack fraction: that unharvested margin is the price of a purely linear, \
+         few-event model. (Peak power reflects the known transient-overshoot \
+         artifact of literal segment replay.)"
+    );
+}

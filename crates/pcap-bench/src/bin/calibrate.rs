@@ -1,0 +1,67 @@
+//! Model-calibration diagnostic: prints the LP / Static / Conductor /
+//! ConfigOnly sweep for every benchmark so the machine and workload
+//! parameters can be tuned to reproduce the paper's qualitative shape.
+//! Not one of the paper's artefacts — a development tool.
+
+use pcap_bench::harness::{evaluate_benchmark, improvement_pct, ExperimentConfig};
+use pcap_bench::table::{fmt_opt_pct, fmt_opt_s, Table};
+use pcap_apps::Benchmark;
+use pcap_machine::MachineSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ranks: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let iters: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let machine = MachineSpec::e5_2670();
+    let cfg = ExperimentConfig {
+        ranks,
+        warmup_iterations: 3,
+        measured_iterations: iters,
+        ..Default::default()
+    };
+    let caps = [30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+    let only: Option<String> = args.get(3).cloned();
+
+    for bench in Benchmark::ALL {
+        if let Some(o) = &only {
+            if !bench.name().eq_ignore_ascii_case(o) {
+                continue;
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let rows = evaluate_benchmark(bench, &machine, &cfg, &caps, true);
+        let dt = t0.elapsed().as_secs_f64();
+        let mut table = Table::new(&[
+            "W/socket", "LP(s)", "Static(s)", "Cond(s)", "CfgOnly(s)", "LPvsStatic%",
+            "LPvsCond%", "CondVsStatic%",
+        ]);
+        for r in rows {
+            let t = r.times;
+            let lp_vs_static = match (t.static_, t.lp) {
+                (Some(s), Some(l)) => Some(improvement_pct(s, l)),
+                _ => None,
+            };
+            let lp_vs_cond = match (t.conductor, t.lp) {
+                (Some(c), Some(l)) => Some(improvement_pct(c, l)),
+                _ => None,
+            };
+            let cond_vs_static = match (t.static_, t.conductor) {
+                (Some(s), Some(c)) => Some(improvement_pct(s, c)),
+                _ => None,
+            };
+            table.row(vec![
+                format!("{:.0}", r.per_socket_w),
+                fmt_opt_s(t.lp),
+                fmt_opt_s(t.static_),
+                fmt_opt_s(t.conductor),
+                fmt_opt_s(t.config_only),
+                fmt_opt_pct(lp_vs_static),
+                fmt_opt_pct(lp_vs_cond),
+                fmt_opt_pct(cond_vs_static),
+            ]);
+        }
+        println!("== {} (ranks={ranks}, {:.1}s) ==", bench.name(), dt);
+        println!("{}", table.render());
+    }
+}

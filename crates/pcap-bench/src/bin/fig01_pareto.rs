@@ -1,0 +1,101 @@
+//! **Figure 1 + Table 1** — time vs. processor power for one CoMD task
+//! across the full configuration space (8 threads × 15 DVFS states), with
+//! the convex Pareto frontier, and the paper's Table-1 sample of
+//! Pareto-efficient configurations.
+//!
+//! Shape checks reproduced from the paper:
+//! * for a fixed thread count, power rises and time falls with frequency;
+//! * configurations with fewer than the maximum threads are Pareto-efficient
+//!   only at the low-power end (near the minimum frequency).
+
+use pcap_apps::{comd, AppParams};
+use pcap_bench::table::Table;
+use pcap_core::TaskFrontiers;
+use pcap_machine::MachineSpec;
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let g = comd::generate(&AppParams { ranks: 4, iterations: 1, seed: 0x5C15 });
+    // The first force-computation task of rank 0 plays the Figure-1 role.
+    let task_id = g
+        .task_ids()
+        .into_iter()
+        .find(|&e| g.edge(e).task_model().map(|m| m.serial_seconds() > 3.0).unwrap_or(false))
+        .expect("CoMD has a force task");
+    let model = g.edge(task_id).task_model().unwrap().clone();
+
+    // Full configuration cloud, normalized time like the paper's y-axis.
+    let cloud = model.config_space(&machine);
+    let t_max = cloud.iter().map(|p| p.time_s).fold(0.0_f64, f64::max);
+    let mut cloud_table = Table::new(&["threads", "freq_ghz", "power_w", "time_s", "norm_time"]);
+    for p in &cloud {
+        cloud_table.row(vec![
+            p.config.threads.to_string(),
+            format!("{:.1}", p.config.ghz(&machine)),
+            format!("{:.2}", p.power_w),
+            format!("{:.4}", p.time_s),
+            format!("{:.4}", p.time_s / t_max),
+        ]);
+    }
+
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let frontier = frontiers.get(task_id).unwrap();
+    let mut front_table =
+        Table::new(&["i", "freq_ghz", "threads", "power_w", "time_s"]);
+    for (i, p) in frontier.points().iter().enumerate() {
+        front_table.row(vec![
+            i.to_string(),
+            format!("{:.1}", p.config.ghz(&machine)),
+            p.config.threads.to_string(),
+            format!("{:.2}", p.power_w),
+            format!("{:.4}", p.time_s),
+        ]);
+    }
+
+    println!("=== Figure 1: time vs power, one CoMD task ({} configurations) ===", cloud.len());
+    println!("{}", cloud_table.render_tsv("fig1-cloud"));
+    println!("=== Convex Pareto frontier ({} points) ===", frontier.len());
+    println!("{}", front_table.render());
+    println!("{}", front_table.render_tsv("fig1-frontier"));
+
+    // Table 1: the Pareto-efficient sample, highest power first (the paper
+    // lists descending frequency at 8 threads, then descending threads at
+    // the minimum frequency).
+    let mut tab1 = Table::new(&["config", "freq_ghz", "threads"]);
+    for (i, p) in frontier.points().iter().rev().enumerate() {
+        tab1.row(vec![
+            format!("C{},{}", task_id.index(), i + 1),
+            format!("{:.1}", p.config.ghz(&machine)),
+            p.config.threads.to_string(),
+        ]);
+    }
+    println!("=== Table 1: Pareto-efficient configurations ===");
+    println!("{}", tab1.render());
+    println!("{}", tab1.render_tsv("tab1"));
+
+    // Shape assertions (the claims Figure 1 illustrates).
+    let fastest = frontier.max_power();
+    assert_eq!(fastest.config.threads as u32, machine.max_threads);
+    let few_thread_max_power = frontier
+        .points()
+        .iter()
+        .filter(|p| (p.config.threads as u32) < machine.max_threads)
+        .map(|p| p.power_w)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let all_thread_min_power = frontier
+        .points()
+        .iter()
+        .filter(|p| p.config.threads as u32 == machine.max_threads)
+        .map(|p| p.power_w)
+        .fold(f64::INFINITY, f64::min);
+    if few_thread_max_power.is_finite() {
+        assert!(
+            few_thread_max_power <= all_thread_min_power + 1e-9,
+            "reduced-thread configs must occupy the low-power end"
+        );
+        println!(
+            "check: <{}-thread frontier points only below {:.1} W (paper §3.2) .. ok",
+            machine.max_threads, all_thread_min_power
+        );
+    }
+}

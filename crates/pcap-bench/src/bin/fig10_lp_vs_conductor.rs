@@ -1,0 +1,34 @@
+//! **Figure 10** — potential speedup of LP-derived schedules vs. Conductor,
+//! per benchmark, across average per-socket power constraints of 30–80 W.
+//!
+//! Paper shape: Conductor's distance from the bound is *uncorrelated* with
+//! the power constraint; CoMD/SP/LULESH stay within a few percent of the LP
+//! while BT trails by tens of percent at tight caps.
+
+use pcap_apps::Benchmark;
+use pcap_bench::table::{fmt_opt_pct, Table};
+use pcap_bench::{cached_sweep, default_sweep_path, improvement_pct, ExperimentConfig, SWEEP_CAPS};
+use pcap_machine::MachineSpec;
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let cfg = ExperimentConfig::default();
+    let sweep = cached_sweep(&default_sweep_path(), &machine, &cfg, &SWEEP_CAPS);
+
+    let mut table = Table::new(&["W/socket", "BT", "CoMD", "LULESH", "SP"]);
+    for (k, &cap) in SWEEP_CAPS.iter().enumerate() {
+        let mut cells = vec![format!("{cap:.0}")];
+        for bench in [Benchmark::BtMz, Benchmark::CoMD, Benchmark::Lulesh, Benchmark::SpMz] {
+            let row = &sweep.iter().find(|(b, _)| *b == bench).unwrap().1[k];
+            let imp = match (row.times.conductor, row.times.lp) {
+                (Some(c), Some(l)) => Some(improvement_pct(c, l)),
+                _ => None,
+            };
+            cells.push(fmt_opt_pct(imp));
+        }
+        table.row(cells);
+    }
+    println!("=== Figure 10: LP vs Conductor — potential improvement (%) ===");
+    println!("{}", table.render());
+    println!("{}", table.render_tsv("fig10"));
+}

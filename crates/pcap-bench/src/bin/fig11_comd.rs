@@ -1,0 +1,17 @@
+//! **Figure 11** — CoMD: LP and Conductor improvement vs. Static, 30–80 W
+//! per socket.
+//!
+//! Paper shape: LP gains up to 12.6% (median 4.6%, minimum 2.4%);
+//! Conductor within 3% of the LP.
+
+use pcap_apps::Benchmark;
+use pcap_bench::figures::per_benchmark_figure;
+use pcap_bench::SWEEP_CAPS;
+
+fn main() {
+    let stats = per_benchmark_figure(Benchmark::CoMD, &SWEEP_CAPS, "fig11");
+    println!(
+        "paper reference: max 12.6%, median 4.6%, min 2.4%; Conductor within 3% of LP"
+    );
+    assert!(stats.lp_vs_static_max < 25.0, "CoMD gains should stay mild");
+}

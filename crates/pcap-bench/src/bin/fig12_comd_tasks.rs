@@ -1,0 +1,87 @@
+//! **Figure 12** — CoMD task duration vs. power for long-running (>0.5 s)
+//! tasks over 100 iterations at an average per-socket constraint of 30 W.
+//!
+//! Paper shape: the LP allocates power non-uniformly — many tasks draw more
+//! than 30 W (up to ~36 W) yet the job-level constraint holds, and the
+//! longest task stays near 1.2 s. Static pins every socket at 30 W, RAPL
+//! throttles, and task times spread up past 1.3–1.47 s.
+
+use pcap_apps::{comd, AppParams};
+use pcap_bench::table::Table;
+use pcap_core::{solve_decomposed, verify_schedule, FixedLpOptions, TaskFrontiers};
+use pcap_dag::EdgeId;
+use pcap_machine::MachineSpec;
+use pcap_sched::StaticPolicy;
+use pcap_sim::{SimOptions, Simulator};
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let ranks = 32u32;
+    let iterations = 100u32;
+    let per_socket = 30.0;
+    let job_cap = per_socket * ranks as f64;
+    let min_duration = 0.5;
+
+    let g = comd::generate(&AppParams { ranks, iterations, seed: 0x5C15 });
+    let frontiers = TaskFrontiers::build(&g, &machine);
+
+    // LP schedule: per-task (power, duration) from the choices.
+    let sched = solve_decomposed(&g, &machine, &frontiers, job_cap, &FixedLpOptions::default())
+        .expect("CoMD is schedulable at 30 W/socket");
+    let v = verify_schedule(&g, &sched);
+    assert!(v.ok(job_cap, 1e-6), "LP schedule must respect the job cap: {v:?}");
+
+    let mut table = Table::new(&["method", "power_w", "duration_s"]);
+    let mut lp_max_dur: f64 = 0.0;
+    let mut lp_above_cap = 0usize;
+    let mut lp_count = 0usize;
+    for (i, c) in sched.choices.iter().enumerate() {
+        if let Some(c) = c {
+            if c.duration_s >= min_duration {
+                table.row(vec![
+                    "LP".into(),
+                    format!("{:.3}", c.power_w),
+                    format!("{:.4}", c.duration_s),
+                ]);
+                lp_max_dur = lp_max_dur.max(c.duration_s);
+                lp_count += 1;
+                if c.power_w > per_socket {
+                    lp_above_cap += 1;
+                }
+                let _ = EdgeId::from_index(i);
+            }
+        }
+    }
+
+    // Static: simulate and read the task records.
+    let mut stat = StaticPolicy::uniform(job_cap, ranks, machine.max_threads);
+    let res = Simulator::new(&g, &machine, SimOptions::default()).run(&mut stat).unwrap();
+    let mut static_max: f64 = 0.0;
+    let mut static_count = 0usize;
+    for t in res.long_tasks(min_duration) {
+        table.row(vec![
+            "Static".into(),
+            format!("{:.3}", t.avg_power_w),
+            format!("{:.4}", t.duration()),
+        ]);
+        static_max = static_max.max(t.duration());
+        static_count += 1;
+    }
+
+    println!("=== Figure 12: CoMD long-task duration vs power @ 30 W/socket ===");
+    println!("{}", table.render_tsv("fig12"));
+    println!("limit line: {per_socket} W per socket (Static's hard cap)");
+    println!(
+        "LP: {lp_count} long tasks, {lp_above_cap} draw more than {per_socket} W \
+         (job cap still respected: max event power {:.1} W <= {job_cap} W), \
+         longest task {:.3} s",
+        v.max_event_power_w, lp_max_dur
+    );
+    println!("Static: {static_count} long tasks, longest {:.3} s", static_max);
+    println!(
+        "paper reference: LP longest ~1.2 s with many tasks >30 W (up to 36 W); \
+         Static tasks routinely above 1.3 s and as high as 1.47 s"
+    );
+    assert!(lp_above_cap > 0, "LP must exploit non-uniform power");
+    assert!(static_max > lp_max_dur, "Static's longest task must exceed the LP's");
+}

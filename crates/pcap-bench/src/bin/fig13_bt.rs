@@ -1,0 +1,20 @@
+//! **Figure 13** — BT-MZ: LP and Conductor improvement vs. Static, 30–70 W
+//! per socket.
+//!
+//! Paper shape: at 30 W Static trails the LP by ~75% and Conductor by ~24%
+//! (both driven by BT's static zone imbalance); at high caps the three
+//! methods converge to within ~5%.
+
+use pcap_apps::Benchmark;
+use pcap_bench::figures::per_benchmark_figure;
+
+fn main() {
+    let caps = [30.0, 40.0, 50.0, 60.0, 70.0];
+    let stats = per_benchmark_figure(Benchmark::BtMz, &caps, "fig13");
+    println!("paper reference: LP vs Static up to 74.9% at 30 W; ~converged at 70 W");
+    assert!(
+        stats.lp_vs_static_max > 40.0,
+        "BT must show large low-power headroom (got {:.1}%)",
+        stats.lp_vs_static_max
+    );
+}

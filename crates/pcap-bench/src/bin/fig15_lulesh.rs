@@ -1,0 +1,20 @@
+//! **Figure 15** — LULESH: LP and Conductor improvement vs. Static, 40–80 W
+//! per socket.
+//!
+//! Paper shape: the LP indicates significant (>14%) headroom over Static at
+//! *all* tested caps (Static's 8 throttled threads lose to 5 faster ones —
+//! cache contention, Table 3), and Conductor captures ~99% of it.
+
+use pcap_apps::Benchmark;
+use pcap_bench::figures::per_benchmark_figure;
+
+fn main() {
+    let caps = [40.0, 50.0, 60.0, 70.0, 80.0];
+    let stats = per_benchmark_figure(Benchmark::Lulesh, &caps, "fig15");
+    println!("paper reference: LP vs Static >14% at all caps; Conductor within ~1–5% of LP");
+    assert!(
+        stats.lp_vs_static_min > 10.0,
+        "LULESH must keep headroom at every cap (got min {:.1}%)",
+        stats.lp_vs_static_min
+    );
+}

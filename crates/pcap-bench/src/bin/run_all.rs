@@ -1,0 +1,60 @@
+//! Convenience driver: regenerates **every** paper artefact (figures,
+//! tables, headline summary) plus the ablations, in order, by invoking the
+//! sibling experiment binaries. The shared power sweep is computed once and
+//! cached, so the whole suite after the first sweep is minutes, not hours.
+//!
+//! ```text
+//! cargo run --release -p pcap-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01_pareto",
+        "fig08_flow_vs_fixed",
+        "fig09_lp_vs_static",
+        "fig10_lp_vs_conductor",
+        "fig11_comd",
+        "fig12_comd_tasks",
+        "fig13_bt",
+        "fig14_sp",
+        "fig15_lulesh",
+        "tab02_overheads",
+        "tab03_lulesh_iteration",
+        "summary",
+        "abl_noise",
+        "abl_imbalance",
+        "abl_slack_power",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n========================================================");
+        println!("==> {bin}");
+        println!("========================================================");
+        let status = Command::new(exe_dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("!! {bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("!! failed to launch {bin}: {e} (build with --release first)");
+                failures.push(bin);
+            }
+        }
+    }
+    println!("\n========================================================");
+    if failures.is_empty() {
+        println!("all {} artefacts regenerated successfully", bins.len());
+    } else {
+        println!("FAILURES: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,74 @@
+//! **Headline numbers (§1, §6)** — the paper's summary statistics computed
+//! from the shared sweep:
+//!
+//! * Static trails the LP bound by up to **74.9%**;
+//! * Conductor trails the LP bound by up to **41.1%**;
+//! * Conductor improves on Static by **6.7%** on average;
+//! * the LP indicates **10.8%** average potential improvement over Static.
+
+use pcap_bench::table::Table;
+use pcap_bench::{cached_sweep, default_sweep_path, improvement_pct, ExperimentConfig, SWEEP_CAPS};
+use pcap_machine::MachineSpec;
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let cfg = ExperimentConfig::default();
+    let sweep = cached_sweep(&default_sweep_path(), &machine, &cfg, &SWEEP_CAPS);
+
+    let mut lp_vs_static: Vec<f64> = vec![];
+    let mut lp_vs_cond: Vec<f64> = vec![];
+    let mut cond_vs_static: Vec<f64> = vec![];
+    let mut max_ls = (f64::NEG_INFINITY, "", 0.0);
+    let mut max_lc = (f64::NEG_INFINITY, "", 0.0);
+    for (bench, rows) in &sweep {
+        for r in rows {
+            let t = r.times;
+            if let (Some(s), Some(l)) = (t.static_, t.lp) {
+                let v = improvement_pct(s, l);
+                lp_vs_static.push(v);
+                if v > max_ls.0 {
+                    max_ls = (v, bench.name(), r.per_socket_w);
+                }
+            }
+            if let (Some(c), Some(l)) = (t.conductor, t.lp) {
+                let v = improvement_pct(c, l);
+                lp_vs_cond.push(v);
+                if v > max_lc.0 {
+                    max_lc = (v, bench.name(), r.per_socket_w);
+                }
+            }
+            if let (Some(s), Some(c)) = (t.static_, t.conductor) {
+                cond_vs_static.push(improvement_pct(s, c));
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    let mut table = Table::new(&["statistic", "measured", "paper"]);
+    table.row(vec![
+        format!("max LP vs Static ({} @ {:.0} W)", max_ls.1, max_ls.2),
+        format!("{:.1}%", max_ls.0),
+        "74.9% (BT @ 30 W)".into(),
+    ]);
+    table.row(vec![
+        format!("max LP vs Conductor ({} @ {:.0} W)", max_lc.1, max_lc.2),
+        format!("{:.1}%", max_lc.0),
+        "41.1%".into(),
+    ]);
+    table.row(vec![
+        "mean Conductor improvement over Static".into(),
+        format!("{:.1}%", mean(&cond_vs_static)),
+        "6.7%".into(),
+    ]);
+    table.row(vec![
+        "mean LP potential improvement over Static".into(),
+        format!("{:.1}%", mean(&lp_vs_static)),
+        "10.8%".into(),
+    ]);
+    println!("=== Headline summary (paper §1/§6.3) ===");
+    println!("{}", table.render());
+    println!("{}", table.render_tsv("summary"));
+
+    assert!(max_ls.0 > 40.0, "large static shortfall must appear at tight caps");
+    assert!(mean(&lp_vs_static) > mean(&cond_vs_static), "LP bound above Conductor");
+}

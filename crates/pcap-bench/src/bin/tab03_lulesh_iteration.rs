@@ -1,0 +1,184 @@
+//! **Table 3** — task characteristics for a single iteration of LULESH at
+//! 1600 W total (average of 50 W per processor socket), long-running
+//! (≥ 1 s) tasks only.
+//!
+//! Paper values (32 processors at 1350 W / 50 W each):
+//!
+//! | method    | median time | power σ | threads | median freq (of max) |
+//! |-----------|------------:|--------:|--------:|---------------------:|
+//! | Static    | 4.889 s     | 0.009   | 8       | 0.8834               |
+//! | Conductor | 3.614 s     | 0.118   | 5       | 0.9942               |
+//! | LP        | 3.611 s     | 0.125   | 4–5     | 1.0                  |
+//!
+//! The signature to reproduce: Static uses all 8 throttled threads; the LP
+//! and Conductor pick ~5 threads at higher clocks and spread power
+//! non-uniformly (larger σ), finishing ~25% faster.
+
+use pcap_apps::{lulesh, AppParams};
+use pcap_bench::table::Table;
+use pcap_core::{solve_decomposed, FixedLpOptions, TaskFrontiers};
+use pcap_dag::{TaskGraph, VertexKind};
+use pcap_machine::MachineSpec;
+use pcap_sched::{Conductor, ConductorOptions, StaticPolicy};
+use pcap_sim::{SimOptions, SimResult, Simulator};
+
+/// The time window of one mid-run iteration: between the `k`-th and
+/// `k+1`-th Pcontrol vertices.
+fn iteration_window(graph: &TaskGraph, vertex_times: &[f64], k: u32) -> (f64, f64) {
+    let mut times: Vec<f64> = graph
+        .topo_order()
+        .iter()
+        .filter(|&&v| graph.vertex(v).kind == VertexKind::Pcontrol)
+        .map(|&v| vertex_times[v.index()])
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[k as usize], times[k as usize + 1])
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn std_dev(v: &[f64]) -> f64 {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+struct RowStats {
+    med_time: f64,
+    power_sigma: f64,
+    threads: String,
+    med_freq: f64,
+}
+
+fn sim_stats(graph: &TaskGraph, res: &SimResult, k: u32, min_dur: f64, fmax: f64) -> RowStats {
+    let (t0, t1) = iteration_window(graph, &res.vertex_times, k);
+    let recs: Vec<_> = res
+        .tasks
+        .iter()
+        .filter(|t| t.start_s >= t0 && t.start_s < t1 && t.duration() >= min_dur)
+        .collect();
+    assert!(!recs.is_empty(), "no long tasks in the chosen iteration");
+    let times: Vec<f64> = recs.iter().map(|t| t.duration()).collect();
+    let powers: Vec<f64> = recs.iter().map(|t| t.avg_power_w).collect();
+    let freqs: Vec<f64> = recs.iter().map(|t| t.avg_freq_ghz / fmax).collect();
+    let mut threads: Vec<u32> = recs.iter().map(|t| t.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let tstr = if threads.len() == 1 {
+        threads[0].to_string()
+    } else {
+        format!("{}-{}", threads[0], threads.last().unwrap())
+    };
+    RowStats {
+        med_time: median(times),
+        power_sigma: std_dev(&powers),
+        threads: tstr,
+        med_freq: median(freqs),
+    }
+}
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let ranks = 32u32;
+    let per_socket = 50.0;
+    let job_cap = per_socket * ranks as f64;
+    let min_dur = 1.0;
+    let probe_iteration = 6; // a mid-run iteration, past warm-up and realloc
+    let fmax = machine.f_max_ghz();
+
+    let cfg = AppParams { ranks, iterations: 10, seed: 0x5C15 };
+    let g = lulesh::generate(&cfg);
+    let frontiers = TaskFrontiers::build(&g, &machine);
+
+    // Static.
+    let mut stat = StaticPolicy::uniform(job_cap, ranks, machine.max_threads);
+    let rs = Simulator::new(&g, &machine, SimOptions::default()).run(&mut stat).unwrap();
+    let s_static = sim_stats(&g, &rs, probe_iteration, min_dur, fmax);
+
+    // Conductor.
+    let mut cond = Conductor::new(
+        job_cap,
+        ranks,
+        machine.max_threads,
+        frontiers.clone(),
+        ConductorOptions::default(),
+    );
+    let rc = Simulator::new(&g, &machine, SimOptions::default()).run(&mut cond).unwrap();
+    let s_cond = sim_stats(&g, &rc, probe_iteration, min_dur, fmax);
+
+    // LP: statistics straight from the schedule.
+    let sched = solve_decomposed(&g, &machine, &frontiers, job_cap, &FixedLpOptions::default())
+        .expect("LULESH schedulable at 50 W/socket");
+    let (t0, t1) = iteration_window(&g, &sched.vertex_times, probe_iteration);
+    let mut times = vec![];
+    let mut powers = vec![];
+    let mut freqs = vec![];
+    let mut threads: Vec<u32> = vec![];
+    for (id, e) in g.iter_edges() {
+        if !e.is_task() {
+            continue;
+        }
+        let start = sched.vertex_times[e.src.index()];
+        let Some(c) = sched.choice(id) else { continue };
+        if start < t0 || start >= t1 || c.duration_s < min_dur {
+            continue;
+        }
+        times.push(c.duration_s);
+        powers.push(c.power_w);
+        let frontier = frontiers.get(id).unwrap();
+        let mut f_avg = 0.0;
+        for &(idx, frac) in &c.mix {
+            let pt = &frontier.points()[idx];
+            f_avg += frac * pt.config.ghz(&machine);
+            // Count a thread count as "used" only when it carries a
+            // meaningful share of the task (matching how the paper reports
+            // the LP's 4-5 threads).
+            if frac > 0.25 {
+                threads.push(pt.config.threads as u32);
+            }
+        }
+        freqs.push(f_avg / fmax);
+    }
+    threads.sort_unstable();
+    threads.dedup();
+    let s_lp = RowStats {
+        med_time: median(times),
+        power_sigma: std_dev(&powers),
+        threads: if threads.len() == 1 {
+            threads[0].to_string()
+        } else {
+            format!("{}-{}", threads[0], threads.last().unwrap())
+        },
+        med_freq: median(freqs),
+    };
+
+    let mut table =
+        Table::new(&["method", "median_time_s", "power_sigma_w", "threads", "median_freq"]);
+    for (name, s) in [("Static", &s_static), ("Conductor", &s_cond), ("LP", &s_lp)] {
+        table.row(vec![
+            name.into(),
+            format!("{:.3}", s.med_time),
+            format!("{:.3}", s.power_sigma),
+            s.threads.clone(),
+            format!("{:.4}", s.med_freq),
+        ]);
+    }
+    println!(
+        "=== Table 3: LULESH single-iteration task characteristics @ {} W total ===",
+        job_cap
+    );
+    println!("{}", table.render());
+    println!("{}", table.render_tsv("tab3"));
+    println!(
+        "paper reference: Static 4.889 s / σ 0.009 / 8 threads / 0.8834; \
+         Conductor 3.614 s / σ 0.118 / 5 / 0.9942; LP 3.611 s / σ 0.125 / 4-5 / 1.0"
+    );
+
+    // Shape assertions.
+    assert!(s_static.med_time > s_lp.med_time, "Static must be slower than the LP");
+    assert!(s_static.power_sigma < s_lp.power_sigma, "LP spreads power non-uniformly");
+    assert_eq!(s_static.threads, "8", "Static is pinned to all hardware threads");
+    assert!(s_lp.med_freq > s_static.med_freq, "LP runs fewer threads at higher clocks");
+}

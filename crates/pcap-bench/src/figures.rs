@@ -1,0 +1,73 @@
+//! Shared rendering for the per-benchmark improvement figures (11, 13–15).
+
+use crate::harness::{cached_sweep, default_sweep_path, improvement_pct, ExperimentConfig, SWEEP_CAPS};
+use crate::table::{fmt_opt_pct, Table};
+use pcap_apps::Benchmark;
+use pcap_machine::MachineSpec;
+
+/// Summary statistics of the LP-vs-Static column, for shape checks against
+/// the paper's reported max/median/min.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureStats {
+    pub lp_vs_static_max: f64,
+    pub lp_vs_static_median: f64,
+    pub lp_vs_static_min: f64,
+    pub conductor_vs_static_mean: f64,
+}
+
+/// Prints one "LP and Conductor improvement vs Static" figure for `bench`,
+/// restricted to `caps` (the per-figure x-range used by the paper), and
+/// returns the summary statistics.
+pub fn per_benchmark_figure(bench: Benchmark, caps: &[f64], tag: &str) -> FigureStats {
+    let machine = MachineSpec::e5_2670();
+    let cfg = ExperimentConfig::default();
+    let sweep = cached_sweep(&default_sweep_path(), &machine, &cfg, &SWEEP_CAPS);
+    let rows = &sweep.iter().find(|(b, _)| *b == bench).unwrap().1;
+
+    let mut table = Table::new(&["W/socket", "LP_vs_Static_pct", "Conductor_vs_Static_pct"]);
+    let mut lp_imps = vec![];
+    let mut cond_imps = vec![];
+    for row in rows.iter().filter(|r| caps.contains(&r.per_socket_w)) {
+        let t = row.times;
+        let lp = match (t.static_, t.lp) {
+            (Some(s), Some(l)) => {
+                let v = improvement_pct(s, l);
+                lp_imps.push(v);
+                Some(v)
+            }
+            _ => None,
+        };
+        let cond = match (t.static_, t.conductor) {
+            (Some(s), Some(c)) => {
+                let v = improvement_pct(s, c);
+                cond_imps.push(v);
+                Some(v)
+            }
+            _ => None,
+        };
+        table.row(vec![format!("{:.0}", row.per_socket_w), fmt_opt_pct(lp), fmt_opt_pct(cond)]);
+    }
+    println!("=== {tag}: {} — LP and Conductor improvement vs Static ===", bench.name());
+    println!("{}", table.render());
+    println!("{}", table.render_tsv(tag));
+
+    lp_imps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stats = FigureStats {
+        lp_vs_static_max: lp_imps.last().copied().unwrap_or(f64::NAN),
+        lp_vs_static_median: lp_imps.get(lp_imps.len() / 2).copied().unwrap_or(f64::NAN),
+        lp_vs_static_min: lp_imps.first().copied().unwrap_or(f64::NAN),
+        conductor_vs_static_mean: if cond_imps.is_empty() {
+            f64::NAN
+        } else {
+            cond_imps.iter().sum::<f64>() / cond_imps.len() as f64
+        },
+    };
+    println!(
+        "LP vs Static: max {:.1}%, median {:.1}%, min {:.1}%; Conductor vs Static mean {:.1}%",
+        stats.lp_vs_static_max,
+        stats.lp_vs_static_median,
+        stats.lp_vs_static_min,
+        stats.conductor_vs_static_mean
+    );
+    stats
+}

@@ -1,0 +1,349 @@
+//! Shared measurement machinery for the figure/table binaries.
+
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::{solve_decomposed, FixedLpOptions, TaskFrontiers};
+use pcap_dag::{TaskGraph, VertexKind};
+use pcap_machine::MachineSpec;
+use pcap_sched::{ConfigOnly, Conductor, ConductorOptions, StaticPolicy};
+use pcap_sim::{Policy, SimOptions, Simulator};
+
+/// A single experiment's fixed parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// MPI ranks (= sockets). The paper uses 32.
+    pub ranks: u32,
+    /// Warm-up iterations discarded from every measurement (paper: 3).
+    pub warmup_iterations: u32,
+    /// Measured iterations after warm-up.
+    pub measured_iterations: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Simulator options for the runtime policies (overheads + noise).
+    pub sim: SimOptions,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 32,
+            warmup_iterations: 3,
+            measured_iterations: 12,
+            seed: 0x5C15,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Total iterations to generate.
+    pub fn total_iterations(&self) -> u32 {
+        self.warmup_iterations + self.measured_iterations
+    }
+
+    /// Generates the benchmark trace for this experiment.
+    pub fn generate(&self, bench: Benchmark) -> TaskGraph {
+        bench.generate(&AppParams {
+            ranks: self.ranks,
+            iterations: self.total_iterations(),
+            seed: self.seed,
+        })
+    }
+}
+
+/// Measured times (seconds over the post-warm-up region) for each method at
+/// one power cap. `None` = not schedulable at that cap (paper Figures 9/10:
+/// "Some benchmarks were not able to be scheduled at the lowest ...
+/// constraint").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MethodTimes {
+    pub lp: Option<f64>,
+    pub static_: Option<f64>,
+    pub conductor: Option<f64>,
+    pub config_only: Option<f64>,
+}
+
+/// One row of a power sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CapRow {
+    /// Average watts per processor socket.
+    pub per_socket_w: f64,
+    pub times: MethodTimes,
+}
+
+/// Performance improvement of the bound over a method, in percent:
+/// `(t_method / t_lp − 1) · 100` — "the LP yields up to 41.1% improvement
+/// in power-constrained performance".
+pub fn improvement_pct(t_method: f64, t_lp: f64) -> f64 {
+    (t_method / t_lp - 1.0) * 100.0
+}
+
+/// Time elapsed between the end of warm-up (the `warmup`-th `MPI_Pcontrol`)
+/// and `MPI_Finalize`, given realized vertex times.
+pub fn measured_region(graph: &TaskGraph, vertex_times: &[f64], warmup: u32) -> f64 {
+    let mut boundary = 0.0;
+    if warmup > 0 {
+        let mut seen = 0;
+        for &v in graph.topo_order() {
+            if graph.vertex(v).kind == VertexKind::Pcontrol {
+                seen += 1;
+                if seen == warmup {
+                    boundary = vertex_times[v.index()];
+                    break;
+                }
+            }
+        }
+    }
+    vertex_times[graph.finalize_vertex().index()] - boundary
+}
+
+/// Computes the LP bound and simulates the runtime policies for one
+/// benchmark at one job-level cap. Set `with_config_only` to also run the
+/// selection-only ablation.
+pub fn evaluate_at_cap(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    cfg: &ExperimentConfig,
+    per_socket_w: f64,
+    with_config_only: bool,
+) -> MethodTimes {
+    let job_cap = per_socket_w * cfg.ranks as f64;
+    let warm = cfg.warmup_iterations;
+
+    let lp = solve_decomposed(graph, machine, frontiers, job_cap, &FixedLpOptions::default())
+        .ok()
+        .map(|s| measured_region(graph, &s.vertex_times, warm));
+
+    let run = |policy: &mut dyn Policy| -> Option<f64> {
+        Simulator::new(graph, machine, cfg.sim.clone())
+            .run(policy)
+            .ok()
+            .map(|r| measured_region(graph, &r.vertex_times, warm))
+    };
+
+    let static_ = run(&mut StaticPolicy::uniform(job_cap, cfg.ranks, machine.max_threads));
+    let conductor = run(&mut Conductor::new(
+        job_cap,
+        cfg.ranks,
+        machine.max_threads,
+        frontiers.clone(),
+        ConductorOptions::default(),
+    ));
+    let config_only = if with_config_only {
+        run(&mut ConfigOnly::new(job_cap, cfg.ranks, frontiers.clone(), machine.max_threads))
+    } else {
+        None
+    };
+
+    MethodTimes { lp, static_, conductor, config_only }
+}
+
+/// Sweeps a benchmark over per-socket caps, spreading cap evaluations over
+/// worker threads (the graph and frontiers are shared read-only).
+pub fn evaluate_benchmark(
+    bench: Benchmark,
+    machine: &MachineSpec,
+    cfg: &ExperimentConfig,
+    per_socket_caps: &[f64],
+    with_config_only: bool,
+) -> Vec<CapRow> {
+    let graph = cfg.generate(bench);
+    let frontiers = TaskFrontiers::build(&graph, machine);
+
+    let n = per_socket_caps.len();
+    let mut rows: Vec<Option<CapRow>> = vec![None; n];
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+
+    crossbeam::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, CapRow)>();
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let out = out_tx.clone();
+            let graph = &graph;
+            let frontiers = &frontiers;
+            scope.spawn(move |_| {
+                while let Ok(i) = rx.recv() {
+                    let cap = per_socket_caps[i];
+                    let times =
+                        evaluate_at_cap(graph, machine, frontiers, cfg, cap, with_config_only);
+                    out.send((i, CapRow { per_socket_w: cap, times })).unwrap();
+                }
+            });
+        }
+        drop(out_tx);
+        while let Ok((i, row)) = out_rx.recv() {
+            rows[i] = Some(row);
+        }
+    })
+    .expect("sweep workers do not panic");
+
+    rows.into_iter().map(|r| r.expect("all caps evaluated")).collect()
+}
+
+/// The standard four-benchmark sweep feeding Figures 9–15, cached on disk so
+/// the figure binaries share one expensive computation. The cache key (first
+/// line) encodes the experiment parameters; a mismatch recomputes.
+pub fn cached_sweep(
+    path: &std::path::Path,
+    machine: &MachineSpec,
+    cfg: &ExperimentConfig,
+    per_socket_caps: &[f64],
+) -> Vec<(Benchmark, Vec<CapRow>)> {
+    let key = format!(
+        "#sweep ranks={} warmup={} measured={} seed={} caps={:?}",
+        cfg.ranks, cfg.warmup_iterations, cfg.measured_iterations, cfg.seed, per_socket_caps
+    );
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if text.lines().next() == Some(key.as_str()) {
+            if let Some(parsed) = parse_sweep(&text) {
+                return parsed;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut text = key.clone();
+    text.push('\n');
+    for bench in Benchmark::ALL {
+        eprintln!("[sweep] running {} ...", bench.name());
+        let rows = evaluate_benchmark(bench, machine, cfg, per_socket_caps, true);
+        for r in &rows {
+            let f = |v: Option<f64>| v.map(|x| format!("{x:.9}")).unwrap_or_else(|| "-".into());
+            text.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                bench.name(),
+                r.per_socket_w,
+                f(r.times.lp),
+                f(r.times.static_),
+                f(r.times.conductor),
+                f(r.times.config_only),
+            ));
+        }
+        out.push((bench, rows));
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, text);
+    out
+}
+
+fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
+    let mut map: Vec<(Benchmark, Vec<CapRow>)> = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 6 {
+            return None;
+        }
+        let bench = Benchmark::ALL.iter().copied().find(|b| b.name() == cols[0])?;
+        let cap: f64 = cols[1].parse().ok()?;
+        let f = |s: &str| -> Option<Option<f64>> {
+            if s == "-" {
+                Some(None)
+            } else {
+                s.parse::<f64>().ok().map(Some)
+            }
+        };
+        let row = CapRow {
+            per_socket_w: cap,
+            times: MethodTimes {
+                lp: f(cols[2])?,
+                static_: f(cols[3])?,
+                conductor: f(cols[4])?,
+                config_only: f(cols[5])?,
+            },
+        };
+        match map.iter_mut().find(|(b, _)| *b == bench) {
+            Some((_, rows)) => rows.push(row),
+            None => map.push((bench, vec![row])),
+        }
+    }
+    if map.is_empty() {
+        None
+    } else {
+        Some(map)
+    }
+}
+
+/// Default location of the shared sweep cache.
+pub fn default_sweep_path() -> std::path::PathBuf {
+    std::path::PathBuf::from("results/sweep.tsv")
+}
+
+/// Default per-socket cap grid used by Figures 9 and 10 (the paper sweeps
+/// 30–80 W per socket).
+pub const SWEEP_CAPS: [f64; 6] = [30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_sweep_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("pcap-sweep-{}", std::process::id()));
+        let path = dir.join("sweep.tsv");
+        let m = MachineSpec::e5_2670();
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let caps = [50.0, 80.0];
+        let first = cached_sweep(&path, &m, &cfg, &caps);
+        let second = cached_sweep(&path, &m, &cfg, &caps);
+        assert_eq!(first.len(), second.len());
+        for ((b1, r1), (b2, r2)) in first.iter().zip(&second) {
+            assert_eq!(b1, b2);
+            for (a, b) in r1.iter().zip(r2) {
+                assert_eq!(a.per_socket_w, b.per_socket_w);
+                assert_eq!(a.times.lp.is_some(), b.times.lp.is_some());
+                if let (Some(x), Some(y)) = (a.times.lp, b.times.lp) {
+                    assert!((x - y).abs() < 1e-6);
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn measured_region_subtracts_warmup() {
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 2,
+            ..Default::default()
+        };
+        let g = cfg.generate(Benchmark::CoMD);
+        let m = MachineSpec::e5_2670();
+        let fr = TaskFrontiers::build(&g, &m);
+        let s = solve_decomposed(&g, &m, &fr, 2.0 * 60.0, &FixedLpOptions::default()).unwrap();
+        let full = measured_region(&g, &s.vertex_times, 0);
+        let trimmed = measured_region(&g, &s.vertex_times, 1);
+        assert!(trimmed < full);
+        assert!(trimmed > 0.0);
+        // Warm-up is one of three iterations: roughly a third is removed.
+        let ratio = trimmed / full;
+        assert!((0.45..0.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn evaluate_at_cap_orders_methods_sanely() {
+        let cfg = ExperimentConfig {
+            ranks: 4,
+            warmup_iterations: 1,
+            measured_iterations: 2,
+            ..Default::default()
+        };
+        let g = cfg.generate(Benchmark::BtMz);
+        let m = MachineSpec::e5_2670();
+        let fr = TaskFrontiers::build(&g, &m);
+        let t = evaluate_at_cap(&g, &m, &fr, &cfg, 40.0, true);
+        let (lp, st) = (t.lp.unwrap(), t.static_.unwrap());
+        assert!(lp <= st * 1.001, "LP {lp} must not exceed Static {st}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # pcap-bench — experiment harness
+//!
+//! One binary per figure/table of the paper (see `src/bin/`), built on the
+//! shared measurement machinery in [`harness`]:
+//!
+//! * generate a benchmark trace (warm-up + measured iterations),
+//! * compute the LP bound, simulate Static / Conductor / ConfigOnly,
+//! * measure time over the post-warm-up region only (the paper discards the
+//!   first three iterations of every run, §5.3),
+//! * sweep power caps in parallel across worker threads.
+//!
+//! Criterion performance benches for the solver/simulator/frontier
+//! machinery live in `benches/`.
+
+pub mod figures;
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    cached_sweep, default_sweep_path, evaluate_at_cap, evaluate_benchmark, improvement_pct,
+    measured_region, CapRow, ExperimentConfig, MethodTimes, SWEEP_CAPS,
+};

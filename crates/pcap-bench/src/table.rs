@@ -1,0 +1,108 @@
+//! Minimal aligned-table / TSV printing for experiment binaries.
+//!
+//! Every figure binary prints (a) a human-readable aligned table and (b)
+//! `#tsv`-prefixed lines that plotting scripts can grep out — no external
+//! serialization crates needed.
+
+/// A simple column-aligned table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders machine-readable TSV lines, each prefixed with `#tsv`.
+    pub fn render_tsv(&self, tag: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("#tsv\t{tag}\t{}\n", self.header.join("\t")));
+        for r in &self.rows {
+            out.push_str(&format!("#tsv\t{tag}\t{}\n", r.join("\t")));
+        }
+        out
+    }
+}
+
+/// Formats an optional seconds value ("-" when infeasible).
+pub fn fmt_opt_s(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats an optional percentage.
+pub fn fmt_opt_pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_and_tsvs() {
+        let mut t = Table::new(&["cap", "lp", "static"]);
+        t.row(vec!["30".into(), "1.234".into(), "2.5".into()]);
+        t.row(vec!["80".into(), "0.9".into(), "1.0".into()]);
+        let s = t.render();
+        assert!(s.contains("cap"));
+        assert!(s.lines().count() == 4);
+        let tsv = t.render_tsv("fig9");
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("#tsv\tfig9\tcap"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The discrete-configuration variant of the fixed-vertex-order formulation
+//! (paper eq. 5): each task must run a *single* configuration for its whole
+//! duration (`c_ij ∈ {0,1}`), turning the event LP into a mixed
+//! integer-linear program.
+//!
+//! The paper notes this "requires a significantly less efficient solution
+//! method, which prohibits us from solving realistic problems" — the same
+//! holds here: this solver exists to quantify, on small instances, how much
+//! the continuous relaxation plus rounding gives away relative to the true
+//! discrete optimum (very little, which is the justification for §3.2's
+//! rounding approach). Use [`crate::fixed_lp`] for anything sizeable.
+
+use crate::fixed_lp::Window;
+use crate::frontiers::TaskFrontiers;
+use crate::schedule::{LpSchedule, TaskChoice};
+use crate::{CoreError, CoreResult};
+use pcap_dag::{EdgeId, EdgeKind, TaskGraph};
+use pcap_lp::{solve_mip, Bound, BranchOptions, LinExpr, Problem, Sense};
+use pcap_machine::MachineSpec;
+
+/// Options for the discrete solve.
+#[derive(Debug, Clone, Default)]
+pub struct DiscreteOptions {
+    /// Branch-and-bound options.
+    pub bb: BranchOptions,
+    /// Event-time tie tolerance (as in the LP).
+    pub tie_tol: f64,
+}
+
+/// Solves the fixed-vertex-order formulation with binary configuration
+/// variables over the whole graph. Exponential in the worst case; intended
+/// for graphs with at most a few dozen tasks.
+pub fn solve_fixed_order_discrete(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    cap_w: f64,
+    opts: &DiscreteOptions,
+) -> CoreResult<LpSchedule> {
+    let _ = machine;
+    let window = Window::whole(graph);
+    let tie_tol = if opts.tie_tol > 0.0 { opts.tie_tol } else { 1e-9 };
+
+    // Initial schedule / event order / activity sets: identical to the LP
+    // (the discrete variant shares constraints (2)-(4), (9)-(13); only (5)
+    // replaces (6)).
+    let edge_dur_fast = |e: EdgeId| -> f64 {
+        match &graph.edge(e).kind {
+            EdgeKind::Task { .. } => frontiers.get(e).map(|f| f.max_power().time_s).unwrap_or(0.0),
+            EdgeKind::Message { bytes, .. } => graph.comm().message_time(*bytes),
+        }
+    };
+    let init = pcap_dag::asap_schedule(graph, edge_dur_fast);
+    let order = pcap_dag::event_order(graph, &init, tie_tol);
+    let active = pcap_dag::activity_sets(graph, &init, tie_tol);
+
+    let mut p = Problem::new(Sense::Minimize);
+    let vvars: Vec<pcap_lp::VarId> = (0..graph.num_vertices())
+        .map(|i| {
+            let cost = if i == graph.finalize_vertex().index() { 1.0 } else { 0.0 };
+            p.add_var(0.0, f64::INFINITY, cost)
+        })
+        .collect();
+    p.add_constraint(
+        LinExpr::from(vec![(vvars[graph.init_vertex().index()], 1.0)]),
+        Bound::Equal(0.0),
+    );
+
+    let tasks = graph.task_ids();
+    let mut cvars: Vec<Vec<pcap_lp::VarId>> = vec![Vec::new(); graph.num_edges()];
+    for &e in &tasks {
+        let frontier = frontiers.get(e).unwrap();
+        // (5): binary configuration selectors.
+        let vars: Vec<pcap_lp::VarId> =
+            frontier.points().iter().map(|_| p.add_bin_var(0.0)).collect();
+        p.add_constraint(
+            LinExpr::from(vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>()),
+            Bound::Equal(1.0),
+        );
+        cvars[e.index()] = vars;
+    }
+
+    for (id, e) in graph.iter_edges() {
+        match &e.kind {
+            EdgeKind::Task { .. } => {
+                let frontier = frontiers.get(id).unwrap();
+                let mut expr = LinExpr::new();
+                expr.add(vvars[e.dst.index()], 1.0);
+                expr.add(vvars[e.src.index()], -1.0);
+                for (j, &c) in cvars[id.index()].iter().enumerate() {
+                    expr.add(c, -frontier.points()[j].time_s);
+                }
+                p.add_constraint(expr, Bound::Lower(0.0));
+            }
+            EdgeKind::Message { bytes, .. } => {
+                let expr = LinExpr::from(vec![
+                    (vvars[e.dst.index()], 1.0),
+                    (vvars[e.src.index()], -1.0),
+                ]);
+                p.add_constraint(expr, Bound::Lower(graph.comm().message_time(*bytes)));
+            }
+        }
+    }
+
+    for v in 0..graph.num_vertices() {
+        let acts = &active[v];
+        if acts.is_empty() {
+            continue;
+        }
+        let mut expr = LinExpr::new();
+        for &e in acts {
+            let frontier = frontiers.get(e).unwrap();
+            for (j, &c) in cvars[e.index()].iter().enumerate() {
+                expr.add(c, frontier.points()[j].power_w);
+            }
+        }
+        p.add_constraint(expr, Bound::Upper(cap_w));
+    }
+
+    for pair in order.order.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let expr = LinExpr::from(vec![(vvars[b.index()], 1.0), (vvars[a.index()], -1.0)]);
+        if (init.time(b) - init.time(a)).abs() <= tie_tol {
+            p.add_constraint(expr, Bound::Equal(0.0));
+        } else {
+            p.add_constraint(expr, Bound::Lower(0.0));
+        }
+    }
+
+    let sol = solve_mip(&p, &opts.bb).map_err(CoreError::from)?;
+
+    let mut choices: Vec<Option<TaskChoice>> = vec![None; graph.num_edges()];
+    for &e in &tasks {
+        let frontier = frontiers.get(e).unwrap();
+        let j = cvars[e.index()]
+            .iter()
+            .position(|&c| sol.value(c) > 0.5)
+            .expect("exactly one configuration selected");
+        let pt = &frontier.points()[j];
+        choices[e.index()] = Some(TaskChoice::single(j, pt.time_s, pt.power_w));
+    }
+    let vertex_times: Vec<f64> = vvars.iter().map(|&v| sol.value(v)).collect();
+    let _ = window;
+    Ok(LpSchedule {
+        makespan_s: vertex_times[graph.finalize_vertex().index()],
+        vertex_times,
+        choices,
+        cap_w,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed_lp::{solve_fixed_order, FixedLpOptions};
+    use pcap_apps::exchange::{generate, ExchangeParams};
+    use pcap_dag::{GraphBuilder, VertexKind};
+    use pcap_machine::TaskModel;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::e5_2670()
+    }
+
+    #[test]
+    fn discrete_selects_single_configs() {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, fin, 0, TaskModel::mixed(2.0, 0.3));
+        b.task(init, fin, 1, TaskModel::mixed(3.0, 0.4));
+        let g = b.build().unwrap();
+        let m = machine();
+        let fr = TaskFrontiers::build(&g, &m);
+        let s =
+            solve_fixed_order_discrete(&g, &m, &fr, 90.0, &DiscreteOptions::default()).unwrap();
+        for c in s.choices.iter().flatten() {
+            assert!(c.is_discrete());
+        }
+    }
+
+    #[test]
+    fn continuous_relaxation_bounds_discrete() {
+        let g = generate(&ExchangeParams::default());
+        let m = machine();
+        let fr = TaskFrontiers::build(&g, &m);
+        for cap in [60.0, 75.0, 95.0] {
+            let cont = solve_fixed_order(&g, &m, &fr, cap, &FixedLpOptions::default()).unwrap();
+            let disc =
+                solve_fixed_order_discrete(&g, &m, &fr, cap, &DiscreteOptions::default()).unwrap();
+            assert!(
+                disc.makespan_s >= cont.makespan_s - 1e-6,
+                "cap {cap}: discrete {} < continuous {}",
+                disc.makespan_s,
+                cont.makespan_s
+            );
+            // ...and the optimal discrete schedule is close to the
+            // relaxation (the paper's justification for rounding).
+            assert!(
+                disc.makespan_s <= cont.makespan_s * 1.10,
+                "cap {cap}: discrete {} far above continuous {}",
+                disc.makespan_s,
+                cont.makespan_s
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_vs_nearest_rounding() {
+        // Nearest-point rounding may round a task's power *up*, so the
+        // rounded schedule is not necessarily cap-feasible — when it is,
+        // the exact discrete optimum must be at least as fast; when it is
+        // not, its makespan may undercut the exact optimum, but only by
+        // the amount its cap violation buys (paper §3.2 accepts exactly
+        // this slack in the discrete realization).
+        let g = generate(&ExchangeParams::default());
+        let m = machine();
+        let fr = TaskFrontiers::build(&g, &m);
+        for cap in [60.0, 70.0, 85.0] {
+            let cont = solve_fixed_order(&g, &m, &fr, cap, &FixedLpOptions::default()).unwrap();
+            let rounded = cont.rounded_nearest(&g, &fr);
+            let disc =
+                solve_fixed_order_discrete(&g, &m, &fr, cap, &DiscreteOptions::default()).unwrap();
+            let v = crate::verify::verify_schedule(&g, &rounded);
+            if v.max_event_power_w <= cap + 1e-9 {
+                assert!(
+                    disc.makespan_s <= rounded.makespan_s + 1e-9,
+                    "cap {cap}: exact discrete {} vs feasible rounding {}",
+                    disc.makespan_s,
+                    rounded.makespan_s
+                );
+            } else {
+                // The rounded schedule cheats by at most a few watts.
+                assert!(
+                    v.max_event_power_w <= cap * 1.15,
+                    "cap {cap}: rounding violates the cap too much ({} W)",
+                    v.max_event_power_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_infeasibility_matches_lp() {
+        let g = generate(&ExchangeParams::default());
+        let m = machine();
+        let fr = TaskFrontiers::build(&g, &m);
+        // Far below the two sockets' idle power.
+        assert!(solve_fixed_order_discrete(&g, &m, &fr, 20.0, &DiscreteOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! The fixed-vertex-order event LP (paper §3.1–3.3).
+//!
+//! Variables: a time `v_k` per DAG vertex and a fraction `c_ij` per
+//! (task, frontier point). Constraints (numbers follow the paper):
+//!
+//! * (1) minimize the sink vertex time;
+//! * (2) the source vertex time is 0;
+//! * (3)+(4) precedence: `v_dst − v_src ≥ d_i` with `d_i = Σ_j d_ij c_ij`
+//!   for tasks (messages contribute their fixed transfer time);
+//! * (6)(9) `0 ≤ c_ij ≤ 1`, `Σ_j c_ij = 1` (continuous configurations);
+//! * (10)(11) at every event `k`, `Σ_{i∈R_k} p_i ≤ PC`, where the activity
+//!   sets `R_k` come from the slack-reduced power-unconstrained schedule and
+//!   `p_i = Σ_j p_ij c_ij` (slack power = task power, §3.3);
+//! * (12)(13) events keep their initial time order; coincident events stay
+//!   coincident.
+//!
+//! Solving over a [`Window`] (a contiguous slice of the DAG between two
+//! global synchronization vertices) is the primitive that
+//! [`crate::decompose`] chains into whole-run schedules.
+
+use crate::frontiers::TaskFrontiers;
+use crate::schedule::{LpSchedule, TaskChoice};
+use crate::{CoreError, CoreResult};
+use pcap_dag::{EdgeId, EdgeKind, TaskGraph, VertexId};
+use pcap_lp::{Bound, LinExpr, Problem, Sense, SolverOptions};
+use pcap_machine::MachineSpec;
+
+/// Options for the fixed-order LP.
+#[derive(Debug, Clone)]
+pub struct FixedLpOptions {
+    /// Underlying simplex options.
+    pub lp: SolverOptions,
+    /// Two events whose initial times differ by at most this are considered
+    /// coincident (constraint 13).
+    pub tie_tol: f64,
+}
+
+impl Default for FixedLpOptions {
+    fn default() -> Self {
+        Self { lp: SolverOptions::default(), tie_tol: 1e-9 }
+    }
+}
+
+/// A contiguous slice of the DAG to schedule: all edges whose source lies in
+/// the window, with designated source/sink boundary vertices.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Boundary start vertex (time pinned to 0 within the window).
+    pub source: VertexId,
+    /// Boundary end vertex (its time is the window makespan).
+    pub sink: VertexId,
+    /// All window vertices, including the boundaries.
+    pub vertices: Vec<VertexId>,
+    /// All edges scheduled by this window.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Window {
+    /// The window covering the entire application.
+    pub fn whole(graph: &TaskGraph) -> Self {
+        Self {
+            source: graph.init_vertex(),
+            sink: graph.finalize_vertex(),
+            vertices: graph.topo_order().to_vec(),
+            edges: (0..graph.num_edges()).map(EdgeId::from_index).collect(),
+        }
+    }
+}
+
+/// Solves the fixed-vertex-order LP over the whole application.
+///
+/// ```
+/// use pcap_core::{solve_fixed_order, FixedLpOptions, TaskFrontiers};
+/// use pcap_dag::{GraphBuilder, VertexKind};
+/// use pcap_machine::{MachineSpec, TaskModel};
+///
+/// // Two ranks with unequal work joined by a collective.
+/// let mut b = GraphBuilder::new(2);
+/// let init = b.vertex(VertexKind::Init, None);
+/// let fin = b.vertex(VertexKind::Finalize, None);
+/// let light = b.task(init, fin, 0, TaskModel::mixed(1.0, 0.3));
+/// let heavy = b.task(init, fin, 1, TaskModel::mixed(3.0, 0.3));
+/// let graph = b.build().unwrap();
+///
+/// let machine = MachineSpec::e5_2670();
+/// let frontiers = TaskFrontiers::build(&graph, &machine);
+/// let sched = solve_fixed_order(&graph, &machine, &frontiers, 90.0,
+///     &FixedLpOptions::default()).unwrap();
+///
+/// // The heavy task gets the lion's share of the 90 W budget.
+/// let (l, h) = (sched.choice(light).unwrap(), sched.choice(heavy).unwrap());
+/// assert!(h.power_w > l.power_w);
+/// assert!(h.power_w + l.power_w <= 90.0 + 1e-6);
+/// ```
+pub fn solve_fixed_order(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    cap_w: f64,
+    opts: &FixedLpOptions,
+) -> CoreResult<LpSchedule> {
+    let window = Window::whole(graph);
+    let (times, choices, makespan) =
+        solve_window(graph, machine, frontiers, cap_w, &window, opts)?;
+    let mut vertex_times = vec![0.0; graph.num_vertices()];
+    for (v, t) in times {
+        vertex_times[v.index()] = t;
+    }
+    Ok(LpSchedule { makespan_s: makespan, vertex_times, choices, cap_w })
+}
+
+/// Solves one window. Returns per-vertex times (relative to the window
+/// source), a full-length choices vector populated only for window tasks,
+/// and the window makespan.
+#[allow(clippy::type_complexity)]
+pub fn solve_window(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    cap_w: f64,
+    window: &Window,
+    opts: &FixedLpOptions,
+) -> CoreResult<(Vec<(VertexId, f64)>, Vec<Option<TaskChoice>>, f64)> {
+    let _ = machine; // durations/powers come pre-baked in the frontiers
+    // --- Initial (power-unconstrained) schedule within the window. ---
+    // ASAP from the window source with every task at its fastest frontier
+    // point; activity windows [src, dst) then implicitly model the
+    // slack-reduced schedule (slack trails its task at task power).
+    let mut in_window = vec![false; graph.num_vertices()];
+    for &v in &window.vertices {
+        in_window[v.index()] = true;
+    }
+    let mut init_time = vec![f64::NEG_INFINITY; graph.num_vertices()];
+    init_time[window.source.index()] = 0.0;
+    // Process vertices in the graph's topological order restricted to the
+    // window.
+    let topo: Vec<VertexId> = graph
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|v| in_window[v.index()])
+        .collect();
+    let edge_dur_fast = |e: EdgeId| -> f64 {
+        match &graph.edge(e).kind {
+            EdgeKind::Task { .. } => frontiers
+                .get(e)
+                .map(|f| f.max_power().time_s)
+                .unwrap_or(0.0),
+            EdgeKind::Message { bytes, .. } => graph.comm().message_time(*bytes),
+        }
+    };
+    let mut window_edges_by_src: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.num_vertices()];
+    for &e in &window.edges {
+        window_edges_by_src[graph.edge(e).src.index()].push(e);
+    }
+    for &v in &topo {
+        let tv = init_time[v.index()];
+        if !tv.is_finite() {
+            continue;
+        }
+        for &e in &window_edges_by_src[v.index()] {
+            let dst = graph.edge(e).dst;
+            if !in_window[dst.index()] {
+                continue;
+            }
+            let t = tv + edge_dur_fast(e);
+            if t > init_time[dst.index()] {
+                init_time[dst.index()] = t;
+            }
+        }
+    }
+
+    // --- Event order and activity sets from the initial schedule. ---
+    let mut events: Vec<VertexId> = topo.clone();
+    events.sort_by(|&a, &b| {
+        init_time[a.index()]
+            .partial_cmp(&init_time[b.index()])
+            .unwrap()
+            .then(a.index().cmp(&b.index()))
+    });
+    // Per-event active tasks: window task edges whose [src, dst) initial
+    // window contains the event time (half-open; zero-length tasks count at
+    // their start).
+    let tasks: Vec<EdgeId> = window
+        .edges
+        .iter()
+        .copied()
+        .filter(|&e| graph.edge(e).is_task())
+        .collect();
+    let tol = opts.tie_tol;
+    let mut active: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.num_vertices()];
+    for &v in &events {
+        let tv = init_time[v.index()];
+        for &e in &tasks {
+            let edge = graph.edge(e);
+            let t0 = init_time[edge.src.index()];
+            let t1 = init_time[edge.dst.index()];
+            if !t0.is_finite() || !t1.is_finite() {
+                continue;
+            }
+            let zero = (t1 - t0).abs() <= tol;
+            if (tv >= t0 - tol && tv < t1 - tol) || (zero && (tv - t0).abs() <= tol) {
+                active[v.index()].push(e);
+            }
+        }
+    }
+
+    // --- Build the LP. ---
+    let mut p = Problem::new(Sense::Minimize);
+    // Vertex-time variables.
+    let mut vvar = vec![None; graph.num_vertices()];
+    for &v in &window.vertices {
+        let cost = if v == window.sink { 1.0 } else { 0.0 };
+        vvar[v.index()] = Some(p.add_var(0.0, f64::INFINITY, cost));
+    }
+    let vv = |v: VertexId| vvar[v.index()].expect("window vertex has a variable");
+    // (2) window source pinned at 0.
+    p.add_constraint(LinExpr::from(vec![(vv(window.source), 1.0)]), Bound::Equal(0.0));
+
+    // Configuration fraction variables per task.
+    let mut cvars: Vec<Vec<pcap_lp::VarId>> = vec![Vec::new(); graph.num_edges()];
+    for &e in &tasks {
+        let frontier = frontiers.get(e).expect("task has a frontier");
+        let vars: Vec<pcap_lp::VarId> =
+            frontier.points().iter().map(|_| p.add_var(0.0, 1.0, 0.0)).collect();
+        // (9) Σ_j c_ij = 1.
+        p.add_constraint(
+            LinExpr::from(vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>()),
+            Bound::Equal(1.0),
+        );
+        cvars[e.index()] = vars;
+    }
+
+    // (3)+(4) precedence for every window edge.
+    for &e in &window.edges {
+        let edge = graph.edge(e);
+        if !in_window[edge.dst.index()] {
+            // The decomposition guarantees this cannot happen; keep a loud
+            // failure for misuse.
+            panic!("window edge {} leaves the window", e.index());
+        }
+        match &edge.kind {
+            EdgeKind::Task { .. } => {
+                let frontier = frontiers.get(e).unwrap();
+                let mut expr = LinExpr::with_capacity(2 + cvars[e.index()].len());
+                expr.add(vv(edge.dst), 1.0);
+                expr.add(vv(edge.src), -1.0);
+                for (j, &c) in cvars[e.index()].iter().enumerate() {
+                    expr.add(c, -frontier.points()[j].time_s);
+                }
+                p.add_constraint(expr, Bound::Lower(0.0));
+            }
+            EdgeKind::Message { bytes, .. } => {
+                let expr = LinExpr::from(vec![(vv(edge.dst), 1.0), (vv(edge.src), -1.0)]);
+                p.add_constraint(expr, Bound::Lower(graph.comm().message_time(*bytes)));
+            }
+        }
+    }
+
+    // (10)(11) per-event power.
+    for &v in &events {
+        let acts = &active[v.index()];
+        if acts.is_empty() {
+            continue;
+        }
+        let mut expr = LinExpr::new();
+        for &e in acts {
+            let frontier = frontiers.get(e).unwrap();
+            for (j, &c) in cvars[e.index()].iter().enumerate() {
+                expr.add(c, frontier.points()[j].power_w);
+            }
+        }
+        p.add_constraint(expr, Bound::Upper(cap_w));
+    }
+
+    // (12)(13) event order.
+    for pair in events.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let ta = init_time[a.index()];
+        let tb = init_time[b.index()];
+        let expr = LinExpr::from(vec![(vv(b), 1.0), (vv(a), -1.0)]);
+        if (tb - ta).abs() <= tol {
+            p.add_constraint(expr, Bound::Equal(0.0)); // (13)
+        } else {
+            p.add_constraint(expr, Bound::Lower(0.0)); // (12)
+        }
+    }
+
+    // --- Solve and extract. ---
+    let sol = pcap_lp::solve_with(&p, &opts.lp).map_err(CoreError::from)?;
+
+    let times: Vec<(VertexId, f64)> =
+        window.vertices.iter().map(|&v| (v, sol.value(vv(v)))).collect();
+    let mut choices: Vec<Option<TaskChoice>> = vec![None; graph.num_edges()];
+    for &e in &tasks {
+        let frontier = frontiers.get(e).unwrap();
+        let mut mix = Vec::new();
+        let mut dur = 0.0;
+        let mut pow = 0.0;
+        for (j, &c) in cvars[e.index()].iter().enumerate() {
+            let frac = sol.value(c);
+            if frac > 1e-9 {
+                mix.push((j, frac));
+                dur += frac * frontier.points()[j].time_s;
+                pow += frac * frontier.points()[j].power_w;
+            }
+        }
+        choices[e.index()] = Some(TaskChoice { mix, duration_s: dur, power_w: pow });
+    }
+    let makespan = sol.value(vv(window.sink));
+    Ok((times, choices, makespan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_apps::exchange::{generate as gen_exchange, ExchangeParams};
+    use pcap_dag::{GraphBuilder, VertexKind};
+    use pcap_machine::TaskModel;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::e5_2670()
+    }
+
+    /// Two ranks, one collective: the smallest graph with cross-rank power
+    /// sharing.
+    fn two_rank() -> TaskGraph {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let coll = b.vertex(VertexKind::Collective, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, coll, 0, TaskModel::mixed(2.0, 0.3));
+        b.task(init, coll, 1, TaskModel::mixed(6.0, 0.3));
+        b.task(coll, fin, 0, TaskModel::mixed(3.0, 0.3));
+        b.task(coll, fin, 1, TaskModel::mixed(3.0, 0.3));
+        b.build().unwrap()
+    }
+
+    fn solve(g: &TaskGraph, cap: f64) -> LpSchedule {
+        let m = machine();
+        let fr = TaskFrontiers::build(g, &m);
+        solve_fixed_order(g, &m, &fr, cap, &FixedLpOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn generous_cap_recovers_unconstrained_makespan() {
+        let g = two_rank();
+        let m = machine();
+        let fr = TaskFrontiers::build(&g, &m);
+        let sched = solve(&g, 1_000.0);
+        // Every task should sit at (or mix into) its fastest point; makespan
+        // equals the nominal critical path.
+        let fast = |e: usize| fr.get(EdgeId::from_index(e)).unwrap().max_power().time_s;
+        let expected = fast(1) + fast(2).max(fast(3));
+        assert!((sched.makespan_s - expected).abs() < 1e-6,
+            "{} vs {}", sched.makespan_s, expected);
+    }
+
+    #[test]
+    fn tighter_caps_monotonically_increase_makespan() {
+        let g = two_rank();
+        let mut prev = 0.0;
+        for cap in [160.0, 120.0, 90.0, 70.0, 55.0] {
+            let s = solve(&g, cap);
+            assert!(s.makespan_s >= prev - 1e-9, "cap {cap}");
+            prev = s.makespan_s;
+        }
+    }
+
+    #[test]
+    fn infeasible_cap_is_reported() {
+        let g = two_rank();
+        let m = machine();
+        let fr = TaskFrontiers::build(&g, &m);
+        // Below the sum of the two cheapest frontier powers nothing works.
+        let err =
+            solve_fixed_order(&g, &m, &fr, 20.0, &FixedLpOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible));
+    }
+
+    #[test]
+    fn power_is_shared_nonuniformly() {
+        // With a moderate cap, the long task (rank 1) must get more power
+        // than the short one while they overlap.
+        let g = two_rank();
+        let s = solve(&g, 100.0);
+        let long = s.choice(EdgeId::from_index(1)).unwrap();
+        let short = s.choice(EdgeId::from_index(0)).unwrap();
+        assert!(
+            long.power_w > short.power_w + 1.0,
+            "long {} W short {} W",
+            long.power_w,
+            short.power_w
+        );
+        // And their combined power respects the cap.
+        assert!(long.power_w + short.power_w <= 100.0 + 1e-6);
+    }
+
+    #[test]
+    fn choices_mix_at_most_adjacent_points() {
+        let g = two_rank();
+        let s = solve(&g, 95.0);
+        for c in s.choices.iter().flatten() {
+            let total: f64 = c.mix.iter().map(|&(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn exchange_graph_solves() {
+        let g = gen_exchange(&ExchangeParams::default());
+        let s = solve(&g, 120.0);
+        assert!(s.makespan_s > 0.0);
+        // All five tasks have choices; the two messages do not.
+        let n = s.choices.iter().flatten().count();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn schedule_respects_precedence_at_solution_times() {
+        let g = two_rank();
+        let s = solve(&g, 80.0);
+        for (id, e) in g.iter_edges() {
+            let d = s.choice(id).map(|c| c.duration_s).unwrap_or(0.0);
+            let lhs = s.vertex_times[e.dst.index()] - s.vertex_times[e.src.index()];
+            assert!(lhs >= d - 1e-6, "edge {} violates precedence", id.index());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-task convex Pareto frontiers for a whole task graph.
+
+use pcap_dag::{EdgeId, TaskGraph};
+use pcap_machine::{convex_frontier, ConvexFrontier, MachineSpec};
+
+/// Cache of one convex Pareto frontier per computation task. Message edges
+/// have no entry.
+///
+/// Building frontiers evaluates every task's full configuration space
+/// (`num_freqs × max_threads` model evaluations per task), which corresponds
+/// to the paper's offline profiling/tracing step, so the cache is computed
+/// once per (graph, machine) pair and shared by every solve at any power
+/// constraint.
+#[derive(Debug, Clone)]
+pub struct TaskFrontiers {
+    frontiers: Vec<Option<ConvexFrontier>>,
+}
+
+impl TaskFrontiers {
+    /// Profiles every task of `graph` on `machine`.
+    pub fn build(graph: &TaskGraph, machine: &MachineSpec) -> Self {
+        let frontiers = graph
+            .edges()
+            .iter()
+            .map(|e| e.task_model().map(|m| convex_frontier(&m.config_space(machine))))
+            .collect();
+        Self { frontiers }
+    }
+
+    /// The frontier of a task edge (`None` for messages).
+    pub fn get(&self, e: EdgeId) -> Option<&ConvexFrontier> {
+        self.frontiers.get(e.index()).and_then(|f| f.as_ref())
+    }
+
+    /// Iterates over `(EdgeId, &ConvexFrontier)` for all tasks.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &ConvexFrontier)> {
+        self.frontiers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|fr| (EdgeId::from_index(i), fr)))
+    }
+
+    /// Builds a new cache by transforming every frontier (e.g. perturbing
+    /// it with measurement noise to model a runtime whose profile came from
+    /// noisy exploration, as Conductor's does).
+    pub fn map(&self, mut f: impl FnMut(EdgeId, &ConvexFrontier) -> ConvexFrontier) -> Self {
+        let frontiers = self
+            .frontiers
+            .iter()
+            .enumerate()
+            .map(|(i, fr)| fr.as_ref().map(|fr| f(EdgeId::from_index(i), fr)))
+            .collect();
+        Self { frontiers }
+    }
+
+    /// The minimum job power at which every task can run simultaneously at
+    /// its cheapest frontier point — a quick lower feasibility probe.
+    pub fn min_simultaneous_power(&self, tasks: &[EdgeId]) -> f64 {
+        tasks
+            .iter()
+            .filter_map(|&e| self.get(e))
+            .map(|f| f.min_power().power_w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_apps::{comd, AppParams};
+
+    #[test]
+    fn frontiers_cover_all_tasks() {
+        let g = comd::generate(&AppParams { ranks: 4, iterations: 2, seed: 1 });
+        let m = MachineSpec::e5_2670();
+        let f = TaskFrontiers::build(&g, &m);
+        assert_eq!(f.iter().count(), g.num_tasks());
+        for id in g.task_ids() {
+            let fr = f.get(id).unwrap();
+            assert!(fr.len() >= 2, "degenerate frontier");
+        }
+    }
+
+    #[test]
+    fn min_simultaneous_power_sums_cheapest_points() {
+        let g = comd::generate(&AppParams { ranks: 2, iterations: 1, seed: 1 });
+        let m = MachineSpec::e5_2670();
+        let f = TaskFrontiers::build(&g, &m);
+        let tasks = g.task_ids();
+        let total = f.min_simultaneous_power(&tasks);
+        let manual: f64 =
+            tasks.iter().map(|&e| f.get(e).unwrap().min_power().power_w).sum();
+        assert_eq!(total, manual);
+    }
+}

@@ -1,0 +1,82 @@
+//! # pcap-core — power-constrained performance bounds (Bailey et al., SC15)
+//!
+//! The paper's contribution: given an application task graph, a machine
+//! model and a job-level power constraint, compute a near-optimal schedule —
+//! a DVFS state and OpenMP thread count (or a convex mixture of two) for
+//! every computation task, plus event times — that minimizes time to
+//! solution while the instantaneous job power never exceeds the constraint.
+//!
+//! Two formulations are provided:
+//!
+//! * [`fixed_lp`] — the **fixed-vertex-order event LP** (paper §3.1–3.3).
+//!   Event order is frozen from a power-unconstrained schedule, making the
+//!   problem a pure LP solvable in polynomial time: the workhorse for
+//!   realistic instances and the paper's upper-bound generator.
+//! * [`flow_ilp`] — the **flow ILP** (paper appendix): sequencing binaries
+//!   and source→sink power-flow variables let the solver *choose* the event
+//!   order. Exact but only tractable below ~30 DAG edges; used to validate
+//!   the LP (paper Figure 8).
+//!
+//! Supporting machinery:
+//!
+//! * [`frontiers`] — per-task convex Pareto frontiers feeding both models;
+//! * [`decompose`] — lossless decomposition of a whole-run LP into
+//!   per-iteration LPs at global synchronization vertices, which is how the
+//!   crate scales to hundreds of iterations without a commercial solver;
+//! * [`schedule`] — the [`schedule::LpSchedule`] result type, continuous →
+//!   discrete rounding (mid-task switch or nearest-frontier-point), and
+//!   conversion to a replayable [`pcap_sim::ConfigSchedule`];
+//! * [`verify`] — independent checks that a schedule respects precedence
+//!   and the power constraint, and replay-based validation through the
+//!   simulator (paper §6.1).
+
+pub mod decompose;
+pub mod discrete;
+pub mod fixed_lp;
+pub mod flow_ilp;
+pub mod frontiers;
+pub mod schedule;
+pub mod verify;
+
+pub use decompose::solve_decomposed;
+pub use discrete::{solve_fixed_order_discrete, DiscreteOptions};
+pub use fixed_lp::{solve_fixed_order, solve_window, FixedLpOptions, Window};
+pub use flow_ilp::{solve_flow, FlowOptions};
+pub use frontiers::TaskFrontiers;
+pub use schedule::{LpSchedule, TaskChoice};
+pub use verify::{replay_schedule, verify_schedule, ReplayMode, Verification};
+
+/// Errors from the scheduling formulations.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The LP/ILP was infeasible: the power constraint cannot be met (e.g.
+    /// below the summed idle power of all sockets).
+    Infeasible,
+    /// The underlying solver failed.
+    Solver(pcap_lp::LpError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Infeasible => {
+                write!(f, "no schedule satisfies the power constraint")
+            }
+            CoreError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pcap_lp::LpError> for CoreError {
+    fn from(e: pcap_lp::LpError) -> Self {
+        match e {
+            pcap_lp::LpError::Infeasible | pcap_lp::LpError::MipInfeasible => CoreError::Infeasible,
+            other => CoreError::Solver(other),
+        }
+    }
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;

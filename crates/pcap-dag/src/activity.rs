@@ -1,0 +1,185 @@
+//! Event ordering and per-event active-task sets (paper §3.3).
+//!
+//! The fixed-vertex-order LP constrains *job power at events*: each DAG
+//! vertex is an event, events keep the time order they have in an initial
+//! power-unconstrained schedule (constraints 12–13), and the power charged
+//! at an event is the sum of the powers of the tasks *active* there
+//! (constraint 10). A task is active at an event if it starts at, or is
+//! running at, the event time in the initial schedule — where a task is
+//! considered to occupy its whole `[src, dst)` window because slack power is
+//! assumed equal to task power.
+
+use crate::graph::{EdgeId, TaskGraph, VertexId};
+use crate::schedule::Schedule;
+
+/// The fixed event order derived from an initial schedule.
+#[derive(Debug, Clone)]
+pub struct EventOrder {
+    /// Vertices sorted by initial time (ties broken by vertex id, making
+    /// the order deterministic).
+    pub order: Vec<VertexId>,
+    /// Groups of vertices whose initial times coincide (within tolerance);
+    /// the LP pins the times inside a group equal (constraint 13) and
+    /// orders consecutive groups (constraint 12).
+    pub groups: Vec<Vec<VertexId>>,
+}
+
+/// Computes the fixed event order from an initial schedule.
+pub fn event_order(graph: &TaskGraph, initial: &Schedule, tol: f64) -> EventOrder {
+    let mut order: Vec<VertexId> = graph.topo_order().to_vec();
+    order.sort_by(|&a, &b| {
+        initial
+            .time(a)
+            .partial_cmp(&initial.time(b))
+            .unwrap()
+            .then(a.index().cmp(&b.index()))
+    });
+    let mut groups: Vec<Vec<VertexId>> = Vec::new();
+    for &v in &order {
+        match groups.last_mut() {
+            Some(g) if (initial.time(*g.last().unwrap()) - initial.time(v)).abs() <= tol => {
+                g.push(v)
+            }
+            _ => groups.push(vec![v]),
+        }
+    }
+    EventOrder { order, groups }
+}
+
+/// For every vertex (by index), the set of task edges active at that event
+/// in the initial schedule.
+///
+/// A task occupies `[time(src), time(dst))` — execution followed by slack at
+/// task power — so it is charged at every event inside that window and at
+/// its start event. Message edges draw no socket power and never appear.
+pub fn activity_sets(graph: &TaskGraph, initial: &Schedule, tol: f64) -> Vec<Vec<EdgeId>> {
+    let mut active = vec![Vec::new(); graph.num_vertices()];
+    let tasks: Vec<EdgeId> = graph.task_ids();
+    for v in 0..graph.num_vertices() {
+        let tv = initial.vertex_times[v];
+        for &e in &tasks {
+            let edge = graph.edge(e);
+            let t0 = initial.time(edge.src);
+            let t1 = initial.time(edge.dst);
+            let zero_window = (t1 - t0).abs() <= tol;
+            let starts_here = (tv - t0).abs() <= tol;
+            let running = tv >= t0 - tol && tv < t1 - tol;
+            if running || (zero_window && starts_here) {
+                active[v].push(e);
+            }
+        }
+    }
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexKind};
+    use crate::schedule::asap_schedule;
+    use pcap_machine::TaskModel;
+
+    /// Figure-3-style graph: two ranks, rank 0 runs tasks a,b; rank 1 runs
+    /// c,d; point-to-point style independence until Finalize.
+    fn fig3() -> (TaskGraph, Vec<EdgeId>) {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let m0 = b.vertex(VertexKind::Send, Some(0));
+        let m1 = b.vertex(VertexKind::Send, Some(1));
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let a = b.task(init, m0, 0, TaskModel::compute_bound(2.0));
+        let bb = b.task(m0, fin, 0, TaskModel::compute_bound(2.0));
+        let c = b.task(init, m1, 1, TaskModel::compute_bound(3.0));
+        let d = b.task(m1, fin, 1, TaskModel::compute_bound(1.0));
+        (b.build().unwrap(), vec![a, bb, c, d])
+    }
+
+    fn serial(g: &TaskGraph) -> impl Fn(EdgeId) -> f64 + Copy + '_ {
+        move |e| g.edge(e).task_model().map(|m| m.serial_seconds()).unwrap_or(0.0)
+    }
+
+    #[test]
+    fn event_order_sorts_by_time() {
+        let (g, _) = fig3();
+        let s = asap_schedule(&g, serial(&g));
+        let eo = event_order(&g, &s, 1e-9);
+        let times: Vec<f64> = eo.order.iter().map(|&v| s.time(v)).collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // init(0), m0(2), m1(3), fin(4).
+        assert_eq!(times, vec![0.0, 2.0, 3.0, 4.0]);
+        assert_eq!(eo.groups.len(), 4);
+    }
+
+    #[test]
+    fn equal_times_group_together() {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let m0 = b.vertex(VertexKind::Send, Some(0));
+        let m1 = b.vertex(VertexKind::Send, Some(1));
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, m0, 0, TaskModel::compute_bound(2.0));
+        b.task(init, m1, 1, TaskModel::compute_bound(2.0));
+        b.task(m0, fin, 0, TaskModel::compute_bound(1.0));
+        b.task(m1, fin, 1, TaskModel::compute_bound(1.0));
+        let g = b.build().unwrap();
+        let s = asap_schedule(&g, serial(&g));
+        let eo = event_order(&g, &s, 1e-9);
+        assert_eq!(eo.groups.len(), 3); // {init}, {m0,m1}, {fin}
+        assert_eq!(eo.groups[1].len(), 2);
+    }
+
+    #[test]
+    fn activity_sets_track_overlap() {
+        let (g, es) = fig3();
+        let s = asap_schedule(&g, serial(&g));
+        let act = activity_sets(&g, &s, 1e-9);
+        // Timeline: a=[0,2) b=[2,4) c=[0,3) d=[3,4).
+        // Event at t=0 (init): a, c active.
+        let init = g.init_vertex();
+        assert_eq!(act[init.index()], vec![es[0], es[2]]);
+        // Event at t=2 (m0): b starts, c still running → {b, c}.
+        let at_2: &Vec<EdgeId> = &act[1];
+        assert_eq!(at_2, &vec![es[1], es[2]]);
+        // Event at t=3 (m1): b running, d starts → {b, d}.
+        let at_3: &Vec<EdgeId> = &act[2];
+        assert_eq!(at_3, &vec![es[1], es[3]]);
+        // Event at t=4 (fin): nothing active (windows are half-open).
+        assert!(act[g.finalize_vertex().index()].is_empty());
+    }
+
+    #[test]
+    fn slack_extends_activity_window() {
+        // Rank 0's first task (1s) waits until the collective at t=3; its
+        // activity window must cover [0,3) because slack carries task power.
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let coll = b.vertex(VertexKind::Collective, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let short = b.task(init, coll, 0, TaskModel::compute_bound(1.0));
+        let long = b.task(init, coll, 1, TaskModel::compute_bound(3.0));
+        b.task(coll, fin, 0, TaskModel::compute_bound(1.0));
+        b.task(coll, fin, 1, TaskModel::compute_bound(1.0));
+        let g = b.build().unwrap();
+        let s = asap_schedule(&g, serial(&g));
+        let act = activity_sets(&g, &s, 1e-9);
+        // Pick an event strictly inside (1, 3): none exists, but the
+        // collective at t=3 must NOT contain the short task, while init at 0
+        // contains both.
+        assert_eq!(act[init.index()], vec![short, long]);
+        assert!(!act[coll.index()].contains(&short) || s.time(coll) < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_active_at_their_start() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let z = b.task(init, fin, 0, TaskModel::compute_bound(0.0));
+        let g = b.build().unwrap();
+        let s = asap_schedule(&g, serial(&g));
+        let act = activity_sets(&g, &s, 1e-9);
+        assert!(act[init.index()].contains(&z));
+    }
+}

@@ -1,0 +1,41 @@
+//! Interconnect model for message edges.
+
+/// Linear message-cost model (paper §2.1: message edges are "weighted by a
+/// linear function of message size"). Default values approximate the QDR
+/// InfiniBand fabric of the paper's Cab cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommParams {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Sustained bandwidth in bytes per second.
+    pub bytes_per_s: f64,
+}
+
+impl Default for CommParams {
+    fn default() -> Self {
+        // QDR InfiniBand: ~1.5 µs latency, ~3.2 GB/s effective per link.
+        Self { latency_s: 1.5e-6, bytes_per_s: 3.2e9 }
+    }
+}
+
+impl CommParams {
+    /// Transfer time of a message of `bytes` bytes.
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_affine_in_size() {
+        let c = CommParams::default();
+        let t0 = c.message_time(0);
+        let t1 = c.message_time(1_000_000);
+        let t2 = c.message_time(2_000_000);
+        assert!((t2 - t1 - (t1 - t0)).abs() < 1e-15);
+        assert!(t0 > 0.0);
+    }
+}

@@ -1,0 +1,577 @@
+//! Task-graph representation, builder and structural validation.
+
+use crate::comm::CommParams;
+use pcap_machine::TaskModel;
+use std::fmt;
+
+/// Opaque vertex handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub(crate) u32);
+
+impl VertexId {
+    /// Dense index of the vertex.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a `VertexId` from a dense index (must come from the same
+    /// graph's `0..num_vertices()` range).
+    pub fn from_index(i: usize) -> Self {
+        VertexId(i as u32)
+    }
+}
+
+/// Opaque edge handle (tasks and messages share the id space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Dense index of the edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an `EdgeId` from a dense index (must come from the same
+    /// graph's `0..num_edges()` range).
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(i as u32)
+    }
+}
+
+/// What MPI event a vertex stands for. The scheduling formulations only care
+/// about the graph structure; the kinds exist for tracing fidelity,
+/// diagnostics, and for locating iteration boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexKind {
+    /// `MPI_Init` — the unique source; the LP pins its time to zero.
+    Init,
+    /// `MPI_Finalize` — the unique sink; the LP minimizes its time.
+    Finalize,
+    /// A collective operation (barrier-synchronizing all ranks). The single
+    /// shared vertex encodes "every rank's next task starts together".
+    Collective,
+    /// `MPI_Pcontrol` iteration marker: also a global synchronization point
+    /// in the benchmarks (inserted at iteration boundaries, §5.2), and the
+    /// seam along which the whole-run LP decomposes.
+    Pcontrol,
+    /// Message initiation on one rank (`MPI_Send` / `MPI_Isend`).
+    Send,
+    /// Message reception on one rank (`MPI_Recv` or completed `MPI_Irecv`).
+    Recv,
+    /// `MPI_Wait` / `MPI_Waitall` completion point.
+    Wait,
+}
+
+impl VertexKind {
+    /// True for vertices that synchronize all ranks.
+    pub fn is_global_sync(self) -> bool {
+        matches!(self, VertexKind::Init | VertexKind::Finalize | VertexKind::Collective | VertexKind::Pcontrol)
+    }
+}
+
+/// A DAG vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    pub kind: VertexKind,
+    /// Owning rank for rank-local events; `None` for global sync vertices.
+    pub rank: Option<u32>,
+}
+
+/// A DAG edge: computation task or message.
+#[derive(Debug, Clone)]
+pub enum EdgeKind {
+    /// OpenMP computation between two consecutive MPI calls on `rank`.
+    Task {
+        rank: u32,
+        model: TaskModel,
+    },
+    /// Point-to-point message.
+    Message {
+        from_rank: u32,
+        to_rank: u32,
+        bytes: u64,
+    },
+}
+
+/// A directed edge `src → dst`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub kind: EdgeKind,
+}
+
+impl Edge {
+    /// True for computation tasks.
+    pub fn is_task(&self) -> bool {
+        matches!(self.kind, EdgeKind::Task { .. })
+    }
+
+    /// Rank executing a task edge; `None` for messages.
+    pub fn task_rank(&self) -> Option<u32> {
+        match &self.kind {
+            EdgeKind::Task { rank, .. } => Some(*rank),
+            EdgeKind::Message { .. } => None,
+        }
+    }
+
+    /// The task model of a task edge.
+    pub fn task_model(&self) -> Option<&TaskModel> {
+        match &self.kind {
+            EdgeKind::Task { model, .. } => Some(model),
+            EdgeKind::Message { .. } => None,
+        }
+    }
+}
+
+/// Structural problems detected by graph validation in
+/// [`GraphBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a directed cycle (so it is not a DAG).
+    Cyclic,
+    /// A rank id is out of `0..num_ranks`.
+    RankOutOfRange { rank: u32, num_ranks: u32 },
+    /// Missing or duplicated `Init` vertex.
+    BadInit,
+    /// Missing or duplicated `Finalize` vertex.
+    BadFinalize,
+    /// Some vertex is unreachable from `Init`.
+    Unreachable { vertex: usize },
+    /// Some vertex cannot reach `Finalize`.
+    Dangling { vertex: usize },
+    /// A task edge is owned by a rank inconsistent with its endpoint ranks.
+    RankMismatch { edge: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cyclic => write!(f, "task graph contains a cycle"),
+            GraphError::RankOutOfRange { rank, num_ranks } => {
+                write!(f, "rank {rank} out of range ({num_ranks} ranks)")
+            }
+            GraphError::BadInit => write!(f, "graph must contain exactly one Init vertex"),
+            GraphError::BadFinalize => write!(f, "graph must contain exactly one Finalize vertex"),
+            GraphError::Unreachable { vertex } => {
+                write!(f, "vertex {vertex} is unreachable from Init")
+            }
+            GraphError::Dangling { vertex } => {
+                write!(f, "vertex {vertex} cannot reach Finalize")
+            }
+            GraphError::RankMismatch { edge } => {
+                write!(f, "edge {edge} is owned by a rank inconsistent with its endpoints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, validated application task graph.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+    num_ranks: u32,
+    comm: CommParams,
+    topo: Vec<VertexId>,
+    init: VertexId,
+    finalize: VertexId,
+}
+
+impl TaskGraph {
+    /// Number of MPI ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.num_ranks
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Vertex lookup.
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v.index()]
+    }
+
+    /// Edge lookup.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges (tasks + messages).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of computation-task edges.
+    pub fn num_tasks(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_task()).count()
+    }
+
+    /// Ids of all task edges.
+    pub fn task_ids(&self) -> Vec<EdgeId> {
+        (0..self.edges.len())
+            .map(|i| EdgeId(i as u32))
+            .filter(|&e| self.edge(e).is_task())
+            .collect()
+    }
+
+    /// Outgoing edges of a vertex.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// Incoming edges of a vertex.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_edges[v.index()]
+    }
+
+    /// Interconnect parameters for message-edge durations.
+    pub fn comm(&self) -> &CommParams {
+        &self.comm
+    }
+
+    /// The `MPI_Init` vertex.
+    pub fn init_vertex(&self) -> VertexId {
+        self.init
+    }
+
+    /// The `MPI_Finalize` vertex.
+    pub fn finalize_vertex(&self) -> VertexId {
+        self.finalize
+    }
+
+    /// Vertices in a topological order (computed once at build time).
+    pub fn topo_order(&self) -> &[VertexId] {
+        &self.topo
+    }
+
+    /// Iterates over `(EdgeId, &Edge)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Global synchronization vertices in topological order — the seams at
+    /// which the whole-run LP decomposes into per-iteration LPs.
+    pub fn sync_vertices(&self) -> Vec<VertexId> {
+        self.topo
+            .iter()
+            .copied()
+            .filter(|&v| self.vertex(v).kind.is_global_sync())
+            .collect()
+    }
+}
+
+/// Mutable builder for [`TaskGraph`]. `build` validates and freezes.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    num_ranks: u32,
+    comm: CommParams,
+}
+
+impl GraphBuilder {
+    /// Starts a graph for `num_ranks` MPI ranks with default interconnect
+    /// parameters.
+    pub fn new(num_ranks: u32) -> Self {
+        Self { vertices: Vec::new(), edges: Vec::new(), num_ranks, comm: CommParams::default() }
+    }
+
+    /// Overrides interconnect parameters.
+    pub fn with_comm(mut self, comm: CommParams) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Adds a vertex.
+    pub fn vertex(&mut self, kind: VertexKind, rank: Option<u32>) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex { kind, rank });
+        id
+    }
+
+    /// Adds a computation-task edge on `rank` between two of that rank's
+    /// (or global) vertices.
+    pub fn task(&mut self, src: VertexId, dst: VertexId, rank: u32, model: TaskModel) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, kind: EdgeKind::Task { rank, model } });
+        id
+    }
+
+    /// Adds a message edge.
+    pub fn message(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        from_rank: u32,
+        to_rank: u32,
+        bytes: u64,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, kind: EdgeKind::Message { from_rank, to_rank, bytes } });
+        id
+    }
+
+    /// Validates the structure and freezes the graph.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        let nv = self.vertices.len();
+        // Exactly one Init / Finalize.
+        let inits: Vec<usize> = (0..nv).filter(|&i| self.vertices[i].kind == VertexKind::Init).collect();
+        let finals: Vec<usize> =
+            (0..nv).filter(|&i| self.vertices[i].kind == VertexKind::Finalize).collect();
+        if inits.len() != 1 {
+            return Err(GraphError::BadInit);
+        }
+        if finals.len() != 1 {
+            return Err(GraphError::BadFinalize);
+        }
+        let init = VertexId(inits[0] as u32);
+        let finalize = VertexId(finals[0] as u32);
+
+        // Rank sanity.
+        for v in &self.vertices {
+            if let Some(r) = v.rank {
+                if r >= self.num_ranks {
+                    return Err(GraphError::RankOutOfRange { rank: r, num_ranks: self.num_ranks });
+                }
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            match &e.kind {
+                EdgeKind::Task { rank, .. } => {
+                    if *rank >= self.num_ranks {
+                        return Err(GraphError::RankOutOfRange {
+                            rank: *rank,
+                            num_ranks: self.num_ranks,
+                        });
+                    }
+                    // Task endpoints must belong to the same rank or be global.
+                    for vid in [e.src, e.dst] {
+                        if let Some(r) = self.vertices[vid.index()].rank {
+                            if r != *rank {
+                                return Err(GraphError::RankMismatch { edge: i });
+                            }
+                        }
+                    }
+                }
+                EdgeKind::Message { from_rank, to_rank, .. } => {
+                    for r in [*from_rank, *to_rank] {
+                        if r >= self.num_ranks {
+                            return Err(GraphError::RankOutOfRange {
+                                rank: r,
+                                num_ranks: self.num_ranks,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Adjacency.
+        let mut out_edges = vec![Vec::new(); nv];
+        let mut in_edges = vec![Vec::new(); nv];
+        for (i, e) in self.edges.iter().enumerate() {
+            out_edges[e.src.index()].push(EdgeId(i as u32));
+            in_edges[e.dst.index()].push(EdgeId(i as u32));
+        }
+
+        // Kahn topological sort → cycle detection.
+        let mut indeg: Vec<usize> = in_edges.iter().map(Vec::len).collect();
+        let mut queue: Vec<VertexId> =
+            (0..nv).filter(|&i| indeg[i] == 0).map(|i| VertexId(i as u32)).collect();
+        let mut topo = Vec::with_capacity(nv);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            topo.push(v);
+            for &e in &out_edges[v.index()] {
+                let d = self.edges[e.index()].dst;
+                indeg[d.index()] -= 1;
+                if indeg[d.index()] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if topo.len() != nv {
+            return Err(GraphError::Cyclic);
+        }
+
+        // Reachability from Init and co-reachability of Finalize.
+        let mut reach = vec![false; nv];
+        reach[init.index()] = true;
+        for &v in &topo {
+            if reach[v.index()] {
+                for &e in &out_edges[v.index()] {
+                    reach[self.edges[e.index()].dst.index()] = true;
+                }
+            }
+        }
+        if let Some(bad) = (0..nv).find(|&i| !reach[i]) {
+            return Err(GraphError::Unreachable { vertex: bad });
+        }
+        let mut coreach = vec![false; nv];
+        coreach[finalize.index()] = true;
+        for &v in topo.iter().rev() {
+            if coreach[v.index()] {
+                for &e in &in_edges[v.index()] {
+                    coreach[self.edges[e.index()].src.index()] = true;
+                }
+            }
+        }
+        if let Some(bad) = (0..nv).find(|&i| !coreach[i]) {
+            return Err(GraphError::Dangling { vertex: bad });
+        }
+
+        Ok(TaskGraph {
+            vertices: self.vertices,
+            edges: self.edges,
+            out_edges,
+            in_edges,
+            num_ranks: self.num_ranks,
+            comm: self.comm,
+            topo,
+            init,
+            finalize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_machine::TaskModel;
+
+    /// Two ranks, one collective in the middle: the simplest realistic DAG.
+    fn two_rank_graph() -> TaskGraph {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let coll = b.vertex(VertexKind::Collective, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, coll, 0, TaskModel::compute_bound(1.0));
+        b.task(init, coll, 1, TaskModel::compute_bound(2.0));
+        b.task(coll, fin, 0, TaskModel::compute_bound(1.5));
+        b.task(coll, fin, 1, TaskModel::compute_bound(0.5));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let g = two_rank_graph();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.sync_vertices().len(), 3);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = two_rank_graph();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.num_vertices()];
+            for (i, &v) in g.topo_order().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for (_, e) in g.iter_edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let a = b.vertex(VertexKind::Send, Some(0));
+        let c = b.vertex(VertexKind::Recv, Some(0));
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, a, 0, TaskModel::compute_bound(1.0));
+        b.task(a, c, 0, TaskModel::compute_bound(1.0));
+        b.task(c, a, 0, TaskModel::compute_bound(1.0)); // back edge
+        b.task(c, fin, 0, TaskModel::compute_bound(1.0));
+        assert_eq!(b.build().unwrap_err(), GraphError::Cyclic);
+    }
+
+    #[test]
+    fn missing_finalize_is_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let _ = b.vertex(VertexKind::Init, None);
+        assert_eq!(b.build().unwrap_err(), GraphError::BadFinalize);
+    }
+
+    #[test]
+    fn unreachable_vertex_is_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let orphan = b.vertex(VertexKind::Send, Some(0));
+        b.task(init, fin, 0, TaskModel::compute_bound(1.0));
+        b.task(orphan, fin, 0, TaskModel::compute_bound(1.0));
+        assert!(matches!(b.build().unwrap_err(), GraphError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn dangling_vertex_is_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let dead_end = b.vertex(VertexKind::Send, Some(0));
+        b.task(init, fin, 0, TaskModel::compute_bound(1.0));
+        b.task(init, dead_end, 0, TaskModel::compute_bound(1.0));
+        assert!(matches!(b.build().unwrap_err(), GraphError::Dangling { .. }));
+    }
+
+    #[test]
+    fn rank_out_of_range_is_rejected() {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, fin, 5, TaskModel::compute_bound(1.0));
+        assert!(matches!(b.build().unwrap_err(), GraphError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn task_endpoint_rank_mismatch_is_rejected() {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let v1 = b.vertex(VertexKind::Send, Some(1));
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, v1, 0, TaskModel::compute_bound(1.0)); // rank 0 task into rank-1 vertex
+        b.task(v1, fin, 1, TaskModel::compute_bound(1.0));
+        assert!(matches!(b.build().unwrap_err(), GraphError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn message_edges_are_not_tasks() {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let s = b.vertex(VertexKind::Send, Some(0));
+        let r = b.vertex(VertexKind::Recv, Some(1));
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, s, 0, TaskModel::compute_bound(1.0));
+        b.message(s, r, 0, 1, 1024);
+        b.task(init, r, 1, TaskModel::compute_bound(1.0));
+        b.task(s, fin, 0, TaskModel::compute_bound(1.0));
+        b.task(r, fin, 1, TaskModel::compute_bound(1.0));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pcap-dag — hybrid MPI + OpenMP application task graphs
+//!
+//! The paper (§3.1) represents an application as a directed acyclic graph
+//! obtained from an MPI tracing library: **vertices** are MPI function-call
+//! events (`MPI_Init`, collectives, sends/receives/waits, `MPI_Pcontrol`
+//! iteration markers, `MPI_Finalize`), **edges** are either *computation
+//! tasks* — the OpenMP region between two consecutive MPI calls on one rank,
+//! runnable in many DVFS × thread configurations — or *messages* between
+//! ranks, whose duration is a linear function of message size.
+//!
+//! This crate provides that representation ([`TaskGraph`], built via
+//! [`GraphBuilder`]), structural validation (acyclicity, per-rank task
+//! chains, reachability), and the schedule analyses every consumer needs:
+//!
+//! * [`schedule::asap_schedule`] — earliest-start vertex times under a given
+//!   duration assignment (the "power-unconstrained schedule" seeding the LP);
+//! * [`schedule::Schedule::slack`] — per-task slack, which Adagio-style
+//!   runtimes reclaim;
+//! * [`activity::event_order`] / [`activity::activity_sets`] — the fixed
+//!   event order and per-event active-task sets `R_j` that make the paper's
+//!   formulation linear (§3.3).
+
+pub mod activity;
+pub mod comm;
+pub mod graph;
+pub mod schedule;
+
+pub use activity::{activity_sets, event_order, EventOrder};
+pub use comm::CommParams;
+pub use graph::{
+    Edge, EdgeId, EdgeKind, GraphBuilder, GraphError, TaskGraph, Vertex, VertexId, VertexKind,
+};
+pub use schedule::{asap_schedule, Schedule};

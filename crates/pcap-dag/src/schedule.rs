@@ -1,0 +1,162 @@
+//! Vertex-time schedules: ASAP computation, critical path and slack.
+
+use crate::graph::{EdgeId, EdgeKind, TaskGraph, VertexId};
+
+/// An assignment of times to DAG vertices (and hence start times to edges:
+/// an edge starts at its source vertex time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Time of each vertex, indexed by vertex.
+    pub vertex_times: Vec<f64>,
+}
+
+impl Schedule {
+    /// Time of the given vertex.
+    pub fn time(&self, v: VertexId) -> f64 {
+        self.vertex_times[v.index()]
+    }
+
+    /// Total time to solution: the `Finalize` vertex time.
+    pub fn makespan(&self, graph: &TaskGraph) -> f64 {
+        self.time(graph.finalize_vertex())
+    }
+
+    /// Slack of edge `e` under duration assignment `dur`: window length at
+    /// the destination minus the edge's own duration. Zero (within
+    /// tolerance) on the critical path.
+    pub fn slack(&self, graph: &TaskGraph, e: EdgeId, dur: impl Fn(EdgeId) -> f64) -> f64 {
+        let edge = graph.edge(e);
+        self.time(edge.dst) - self.time(edge.src) - dur(e)
+    }
+
+    /// Edges with near-zero slack — the critical edges.
+    pub fn critical_edges(
+        &self,
+        graph: &TaskGraph,
+        dur: impl Fn(EdgeId) -> f64 + Copy,
+        tol: f64,
+    ) -> Vec<EdgeId> {
+        graph
+            .iter_edges()
+            .map(|(id, _)| id)
+            .filter(|&id| self.slack(graph, id, dur) <= tol)
+            .collect()
+    }
+
+    /// Checks that every precedence constraint holds: for every edge,
+    /// `time(dst) − time(src) ≥ duration(e) − tol`.
+    pub fn respects_precedence(
+        &self,
+        graph: &TaskGraph,
+        dur: impl Fn(EdgeId) -> f64,
+        tol: f64,
+    ) -> bool {
+        graph.iter_edges().all(|(id, e)| {
+            self.time(e.dst) - self.time(e.src) >= dur(id) - tol
+        })
+    }
+}
+
+/// Earliest-start (ASAP) schedule under the duration assignment `dur`:
+/// `time(v) = max over incoming edges (time(src) + dur(e))`, `time(Init)=0`.
+///
+/// With `dur` evaluating every task at its fastest configuration this is the
+/// paper's *power-unconstrained schedule*, which fixes the event order and
+/// activity sets for the LP (§3.3).
+pub fn asap_schedule(graph: &TaskGraph, dur: impl Fn(EdgeId) -> f64) -> Schedule {
+    let mut times = vec![0.0_f64; graph.num_vertices()];
+    for &v in graph.topo_order() {
+        for &e in graph.out_edges(v) {
+            let edge = graph.edge(e);
+            let t = times[v.index()] + dur(e);
+            let d = &mut times[edge.dst.index()];
+            if t > *d {
+                *d = t;
+            }
+        }
+    }
+    Schedule { vertex_times: times }
+}
+
+/// Convenience duration assignment: tasks at their *fastest* configuration
+/// (nominal frequency, all threads), messages from the graph's interconnect
+/// model. This is the duration function used to seed the LP's event order.
+pub fn nominal_durations<'a>(
+    graph: &'a TaskGraph,
+    machine: &'a pcap_machine::MachineSpec,
+) -> impl Fn(EdgeId) -> f64 + Copy + 'a {
+    move |e: EdgeId| match &graph.edge(e).kind {
+        EdgeKind::Task { model, .. } => {
+            model.duration(machine, machine.f_max_ghz(), machine.max_threads)
+        }
+        EdgeKind::Message { bytes, .. } => graph.comm().message_time(*bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexKind};
+    use pcap_machine::{MachineSpec, TaskModel};
+
+    fn diamond() -> (TaskGraph, Vec<EdgeId>) {
+        // init → a (1s) → fin ; init → b (3s) → fin, joined at a collective.
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let coll = b.vertex(VertexKind::Collective, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let e0 = b.task(init, coll, 0, TaskModel::compute_bound(1.0));
+        let e1 = b.task(init, coll, 1, TaskModel::compute_bound(3.0));
+        let e2 = b.task(coll, fin, 0, TaskModel::compute_bound(2.0));
+        let e3 = b.task(coll, fin, 1, TaskModel::compute_bound(1.0));
+        (b.build().unwrap(), vec![e0, e1, e2, e3])
+    }
+
+    /// Duration = serial reference seconds (1 thread at f_ref) for test
+    /// transparency.
+    fn serial_dur(g: &TaskGraph) -> impl Fn(EdgeId) -> f64 + Copy + '_ {
+        move |e| match &g.edge(e).kind {
+            crate::graph::EdgeKind::Task { model, .. } => model.serial_seconds(),
+            crate::graph::EdgeKind::Message { bytes, .. } => g.comm().message_time(*bytes),
+        }
+    }
+
+    #[test]
+    fn asap_takes_longest_path() {
+        let (g, _) = diamond();
+        let s = asap_schedule(&g, serial_dur(&g));
+        assert_eq!(s.makespan(&g), 5.0); // max(1,3) + max(2,1)
+    }
+
+    #[test]
+    fn slack_is_zero_on_critical_path() {
+        let (g, es) = diamond();
+        let dur = serial_dur(&g);
+        let s = asap_schedule(&g, dur);
+        assert_eq!(s.slack(&g, es[1], dur), 0.0); // 3s branch critical
+        assert_eq!(s.slack(&g, es[0], dur), 2.0); // 1s branch has 2s slack
+        assert_eq!(s.slack(&g, es[2], dur), 0.0);
+        assert_eq!(s.slack(&g, es[3], dur), 1.0);
+        let crit = s.critical_edges(&g, dur, 1e-9);
+        assert_eq!(crit, vec![es[1], es[2]]);
+    }
+
+    #[test]
+    fn precedence_check_detects_violation() {
+        let (g, _) = diamond();
+        let dur = serial_dur(&g);
+        let mut s = asap_schedule(&g, dur);
+        assert!(s.respects_precedence(&g, dur, 1e-9));
+        s.vertex_times[g.finalize_vertex().index()] = 0.1;
+        assert!(!s.respects_precedence(&g, dur, 1e-9));
+    }
+
+    #[test]
+    fn nominal_durations_use_fastest_config() {
+        let (g, es) = diamond();
+        let m = MachineSpec::e5_2670();
+        let dur = nominal_durations(&g, &m);
+        let model = g.edge(es[0]).task_model().unwrap();
+        assert_eq!(dur(es[0]), model.duration(&m, m.f_max_ghz(), m.max_threads));
+    }
+}

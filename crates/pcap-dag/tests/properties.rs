@@ -1,0 +1,166 @@
+//! Property-based tests of the task-graph substrate on randomly generated
+//! layered DAGs.
+
+use pcap_dag::{
+    activity_sets, asap_schedule, event_order, EdgeId, GraphBuilder, TaskGraph, VertexKind,
+};
+use pcap_machine::TaskModel;
+use proptest::prelude::*;
+
+/// A random layered application: per rank, a chain of tasks with random
+/// durations; random barrier layers merge all ranks.
+#[derive(Debug, Clone)]
+struct LayeredApp {
+    ranks: u32,
+    /// Per layer: per-rank serial seconds, and whether the layer ends in a
+    /// global barrier.
+    layers: Vec<(Vec<f64>, bool)>,
+}
+
+fn layered_app() -> impl Strategy<Value = LayeredApp> {
+    (2u32..6, 1usize..5).prop_flat_map(|(ranks, nlayers)| {
+        let layer = (proptest::collection::vec(0.05..5.0f64, ranks as usize), any::<bool>());
+        proptest::collection::vec(layer, nlayers)
+            .prop_map(move |layers| LayeredApp { ranks, layers })
+    })
+}
+
+fn build(app: &LayeredApp) -> TaskGraph {
+    let mut b = GraphBuilder::new(app.ranks);
+    let init = b.vertex(VertexKind::Init, None);
+    let mut frontier = vec![init; app.ranks as usize];
+    for (works, barrier) in &app.layers {
+        if *barrier {
+            let sync = b.vertex(VertexKind::Collective, None);
+            for r in 0..app.ranks {
+                b.task(frontier[r as usize], sync, r, TaskModel::compute_bound(works[r as usize]));
+                frontier[r as usize] = sync;
+            }
+        } else {
+            for r in 0..app.ranks {
+                let v = b.vertex(VertexKind::Send, Some(r));
+                b.task(frontier[r as usize], v, r, TaskModel::compute_bound(works[r as usize]));
+                frontier[r as usize] = v;
+            }
+        }
+    }
+    let fin = b.vertex(VertexKind::Finalize, None);
+    for r in 0..app.ranks {
+        b.task(frontier[r as usize], fin, r, TaskModel::compute_bound(0.01));
+    }
+    b.build().expect("layered apps are valid DAGs")
+}
+
+fn serial(g: &TaskGraph) -> impl Fn(EdgeId) -> f64 + Copy + '_ {
+    move |e| g.edge(e).task_model().map(|m| m.serial_seconds()).unwrap_or(0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Topological order is consistent with every edge.
+    #[test]
+    fn topo_order_is_valid(app in layered_app()) {
+        let g = build(&app);
+        let mut pos = vec![0usize; g.num_vertices()];
+        for (i, &v) in g.topo_order().iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (_, e) in g.iter_edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    /// The ASAP schedule satisfies all precedences with equality somewhere
+    /// on the critical path (makespan = longest path).
+    #[test]
+    fn asap_is_earliest(app in layered_app()) {
+        let g = build(&app);
+        let dur = serial(&g);
+        let s = asap_schedule(&g, dur);
+        prop_assert!(s.respects_precedence(&g, dur, 1e-9));
+        // Every non-source vertex is tight against at least one in-edge.
+        for v in 0..g.num_vertices() {
+            let vid = pcap_dag::VertexId::from_index(v);
+            if g.in_edges(vid).is_empty() {
+                continue;
+            }
+            let t = s.vertex_times[v];
+            let tight = g.in_edges(vid).iter().any(|&e| {
+                let edge = g.edge(e);
+                (s.time(edge.src) + dur(e) - t).abs() < 1e-9
+            });
+            prop_assert!(tight, "vertex {v} floats above its predecessors");
+        }
+    }
+
+    /// Slack is non-negative everywhere under the ASAP schedule.
+    #[test]
+    fn slack_nonnegative(app in layered_app()) {
+        let g = build(&app);
+        let dur = serial(&g);
+        let s = asap_schedule(&g, dur);
+        for (id, _) in g.iter_edges() {
+            prop_assert!(s.slack(&g, id, dur) >= -1e-9);
+        }
+    }
+
+    /// The event order sorts by time and its groups partition the vertices.
+    #[test]
+    fn event_order_partitions(app in layered_app()) {
+        let g = build(&app);
+        let s = asap_schedule(&g, serial(&g));
+        let eo = event_order(&g, &s, 1e-9);
+        prop_assert_eq!(eo.order.len(), g.num_vertices());
+        let total: usize = eo.groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        for w in eo.order.windows(2) {
+            prop_assert!(s.time(w[0]) <= s.time(w[1]) + 1e-9);
+        }
+    }
+
+    /// Activity sets: a task is active exactly at events inside its
+    /// half-open [src, dst) window; total activity equals the integral
+    /// relationship |{(v, task)}| consistency check.
+    #[test]
+    fn activity_sets_match_windows(app in layered_app()) {
+        let g = build(&app);
+        let s = asap_schedule(&g, serial(&g));
+        let act = activity_sets(&g, &s, 1e-9);
+        for v in 0..g.num_vertices() {
+            let tv = s.vertex_times[v];
+            for (id, e) in g.iter_edges() {
+                if !e.is_task() {
+                    continue;
+                }
+                let t0 = s.time(e.src);
+                let t1 = s.time(e.dst);
+                let inside = tv >= t0 - 1e-9 && tv < t1 - 1e-9;
+                let zero = (t1 - t0).abs() <= 1e-9 && (tv - t0).abs() <= 1e-9;
+                let listed = act[v].contains(&id);
+                prop_assert_eq!(listed, inside || zero,
+                    "vertex {} task {}: listed={} window=[{},{})", v, id.index(), listed, t0, t1);
+            }
+        }
+    }
+
+    /// At every event, the active tasks of distinct ranks never exceed one
+    /// per rank within a barrier-free layer (each rank runs one task at a
+    /// time).
+    #[test]
+    fn one_task_per_rank_at_any_event(app in layered_app()) {
+        let g = build(&app);
+        let s = asap_schedule(&g, serial(&g));
+        let act = activity_sets(&g, &s, 1e-9);
+        for v in 0..g.num_vertices() {
+            let mut per_rank = std::collections::HashMap::new();
+            for &e in &act[v] {
+                let r = g.edge(e).task_rank().unwrap();
+                *per_rank.entry(r).or_insert(0u32) += 1;
+            }
+            for (r, count) in per_rank {
+                prop_assert!(count <= 1, "rank {r} has {count} active tasks at one event");
+            }
+        }
+    }
+}

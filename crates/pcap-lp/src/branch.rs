@@ -1,0 +1,340 @@
+//! Branch-and-bound for mixed integer-linear programs.
+//!
+//! The paper's flow ILP (appendix) and the discrete-configuration variant of
+//! the scheduling LP are solved here: the LP relaxation is solved with the
+//! bounded simplex, a fractional integer variable is selected
+//! (most-fractional rule), and two children with tightened bounds are pushed
+//! onto a best-bound-ordered frontier. The search prunes on the incumbent
+//! and proves optimality when the frontier empties.
+//!
+//! This is intentionally a straightforward exact solver: the paper itself
+//! notes the flow ILP is only practical below ~30 DAG edges, and our
+//! experiments use it at exactly that scale.
+
+use crate::error::{LpError, LpResult};
+use crate::problem::{Problem, Sense, VarId};
+use crate::simplex::{solve_with, SolverOptions};
+use crate::solution::Solution;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Options for [`solve_mip`].
+#[derive(Debug, Clone)]
+pub struct BranchOptions {
+    /// LP options used at every node.
+    pub lp: SolverOptions,
+    /// Integrality tolerance: `|x − round(x)| <= tol` counts as integral.
+    pub int_tol: f64,
+    /// Maximum number of explored nodes.
+    pub max_nodes: u64,
+    /// Stop as soon as the relative gap between the incumbent and the best
+    /// frontier bound falls below this value (0 = prove optimality).
+    pub rel_gap: f64,
+}
+
+impl Default for BranchOptions {
+    fn default() -> Self {
+        Self { lp: SolverOptions::default(), int_tol: 1e-6, max_nodes: 200_000, rel_gap: 1e-9 }
+    }
+}
+
+/// An integer-feasible optimum found by branch-and-bound.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Objective in the problem's sense.
+    pub objective: f64,
+    /// Primal values (integer variables are integral to within `int_tol`).
+    pub values: Vec<f64>,
+    /// Nodes explored.
+    pub nodes: u64,
+    /// Best bound remaining when the search stopped (equals `objective` when
+    /// optimality was proven).
+    pub best_bound: f64,
+}
+
+impl MipSolution {
+    /// Primal value of a variable.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+}
+
+struct Node {
+    /// Tightened (lower, upper) bounds for each integer variable, dense over
+    /// `int_vars` order.
+    bounds: Vec<(f64, f64)>,
+    /// LP relaxation bound of the parent (minimization form).
+    bound: f64,
+}
+
+/// Max-heap ordered so the *best* (lowest, in minimization form) bound pops
+/// first.
+struct HeapNode(Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: lower bound = higher priority.
+        other.0.bound.partial_cmp(&self.0.bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves a mixed integer-linear program exactly by branch-and-bound.
+///
+/// Returns [`LpError::MipInfeasible`] when no integer point exists and
+/// [`LpError::NodeLimit`] when the node budget runs out before optimality
+/// (the error carries no incumbent; raise `max_nodes` for hard instances).
+pub fn solve_mip(problem: &Problem, opts: &BranchOptions) -> LpResult<MipSolution> {
+    problem.validate()?;
+    let int_vars = problem.integer_vars();
+    if int_vars.is_empty() {
+        let sol = solve_with(problem, &opts.lp)?;
+        return Ok(MipSolution {
+            objective: sol.objective,
+            values: sol.values,
+            nodes: 1,
+            best_bound: sol.objective,
+        });
+    }
+    let sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let root_bounds: Vec<(f64, f64)> = int_vars
+        .iter()
+        .map(|&v| {
+            let (lo, hi) = problem.var_bounds(v);
+            // Integer bounds can be tightened to the integral hull edges.
+            (lo.ceil(), hi.floor())
+        })
+        .collect();
+
+    let mut work = problem.clone();
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapNode(Node { bounds: root_bounds, bound: f64::NEG_INFINITY }));
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // minimization form
+    let mut nodes = 0u64;
+
+    while let Some(HeapNode(node)) = heap.pop() {
+        if nodes >= opts.max_nodes {
+            return match incumbent {
+                Some((obj, values)) => Ok(MipSolution {
+                    objective: sign * obj,
+                    values,
+                    nodes,
+                    best_bound: sign * node.bound,
+                }),
+                None => Err(LpError::NodeLimit { nodes }),
+            };
+        }
+        // Prune on bound.
+        if let Some((best, _)) = &incumbent {
+            if node.bound >= *best - opts.int_tol {
+                continue;
+            }
+        }
+        nodes += 1;
+
+        // Install bounds and solve the relaxation.
+        for (k, &v) in int_vars.iter().enumerate() {
+            let (lo, hi) = node.bounds[k];
+            work.set_var_bounds(v, lo, hi);
+        }
+        let relax = match solve_with(&work, &opts.lp) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(LpError::Unbounded) => return Err(LpError::Unbounded),
+            Err(e) => return Err(e),
+        };
+        let relax_obj = sign * relax.objective; // to minimization form
+        if let Some((best, _)) = &incumbent {
+            if relax_obj >= *best - opts.int_tol {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64, f64)> = None; // (k, value, fractionality)
+        for (k, &v) in int_vars.iter().enumerate() {
+            let x = relax.value(v);
+            let frac = (x - x.round()).abs();
+            if frac > opts.int_tol {
+                let score = (x - x.floor() - 0.5).abs(); // 0 = perfectly split
+                if branch.is_none_or(|(_, _, s)| score < s) {
+                    branch = Some((k, x, score));
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integer feasible: candidate incumbent.
+                let better = incumbent.as_ref().is_none_or(|(best, _)| relax_obj < *best);
+                if better {
+                    incumbent = Some((relax_obj, relax.values.clone()));
+                    // Gap-based early stop.
+                    if let Some(HeapNode(peek)) = heap.peek() {
+                        let gap = (relax_obj - peek.bound).abs() / relax_obj.abs().max(1.0);
+                        if gap <= opts.rel_gap && peek.bound >= relax_obj - opts.int_tol {
+                            break;
+                        }
+                    }
+                }
+            }
+            Some((k, x, _)) => {
+                let (lo, hi) = node.bounds[k];
+                // Down child: x_k <= floor(x).
+                let down = x.floor();
+                if down >= lo {
+                    let mut b = node.bounds.clone();
+                    b[k] = (lo, down);
+                    heap.push(HeapNode(Node { bounds: b, bound: relax_obj }));
+                }
+                // Up child: x_k >= ceil(x).
+                let up = x.ceil();
+                if up <= hi {
+                    let mut b = node.bounds.clone();
+                    b[k] = (up, hi);
+                    heap.push(HeapNode(Node { bounds: b, bound: relax_obj }));
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((obj, values)) => {
+            Ok(MipSolution { objective: sign * obj, values, nodes, best_bound: sign * obj })
+        }
+        None => Err(LpError::MipInfeasible),
+    }
+}
+
+/// Convenience: LP relaxation of a MIP (integer restrictions dropped).
+pub fn solve_relaxation(problem: &Problem, opts: &SolverOptions) -> LpResult<Solution> {
+    solve_with(problem, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Bound, Problem, Sense};
+
+    fn expr(terms: Vec<(VarId, f64)>) -> LinExpr {
+        LinExpr::from(terms)
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary → a+c (17) vs b+c (20).
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_bin_var(10.0);
+        let b = p.add_bin_var(13.0);
+        let c = p.add_bin_var(7.0);
+        p.add_constraint(expr(vec![(a, 3.0), (b, 4.0), (c, 2.0)]), Bound::Upper(6.0));
+        let sol = solve_mip(&p, &BranchOptions::default()).unwrap();
+        assert!((sol.objective - 20.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!(sol.value(b) > 0.5 && sol.value(c) > 0.5 && sol.value(a) < 0.5);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, 4.0, 1.0);
+        let sol = solve_mip(&p, &BranchOptions::default()).unwrap();
+        assert_eq!(sol.value(x), 1.0);
+        assert_eq!(sol.nodes, 1);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 3, integer → 1 (not 1.5).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_int_var(0.0, 10.0, 1.0);
+        let y = p.add_int_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 2.0), (y, 2.0)]), Bound::Upper(3.0));
+        let sol = solve_mip(&p, &BranchOptions::default()).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mip_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_int_var(0.0, 10.0, 1.0);
+        // 0.4 <= x <= 0.6 has no integer point.
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Range(0.4, 0.6));
+        assert_eq!(solve_mip(&p, &BranchOptions::default()).unwrap_err(), LpError::MipInfeasible);
+    }
+
+    #[test]
+    fn mixed_continuous_integer() {
+        // min 2i + y s.t. i + y >= 3.5, i integer >= 0, 0 <= y <= 1.
+        // y=1 forces i >= 2.5 → i=3? i+1>=3.5 → i>=2.5 → i=3, obj 7.
+        // Alternatively i=3,y=0.5 obj 6.5; actually min 2i+y: want small i.
+        // i=3, y=0.5: 6.5. i=4,y=0: 8. So 6.5.
+        let mut p = Problem::new(Sense::Minimize);
+        let i = p.add_int_var(0.0, 100.0, 2.0);
+        let y = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint(expr(vec![(i, 1.0), (y, 1.0)]), Bound::Lower(3.5));
+        let sol = solve_mip(&p, &BranchOptions::default()).unwrap();
+        assert!((sol.objective - 6.5).abs() < 1e-6, "obj {}", sol.objective);
+        assert!((sol.value(i) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_problem_integral() {
+        // 4x4 assignment; LP relaxation is already integral, B&B should
+        // terminate at the root.
+        let costs = [
+            [4.0, 1.0, 3.0, 2.0],
+            [2.0, 0.0, 5.0, 3.0],
+            [3.0, 2.0, 2.0, 1.0],
+            [1.0, 3.0, 2.0, 4.0],
+        ];
+        let mut p = Problem::new(Sense::Minimize);
+        let mut xs = vec![];
+        for i in 0..4 {
+            for j in 0..4 {
+                xs.push(p.add_bin_var(costs[i][j]));
+            }
+        }
+        for i in 0..4 {
+            p.add_constraint(expr((0..4).map(|j| (xs[i * 4 + j], 1.0)).collect()), Bound::Equal(1.0));
+            p.add_constraint(expr((0..4).map(|j| (xs[j * 4 + i], 1.0)).collect()), Bound::Equal(1.0));
+        }
+        let sol = solve_mip(&p, &BranchOptions::default()).unwrap();
+        // Optimal assignment: r1→c1 (0), r3→c0 (1), r2→c3 (1), r0→c2 (3) → 5.
+        assert!((sol.objective - 5.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut p = Problem::new(Sense::Maximize);
+        // A knapsack engineered to need a bit of branching.
+        let mut e = expr(vec![]);
+        for k in 0..12 {
+            let v = p.add_bin_var(1.0 + (k as f64) * 0.01);
+            e.add(v, 2.0 + (k % 3) as f64);
+        }
+        p.add_constraint(e, Bound::Upper(7.0));
+        let opts = BranchOptions { max_nodes: 1, ..Default::default() };
+        // With one node we either find an incumbent at the root or fail.
+        match solve_mip(&p, &opts) {
+            Ok(sol) => assert!(sol.nodes <= 2),
+            Err(LpError::NodeLimit { .. }) => {}
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Dense square matrices and LU factorization with partial pivoting.
+//!
+//! The simplex basis matrix is gathered into a dense matrix and factored as
+//! `P·B = L·U`. The factorization provides the FTRAN (`B·x = b`) and BTRAN
+//! (`Bᵀ·x = b`) kernels; between refactorizations the simplex layers
+//! product-form eta updates on top (see [`crate::simplex`]).
+//!
+//! For the instance sizes produced by the scheduling formulations (a few
+//! hundred to a few thousand rows after iteration decomposition) a dense
+//! column-major factorization is both simple and fast; the `O(m³/3)`
+//! factorization cost is amortized over many pivots.
+
+/// Column-major dense `n x n` matrix.
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    n: usize,
+    /// Column-major storage: `data[col * n + row]`.
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[col * self.n + row]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        self.data[col * self.n + row] = v;
+    }
+
+    /// Mutable view of one column.
+    #[inline]
+    pub fn col_mut(&mut self, col: usize) -> &mut [f64] {
+        &mut self.data[col * self.n..(col + 1) * self.n]
+    }
+
+    /// Immutable view of one column.
+    #[inline]
+    pub fn col(&self, col: usize) -> &[f64] {
+        &self.data[col * self.n..(col + 1) * self.n]
+    }
+
+    /// Dense matrix-vector product `y = A·x` (used only by tests; the solver
+    /// works with the factorization).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        for j in 0..n {
+            let xj = x[j];
+            if xj != 0.0 {
+                let col = self.col(j);
+                for i in 0..n {
+                    y[i] += col[i] * xj;
+                }
+            }
+        }
+        y
+    }
+}
+
+/// LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` is unit lower triangular and `U` upper triangular, both packed into a
+/// single dense matrix; `perm[k]` records the row swapped into position `k`
+/// at elimination step `k`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed L (strictly lower, unit diagonal implied) and U (upper incl.
+    /// diagonal), column-major.
+    lu: DenseMatrix,
+    /// Row swap applied at each elimination step: step k swapped rows k and
+    /// `perm[k]`.
+    perm: Vec<usize>,
+}
+
+/// Error returned when a pivot falls below the singularity tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Singular {
+    /// Elimination step at which no acceptable pivot was found.
+    pub step: usize,
+}
+
+impl LuFactors {
+    /// Factors `a` (consumed) with partial pivoting. `tol` is the absolute
+    /// pivot threshold below which the matrix is declared singular.
+    pub fn factor(mut a: DenseMatrix, tol: f64) -> Result<Self, Singular> {
+        let n = a.n;
+        let mut perm = vec![0usize; n];
+        for k in 0..n {
+            // Find pivot row: largest |a[i][k]| for i >= k.
+            let mut piv = k;
+            let mut best = a.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = a.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if best <= tol {
+                return Err(Singular { step: k });
+            }
+            perm[k] = piv;
+            if piv != k {
+                // Swap rows k and piv across all columns.
+                for j in 0..n {
+                    let idx_k = j * n + k;
+                    let idx_p = j * n + piv;
+                    a.data.swap(idx_k, idx_p);
+                }
+            }
+            let pivot = a.get(k, k);
+            // Compute multipliers and update the trailing submatrix.
+            let inv = 1.0 / pivot;
+            for i in (k + 1)..n {
+                let m = a.get(i, k) * inv;
+                a.set(i, k, m);
+            }
+            for j in (k + 1)..n {
+                let ujk = a.get(k, j);
+                if ujk != 0.0 {
+                    let (head, tail) = a.data.split_at_mut(j * n);
+                    let colk = &head[k * n..(k + 1) * n];
+                    let colj = &mut tail[..n];
+                    for i in (k + 1)..n {
+                        colj[i] -= colk[i] * ujk;
+                    }
+                }
+            }
+        }
+        Ok(Self { n, lu: a, perm })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` in place (`b` becomes `x`).
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n);
+        // Apply permutation: forward substitution order.
+        for k in 0..n {
+            let p = self.perm[k];
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+        // Ly = Pb (unit lower).
+        for k in 0..n {
+            let bk = b[k];
+            if bk != 0.0 {
+                let col = self.lu.col(k);
+                for i in (k + 1)..n {
+                    b[i] -= col[i] * bk;
+                }
+            }
+        }
+        // Ux = y.
+        for k in (0..n).rev() {
+            let col = self.lu.col(k);
+            b[k] /= col[k];
+            let bk = b[k];
+            if bk != 0.0 {
+                for i in 0..k {
+                    b[i] -= col[i] * bk;
+                }
+            }
+        }
+    }
+
+    /// Solves `Aᵀ·x = b` in place (`b` becomes `x`).
+    pub fn solve_transpose_in_place(&self, b: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n);
+        // Aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P. Solve Uᵀ y = b (forward), then
+        // Lᵀ z = y (backward), then x = Pᵀ z (reverse the swaps).
+        // Uᵀ y = b: U is upper triangular so Uᵀ is lower triangular.
+        for k in 0..n {
+            let col = self.lu.col(k);
+            let mut s = b[k];
+            for i in 0..k {
+                s -= col[i] * b[i];
+            }
+            b[k] = s / col[k];
+        }
+        // Lᵀ z = y: L is unit lower so Lᵀ is unit upper.
+        for k in (0..n).rev() {
+            let col = self.lu.col(k);
+            let mut s = b[k];
+            for i in (k + 1)..n {
+                s -= col[i] * b[i];
+            }
+            b[k] = s;
+        }
+        // x = Pᵀ z: undo swaps in reverse order.
+        for k in (0..n).rev() {
+            let p = self.perm[k];
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize, rows: &[&[f64]]) -> DenseMatrix {
+        let mut a = DenseMatrix::zeros(n);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                a.set(i, j, v);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn factor_and_solve_identity() {
+        let mut a = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let lu = LuFactors::factor(a, 1e-12).unwrap();
+        let mut b = vec![1.0, 2.0, 3.0];
+        lu.solve_in_place(&mut b);
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_general_system() {
+        let a = mat(3, &[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let lu = LuFactors::factor(a.clone(), 1e-12).unwrap();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut b = a.matvec(&x_true);
+        lu.solve_in_place(&mut b);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn solve_transpose_general_system() {
+        let a = mat(3, &[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let lu = LuFactors::factor(a.clone(), 1e-12).unwrap();
+        let x_true = [0.5, 2.0, -1.5];
+        // b = Aᵀ x
+        let mut b = vec![0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[j] += a.get(i, j) * x_true[i];
+            }
+        }
+        lu.solve_transpose_in_place(&mut b);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = mat(2, &[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(LuFactors::factor(a, 1e-10).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = mat(2, &[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactors::factor(a, 1e-12).unwrap();
+        let mut b = vec![3.0, 5.0];
+        lu.solve_in_place(&mut b);
+        assert_eq!(b, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn random_roundtrip_is_accurate() {
+        // Deterministic pseudo-random matrix via a simple LCG, sized large
+        // enough to exercise blocking-free code paths.
+        let n = 40;
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = DenseMatrix::zeros(n);
+        for j in 0..n {
+            for i in 0..n {
+                a.set(i, j, next());
+            }
+            // Strengthen the diagonal to stay comfortably nonsingular.
+            let d = a.get(j, j);
+            a.set(j, j, d + 2.0);
+        }
+        let lu = LuFactors::factor(a.clone(), 1e-12).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut b = a.matvec(&x_true);
+        lu.solve_in_place(&mut b);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the LP/MILP solvers.
+
+use std::fmt;
+
+/// Errors surfaced by model construction or the solve routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable id referenced a variable that does not belong to the
+    /// problem (e.g. an id from another [`crate::Problem`]).
+    UnknownVariable { index: usize, nvars: usize },
+    /// A variable was declared with `lower > upper`.
+    InvalidBounds { index: usize, lower: f64, upper: f64 },
+    /// A coefficient, cost or bound was NaN.
+    NotANumber { context: &'static str },
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The pivot limit was exhausted before reaching optimality.
+    IterationLimit { iterations: u64 },
+    /// The basis matrix became numerically singular and could not be
+    /// repaired by refactorization.
+    SingularBasis,
+    /// Branch-and-bound exhausted its node budget without proving
+    /// optimality of the incumbent.
+    NodeLimit { nodes: u64 },
+    /// Branch-and-bound found no integer-feasible point.
+    MipInfeasible,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable { index, nvars } => {
+                write!(f, "variable id {index} out of range (problem has {nvars} variables)")
+            }
+            LpError::InvalidBounds { index, lower, upper } => {
+                write!(f, "variable {index} has invalid bounds [{lower}, {upper}]")
+            }
+            LpError::NotANumber { context } => write!(f, "NaN encountered in {context}"),
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "problem is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            }
+            LpError::SingularBasis => write!(f, "basis matrix is numerically singular"),
+            LpError::NodeLimit { nodes } => {
+                write!(f, "branch-and-bound node limit reached after {nodes} nodes")
+            }
+            LpError::MipInfeasible => write!(f, "no integer-feasible solution exists"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Convenience alias used throughout the crate.
+pub type LpResult<T> = Result<T, LpError>;

@@ -1,0 +1,141 @@
+//! Sparse linear expressions over problem variables.
+
+use crate::problem::VarId;
+
+/// A sparse linear expression `sum(coeff_k * var_k)`.
+///
+/// Duplicate variable entries are allowed and are summed when the expression
+/// is compressed into the constraint matrix, so incremental model builders
+/// can push terms without bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    pub(crate) terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// Creates an empty expression (the constant 0).
+    pub fn new() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// Creates an empty expression with room for `cap` terms.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { terms: Vec::with_capacity(cap) }
+    }
+
+    /// Adds `coeff * var` to the expression. Zero coefficients are dropped.
+    pub fn add(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        if coeff != 0.0 {
+            self.terms.push((var, coeff));
+        }
+        self
+    }
+
+    /// Builder-style [`LinExpr::add`].
+    #[must_use]
+    pub fn plus(mut self, var: VarId, coeff: f64) -> Self {
+        self.add(var, coeff);
+        self
+    }
+
+    /// Appends every term of `other`, scaled by `scale`.
+    pub fn add_scaled(&mut self, other: &LinExpr, scale: f64) -> &mut Self {
+        for &(v, c) in &other.terms {
+            self.add(v, c * scale);
+        }
+        self
+    }
+
+    /// Number of stored (possibly duplicate) terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over the raw (uncompressed) terms.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// Evaluates the expression against a dense assignment of variable values.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms.iter().map(|&(v, c)| c * values[v.index()]).sum()
+    }
+
+    /// Returns the terms with duplicate variables merged and zeros removed,
+    /// sorted by variable index.
+    pub fn compressed(&self) -> Vec<(VarId, f64)> {
+        let mut terms = self.terms.clone();
+        terms.sort_by_key(|&(v, _)| v.index());
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0.0);
+        out
+    }
+}
+
+impl From<Vec<(VarId, f64)>> for LinExpr {
+    fn from(terms: Vec<(VarId, f64)>) -> Self {
+        let mut e = LinExpr::with_capacity(terms.len());
+        for (v, c) in terms {
+            e.add(v, c);
+        }
+        e
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (VarId, f64)>>(iter: I) -> Self {
+        let mut e = LinExpr::new();
+        for (v, c) in iter {
+            e.add(v, c);
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn compress_merges_duplicates_and_drops_zeros() {
+        let e = LinExpr::from(vec![(v(2), 1.0), (v(0), 2.0), (v(2), 3.0), (v(1), -2.0), (v(1), 2.0)]);
+        let c = e.compressed();
+        assert_eq!(c, vec![(v(0), 2.0), (v(2), 4.0)]);
+    }
+
+    #[test]
+    fn zero_coefficients_are_not_stored() {
+        let mut e = LinExpr::new();
+        e.add(v(0), 0.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn eval_matches_manual_sum() {
+        let e = LinExpr::from(vec![(v(0), 2.0), (v(1), -1.0)]);
+        assert_eq!(e.eval(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let a = LinExpr::from(vec![(v(0), 1.0)]);
+        let mut b = LinExpr::from(vec![(v(0), 1.0), (v(1), 1.0)]);
+        b.add_scaled(&a, 2.0);
+        assert_eq!(b.compressed(), vec![(v(0), 3.0), (v(1), 1.0)]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Presolve: cheap reductions applied before the simplex.
+//!
+//! The scheduling LPs contain easy structure — singleton rows from pinned
+//! vertices, rows made redundant by variable bounds — that a real solver
+//! removes up front. This module implements the classic safe reductions:
+//!
+//! * **empty rows** are checked against their bounds and dropped;
+//! * **singleton rows** (`a·x {≤,≥,=} b`) are absorbed into the variable's
+//!   bounds and dropped;
+//! * **redundant rows** whose activity range (implied by the variable
+//!   bounds) already lies inside the row interval are dropped;
+//! * **infeasibility** detectable from bounds alone is reported immediately.
+//!
+//! Variables are never removed or reindexed, so primal solutions of the
+//! reduced problem are directly solutions of the original. Row duals refer
+//! to the *kept* rows; [`Presolved::dual_for_row`] maps an original row
+//! index to its dual (dropped rows report `None` — their multiplier, if
+//! any, lives in the absorbing variable's reduced cost).
+
+use crate::error::{LpError, LpResult};
+use crate::problem::Problem;
+use crate::simplex::{solve_with, SolverOptions};
+use crate::solution::Solution;
+
+/// Outcome of [`presolve`]: the reduced problem plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced problem (same variables, fewer rows, tighter bounds).
+    pub problem: Problem,
+    /// For each original row, the index of the corresponding kept row.
+    row_map: Vec<Option<usize>>,
+    /// Number of rows dropped.
+    pub rows_dropped: usize,
+    /// Number of variable bounds tightened.
+    pub bounds_tightened: usize,
+}
+
+impl Presolved {
+    /// Solves the reduced problem; the returned primal values and objective
+    /// apply verbatim to the original problem.
+    pub fn solve_with(&self, opts: &SolverOptions) -> LpResult<Solution> {
+        solve_with(&self.problem, opts)
+    }
+
+    /// Maps an original row index to its dual in `solution` (`None` for
+    /// rows removed by presolve).
+    pub fn dual_for_row(&self, solution: &Solution, original_row: usize) -> Option<f64> {
+        self.row_map
+            .get(original_row)
+            .copied()
+            .flatten()
+            .map(|k| solution.duals[k])
+    }
+}
+
+/// Runs the reductions. Returns [`LpError::Infeasible`] when presolve alone
+/// proves the problem has no feasible point.
+pub fn presolve(problem: &Problem) -> LpResult<Presolved> {
+    problem.validate()?;
+    let mut reduced = Problem::new(problem.sense());
+    // Copy variables (bounds will be tightened in place).
+    let mut lower: Vec<f64> = Vec::with_capacity(problem.num_vars());
+    let mut upper: Vec<f64> = Vec::with_capacity(problem.num_vars());
+    for j in 0..problem.num_vars() {
+        let v = crate::problem::VarId::from_index(j);
+        let (lo, hi) = problem.var_bounds(v);
+        lower.push(lo);
+        upper.push(hi);
+    }
+
+    let mut bounds_tightened = 0usize;
+    let tol = 1e-12;
+
+    // Pass 1: absorb singleton rows into bounds; detect empty-row issues.
+    // Iterate to a fixed point (singletons can cascade only through bounds,
+    // and each row is absorbed at most once, so one pass suffices for
+    // correctness; a second pass catches newly redundant rows).
+    let mut keep: Vec<bool> = vec![true; problem.num_constraints()];
+    for (i, c) in problem.cons.iter().enumerate() {
+        let (lo, hi) = c.bound.interval();
+        match c.terms.len() {
+            0 => {
+                // 0 {op} b: feasible iff the interval contains 0.
+                if lo > tol || hi < -tol {
+                    return Err(LpError::Infeasible);
+                }
+                keep[i] = false;
+            }
+            1 => {
+                let (v, a) = c.terms[0];
+                let j = v.index();
+                // a x ∈ [lo, hi]  →  x ∈ [lo/a, hi/a] (order depends on sign).
+                let (mut xlo, mut xhi) = (lo / a, hi / a);
+                if a < 0.0 {
+                    std::mem::swap(&mut xlo, &mut xhi);
+                }
+                if xlo.is_nan() || xhi.is_nan() {
+                    continue; // infinite bound divided — keep the row as-is
+                }
+                if xlo > lower[j] + tol {
+                    lower[j] = xlo;
+                    bounds_tightened += 1;
+                }
+                if xhi < upper[j] - tol {
+                    upper[j] = xhi;
+                    bounds_tightened += 1;
+                }
+                if lower[j] > upper[j] + 1e-9 {
+                    return Err(LpError::Infeasible);
+                }
+                // Guard against crossing by roundoff.
+                if lower[j] > upper[j] {
+                    lower[j] = upper[j];
+                }
+                keep[i] = false;
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: drop rows made redundant by the (tightened) variable bounds.
+    let mut rows_dropped = keep.iter().filter(|&&k| !k).count();
+    for (i, c) in problem.cons.iter().enumerate() {
+        if !keep[i] || c.terms.len() < 2 {
+            continue;
+        }
+        let (lo, hi) = c.bound.interval();
+        let (mut amin, mut amax) = (0.0_f64, 0.0_f64);
+        for &(v, a) in &c.terms {
+            let j = v.index();
+            let (l, u) = (lower[j], upper[j]);
+            if a >= 0.0 {
+                amin += a * l;
+                amax += a * u;
+            } else {
+                amin += a * u;
+                amax += a * l;
+            }
+            if amin.is_nan() || amax.is_nan() {
+                amin = f64::NEG_INFINITY;
+                amax = f64::INFINITY;
+                break;
+            }
+        }
+        // Entirely outside the interval: infeasible.
+        if amin > hi + 1e-9 || amax < lo - 1e-9 {
+            return Err(LpError::Infeasible);
+        }
+        // Entirely inside: redundant.
+        if amin >= lo - tol && amax <= hi + tol {
+            keep[i] = false;
+            rows_dropped += 1;
+        }
+    }
+
+    // Materialize the reduced problem.
+    for j in 0..problem.num_vars() {
+        let v = crate::problem::VarId::from_index(j);
+        let cost = problem.cost(v);
+        let id = match problem.var_kind(v) {
+            crate::problem::VarKind::Continuous => reduced.add_var(lower[j], upper[j], cost),
+            crate::problem::VarKind::Integer => reduced.add_int_var(lower[j], upper[j], cost),
+        };
+        debug_assert_eq!(id.index(), j);
+    }
+    let mut row_map = vec![None; problem.num_constraints()];
+    for (i, c) in problem.cons.iter().enumerate() {
+        if keep[i] {
+            row_map[i] = Some(reduced.num_constraints());
+            reduced.add_constraint(
+                crate::expr::LinExpr::from(c.terms.clone()),
+                c.bound,
+            );
+        }
+    }
+
+    Ok(Presolved { problem: reduced, row_map, rows_dropped, bounds_tightened })
+}
+
+/// Convenience: presolve then solve with the given options.
+pub fn presolve_and_solve(problem: &Problem, opts: &SolverOptions) -> LpResult<Solution> {
+    presolve(problem)?.solve_with(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Bound, Sense, VarId};
+    use crate::simplex::solve;
+
+    fn expr(terms: Vec<(VarId, f64)>) -> LinExpr {
+        LinExpr::from(terms)
+    }
+
+    #[test]
+    fn singleton_rows_are_absorbed() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 2.0)]), Bound::Lower(4.0)); // x >= 2
+        p.add_constraint(expr(vec![(x, -1.0)]), Bound::Lower(-8.0)); // x <= 8
+        let pre = presolve(&p).unwrap();
+        assert_eq!(pre.problem.num_constraints(), 0);
+        assert_eq!(pre.rows_dropped, 2);
+        assert_eq!(pre.problem.var_bounds(x), (2.0, 8.0));
+        let sol = pre.solve_with(&SolverOptions::default()).unwrap();
+        assert_eq!(sol.value(x), 2.0);
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        let y = p.add_var(0.0, 1.0, 1.0);
+        // x + y <= 5 can never bind.
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(5.0));
+        // x + y <= 1.5 can.
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(1.5));
+        let pre = presolve(&p).unwrap();
+        assert_eq!(pre.problem.num_constraints(), 1);
+        let sol = pre.solve_with(&SolverOptions::default()).unwrap();
+        assert!((sol.objective - 1.5).abs() < 1e-9);
+        // The kept row's dual is reachable through the map.
+        assert!(pre.dual_for_row(&sol, 1).is_some());
+        assert!(pre.dual_for_row(&sol, 0).is_none());
+    }
+
+    #[test]
+    fn empty_row_infeasibility_is_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint(expr(vec![]), Bound::Lower(1.0));
+        assert_eq!(presolve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn crossing_singletons_are_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(7.0));
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Upper(3.0));
+        assert_eq!(presolve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn bound_implied_row_infeasibility_is_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        let y = p.add_var(0.0, 1.0, 1.0);
+        // x + y >= 3 is impossible within the box.
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Lower(3.0));
+        assert_eq!(presolve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn presolve_preserves_the_optimum() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 2.0);
+        let y = p.add_var(0.0, 10.0, 3.0);
+        let z = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(1.0)); // singleton
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0), (z, 1.0)]), Bound::Lower(5.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(30.0)); // redundant
+        p.add_constraint(expr(vec![(y, 1.0), (z, 2.0)]), Bound::Lower(3.0));
+        let direct = solve(&p).unwrap();
+        let pre = presolve(&p).unwrap();
+        assert!(pre.rows_dropped >= 2);
+        let via = pre.solve_with(&SolverOptions::default()).unwrap();
+        assert!((direct.objective - via.objective).abs() < 1e-9);
+        for j in 0..p.num_vars() {
+            let v = VarId::from_index(j);
+            // Both are optimal; values may differ only if the optimum is
+            // non-unique, which this instance avoids.
+            assert!((direct.value(v) - via.value(v)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn negative_coefficient_singletons_flip_correctly() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(-10.0, 10.0, 1.0);
+        // -2x >= -6  →  x <= 3.
+        p.add_constraint(expr(vec![(x, -2.0)]), Bound::Lower(-6.0));
+        let pre = presolve(&p).unwrap();
+        assert_eq!(pre.problem.var_bounds(x).1, 3.0);
+        let sol = pre.solve_with(&SolverOptions::default()).unwrap();
+        assert_eq!(sol.value(x), 3.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! LP/MILP problem description and validation.
+
+use crate::error::{LpError, LpResult};
+use crate::expr::LinExpr;
+
+/// Opaque handle to a problem variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense column index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VarId` from a raw index. Intended for tests and for callers
+    /// that mirror the problem's variable layout in their own arrays.
+    pub fn from_index(i: usize) -> Self {
+        VarId(i as u32)
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+/// Continuous vs. integer-restricted variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    Continuous,
+    /// Integrality is enforced only by [`crate::solve_mip`]; the plain
+    /// simplex treats integer variables as continuous (the LP relaxation).
+    Integer,
+}
+
+/// Row sense of a constraint: `expr (op) rhs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// `expr <= rhs`
+    Upper(f64),
+    /// `expr >= rhs`
+    Lower(f64),
+    /// `expr == rhs`
+    Equal(f64),
+    /// `lo <= expr <= hi`
+    Range(f64, f64),
+}
+
+impl Bound {
+    /// The (lo, hi) activity interval implied by the bound, using infinities
+    /// for one-sided rows.
+    pub fn interval(self) -> (f64, f64) {
+        match self {
+            Bound::Upper(b) => (f64::NEG_INFINITY, b),
+            Bound::Lower(b) => (b, f64::INFINITY),
+            Bound::Equal(b) => (b, b),
+            Bound::Range(lo, hi) => (lo, hi),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub lower: f64,
+    pub upper: f64,
+    pub cost: f64,
+    pub kind: VarKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Compressed (sorted, deduplicated) row terms.
+    pub terms: Vec<(VarId, f64)>,
+    pub bound: Bound,
+}
+
+/// An LP/MILP in natural (row) form.
+///
+/// Variables carry their bounds and objective coefficient; constraints are
+/// sparse rows with a [`Bound`] sense. The problem owns its data and can be
+/// cheaply cloned (branch-and-bound clones only bounds, not rows).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem optimizing in the given direction.
+    pub fn new(sense: Sense) -> Self {
+        Self { sense, vars: Vec::new(), cons: Vec::new() }
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and objective
+    /// coefficient `cost`. Use `f64::NEG_INFINITY` / `f64::INFINITY` for free
+    /// directions.
+    pub fn add_var(&mut self, lower: f64, upper: f64, cost: f64) -> VarId {
+        self.add_var_kind(lower, upper, cost, VarKind::Continuous)
+    }
+
+    /// Adds an integer-restricted variable (see [`VarKind::Integer`]).
+    pub fn add_int_var(&mut self, lower: f64, upper: f64, cost: f64) -> VarId {
+        self.add_var_kind(lower, upper, cost, VarKind::Integer)
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    pub fn add_bin_var(&mut self, cost: f64) -> VarId {
+        self.add_var_kind(0.0, 1.0, cost, VarKind::Integer)
+    }
+
+    fn add_var_kind(&mut self, lower: f64, upper: f64, cost: f64, kind: VarKind) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable { lower, upper, cost, kind });
+        id
+    }
+
+    /// Adds the constraint `expr (bound)`. Terms are compressed immediately.
+    pub fn add_constraint(&mut self, expr: LinExpr, bound: Bound) {
+        self.cons.push(Constraint { terms: expr.compressed(), bound });
+    }
+
+    /// Number of variables (columns).
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints (rows).
+    pub fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Variable bounds `[lower, upper]`.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        let var = &self.vars[v.index()];
+        (var.lower, var.upper)
+    }
+
+    /// Overwrites the bounds of `v` (used by branch-and-bound).
+    pub fn set_var_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        let var = &mut self.vars[v.index()];
+        var.lower = lower;
+        var.upper = upper;
+    }
+
+    /// Overwrites the objective coefficient of `v`.
+    pub fn set_cost(&mut self, v: VarId, cost: f64) {
+        self.vars[v.index()].cost = cost;
+    }
+
+    /// Objective coefficient of `v`.
+    pub fn cost(&self, v: VarId) -> f64 {
+        self.vars[v.index()].cost
+    }
+
+    /// Kind (continuous/integer) of `v`.
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Ids of all integer-restricted variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    /// Checks structural sanity: finite costs, ordered bounds, in-range
+    /// variable references, no NaNs anywhere.
+    pub fn validate(&self) -> LpResult<()> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.cost.is_nan() {
+                return Err(LpError::NotANumber { context: "objective coefficient" });
+            }
+            if v.lower.is_nan() || v.upper.is_nan() {
+                return Err(LpError::NotANumber { context: "variable bound" });
+            }
+            if v.lower > v.upper {
+                return Err(LpError::InvalidBounds { index: i, lower: v.lower, upper: v.upper });
+            }
+        }
+        for c in &self.cons {
+            let (lo, hi) = c.bound.interval();
+            if lo.is_nan() || hi.is_nan() {
+                return Err(LpError::NotANumber { context: "constraint bound" });
+            }
+            for &(v, coeff) in &c.terms {
+                if coeff.is_nan() {
+                    return Err(LpError::NotANumber { context: "constraint coefficient" });
+                }
+                if v.index() >= self.vars.len() {
+                    return Err(LpError::UnknownVariable { index: v.index(), nvars: self.vars.len() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the objective at a dense point.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.vars.iter().zip(values).map(|(v, x)| v.cost * x).sum()
+    }
+
+    /// Largest violation of any constraint or variable bound at `values`.
+    /// Useful for independent feasibility checks in tests.
+    pub fn max_violation(&self, values: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (v, &x) in self.vars.iter().zip(values) {
+            worst = worst.max(v.lower - x).max(x - v.upper);
+        }
+        for c in &self.cons {
+            let act: f64 = c.terms.iter().map(|&(v, co)| co * values[v.index()]).sum();
+            let (lo, hi) = c.bound.interval();
+            if lo.is_finite() {
+                worst = worst.max(lo - act);
+            }
+            if hi.is_finite() {
+                worst = worst.max(act - hi);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_inverted_bounds() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var(1.0, 0.0, 0.0);
+        assert!(matches!(p.validate(), Err(LpError::InvalidBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_var() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint(LinExpr::from(vec![(VarId::from_index(7), 1.0)]), Bound::Upper(1.0));
+        assert!(matches!(p.validate(), Err(LpError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nan_cost() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var(0.0, 1.0, f64::NAN);
+        assert!(matches!(p.validate(), Err(LpError::NotANumber { .. })));
+    }
+
+    #[test]
+    fn max_violation_reports_bound_and_row_violations() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 1.0, 0.0);
+        p.add_constraint(LinExpr::from(vec![(x, 1.0)]), Bound::Lower(0.5));
+        assert_eq!(p.max_violation(&[0.75]), 0.0);
+        assert!((p.max_violation(&[0.25]) - 0.25).abs() < 1e-12);
+        assert!((p.max_violation(&[2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_vars_are_tracked() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _a = p.add_var(0.0, 1.0, 0.0);
+        let b = p.add_bin_var(1.0);
+        let c = p.add_int_var(0.0, 5.0, 1.0);
+        assert_eq!(p.integer_vars(), vec![b, c]);
+        assert_eq!(p.var_kind(b), VarKind::Integer);
+    }
+}

@@ -1,0 +1,904 @@
+//! Bounded-variable revised simplex.
+//!
+//! The solver works on the *computational form*
+//!
+//! ```text
+//!     minimize  c'x            (maximization is handled by negating c)
+//!     subject   A·x − s = 0    (one logical/slack variable per row)
+//!               l ≤ [x; s] ≤ u
+//! ```
+//!
+//! where the slack `s_i` equals the row activity and carries the row's
+//! bounds, so the equality right-hand side is identically zero. The initial
+//! basis is the (always nonsingular) slack basis.
+//!
+//! Feasibility is attained with a **composite phase 1**: basic variables
+//! outside their bounds receive ±1 costs, the ratio test lets them travel to
+//! (but not through) their violated bound, and the phase ends when the
+//! largest primal violation falls under the feasibility tolerance. Phase 2
+//! then optimizes the true objective with the classic bounded-variable rules
+//! (bound flips included).
+//!
+//! The basis inverse is represented as a dense LU factorization plus a list
+//! of product-form eta updates; the factorization is rebuilt every
+//! [`SolverOptions::refactor_every`] pivots (and on numerical distress),
+//! which also recomputes the basic values from scratch to wash out drift.
+//! Dantzig pricing is used until a run of degenerate pivots triggers Bland's
+//! rule, which guarantees termination.
+
+use crate::dense::{DenseMatrix, LuFactors};
+use crate::error::{LpError, LpResult};
+use crate::problem::{Problem, Sense};
+use crate::solution::{Solution, Status};
+
+/// Tunable tolerances and limits for [`solve_with`].
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Primal feasibility tolerance on variable bounds.
+    pub feas_tol: f64,
+    /// Dual feasibility (reduced-cost) tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable |pivot| in the ratio-test column.
+    pub pivot_tol: f64,
+    /// Rebuild the LU factorization after this many eta updates.
+    pub refactor_every: usize,
+    /// Hard cap on simplex pivots; `None` derives one from the problem size.
+    pub max_iterations: Option<u64>,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: u32,
+    /// Apply geometric-mean row/column equilibration (powers of two, so it
+    /// is exactly invertible) before solving. Improves conditioning on
+    /// badly scaled models at negligible cost; results are bit-identical on
+    /// already well-scaled ones.
+    pub scale: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-8,
+            refactor_every: 100,
+            max_iterations: None,
+            bland_trigger: 200,
+            scale: true,
+        }
+    }
+}
+
+/// Solves `problem` with default options.
+pub fn solve(problem: &Problem) -> LpResult<Solution> {
+    solve_with(problem, &SolverOptions::default())
+}
+
+/// Solves `problem` with explicit [`SolverOptions`].
+pub fn solve_with(problem: &Problem, opts: &SolverOptions) -> LpResult<Solution> {
+    problem.validate()?;
+    let mut s = Simplex::new(problem, opts.clone());
+    s.run()?;
+    Ok(s.extract(problem))
+}
+
+/// Column status in the current basis partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable pinned at value 0.
+    Free,
+}
+
+/// One product-form update: the pivot column `w = B⁻¹·a_q` at basis slot `pos`.
+struct Eta {
+    pos: usize,
+    /// Nonzero entries of `w` excluding the pivot slot.
+    entries: Vec<(u32, f64)>,
+    pivot: f64,
+}
+
+struct Simplex {
+    m: usize,
+    ncols: usize,
+    /// Sparse columns of `[A | −I]`.
+    cols: Vec<Vec<(u32, f64)>>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 costs in minimization form.
+    cost: Vec<f64>,
+    sign: f64,
+
+    basis: Vec<u32>,
+    stat: Vec<VStat>,
+    x: Vec<f64>,
+
+    lu: Option<LuFactors>,
+    etas: Vec<Eta>,
+
+    /// Row scales `r_i` and structural column scales `s_j` (powers of two;
+    /// all 1.0 when scaling is disabled). Scaled data: `a'_ij = a_ij r_i s_j`,
+    /// `cost'_j = cost_j s_j`, bounds `l'_j = l_j / s_j`; slack columns keep
+    /// coefficient −1 with their bounds scaled by `r_i`.
+    row_scale: Vec<f64>,
+    col_scale: Vec<f64>,
+
+    opts: SolverOptions,
+    iterations: u64,
+    degenerate_run: u32,
+    /// Final duals/reduced costs filled in by `run`.
+    duals: Vec<f64>,
+    reduced: Vec<f64>,
+}
+
+impl Simplex {
+    fn new(problem: &Problem, opts: SolverOptions) -> Self {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+        let ncols = n + m;
+        let sign = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); ncols];
+        let mut lower = Vec::with_capacity(ncols);
+        let mut upper = Vec::with_capacity(ncols);
+        let mut cost = Vec::with_capacity(ncols);
+        for v in &problem.vars {
+            lower.push(v.lower);
+            upper.push(v.upper);
+            cost.push(sign * v.cost);
+        }
+        for (i, c) in problem.cons.iter().enumerate() {
+            for &(v, coeff) in &c.terms {
+                cols[v.index()].push((i as u32, coeff));
+            }
+            let (lo, hi) = c.bound.interval();
+            let slack = n + i;
+            cols[slack].push((i as u32, -1.0));
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(0.0);
+        }
+
+        // Geometric-mean equilibration over the structural block, rounded
+        // to exact powers of two so the transform is invertible without
+        // roundoff. Two passes of row-then-column scaling.
+        let mut row_scale = vec![1.0_f64; m];
+        let mut col_scale = vec![1.0_f64; ncols];
+        if opts.scale && m > 0 {
+            let pow2 = |x: f64| -> f64 {
+                if x <= 0.0 || !x.is_finite() {
+                    1.0
+                } else {
+                    (2.0_f64).powi((-x.log2()).round() as i32)
+                }
+            };
+            for _pass in 0..2 {
+                // Row pass: geometric mean of |entries| per row (structural
+                // columns only; the slack's fixed −1 should not distort it).
+                let mut lo = vec![f64::INFINITY; m];
+                let mut hi = vec![0.0_f64; m];
+                for col in cols.iter().take(n) {
+                    for &(r, v) in col {
+                        let a = (v * row_scale[r as usize]).abs();
+                        if a > 0.0 {
+                            let r = r as usize;
+                            lo[r] = lo[r].min(a);
+                            hi[r] = hi[r].max(a);
+                        }
+                    }
+                }
+                for i in 0..m {
+                    if hi[i] > 0.0 {
+                        row_scale[i] *= pow2((lo[i] * hi[i]).sqrt());
+                    }
+                }
+                // Column pass over structural columns.
+                for (j, col) in cols.iter().enumerate().take(n) {
+                    let (mut clo, mut chi) = (f64::INFINITY, 0.0_f64);
+                    for &(r, v) in col {
+                        let a = (v * row_scale[r as usize] * col_scale[j]).abs();
+                        if a > 0.0 {
+                            clo = clo.min(a);
+                            chi = chi.max(a);
+                        }
+                    }
+                    if chi > 0.0 {
+                        col_scale[j] *= pow2((clo * chi).sqrt());
+                    }
+                }
+            }
+            // Apply: structural entries and costs/bounds.
+            for (j, col) in cols.iter_mut().enumerate().take(n) {
+                for e in col.iter_mut() {
+                    e.1 *= row_scale[e.0 as usize] * col_scale[j];
+                }
+                cost[j] *= col_scale[j];
+                lower[j] /= col_scale[j];
+                upper[j] /= col_scale[j];
+            }
+            // Slack bounds carry the row activity: scale by the row factor.
+            for i in 0..m {
+                lower[n + i] *= row_scale[i];
+                upper[n + i] *= row_scale[i];
+            }
+        }
+
+        // Initial partition: slack basis; structurals at their nearest
+        // finite bound (free structurals pinned at 0).
+        let mut stat = vec![VStat::AtLower; ncols];
+        let mut x = vec![0.0; ncols];
+        for j in 0..n {
+            let (lo, hi) = (lower[j], upper[j]);
+            stat[j] = if lo.is_finite() {
+                if hi.is_finite() && hi.abs() < lo.abs() { VStat::AtUpper } else { VStat::AtLower }
+            } else if hi.is_finite() {
+                VStat::AtUpper
+            } else {
+                VStat::Free
+            };
+            x[j] = match stat[j] {
+                VStat::AtLower => lo,
+                VStat::AtUpper => hi,
+                _ => 0.0,
+            };
+        }
+        let mut basis = Vec::with_capacity(m);
+        for i in 0..m {
+            basis.push((n + i) as u32);
+            stat[n + i] = VStat::Basic;
+        }
+
+        Self {
+            m,
+            ncols,
+            cols,
+            lower,
+            upper,
+            cost,
+            sign,
+            basis,
+            stat,
+            x,
+            lu: None,
+            etas: Vec::new(),
+            row_scale,
+            col_scale,
+            opts,
+            iterations: 0,
+            degenerate_run: 0,
+            duals: vec![0.0; m],
+            reduced: Vec::new(),
+        }
+    }
+
+    /// Gathers the basis columns, factors them, clears etas and recomputes
+    /// the basic values from the nonbasic assignment.
+    fn refactor(&mut self) -> LpResult<()> {
+        if self.m == 0 {
+            self.lu = None;
+            self.etas.clear();
+            return Ok(());
+        }
+        let mut b = DenseMatrix::zeros(self.m);
+        for (k, &j) in self.basis.iter().enumerate() {
+            let col = b.col_mut(k);
+            for &(r, v) in &self.cols[j as usize] {
+                col[r as usize] = v;
+            }
+        }
+        let lu = LuFactors::factor(b, 1e-11).map_err(|_| LpError::SingularBasis)?;
+        self.etas.clear();
+        // Recompute basic values: B·x_B = −Σ_{nonbasic} a_j x_j.
+        let mut rhs = vec![0.0; self.m];
+        for j in 0..self.ncols {
+            if self.stat[j] != VStat::Basic && self.x[j] != 0.0 {
+                let xj = self.x[j];
+                for &(r, v) in &self.cols[j] {
+                    rhs[r as usize] -= v * xj;
+                }
+            }
+        }
+        lu.solve_in_place(&mut rhs);
+        for (k, &j) in self.basis.iter().enumerate() {
+            self.x[j as usize] = rhs[k];
+        }
+        self.lu = Some(lu);
+        Ok(())
+    }
+
+    /// FTRAN: returns `B⁻¹·a_j` as a dense vector.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.m];
+        for &(r, val) in &self.cols[j] {
+            v[r as usize] = val;
+        }
+        if let Some(lu) = &self.lu {
+            lu.solve_in_place(&mut v);
+        }
+        for eta in &self.etas {
+            let vr = v[eta.pos] / eta.pivot;
+            if vr != 0.0 {
+                for &(i, w) in &eta.entries {
+                    v[i as usize] -= w * vr;
+                }
+            }
+            v[eta.pos] = vr;
+        }
+        v
+    }
+
+    /// BTRAN: returns `y` with `Bᵀ·y = cb`.
+    fn btran(&self, mut cb: Vec<f64>) -> Vec<f64> {
+        for eta in self.etas.iter().rev() {
+            let mut s = cb[eta.pos];
+            for &(i, w) in &eta.entries {
+                s -= w * cb[i as usize];
+            }
+            cb[eta.pos] = s / eta.pivot;
+        }
+        if let Some(lu) = &self.lu {
+            lu.solve_transpose_in_place(&mut cb);
+        }
+        cb
+    }
+
+    /// Phase-1 cost of basic variable at column `j`: ±1 outside bounds.
+    fn phase1_cost(&self, j: usize) -> f64 {
+        let x = self.x[j];
+        if x < self.lower[j] - self.opts.feas_tol {
+            -1.0
+        } else if x > self.upper[j] + self.opts.feas_tol {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Sum of primal bound violations over basic variables.
+    fn infeasibility(&self) -> f64 {
+        self.basis
+            .iter()
+            .map(|&j| {
+                let j = j as usize;
+                (self.lower[j] - self.x[j]).max(0.0) + (self.x[j] - self.upper[j]).max(0.0)
+            })
+            .sum()
+    }
+
+    fn run(&mut self) -> LpResult<()> {
+        if self.m == 0 {
+            return self.solve_unconstrained();
+        }
+        self.refactor()?;
+        let max_iters = self
+            .opts
+            .max_iterations
+            .unwrap_or(20_000 + 100 * (self.m as u64 + self.ncols as u64));
+
+        // Phase 1.
+        loop {
+            if self.infeasibility() <= self.opts.feas_tol * (1 + self.m) as f64 {
+                break;
+            }
+            if self.iterations >= max_iters {
+                return Err(LpError::IterationLimit { iterations: self.iterations });
+            }
+            match self.iterate(true)? {
+                StepResult::Pivoted | StepResult::BoundFlip => {}
+                StepResult::Optimal => {
+                    // Phase-1 optimum with residual infeasibility: no
+                    // feasible point exists.
+                    if self.infeasibility() > self.opts.feas_tol * (1 + self.m) as f64 {
+                        return Err(LpError::Infeasible);
+                    }
+                    break;
+                }
+                StepResult::Unbounded => {
+                    // Cannot happen with the phase-1 blocking rule unless
+                    // numerics failed; report as singular.
+                    return Err(LpError::SingularBasis);
+                }
+            }
+        }
+
+        // Phase 2.
+        self.degenerate_run = 0;
+        loop {
+            if self.iterations >= max_iters {
+                return Err(LpError::IterationLimit { iterations: self.iterations });
+            }
+            match self.iterate(false)? {
+                StepResult::Pivoted | StepResult::BoundFlip => {}
+                StepResult::Optimal => break,
+                StepResult::Unbounded => return Err(LpError::Unbounded),
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles the degenerate `m == 0` case: every variable goes to its
+    /// cost-preferred bound.
+    fn solve_unconstrained(&mut self) -> LpResult<()> {
+        for j in 0..self.ncols {
+            let c = self.cost[j];
+            if c > 0.0 {
+                if !self.lower[j].is_finite() {
+                    return Err(LpError::Unbounded);
+                }
+                self.x[j] = self.lower[j];
+                self.stat[j] = VStat::AtLower;
+            } else if c < 0.0 {
+                if !self.upper[j].is_finite() {
+                    return Err(LpError::Unbounded);
+                }
+                self.x[j] = self.upper[j];
+                self.stat[j] = VStat::AtUpper;
+            }
+        }
+        self.reduced = self.cost.clone();
+        Ok(())
+    }
+
+    /// One pricing + ratio-test + update step. `phase1` selects the
+    /// composite infeasibility objective.
+    fn iterate(&mut self, phase1: bool) -> LpResult<StepResult> {
+        // Duals for the current (phase-dependent) basic costs.
+        let cb: Vec<f64> = self
+            .basis
+            .iter()
+            .map(|&j| if phase1 { self.phase1_cost(j as usize) } else { self.cost[j as usize] })
+            .collect();
+        let y = self.btran(cb);
+
+        let bland = self.degenerate_run >= self.opts.bland_trigger;
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, reduced cost, direction)
+        for j in 0..self.ncols {
+            let st = self.stat[j];
+            if st == VStat::Basic {
+                continue;
+            }
+            // Fixed variables can never improve and only cause degenerate
+            // churn; skip them.
+            if self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let cj = if phase1 { 0.0 } else { self.cost[j] };
+            let mut d = cj;
+            for &(r, v) in &self.cols[j] {
+                d -= y[r as usize] * v;
+            }
+            let (eligible, dir) = match st {
+                VStat::AtLower => (d < -self.opts.opt_tol, 1.0),
+                VStat::AtUpper => (d > self.opts.opt_tol, -1.0),
+                VStat::Free => (d.abs() > self.opts.opt_tol, if d > 0.0 { -1.0 } else { 1.0 }),
+                VStat::Basic => unreachable!(),
+            };
+            if !eligible {
+                continue;
+            }
+            if bland {
+                enter = Some((j, d, dir));
+                break;
+            }
+            let score = d.abs();
+            if enter.is_none_or(|(_, best, _)| score > best.abs()) {
+                enter = Some((j, d, dir));
+            }
+        }
+
+        let Some((q, _dq, dir)) = enter else {
+            return Ok(StepResult::Optimal);
+        };
+
+        let w = self.ftran(q);
+
+        // Ratio test: the entering variable moves by `t ≥ 0` in direction
+        // `dir`; basic variable at slot k changes at rate `−dir·w[k]`.
+        let feas = self.opts.feas_tol;
+        let mut t_max = f64::INFINITY;
+        let mut leave: Option<(usize, f64)> = None; // (basis slot, target bound)
+        let mut leave_pivot: f64 = 0.0;
+        for (k, &jb) in self.basis.iter().enumerate() {
+            let wk = w[k];
+            if wk.abs() <= self.opts.pivot_tol {
+                continue;
+            }
+            let jb = jb as usize;
+            let delta = -dir * wk;
+            let xk = self.x[jb];
+            let (lo, hi) = (self.lower[jb], self.upper[jb]);
+            // Determine the blocking bound in the movement direction. In
+            // phase 1 an infeasible variable blocks at its violated bound
+            // (it may travel to feasibility but not through it); a variable
+            // infeasible in the *trailing* direction has no block.
+            let target = if delta > 0.0 {
+                if phase1 && xk > hi + feas {
+                    f64::INFINITY
+                } else if phase1 && xk < lo - feas {
+                    lo
+                } else {
+                    hi
+                }
+            } else if phase1 && xk < lo - feas {
+                f64::NEG_INFINITY
+            } else if phase1 && xk > hi + feas {
+                hi
+            } else {
+                lo
+            };
+            if !target.is_finite() {
+                continue;
+            }
+            let t = (target - xk) / delta;
+            let t = t.max(0.0);
+            let better = match leave {
+                None => t < t_max,
+                // Prefer larger pivots among (near-)ties for stability.
+                Some(_) => {
+                    t < t_max - 1e-12 || (t < t_max + 1e-12 && wk.abs() > leave_pivot.abs())
+                }
+            };
+            if better {
+                t_max = t;
+                leave = Some((k, target));
+                leave_pivot = wk;
+            }
+        }
+
+        // The entering variable's own range also limits the step.
+        let own_range = self.upper[q] - self.lower[q];
+        let own_limit = if self.stat[q] == VStat::Free { f64::INFINITY } else { own_range };
+
+        self.iterations += 1;
+
+        if own_limit < t_max {
+            // Bound flip: entering variable jumps to its opposite bound.
+            let t = own_limit;
+            if !t.is_finite() {
+                return Ok(StepResult::Unbounded);
+            }
+            for (k, &jb) in self.basis.iter().enumerate() {
+                if w[k] != 0.0 {
+                    self.x[jb as usize] -= t * dir * w[k];
+                }
+            }
+            self.x[q] += t * dir;
+            self.stat[q] = match self.stat[q] {
+                VStat::AtLower => VStat::AtUpper,
+                VStat::AtUpper => VStat::AtLower,
+                s => s,
+            };
+            self.track_degeneracy(t);
+            return Ok(StepResult::BoundFlip);
+        }
+
+        let Some((slot, target)) = leave else {
+            return Ok(StepResult::Unbounded);
+        };
+        let t = t_max;
+
+        // Numerically tiny pivot with stale etas: refactor and retry the
+        // whole step against the fresh factorization.
+        if leave_pivot.abs() < self.opts.pivot_tol * 10.0 && !self.etas.is_empty() {
+            self.refactor()?;
+            self.iterations -= 1;
+            return self.iterate(phase1);
+        }
+
+        // Apply the step.
+        for (k, &jb) in self.basis.iter().enumerate() {
+            if w[k] != 0.0 {
+                self.x[jb as usize] -= t * dir * w[k];
+            }
+        }
+        self.x[q] += t * dir;
+
+        let leaving = self.basis[slot] as usize;
+        self.x[leaving] = target;
+        self.stat[leaving] = if (target - self.lower[leaving]).abs() <= (target - self.upper[leaving]).abs() {
+            VStat::AtLower
+        } else {
+            VStat::AtUpper
+        };
+        self.basis[slot] = q as u32;
+        self.stat[q] = VStat::Basic;
+
+        // Record the eta for this pivot.
+        let mut entries = Vec::new();
+        for (i, &wi) in w.iter().enumerate() {
+            if i != slot && wi != 0.0 {
+                entries.push((i as u32, wi));
+            }
+        }
+        self.etas.push(Eta { pos: slot, entries, pivot: w[slot] });
+        if self.etas.len() >= self.opts.refactor_every {
+            self.refactor()?;
+        }
+
+        self.track_degeneracy(t);
+        Ok(StepResult::Pivoted)
+    }
+
+    fn track_degeneracy(&mut self, t: f64) {
+        if t <= 1e-10 {
+            self.degenerate_run += 1;
+        } else {
+            self.degenerate_run = 0;
+        }
+    }
+
+    /// Builds the public [`Solution`] (final duals/reduced costs are
+    /// recomputed against a fresh factorization for accuracy).
+    fn extract(&mut self, problem: &Problem) -> Solution {
+        let n = problem.num_vars();
+        if self.m > 0 {
+            let _ = self.refactor();
+            let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j as usize]).collect();
+            let y = self.btran(cb);
+            self.reduced = (0..n)
+                .map(|j| {
+                    if self.stat[j] == VStat::Basic {
+                        0.0
+                    } else {
+                        let mut d = self.cost[j];
+                        for &(r, v) in &self.cols[j] {
+                            d -= y[r as usize] * v;
+                        }
+                        d
+                    }
+                })
+                .collect();
+            // Row dual = reduced cost of the logical column (see module docs).
+            self.duals = (0..self.m)
+                .map(|i| {
+                    let j = n + i;
+                    if self.stat[j] == VStat::Basic {
+                        0.0
+                    } else {
+                        y[i]
+                    }
+                })
+                .collect();
+        } else {
+            self.duals = Vec::new();
+            if self.reduced.is_empty() {
+                self.reduced = self.cost[..n].to_vec();
+            } else {
+                self.reduced.truncate(n);
+            }
+        }
+
+        // Undo the equilibration: x_j = s_j x'_j, y_i = r_i y'_i,
+        // d_j = d'_j / s_j (see the scaling derivation in `new`).
+        let values: Vec<f64> =
+            (0..n).map(|j| self.x[j] * self.col_scale[j]).collect();
+        let duals: Vec<f64> =
+            self.duals.iter().enumerate().map(|(i, &y)| y * self.row_scale[i]).collect();
+        let reduced: Vec<f64> =
+            self.reduced.iter().enumerate().map(|(j, &d)| d / self.col_scale[j]).collect();
+        let internal_obj: f64 = (0..n).map(|j| self.cost[j] * self.x[j]).sum();
+        Solution {
+            status: Status::Optimal,
+            objective: self.sign * internal_obj,
+            values,
+            duals,
+            reduced_costs: reduced,
+            iterations: self.iterations,
+        }
+    }
+}
+
+enum StepResult {
+    Pivoted,
+    BoundFlip,
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Bound, Problem, Sense};
+
+    fn expr(terms: Vec<(crate::problem::VarId, f64)>) -> LinExpr {
+        LinExpr::from(terms)
+    }
+
+    #[test]
+    fn trivial_bounds_only() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(2.0, 5.0, 1.0);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.value(x), 2.0);
+        assert_eq!(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn unconstrained_maximize_goes_to_upper() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 7.0, 3.0);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.value(x), 7.0);
+        assert_eq!(sol.objective, 21.0);
+    }
+
+    #[test]
+    fn simple_two_var_lp() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → (4,0), obj 12.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, f64::INFINITY, 3.0);
+        let y = p.add_var(0.0, f64::INFINITY, 2.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(4.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, 3.0)]), Bound::Upper(6.0));
+        let sol = solve(&p).unwrap();
+        assert!((sol.objective - 12.0).abs() < 1e-8);
+        assert!((sol.value(x) - 4.0).abs() < 1e-8);
+        assert!(sol.value(y).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // min x + y s.t. x + y = 10, x - y = 4 → x=7, y=3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Equal(10.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(4.0));
+        let sol = solve(&p).unwrap();
+        assert!((sol.value(x) - 7.0).abs() < 1e-8);
+        assert!((sol.value(y) - 3.0).abs() < 1e-8);
+        assert!((sol.objective - 10.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_is_reported() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(2.0));
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_is_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 0.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Upper(1.0));
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_variables_work() {
+        // min |shape|: min x s.t. x >= -3 via free var and a row.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(-3.0));
+        let sol = solve(&p).unwrap();
+        assert!((sol.value(x) + 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn range_rows_clamp_activity() {
+        // max x + y with 1 <= x + y <= 3, 0<=x<=2, 0<=y<=2.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 2.0, 1.0);
+        let y = p.add_var(0.0, 2.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Range(1.0, 3.0));
+        let sol = solve(&p).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Heavily degenerate: many redundant rows through the same vertex.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 1.0);
+        for _ in 0..10 {
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(1.0));
+            p.add_constraint(expr(vec![(x, 2.0), (y, 2.0)]), Bound::Upper(2.0));
+        }
+        let sol = solve(&p).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn duality_gap_is_tiny_on_optimal() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 2.0);
+        let y = p.add_var(0.0, 10.0, 3.0);
+        let z = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0), (z, 1.0)]), Bound::Lower(5.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(1.0));
+        p.add_constraint(expr(vec![(y, 1.0), (z, 2.0)]), Bound::Lower(3.0));
+        let sol = solve(&p).unwrap();
+        assert!(sol.duality_gap(&p) < 1e-7, "gap {}", sol.duality_gap(&p));
+        assert!(p.max_violation(&sol.values) < 1e-7);
+    }
+
+    #[test]
+    fn maximize_duality_gap_is_tiny() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 4.0, 3.0);
+        let y = p.add_var(0.0, 4.0, 5.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 2.0)]), Bound::Upper(8.0));
+        p.add_constraint(expr(vec![(x, 3.0), (y, 2.0)]), Bound::Upper(12.0));
+        let sol = solve(&p).unwrap();
+        assert!((sol.objective - 21.0).abs() < 1e-7, "obj {}", sol.objective);
+        assert!(sol.duality_gap(&p) < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(3.0, 3.0, 1.0);
+        let y = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Lower(5.0));
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.value(x), 3.0);
+        assert!((sol.value(y) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(-5.0, 5.0, 1.0);
+        let y = p.add_var(-5.0, 5.0, -1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Equal(0.0));
+        let sol = solve(&p).unwrap();
+        assert!((sol.objective + 10.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn badly_scaled_lp_solves_with_equilibration() {
+        // Coefficients spanning 10 orders of magnitude: equilibration keeps
+        // the basis factorization healthy and the certificate tight.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 1e8, 1e-6);
+        let y = p.add_var(0.0, 1e-2, 1e4);
+        p.add_constraint(expr(vec![(x, 1e-5), (y, 1e4)]), Bound::Lower(2.0));
+        p.add_constraint(expr(vec![(x, 1e-6), (y, -1e3)]), Bound::Upper(5.0));
+        let sol = solve(&p).unwrap();
+        // Optimum: satisfy the >= row with x (0.1 cost per unit of
+        // activity vs 1.0 via y): x = 2e5, objective 0.2.
+        assert!(p.max_violation(&sol.values) < 1e-6, "violation {}", p.max_violation(&sol.values));
+        assert!((sol.objective - 0.2).abs() < 1e-9, "obj {}", sol.objective);
+        assert!(sol.duality_gap(&p) < 1e-9, "gap {}", sol.duality_gap(&p));
+        // Without equilibration the same instance drifts measurably
+        // infeasible (tolerances compare against values 10 orders of
+        // magnitude apart) — the motivation for scaling by default.
+        let unscaled =
+            solve_with(&p, &SolverOptions { scale: false, ..SolverOptions::default() }).unwrap();
+        assert!(p.max_violation(&unscaled.values) > p.max_violation(&sol.values));
+    }
+
+    #[test]
+    fn moderately_sized_transport_lp() {
+        // Classic transportation problem: 5 supplies x 7 demands.
+        let supplies = [20.0, 30.0, 25.0, 15.0, 10.0];
+        let demands = [10.0, 15.0, 20.0, 15.0, 10.0, 20.0, 10.0];
+        let mut p = Problem::new(Sense::Minimize);
+        let mut xs = vec![];
+        for (i, _) in supplies.iter().enumerate() {
+            for (j, _) in demands.iter().enumerate() {
+                let c = ((i * 7 + j * 3) % 11) as f64 + 1.0;
+                xs.push(p.add_var(0.0, f64::INFINITY, c));
+            }
+        }
+        for (i, &s) in supplies.iter().enumerate() {
+            let e = expr((0..demands.len()).map(|j| (xs[i * demands.len() + j], 1.0)).collect());
+            p.add_constraint(e, Bound::Equal(s));
+        }
+        for (j, &d) in demands.iter().enumerate() {
+            let e = expr((0..supplies.len()).map(|i| (xs[i * demands.len() + j], 1.0)).collect());
+            p.add_constraint(e, Bound::Equal(d));
+        }
+        let sol = solve(&p).unwrap();
+        assert!(p.max_violation(&sol.values) < 1e-6);
+        assert!(sol.duality_gap(&p) < 1e-6);
+    }
+}

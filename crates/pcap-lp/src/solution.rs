@@ -1,0 +1,90 @@
+//! Solve results: status, primal/dual values, and certification helpers.
+
+use crate::problem::{Problem, Sense, VarId};
+
+/// Terminal status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+/// An optimal LP solution together with its dual certificate.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Always [`Status::Optimal`] for solutions returned by `solve`;
+    /// non-optimal terminations surface as errors instead.
+    pub status: Status,
+    /// Objective value in the problem's own sense.
+    pub objective: f64,
+    /// Primal values, indexed by variable.
+    pub values: Vec<f64>,
+    /// Row duals `y` (shadow prices), in the minimization convention:
+    /// for a `>=` row the dual is non-negative, for `<=` non-positive.
+    pub duals: Vec<f64>,
+    /// Reduced costs of the structural variables, minimization convention.
+    pub reduced_costs: Vec<f64>,
+    /// Number of simplex pivots performed.
+    pub iterations: u64,
+}
+
+impl Solution {
+    /// Primal value of a variable.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Dual value (shadow price) of row `row`.
+    pub fn dual(&self, row: usize) -> f64 {
+        self.duals[row]
+    }
+
+    /// Dual objective value of the accompanying certificate, computed
+    /// against `problem` in the **minimization** convention:
+    /// `b'y + Σ l_j·max(d_j,0) + Σ u_j·min(d_j,0)` over finite bounds,
+    /// where `d` are reduced costs. For a maximization problem the result is
+    /// negated back into the problem's sense.
+    ///
+    /// Strong duality requires this to equal [`Solution::objective`]; the
+    /// difference is exposed by [`Solution::duality_gap`] and is the
+    /// optimality certificate checked by the property tests.
+    pub fn dual_objective(&self, problem: &Problem) -> f64 {
+        let mut obj = 0.0;
+        for (row, c) in problem.cons.iter().enumerate() {
+            let y = self.duals[row];
+            if y == 0.0 {
+                continue;
+            }
+            let (lo, hi) = c.bound.interval();
+            // The dual pairs with whichever side of the row is active; for a
+            // range row the sign of y selects the side.
+            let b = if y > 0.0 { lo } else { hi };
+            if b.is_finite() {
+                obj += y * b;
+            }
+        }
+        for (j, var) in problem.vars.iter().enumerate() {
+            let d = self.reduced_costs[j];
+            if d > 0.0 && var.lower.is_finite() {
+                obj += d * var.lower;
+            } else if d < 0.0 && var.upper.is_finite() {
+                obj += d * var.upper;
+            }
+        }
+        match problem.sense {
+            Sense::Minimize => obj,
+            Sense::Maximize => -obj,
+        }
+    }
+
+    /// |primal objective − dual objective|, normalized by the objective
+    /// magnitude. Near zero at a true optimum.
+    pub fn duality_gap(&self, problem: &Problem) -> f64 {
+        let d = self.dual_objective(problem);
+        (self.objective - d).abs() / self.objective.abs().max(1.0)
+    }
+}

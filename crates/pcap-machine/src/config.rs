@@ -1,0 +1,73 @@
+//! Discrete run configurations: a DVFS state plus an OpenMP thread count.
+
+use crate::spec::MachineSpec;
+
+/// A discrete per-task run configuration (paper Table 1): a DVFS state and a
+/// number of OpenMP threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config {
+    /// Index into [`MachineSpec::freqs_ghz`].
+    pub freq_idx: u16,
+    /// Active OpenMP threads, `1..=max_threads`.
+    pub threads: u16,
+}
+
+impl Config {
+    /// Convenience constructor.
+    pub fn new(freq_idx: usize, threads: u32) -> Self {
+        Self { freq_idx: freq_idx as u16, threads: threads as u16 }
+    }
+
+    /// The configuration's frequency in GHz on `machine`.
+    pub fn ghz(&self, machine: &MachineSpec) -> f64 {
+        machine.freqs_ghz[self.freq_idx as usize]
+    }
+
+    /// Top-frequency, all-cores configuration — what the Static baseline
+    /// requests before RAPL throttles it.
+    pub fn nominal(machine: &MachineSpec) -> Self {
+        Self::new(machine.num_freqs() - 1, machine.max_threads)
+    }
+}
+
+/// A configuration together with its modelled execution cost for a specific
+/// task: the raw material of Pareto frontiers (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigPoint {
+    pub config: Config,
+    /// Task duration in seconds at this configuration.
+    pub time_s: f64,
+    /// Average socket power in watts while the task runs.
+    pub power_w: f64,
+}
+
+/// Enumerates the full discrete configuration space of a machine
+/// (`num_freqs × max_threads` points, 120 for the default socket).
+pub fn all_configs(machine: &MachineSpec) -> Vec<Config> {
+    let mut out = Vec::with_capacity(machine.num_freqs() * machine.max_threads as usize);
+    for t in 1..=machine.max_threads {
+        for fi in 0..machine.num_freqs() {
+            out.push(Config::new(fi, t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_space_size() {
+        let m = MachineSpec::e5_2670();
+        assert_eq!(all_configs(&m).len(), 120);
+    }
+
+    #[test]
+    fn nominal_is_top_of_grid() {
+        let m = MachineSpec::e5_2670();
+        let c = Config::nominal(&m);
+        assert_eq!(c.threads, 8);
+        assert!((c.ghz(&m) - 2.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! # pcap-machine — socket power/performance model
+//!
+//! This crate replaces the hardware of the paper's evaluation platform (a
+//! 1296-node cluster of dual 8-core Intel Xeon E5-2670 sockets with RAPL
+//! power capping) with an analytic, deterministic model. Everything the
+//! scheduling formulations consume — per-configuration task durations and
+//! socket powers, Pareto frontiers, RAPL capping behaviour — is produced
+//! here.
+//!
+//! ## Model overview
+//!
+//! * [`MachineSpec`] describes one processor socket: a DVFS grid (default
+//!   1.2–2.6 GHz in 0.1 GHz steps, 15 states, as on the E5-2670), a core
+//!   count (8), and [`PowerParams`] for the analytic power curve
+//!   `P = P_idle + threads · (P_core + κ·V(f)²·f·activity)`.
+//! * [`TaskModel`] describes one computation task (the work between two MPI
+//!   calls): serial compute seconds at the reference frequency, serial
+//!   memory-bound seconds, an Amdahl serial fraction, a bandwidth-saturation
+//!   thread count, and a cache-contention penalty. Durations scale with
+//!   frequency only in their compute part, reproducing the frequency
+//!   insensitivity of memory-bound code that all DVFS research exploits.
+//! * [`Rapl`] models the firmware power-capping loop: given a socket cap it
+//!   selects the highest *effective* frequency whose predicted power fits
+//!   under the cap. Below the lowest DVFS state the model switches to clock
+//!   modulation (duty cycling), which is how the paper's Static baseline
+//!   ends up at "22% of maximum clock frequency" for BT at 30 W.
+//! * [`pareto`] computes dominance-filtered Pareto sets and the *convex*
+//!   time/power frontiers that the LP formulation requires (paper §3.2,
+//!   Figure 1), including interpolation between frontier points.
+//!
+//! The default calibration (see [`MachineSpec::e5_2670`]) puts a fully
+//! active socket at ~95 W at 2.6 GHz and ~43 W at 1.2 GHz, matching the
+//! 30–80 W per-socket range swept in the paper's evaluation.
+
+pub mod config;
+pub mod pareto;
+pub mod rapl;
+pub mod spec;
+pub mod task;
+
+pub use config::{Config, ConfigPoint};
+pub use pareto::{convex_frontier, pareto_filter, ConvexFrontier, FrontierPoint};
+pub use rapl::Rapl;
+pub use spec::{MachineSpec, PowerParams};
+pub use task::TaskModel;

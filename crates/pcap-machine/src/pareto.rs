@@ -1,0 +1,323 @@
+//! Time/power Pareto frontiers (paper §3.2, Figure 1).
+//!
+//! The LP formulation needs, for every task, a set of configurations that is
+//! (a) Pareto-efficient — no other configuration is both faster and cheaper —
+//! and (b) **convex** in the (power, time) plane, so that any convex
+//! combination chosen by the LP is itself achievable by time-slicing two
+//! *adjacent* frontier configurations. Non-convex frontiers would force the
+//! whole formulation into mixed-integer territory (paper §3.2).
+
+use crate::config::ConfigPoint;
+
+/// One point on a convex Pareto frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    pub point: ConfigPoint,
+}
+
+/// Dominance filter: keeps configurations for which no other configuration
+/// has `power <=` and `time <=` with at least one strict inequality.
+/// The result is sorted by ascending power (hence strictly descending time).
+pub fn pareto_filter(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
+    let mut sorted: Vec<ConfigPoint> = points.to_vec();
+    // Sort by power ascending; ties broken by faster time first.
+    sorted.sort_by(|a, b| {
+        a.power_w
+            .partial_cmp(&b.power_w)
+            .unwrap()
+            .then(a.time_s.partial_cmp(&b.time_s).unwrap())
+    });
+    let mut out: Vec<ConfigPoint> = Vec::new();
+    let mut best_time = f64::INFINITY;
+    for p in sorted {
+        if p.time_s < best_time - 1e-15 {
+            // Drop an earlier point with (almost) identical power: `p` is
+            // strictly faster at the same cost.
+            if let Some(last) = out.last() {
+                if (last.power_w - p.power_w).abs() < 1e-12 {
+                    out.pop();
+                }
+            }
+            out.push(p);
+            best_time = p.time_s;
+        }
+    }
+    out
+}
+
+/// A convex, Pareto-efficient time/power frontier for one task.
+///
+/// Points are sorted by ascending power; time is strictly decreasing and the
+/// piecewise-linear interpolant is convex. [`ConvexFrontier::time_at_power`]
+/// evaluates that interpolant — the task's best achievable duration under an
+/// average power budget, realized by time-slicing the two bracketing
+/// configurations (the paper's "continuous configurations").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexFrontier {
+    points: Vec<ConfigPoint>,
+}
+
+/// Builds the convex Pareto frontier of a configuration cloud.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn convex_frontier(points: &[ConfigPoint]) -> ConvexFrontier {
+    assert!(!points.is_empty(), "cannot build a frontier from no configurations");
+    let pareto = pareto_filter(points);
+    // Lower convex hull over (power, time): successive slopes must be
+    // non-decreasing (they are negative and flatten toward zero).
+    let mut hull: Vec<ConfigPoint> = Vec::with_capacity(pareto.len());
+    for p in pareto {
+        while hull.len() >= 2 {
+            let a = &hull[hull.len() - 2];
+            let b = &hull[hull.len() - 1];
+            // Cross product of (b-a) x (p-a) in the (power, time) plane.
+            // Negative cross means b lies on or above the chord a→p, so the
+            // hull is more convex without it; also drops collinear points.
+            let cross = (b.power_w - a.power_w) * (p.time_s - a.time_s)
+                - (b.time_s - a.time_s) * (p.power_w - a.power_w);
+            if cross <= 1e-12 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    ConvexFrontier { points: hull }
+}
+
+impl ConvexFrontier {
+    /// Frontier points, ascending power / descending time.
+    pub fn points(&self) -> &[ConfigPoint] {
+        &self.points
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the frontier has a single point.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Cheapest (slowest) frontier point.
+    pub fn min_power(&self) -> &ConfigPoint {
+        &self.points[0]
+    }
+
+    /// Fastest (most power-hungry) frontier point.
+    pub fn max_power(&self) -> &ConfigPoint {
+        self.points.last().unwrap()
+    }
+
+    /// Best achievable duration under an *average* power budget of
+    /// `power_w`, along the piecewise-linear frontier. Below the cheapest
+    /// point the task is infeasible at that budget (`None`); above the most
+    /// expensive point the fastest time applies.
+    pub fn time_at_power(&self, power_w: f64) -> Option<f64> {
+        let pts = &self.points;
+        if power_w < pts[0].power_w - 1e-9 {
+            return None;
+        }
+        if power_w >= pts.last().unwrap().power_w {
+            return Some(pts.last().unwrap().time_s);
+        }
+        let k = pts.partition_point(|p| p.power_w <= power_w);
+        // pts[k-1].power <= power < pts[k].power
+        let (a, b) = (&pts[k - 1], &pts[k]);
+        let frac = (power_w - a.power_w) / (b.power_w - a.power_w);
+        Some(a.time_s + frac * (b.time_s - a.time_s))
+    }
+
+    /// Inverse of [`ConvexFrontier::time_at_power`]: the minimum average
+    /// power needed to finish within `time_s`. `None` if even the fastest
+    /// configuration is too slow.
+    pub fn power_at_time(&self, time_s: f64) -> Option<f64> {
+        let pts = &self.points;
+        if time_s < pts.last().unwrap().time_s - 1e-12 {
+            return None;
+        }
+        if time_s >= pts[0].time_s {
+            return Some(pts[0].power_w);
+        }
+        // Times are strictly decreasing; find bracketing pair.
+        let k = pts.partition_point(|p| p.time_s >= time_s);
+        if k == pts.len() {
+            // time_s equals the fastest time to within tolerance.
+            return Some(pts.last().unwrap().power_w);
+        }
+        let (a, b) = (&pts[k - 1], &pts[k]);
+        let frac = (time_s - a.time_s) / (b.time_s - a.time_s);
+        Some(a.power_w + frac * (b.power_w - a.power_w))
+    }
+
+    /// The discrete frontier configuration whose (time, power) is closest
+    /// (in normalized L2) to the target operating point — the paper's
+    /// rounding rule for the discrete-configuration variant.
+    pub fn nearest_point(&self, time_s: f64, power_w: f64) -> &ConfigPoint {
+        let t_span = (self.points[0].time_s - self.max_power().time_s).abs().max(1e-12);
+        let p_span = (self.max_power().power_w - self.points[0].power_w).abs().max(1e-12);
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                let da = ((a.time_s - time_s) / t_span).powi(2)
+                    + ((a.power_w - power_w) / p_span).powi(2);
+                let db = ((b.time_s - time_s) / t_span).powi(2)
+                    + ((b.power_w - power_w) / p_span).powi(2);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+    }
+
+    /// The two bracketing frontier points and mixing weight that realize an
+    /// average power of `power_w`: returns `(i, j, alpha)` meaning spend an
+    /// `alpha` fraction of the task in point `i` and `1 − alpha` in `j`.
+    pub fn mix_for_power(&self, power_w: f64) -> Option<(usize, usize, f64)> {
+        let pts = &self.points;
+        if power_w < pts[0].power_w - 1e-9 {
+            return None;
+        }
+        if power_w >= pts.last().unwrap().power_w {
+            let i = pts.len() - 1;
+            return Some((i, i, 1.0));
+        }
+        let k = pts.partition_point(|p| p.power_w <= power_w);
+        let (a, b) = (&pts[k - 1], &pts[k]);
+        let beta = (power_w - a.power_w) / (b.power_w - a.power_w);
+        Some((k - 1, k, 1.0 - beta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn pt(power: f64, time: f64) -> ConfigPoint {
+        ConfigPoint { config: Config::new(0, 1), time_s: time, power_w: power }
+    }
+
+    #[test]
+    fn pareto_filter_removes_dominated() {
+        let pts = vec![pt(10.0, 5.0), pt(12.0, 6.0), pt(15.0, 3.0), pt(20.0, 2.0), pt(18.0, 4.0)];
+        let front = pareto_filter(&pts);
+        let powers: Vec<f64> = front.iter().map(|p| p.power_w).collect();
+        assert_eq!(powers, vec![10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn convex_hull_drops_non_convex_point() {
+        // (10,5) (12,4.9) (20,1): middle point lies above the chord.
+        let pts = vec![pt(10.0, 5.0), pt(12.0, 4.9), pt(20.0, 1.0)];
+        let f = convex_frontier(&pts);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.points()[0].power_w, 10.0);
+        assert_eq!(f.points()[1].power_w, 20.0);
+    }
+
+    #[test]
+    fn frontier_slopes_are_nondecreasing() {
+        let pts = vec![
+            pt(10.0, 8.0),
+            pt(12.0, 5.0),
+            pt(14.0, 3.5),
+            pt(17.0, 2.8),
+            pt(22.0, 2.5),
+            pt(30.0, 2.4),
+        ];
+        let f = convex_frontier(&pts);
+        let p = f.points();
+        for w in p.windows(3) {
+            let s1 = (w[1].time_s - w[0].time_s) / (w[1].power_w - w[0].power_w);
+            let s2 = (w[2].time_s - w[1].time_s) / (w[2].power_w - w[1].power_w);
+            assert!(s2 >= s1 - 1e-12, "slopes {s1} {s2}");
+        }
+    }
+
+    #[test]
+    fn time_at_power_interpolates() {
+        let pts = vec![pt(10.0, 4.0), pt(20.0, 2.0)];
+        let f = convex_frontier(&pts);
+        assert_eq!(f.time_at_power(5.0), None);
+        assert_eq!(f.time_at_power(10.0), Some(4.0));
+        assert_eq!(f.time_at_power(15.0), Some(3.0));
+        assert_eq!(f.time_at_power(25.0), Some(2.0));
+    }
+
+    #[test]
+    fn power_at_time_is_inverse() {
+        let pts = vec![pt(10.0, 4.0), pt(20.0, 2.0), pt(40.0, 1.0)];
+        let f = convex_frontier(&pts);
+        for p in [10.0, 13.0, 20.0, 33.3, 40.0] {
+            let t = f.time_at_power(p).unwrap();
+            let back = f.power_at_time(t).unwrap();
+            assert!((back - p).abs() < 1e-9, "p {p} t {t} back {back}");
+        }
+        assert_eq!(f.power_at_time(0.5), None);
+        assert_eq!(f.power_at_time(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn mix_for_power_weights_average_correctly() {
+        let pts = vec![pt(10.0, 4.0), pt(20.0, 2.0)];
+        let f = convex_frontier(&pts);
+        let (i, j, alpha) = f.mix_for_power(15.0).unwrap();
+        let avg = alpha * f.points()[i].power_w + (1.0 - alpha) * f.points()[j].power_w;
+        assert!((avg - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_point_snaps_to_frontier() {
+        let pts = vec![pt(10.0, 4.0), pt(20.0, 2.0), pt(40.0, 1.0)];
+        let f = convex_frontier(&pts);
+        let p = f.nearest_point(2.1, 21.0);
+        assert_eq!(p.power_w, 20.0);
+    }
+
+    #[test]
+    fn single_point_frontier_works() {
+        let f = convex_frontier(&[pt(10.0, 1.0)]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.time_at_power(10.0), Some(1.0));
+        assert_eq!(f.time_at_power(9.0), None);
+    }
+
+    #[test]
+    fn real_task_frontier_has_expected_shape() {
+        // For a mostly compute-bound task, fewer-than-max threads should be
+        // Pareto-efficient only near the minimum frequency (paper §3.2).
+        use crate::spec::MachineSpec;
+        use crate::task::TaskModel;
+        let m = MachineSpec::e5_2670();
+        let t = TaskModel::mixed(1.0, 0.2);
+        let f = convex_frontier(&t.config_space(&m));
+        assert!(f.len() >= 4, "frontier has {} points", f.len());
+        // The fastest point uses all threads at (or near) max frequency.
+        let fastest = f.max_power();
+        assert_eq!(fastest.config.threads, 8);
+        assert!(fastest.config.ghz(&m) > 2.4);
+        // Points using fewer than max threads appear only at the low-power
+        // end: find the highest-power frontier point with < 8 threads.
+        let max_power_few_threads = f
+            .points()
+            .iter()
+            .filter(|p| p.config.threads < 8)
+            .map(|p| p.power_w)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_power_all_threads = f
+            .points()
+            .iter()
+            .filter(|p| p.config.threads == 8)
+            .map(|p| p.power_w)
+            .fold(f64::INFINITY, f64::min);
+        if max_power_few_threads.is_finite() {
+            assert!(
+                max_power_few_threads <= min_power_all_threads + 1e-9,
+                "few-thread points should occupy the low-power end: {max_power_few_threads} vs {min_power_all_threads}"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! RAPL firmware model: socket-level power capping.
+//!
+//! RAPL (Running Average Power Limit) is the Intel firmware control loop the
+//! paper uses both for measurement and for enforcing per-socket caps (§4.1).
+//! It runs asynchronously to the application, observes the socket's power
+//! draw and adjusts the DVFS state — and, when even the lowest state is too
+//! hungry, the clock-modulation duty cycle — to honour the programmed cap.
+//! Being firmware, it can *not* change the number of OpenMP threads; that
+//! limitation is exactly what leaves headroom for Conductor and the LP.
+//!
+//! The model here is the steady-state abstraction of that loop: for a task
+//! with a given activity factor and thread count, the effective frequency is
+//! the highest one whose modelled power fits under the cap.
+
+use crate::spec::MachineSpec;
+use crate::task::TaskModel;
+
+/// A socket power cap as enforced by the RAPL firmware model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rapl {
+    /// Programmed cap in watts.
+    pub cap_w: f64,
+}
+
+impl Rapl {
+    /// Creates a cap. Panics on non-positive or NaN caps.
+    pub fn new(cap_w: f64) -> Self {
+        assert!(cap_w > 0.0 && cap_w.is_finite(), "invalid RAPL cap {cap_w}");
+        Self { cap_w }
+    }
+
+    /// Effective frequency (GHz) the firmware settles on for a task running
+    /// with `threads` threads. May fall below the machine's lowest DVFS
+    /// state (clock modulation); returns 0 when the cap is below idle power,
+    /// in which case the task cannot make progress.
+    pub fn effective_frequency(&self, machine: &MachineSpec, task: &TaskModel, threads: u32) -> f64 {
+        machine.max_frequency_under(self.cap_w, threads, task.activity)
+    }
+
+    /// Duration of `task` under this cap with `threads` threads: the
+    /// firmware throttles the clock, the task takes however long that
+    /// effective frequency implies. Returns `f64::INFINITY` when the cap is
+    /// unsatisfiable (below idle power).
+    pub fn duration(&self, machine: &MachineSpec, task: &TaskModel, threads: u32) -> f64 {
+        let f = self.effective_frequency(machine, task, threads);
+        if f <= 0.0 {
+            return f64::INFINITY;
+        }
+        task.duration(machine, f, threads)
+    }
+
+    /// Actual socket power drawn while running under the cap (≤ cap).
+    pub fn power(&self, machine: &MachineSpec, task: &TaskModel, threads: u32) -> f64 {
+        let f = self.effective_frequency(machine, task, threads);
+        if f <= 0.0 {
+            return machine.power.p_idle.min(self.cap_w);
+        }
+        machine.socket_power(f, threads, task.activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineSpec {
+        MachineSpec::e5_2670()
+    }
+
+    #[test]
+    fn generous_cap_runs_at_full_speed() {
+        let m = m();
+        let t = TaskModel::compute_bound(1.0);
+        let r = Rapl::new(200.0);
+        assert_eq!(r.effective_frequency(&m, &t, 8), m.f_max_ghz());
+    }
+
+    #[test]
+    fn tight_cap_throttles_below_fmin() {
+        let m = m();
+        let t = TaskModel::compute_bound(1.0);
+        // 30 W with 8 compute-bound threads needs clock modulation (the
+        // paper's BT-at-30W scenario: ~22% of max clock).
+        let r = Rapl::new(30.0);
+        let f = r.effective_frequency(&m, &t, 8);
+        assert!(f < m.f_min_ghz(), "f {f}");
+        assert!(f > 0.2, "f {f}");
+        // The realized power respects the cap.
+        assert!(r.power(&m, &t, 8) <= 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn fewer_threads_run_faster_under_tight_caps() {
+        // The central RAPL limitation: at a tight cap, 8 throttled threads
+        // can lose to 4 full-speed threads — but firmware cannot make that
+        // trade. Verify the model exposes the opportunity.
+        let m = m();
+        let t = TaskModel::compute_bound(1.0);
+        let r = Rapl::new(32.0);
+        let d8 = r.duration(&m, &t, 8);
+        let d4 = r.duration(&m, &t, 4);
+        assert!(d4 < d8, "4 threads {d4} vs 8 threads {d8}");
+    }
+
+    #[test]
+    fn duration_decreases_with_cap() {
+        let m = m();
+        let t = TaskModel::mixed(1.0, 0.3);
+        let mut prev = f64::INFINITY;
+        for cap in [25.0, 30.0, 40.0, 50.0, 60.0, 80.0, 100.0] {
+            let d = Rapl::new(cap).duration(&m, &t, 8);
+            assert!(d <= prev + 1e-12, "cap {cap}: {d} > {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_cap_yields_infinite_duration() {
+        let m = m();
+        let t = TaskModel::compute_bound(1.0);
+        let r = Rapl::new(5.0);
+        assert!(r.duration(&m, &t, 8).is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cap_panics() {
+        let _ = Rapl::new(0.0);
+    }
+}

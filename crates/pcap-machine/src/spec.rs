@@ -1,0 +1,282 @@
+//! Socket description: DVFS grid and the analytic power curve.
+
+/// Parameters of the analytic socket power model
+///
+/// ```text
+/// P(f, t, a) = p_idle + t · (p_core + kappa · V(f)² · f · a)
+/// V(f)       = v_base + v_slope · f
+/// ```
+///
+/// where `f` is the effective core frequency in GHz, `t` the number of
+/// active cores/threads, and `a ∈ (0, 1]` the workload activity factor
+/// (memory-bound tasks stall more and draw less dynamic power).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Uncore + leakage watts drawn even when all cores idle.
+    pub p_idle: f64,
+    /// Static per-active-core watts (clock tree, L1/L2).
+    pub p_core: f64,
+    /// Dynamic power scale in `W / (GHz · V²)`.
+    pub kappa: f64,
+    /// Voltage curve intercept (volts).
+    pub v_base: f64,
+    /// Voltage curve slope (volts per GHz).
+    pub v_slope: f64,
+}
+
+impl PowerParams {
+    /// Core voltage at effective frequency `f_ghz`. Clamped below at the
+    /// minimum-state voltage: clock modulation gates the clock but does not
+    /// reduce voltage further.
+    pub fn voltage(&self, f_ghz: f64, f_min_ghz: f64) -> f64 {
+        self.v_base + self.v_slope * f_ghz.max(f_min_ghz)
+    }
+}
+
+/// One processor socket: DVFS states, core count and power curve.
+///
+/// The paper runs one multithreaded MPI process per socket and caps power
+/// at socket granularity (RAPL), so in this reproduction sockets, ranks and
+/// power domains are in 1:1:1 correspondence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Available DVFS frequencies in GHz, ascending.
+    pub freqs_ghz: Vec<f64>,
+    /// Hardware cores per socket (= max OpenMP threads).
+    pub max_threads: u32,
+    /// Reference frequency for task work units (the nominal clock).
+    pub f_ref_ghz: f64,
+    /// Power curve parameters.
+    pub power: PowerParams,
+    /// Fraction of a task's power kept while blocked in MPI (slack). The
+    /// event LP assumes slack power equals task power (paper §3.3); the flow
+    /// ILP and the simulator use this observed value instead.
+    pub slack_power_fraction: f64,
+}
+
+impl MachineSpec {
+    /// Default calibration mimicking the Xeon E5-2670 sockets of the paper's
+    /// Cab cluster: 15 DVFS states from 1.2 to 2.6 GHz, 8 cores, ~95 W fully
+    /// active at top frequency and ~43 W at the lowest state.
+    pub fn e5_2670() -> Self {
+        let freqs_ghz = (0..15).map(|i| 1.2 + 0.1 * i as f64).collect();
+        Self {
+            freqs_ghz,
+            max_threads: 8,
+            f_ref_ghz: 2.6,
+            power: PowerParams {
+                p_idle: 13.0,
+                p_core: 1.1,
+                kappa: 3.05,
+                v_base: 0.65,
+                v_slope: 0.154,
+            },
+            slack_power_fraction: 0.55,
+        }
+    }
+
+    /// A low-power SKU (E5-2650L-like): 8 cores at 1.2–1.8 GHz, ~60 W fully
+    /// active. Useful for studying how the bound and the runtimes shift on
+    /// power-lean hardware; not used by the paper-reproduction experiments.
+    pub fn e5_2650l() -> Self {
+        let freqs_ghz = (0..7).map(|i| 1.2 + 0.1 * i as f64).collect();
+        Self {
+            freqs_ghz,
+            max_threads: 8,
+            f_ref_ghz: 1.8,
+            power: PowerParams {
+                p_idle: 9.0,
+                p_core: 0.9,
+                kappa: 2.9,
+                v_base: 0.62,
+                v_slope: 0.14,
+            },
+            slack_power_fraction: 0.55,
+        }
+    }
+
+    /// Lowest DVFS frequency (GHz).
+    pub fn f_min_ghz(&self) -> f64 {
+        self.freqs_ghz[0]
+    }
+
+    /// Highest DVFS frequency (GHz).
+    pub fn f_max_ghz(&self) -> f64 {
+        *self.freqs_ghz.last().expect("non-empty DVFS grid")
+    }
+
+    /// Number of DVFS states.
+    pub fn num_freqs(&self) -> usize {
+        self.freqs_ghz.len()
+    }
+
+    /// Socket power (watts) at effective frequency `f_ghz` with `threads`
+    /// active cores and workload activity `activity`.
+    ///
+    /// For `f_ghz` below the lowest DVFS state the socket is modelled as
+    /// duty-cycled at the lowest state: dynamic power scales with the duty
+    /// factor while idle power persists.
+    pub fn socket_power(&self, f_ghz: f64, threads: u32, activity: f64) -> f64 {
+        let t = threads.min(self.max_threads) as f64;
+        let fmin = self.f_min_ghz();
+        let p = &self.power;
+        if f_ghz >= fmin {
+            let v = p.voltage(f_ghz, fmin);
+            p.p_idle + t * (p.p_core + p.kappa * v * v * f_ghz * activity)
+        } else {
+            // Clock modulation: duty cycle d = f/fmin of the minimum state.
+            let d = (f_ghz / fmin).max(0.0);
+            let v = p.voltage(fmin, fmin);
+            let active = t * (p.p_core + p.kappa * v * v * fmin * activity);
+            p.p_idle + d * active
+        }
+    }
+
+    /// Socket power while a rank sits in MPI slack after running a task at
+    /// the given configuration (used by the flow ILP and the simulator).
+    pub fn slack_power(&self, f_ghz: f64, threads: u32, activity: f64) -> f64 {
+        let busy = self.socket_power(f_ghz, threads, activity);
+        let idle = self.power.p_idle;
+        idle + self.slack_power_fraction * (busy - idle)
+    }
+
+    /// Inverts [`MachineSpec::socket_power`]: the highest effective
+    /// frequency (GHz) whose power fits under `cap_w` with `threads` active
+    /// cores at `activity`. Returns 0 if even fully duty-cycled operation
+    /// exceeds the cap (the cap is below idle power).
+    pub fn max_frequency_under(&self, cap_w: f64, threads: u32, activity: f64) -> f64 {
+        let fmax = self.f_max_ghz();
+        if self.socket_power(fmax, threads, activity) <= cap_w {
+            return fmax;
+        }
+        let fmin = self.f_min_ghz();
+        let p_min = self.socket_power(fmin, threads, activity);
+        if p_min <= cap_w {
+            // Bisect in [fmin, fmax]: power is strictly increasing in f.
+            let (mut lo, mut hi) = (fmin, fmax);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if self.socket_power(mid, threads, activity) <= cap_w {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            return lo;
+        }
+        // Clock-modulation region: power is linear in duty factor.
+        let p = &self.power;
+        let active = p_min - p.p_idle;
+        if active <= 0.0 || cap_w <= p.p_idle {
+            return 0.0;
+        }
+        let d = ((cap_w - p.p_idle) / active).clamp(0.0, 1.0);
+        d * fmin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_e5_2670() {
+        let m = MachineSpec::e5_2670();
+        assert_eq!(m.num_freqs(), 15);
+        assert!((m.f_min_ghz() - 1.2).abs() < 1e-12);
+        assert!((m.f_max_ghz() - 2.6).abs() < 1e-12);
+        assert_eq!(m.max_threads, 8);
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_threads() {
+        let m = MachineSpec::e5_2670();
+        let mut prev = 0.0;
+        for i in 0..m.num_freqs() {
+            let p = m.socket_power(m.freqs_ghz[i], 8, 1.0);
+            assert!(p > prev);
+            prev = p;
+        }
+        let mut prev = 0.0;
+        for t in 1..=8 {
+            let p = m.socket_power(2.6, t, 1.0);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn calibration_hits_paper_power_range() {
+        let m = MachineSpec::e5_2670();
+        let top = m.socket_power(2.6, 8, 1.0);
+        let bottom = m.socket_power(1.2, 8, 1.0);
+        assert!((85.0..110.0).contains(&top), "top {top}");
+        assert!((35.0..55.0).contains(&bottom), "bottom {bottom}");
+        // Idle must sit well below the paper's 30 W minimum cap so the cap
+        // always leaves some dynamic headroom.
+        assert!(m.power.p_idle < 20.0);
+    }
+
+    #[test]
+    fn low_power_sku_is_consistent() {
+        let m = MachineSpec::e5_2650l();
+        assert_eq!(m.num_freqs(), 7);
+        assert!((m.f_max_ghz() - 1.8).abs() < 1e-12);
+        let top = m.socket_power(1.8, 8, 1.0);
+        assert!((40.0..75.0).contains(&top), "top {top}");
+        // Power curves of the two SKUs do not cross: the low-power part is
+        // cheaper at every shared operating point.
+        let big = MachineSpec::e5_2670();
+        for &f in &m.freqs_ghz {
+            for t in [1, 4, 8] {
+                assert!(m.socket_power(f, t, 1.0) < big.socket_power(f, t, 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn duty_cycling_extends_below_fmin() {
+        let m = MachineSpec::e5_2670();
+        let p_half = m.socket_power(0.6, 8, 1.0);
+        let p_min = m.socket_power(1.2, 8, 1.0);
+        assert!(p_half < p_min);
+        assert!(p_half > m.power.p_idle);
+    }
+
+    #[test]
+    fn max_frequency_under_inverts_power() {
+        let m = MachineSpec::e5_2670();
+        for cap in [25.0, 30.0, 45.0, 60.0, 80.0, 120.0] {
+            let f = m.max_frequency_under(cap, 8, 1.0);
+            if f > 0.0 {
+                let p = m.socket_power(f, 8, 1.0);
+                assert!(p <= cap + 1e-6, "cap {cap} f {f} p {p}");
+                // Must be maximal: a 1% faster clock would exceed the cap
+                // (unless already at fmax).
+                if f < m.f_max_ghz() - 1e-9 {
+                    assert!(m.socket_power(f * 1.01, 8, 1.0) > cap - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_below_idle_gives_zero_frequency() {
+        let m = MachineSpec::e5_2670();
+        assert_eq!(m.max_frequency_under(5.0, 8, 1.0), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_activity_draws_less_power() {
+        let m = MachineSpec::e5_2670();
+        assert!(m.socket_power(2.6, 8, 0.6) < m.socket_power(2.6, 8, 1.0));
+    }
+
+    #[test]
+    fn slack_power_sits_between_idle_and_busy() {
+        let m = MachineSpec::e5_2670();
+        let busy = m.socket_power(2.6, 8, 1.0);
+        let slack = m.slack_power(2.6, 8, 1.0);
+        assert!(slack > m.power.p_idle && slack < busy);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-task performance/power model.
+
+use crate::config::{all_configs, Config, ConfigPoint};
+use crate::spec::MachineSpec;
+
+/// Analytic model of one computation task (the work between two consecutive
+/// MPI calls on one rank).
+///
+/// A task is split into a compute part (`w_comp` serial seconds at the
+/// machine's reference frequency) and a memory part (`w_mem` serial
+/// seconds). The compute part scales inversely with clock frequency and
+/// with threads following Amdahl's law; the memory part is insensitive to
+/// frequency (except for a small overlap term), saturates at
+/// `bw_sat_threads`, and — crucially for reproducing the paper's LULESH
+/// result (Table 3: five threads beat eight) — suffers a cache-contention
+/// penalty past `cache_sweet_threads`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskModel {
+    /// Serial compute seconds at `f_ref` on one thread.
+    pub w_comp: f64,
+    /// Serial memory-stall seconds on one thread.
+    pub w_mem: f64,
+    /// Amdahl serial fraction of the compute part, `0..1`.
+    pub serial_frac: f64,
+    /// Threads at which shared memory bandwidth saturates.
+    pub bw_sat_threads: f64,
+    /// Thread count beyond which cache contention grows.
+    pub cache_sweet_threads: f64,
+    /// Memory-time penalty per thread beyond the sweet spot (fractional).
+    pub cache_penalty: f64,
+    /// Fraction of memory time that overlaps with (and hence scales like)
+    /// compute, `0..1`. Typically small.
+    pub mem_freq_overlap: f64,
+    /// Dynamic-power activity factor, `0..1`; memory-bound tasks stall and
+    /// draw less dynamic power.
+    pub activity: f64,
+}
+
+impl Default for TaskModel {
+    fn default() -> Self {
+        Self {
+            w_comp: 1.0,
+            w_mem: 0.0,
+            serial_frac: 0.02,
+            bw_sat_threads: 6.0,
+            cache_sweet_threads: 8.0,
+            cache_penalty: 0.0,
+            mem_freq_overlap: 0.15,
+            activity: 1.0,
+        }
+    }
+}
+
+impl TaskModel {
+    /// A purely compute-bound task of `w_comp` serial reference seconds.
+    ///
+    /// ```
+    /// use pcap_machine::{MachineSpec, TaskModel};
+    /// let m = MachineSpec::e5_2670();
+    /// let t = TaskModel::compute_bound(2.6); // 2.6 serial seconds at 2.6 GHz
+    /// // Perfect frequency scaling for pure compute: halving the clock
+    /// // doubles the time.
+    /// let fast = t.duration(&m, 2.6, 1);
+    /// let slow = t.duration(&m, 1.3, 1);
+    /// assert!((slow / fast - 2.0).abs() < 1e-9);
+    /// ```
+    pub fn compute_bound(w_comp: f64) -> Self {
+        Self { w_comp, ..Self::default() }
+    }
+
+    /// A mixed task; `mem_fraction` of the serial reference time is
+    /// memory-bound. Activity is reduced accordingly.
+    pub fn mixed(total_serial_s: f64, mem_fraction: f64) -> Self {
+        let mem_fraction = mem_fraction.clamp(0.0, 1.0);
+        Self {
+            w_comp: total_serial_s * (1.0 - mem_fraction),
+            w_mem: total_serial_s * mem_fraction,
+            activity: 1.0 - 0.45 * mem_fraction,
+            ..Self::default()
+        }
+    }
+
+    /// Scales the total work of the task by `factor`, preserving its shape.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self { w_comp: self.w_comp * factor, w_mem: self.w_mem * factor, ..self.clone() }
+    }
+
+    /// Task duration in seconds at effective frequency `f_ghz` with
+    /// `threads` active threads on `machine`.
+    ///
+    /// `f_ghz` may fall below the machine's lowest DVFS state, in which case
+    /// it represents clock modulation and scales both compute *and* memory
+    /// issue rate (the core is gated, so it cannot issue loads either).
+    pub fn duration(&self, machine: &MachineSpec, f_ghz: f64, threads: u32) -> f64 {
+        assert!(f_ghz > 0.0, "effective frequency must be positive");
+        let t = threads.clamp(1, machine.max_threads) as f64;
+        let fmin = machine.f_min_ghz();
+        // Thread scaling of the compute part: Amdahl.
+        let comp_scale = self.serial_frac + (1.0 - self.serial_frac) / t;
+        // Thread scaling of the memory part: bandwidth saturation plus a
+        // contention penalty past the sweet spot.
+        let eff_t = t.min(self.bw_sat_threads);
+        let contention = 1.0 + self.cache_penalty * (t - self.cache_sweet_threads).max(0.0);
+        let mem_scale = (self.serial_frac + (1.0 - self.serial_frac) / eff_t) * contention;
+
+        // Frequency scaling. Within the DVFS range only compute (and the
+        // overlapped slice of memory) speeds up; under clock modulation the
+        // duty factor stretches everything.
+        let dvfs_f = f_ghz.max(fmin);
+        let duty = (f_ghz / fmin).min(1.0);
+        let comp_freq = machine.f_ref_ghz / dvfs_f;
+        let mem_freq = (1.0 - self.mem_freq_overlap) + self.mem_freq_overlap * comp_freq;
+
+        (self.w_comp * comp_scale * comp_freq + self.w_mem * mem_scale * mem_freq) / duty
+    }
+
+    /// Average socket power in watts while this task runs at the given
+    /// operating point.
+    pub fn power(&self, machine: &MachineSpec, f_ghz: f64, threads: u32) -> f64 {
+        machine.socket_power(f_ghz, threads, self.activity)
+    }
+
+    /// The (time, power) point of a discrete configuration.
+    pub fn config_point(&self, machine: &MachineSpec, config: Config) -> ConfigPoint {
+        let f = config.ghz(machine);
+        ConfigPoint {
+            config,
+            time_s: self.duration(machine, f, config.threads as u32),
+            power_w: self.power(machine, f, config.threads as u32),
+        }
+    }
+
+    /// Evaluates the full discrete configuration space (Figure 1's cloud).
+    pub fn config_space(&self, machine: &MachineSpec) -> Vec<ConfigPoint> {
+        all_configs(machine).into_iter().map(|c| self.config_point(machine, c)).collect()
+    }
+
+    /// Total serial reference seconds (compute + memory).
+    pub fn serial_seconds(&self) -> f64 {
+        self.w_comp + self.w_mem
+    }
+
+    /// Memory-bound fraction of the serial work.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.serial_seconds() == 0.0 {
+            0.0
+        } else {
+            self.w_mem / self.serial_seconds()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineSpec {
+        MachineSpec::e5_2670()
+    }
+
+    #[test]
+    fn duration_decreases_with_frequency() {
+        let t = TaskModel::compute_bound(1.0);
+        let m = m();
+        let mut prev = f64::INFINITY;
+        for &f in &m.freqs_ghz {
+            let d = t.duration(&m, f, 8);
+            assert!(d < prev, "f {f} d {d}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn duration_decreases_with_threads_for_compute_tasks() {
+        let t = TaskModel::compute_bound(1.0);
+        let m = m();
+        let mut prev = f64::INFINITY;
+        for th in 1..=8 {
+            let d = t.duration(&m, 2.6, th);
+            assert!(d < prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn reference_config_runs_in_reference_time() {
+        let t = TaskModel::compute_bound(1.0);
+        let m = m();
+        // One thread at f_ref: exactly w_comp seconds.
+        assert!((t.duration(&m, m.f_ref_ghz, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_tasks_ignore_frequency_mostly() {
+        let t = TaskModel::mixed(1.0, 0.9);
+        let m = m();
+        let slow = t.duration(&m, 1.2, 8);
+        let fast = t.duration(&m, 2.6, 8);
+        // >2x clock gives well under 2x speedup for a 90% memory task.
+        assert!(slow / fast < 1.4, "ratio {}", slow / fast);
+        let c = TaskModel::compute_bound(1.0);
+        let ratio_c = c.duration(&m, 1.2, 8) / c.duration(&m, 2.6, 8);
+        assert!(ratio_c > 2.0, "compute ratio {ratio_c}");
+    }
+
+    #[test]
+    fn cache_contention_creates_thread_sweet_spot() {
+        // A LULESH-like task: beyond ~5 threads, contention overwhelms
+        // parallelism in the memory part.
+        let t = TaskModel {
+            w_comp: 0.4,
+            w_mem: 0.6,
+            bw_sat_threads: 4.0,
+            cache_sweet_threads: 5.0,
+            cache_penalty: 0.09,
+            ..TaskModel::default()
+        };
+        let m = m();
+        let d5 = t.duration(&m, 2.6, 5);
+        let d8 = t.duration(&m, 2.6, 8);
+        assert!(d5 < d8, "5 threads {d5} vs 8 threads {d8}");
+    }
+
+    #[test]
+    fn clock_modulation_slows_everything() {
+        let t = TaskModel::mixed(1.0, 0.5);
+        let m = m();
+        let at_min = t.duration(&m, 1.2, 8);
+        let gated = t.duration(&m, 0.6, 8);
+        assert!((gated / at_min - 2.0).abs() < 1e-9, "duty cycling halves the rate");
+    }
+
+    #[test]
+    fn config_space_has_expected_size_and_finite_values() {
+        let t = TaskModel::mixed(1.0, 0.3);
+        let m = m();
+        let pts = t.config_space(&m);
+        assert_eq!(pts.len(), 120);
+        for p in &pts {
+            assert!(p.time_s.is_finite() && p.time_s > 0.0);
+            assert!(p.power_w.is_finite() && p.power_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let t = TaskModel::mixed(1.0, 0.3);
+        let s = t.scaled(2.0);
+        let m = m();
+        let r = s.duration(&m, 2.0, 4) / t.duration(&m, 2.0, 4);
+        assert!((r - 2.0).abs() < 1e-12);
+        assert_eq!(s.mem_fraction(), t.mem_fraction());
+    }
+}

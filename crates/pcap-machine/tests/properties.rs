@@ -1,0 +1,149 @@
+//! Property-based tests of the machine model: the invariants every consumer
+//! (LP builder, RAPL model, simulator) silently relies on.
+
+use pcap_machine::{convex_frontier, pareto_filter, MachineSpec, Rapl, TaskModel};
+use proptest::prelude::*;
+
+fn random_task() -> impl Strategy<Value = TaskModel> {
+    (
+        0.01..20.0f64,  // serial seconds
+        0.0..0.95f64,   // memory fraction
+        0.0..0.3f64,    // cache penalty
+        2.0..8.0f64,    // sweet spot
+        2.0..8.0f64,    // bandwidth saturation
+    )
+        .prop_map(|(w, mem, pen, sweet, sat)| TaskModel {
+            cache_penalty: pen,
+            cache_sweet_threads: sweet,
+            bw_sat_threads: sat,
+            ..TaskModel::mixed(w, mem)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Duration strictly decreases with frequency at fixed threads.
+    #[test]
+    fn duration_monotone_in_frequency(task in random_task(), threads in 1u32..=8) {
+        let m = MachineSpec::e5_2670();
+        let mut prev = f64::INFINITY;
+        for &f in &m.freqs_ghz {
+            let d = task.duration(&m, f, threads);
+            prop_assert!(d.is_finite() && d >= 0.0);
+            prop_assert!(d <= prev + 1e-12);
+            prev = d;
+        }
+    }
+
+    /// Power strictly increases with frequency and with threads.
+    #[test]
+    fn power_monotone(task in random_task()) {
+        let m = MachineSpec::e5_2670();
+        for t in 1u32..=8 {
+            let mut prev = 0.0;
+            for &f in &m.freqs_ghz {
+                let p = task.power(&m, f, t);
+                prop_assert!(p > prev);
+                prev = p;
+            }
+        }
+        for &f in &m.freqs_ghz {
+            let mut prev = 0.0;
+            for t in 1u32..=8 {
+                let p = task.power(&m, f, t);
+                prop_assert!(p > prev);
+                prev = p;
+            }
+        }
+    }
+
+    /// The Pareto filter returns an antichain sorted by power, and the
+    /// convex hull is a subset with non-decreasing slopes.
+    #[test]
+    fn frontier_invariants(task in random_task()) {
+        let m = MachineSpec::e5_2670();
+        let cloud = task.config_space(&m);
+        let pareto = pareto_filter(&cloud);
+        prop_assert!(!pareto.is_empty());
+        for w in pareto.windows(2) {
+            prop_assert!(w[0].power_w < w[1].power_w);
+            prop_assert!(w[0].time_s > w[1].time_s);
+        }
+        // No cloud point dominates a Pareto point.
+        for p in &pareto {
+            for c in &cloud {
+                let dominates = c.power_w <= p.power_w + 1e-12
+                    && c.time_s <= p.time_s + 1e-12
+                    && (c.power_w < p.power_w - 1e-12 || c.time_s < p.time_s - 1e-12);
+                prop_assert!(!dominates, "{c:?} dominates {p:?}");
+            }
+        }
+        let hull = convex_frontier(&cloud);
+        prop_assert!(hull.len() <= pareto.len());
+        let pts = hull.points();
+        for w in pts.windows(3) {
+            let s1 = (w[1].time_s - w[0].time_s) / (w[1].power_w - w[0].power_w);
+            let s2 = (w[2].time_s - w[1].time_s) / (w[2].power_w - w[1].power_w);
+            prop_assert!(s2 >= s1 - 1e-9, "slopes {s1} {s2}");
+        }
+    }
+
+    /// The frontier interpolant is consistent: time_at_power and
+    /// power_at_time invert each other inside the frontier's span.
+    #[test]
+    fn frontier_query_inversion(task in random_task(), alpha in 0.0..1.0f64) {
+        let m = MachineSpec::e5_2670();
+        let f = convex_frontier(&task.config_space(&m));
+        let p = f.min_power().power_w
+            + alpha * (f.max_power().power_w - f.min_power().power_w);
+        let t = f.time_at_power(p).unwrap();
+        let back = f.power_at_time(t).unwrap();
+        prop_assert!((back - p).abs() / p < 1e-6, "p {p} t {t} back {back}");
+    }
+
+    /// RAPL always respects its cap and uses it maximally (a 2% faster
+    /// clock would violate, unless already at the top of the grid).
+    #[test]
+    fn rapl_is_tight(task in random_task(), cap in 16.0..120.0f64, threads in 1u32..=8) {
+        let m = MachineSpec::e5_2670();
+        let r = Rapl::new(cap);
+        let f = r.effective_frequency(&m, &task, threads);
+        if f > 0.0 {
+            let p = m.socket_power(f, threads, task.activity);
+            prop_assert!(p <= cap * (1.0 + 1e-9), "p {p} cap {cap}");
+            if f < m.f_max_ghz() - 1e-9 {
+                let p2 = m.socket_power(f * 1.02, threads, task.activity);
+                prop_assert!(p2 > cap * (1.0 - 1e-9), "not maximal: f {f}");
+            }
+        }
+    }
+
+    /// Under RAPL, duration is non-increasing in the cap.
+    #[test]
+    fn rapl_duration_monotone_in_cap(task in random_task(), threads in 1u32..=8) {
+        let m = MachineSpec::e5_2670();
+        let mut prev = f64::INFINITY;
+        for cap in [18.0, 25.0, 35.0, 50.0, 70.0, 95.0, 130.0] {
+            let d = Rapl::new(cap).duration(&m, &task, threads);
+            prop_assert!(d <= prev * (1.0 + 1e-12));
+            prev = d;
+        }
+    }
+
+    /// The convex frontier's interpolated time at a given power is never
+    /// worse than any *discrete* configuration fitting that power — the
+    /// property that makes it a valid lower envelope for the LP.
+    #[test]
+    fn frontier_lower_envelopes_cloud(task in random_task()) {
+        let m = MachineSpec::e5_2670();
+        let cloud = task.config_space(&m);
+        let f = convex_frontier(&cloud);
+        for c in &cloud {
+            if let Some(t) = f.time_at_power(c.power_w) {
+                prop_assert!(t <= c.time_s + 1e-9,
+                    "frontier {t} slower than config {:?}", c);
+            }
+        }
+    }
+}

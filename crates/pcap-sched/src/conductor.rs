@@ -1,0 +1,431 @@
+//! Conductor — the adaptive power-allocation runtime (paper §4.2).
+//!
+//! Conductor couples two mechanisms on top of per-socket RAPL caps:
+//!
+//! 1. **Configuration selection.** During a short exploration phase each
+//!    rank tries different thread counts (the paper distributes the
+//!    configuration space across ranks to amortize exploration); afterwards
+//!    every task runs at the Pareto-frontier configuration that is fastest
+//!    within its socket's current power budget — the trade RAPL firmware
+//!    alone cannot make, because firmware cannot change thread counts.
+//! 2. **Power reallocation.** Adagio-style slack reclamation slows tasks on
+//!    ranks that finished early last iteration (choosing cheaper frontier
+//!    points that still fit the measured slack), and every few
+//!    `MPI_Pcontrol` periods the per-rank budgets are re-divided: ranks that
+//!    measured below their budget are trimmed to measured usage plus
+//!    headroom, and the recovered watts go to the ranks with the longest
+//!    busy time (the estimated critical path).
+//!
+//! Both mechanisms act on *noisy, stale* measurements delivered by the
+//! simulator — which is exactly why Conductor trails the LP bound: budget
+//! thrashing induces load imbalance (paper §6: "thrashing in the per-rank
+//! power allocation"), and on well-balanced applications (SP-MZ) the
+//! misidentified critical path plus reallocation overhead make it *slower*
+//! than Static.
+
+use pcap_core::TaskFrontiers;
+use pcap_dag::EdgeId;
+use pcap_machine::{convex_frontier, ConfigPoint};
+use pcap_sim::{Decision, Observation, Policy, SyncInfo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunables for [`Conductor`]. Defaults follow the paper's setup.
+#[derive(Debug, Clone)]
+pub struct ConductorOptions {
+    /// Exploration iterations before steady-state behaviour (the paper
+    /// discards the first three iterations of every run).
+    pub warmup_iterations: u32,
+    /// Reallocate budgets every this many `MPI_Pcontrol` periods (the paper
+    /// reallocates "after every 5-10 MPI_Pcontrol calls").
+    pub realloc_period: u32,
+    /// Multiplier on measured usage when trimming a rank's budget.
+    pub headroom: f64,
+    /// Budget floor per socket in watts (a socket must stay operable).
+    pub min_socket_w: f64,
+    /// Fraction of ranks (by measured busy time) treated as critical when
+    /// redistributing recovered power.
+    pub critical_fraction: f64,
+    /// Cap on the Adagio slack-stretch factor.
+    pub max_stretch: f64,
+    /// Safety factor applied to measured slack before stretching (guards
+    /// against perturbing the critical path on noisy measurements).
+    pub stretch_safety: f64,
+    /// Multiplicative std-dev of the *profiling* noise: Conductor's
+    /// Pareto frontiers come from measuring each configuration during the
+    /// exploration phase (paper §4.2), so its view of each task's time and
+    /// power is perturbed by this much. This is the channel through which
+    /// Conductor misjudges configurations and the critical path; the
+    /// `abl_noise` ablation sweeps it. The default of 0 models a profile
+    /// converged by averaging (the paper amortizes exploration over many
+    /// iterations).
+    pub profile_noise_std: f64,
+    /// Seed for the profiling-noise perturbation.
+    pub profile_seed: u64,
+}
+
+impl Default for ConductorOptions {
+    fn default() -> Self {
+        Self {
+            warmup_iterations: 3,
+            realloc_period: 5,
+            headroom: 1.04,
+            min_socket_w: 16.0,
+            critical_fraction: 0.25,
+            max_stretch: 4.0,
+            stretch_safety: 0.92,
+            profile_noise_std: 0.0,
+            profile_seed: 0xC0D,
+        }
+    }
+}
+
+/// The Conductor runtime as a simulator [`Policy`].
+#[derive(Debug, Clone)]
+pub struct Conductor {
+    job_cap_w: f64,
+    ranks: u32,
+    frontiers: TaskFrontiers,
+    opts: ConductorOptions,
+    max_threads: u32,
+
+    /// Current per-rank power budgets (sum equals the job cap).
+    budgets: Vec<f64>,
+    /// Busy seconds accumulated this iteration, per rank.
+    iter_busy: Vec<f64>,
+    /// Busy seconds of the previous iteration, per rank.
+    last_iter_busy: Vec<f64>,
+    /// Fastest-possible busy seconds (every task at its fastest frontier
+    /// point) accumulated this iteration / for the previous iteration. The
+    /// Adagio stretch is anchored to this pace so a stretched rank does not
+    /// oscillate back to full speed.
+    iter_fast: Vec<f64>,
+    last_iter_fast: Vec<f64>,
+    /// Energy (J) and busy time (s) accumulated this reallocation epoch.
+    epoch_energy: Vec<f64>,
+    epoch_busy: Vec<f64>,
+    /// Power-weighted demand this epoch: what each rank's *desired*
+    /// configurations would draw unthrottled (J and s).
+    epoch_demand_j: Vec<f64>,
+    epoch_demand_s: Vec<f64>,
+    /// `MPI_Pcontrol` periods seen.
+    pcontrols: u32,
+    /// Time of the previous `MPI_Pcontrol` (for iteration wall time).
+    last_pcontrol_s: f64,
+    /// Wall-clock length of the previous iteration.
+    last_wall_s: f64,
+    /// Per-rank task counters (drive exploration variety).
+    task_counter: Vec<u32>,
+}
+
+impl Conductor {
+    /// Creates a Conductor instance for a job cap split over `ranks`
+    /// sockets, with profiled task frontiers.
+    pub fn new(
+        job_cap_w: f64,
+        ranks: u32,
+        max_threads: u32,
+        frontiers: TaskFrontiers,
+        opts: ConductorOptions,
+    ) -> Self {
+        let n = ranks as usize;
+        // Rebuild every frontier from noise-perturbed measurements: the
+        // runtime acts on its *profiled* view of the machine, not on ground
+        // truth.
+        let frontiers = if opts.profile_noise_std > 0.0 {
+            let mut rng = StdRng::seed_from_u64(opts.profile_seed);
+            let std = opts.profile_noise_std;
+            frontiers.map(|_, fr| {
+                let noisy: Vec<ConfigPoint> = fr
+                    .points()
+                    .iter()
+                    .map(|p| ConfigPoint {
+                        config: p.config,
+                        time_s: p.time_s * (1.0 + rng.gen_range(-std..=std)),
+                        power_w: p.power_w * (1.0 + rng.gen_range(-std..=std)),
+                    })
+                    .collect();
+                convex_frontier(&noisy)
+            })
+        } else {
+            frontiers
+        };
+        Self {
+            job_cap_w,
+            ranks,
+            frontiers,
+            opts,
+            max_threads,
+            budgets: vec![job_cap_w / ranks as f64; n],
+            iter_busy: vec![0.0; n],
+            last_iter_busy: vec![0.0; n],
+            iter_fast: vec![0.0; n],
+            last_iter_fast: vec![0.0; n],
+            epoch_energy: vec![0.0; n],
+            epoch_busy: vec![0.0; n],
+            epoch_demand_j: vec![0.0; n],
+            epoch_demand_s: vec![0.0; n],
+            pcontrols: 0,
+            last_pcontrol_s: 0.0,
+            last_wall_s: 0.0,
+            task_counter: vec![0; n],
+        }
+    }
+
+    /// Current budget of a rank (test/diagnostic hook).
+    pub fn budget(&self, rank: u32) -> f64 {
+        self.budgets[rank as usize]
+    }
+
+    fn in_warmup(&self) -> bool {
+        self.pcontrols < self.opts.warmup_iterations
+    }
+
+    /// The Adagio stretch factor for `rank`: how much slower the rank may
+    /// run while still fitting inside the *observed* iteration wall time.
+    /// Using wall time (set by the truly critical rank) rather than
+    /// relative busy times keeps the estimate anchored: a stretched rank
+    /// fills its slack and converges, instead of everyone chasing an
+    /// ever-growing maximum.
+    fn stretch(&self, rank: usize) -> f64 {
+        let wall = self.last_wall_s;
+        let t_fast = self.last_iter_fast[rank];
+        if wall <= 0.0 || t_fast <= 1e-9 {
+            return 1.0;
+        }
+        (self.opts.stretch_safety * wall / t_fast).clamp(1.0, self.opts.max_stretch)
+    }
+
+    fn reallocate(&mut self) {
+        let n = self.ranks as usize;
+        // Size every rank's budget to its *demanded* power — what the
+        // configurations it wanted (after Adagio stretching) would draw
+        // unthrottled — plus headroom. Demand, unlike measured usage, does
+        // not shrink when a rank is throttled, so budgets can recover and
+        // reallocation does not ratchet the job downward.
+        let mut base = vec![0.0; n];
+        for r in 0..n {
+            let demand = if self.epoch_demand_s[r] > 1e-9 {
+                self.epoch_demand_j[r] / self.epoch_demand_s[r]
+            } else {
+                self.budgets[r]
+            };
+            base[r] = (demand * self.opts.headroom).max(self.opts.min_socket_w);
+        }
+        let total: f64 = base.iter().sum();
+        let surplus = self.job_cap_w - total;
+        if surplus > 0.0 {
+            // Give the recovered watts to the measured-critical ranks.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                self.last_iter_busy[b].partial_cmp(&self.last_iter_busy[a]).unwrap()
+            });
+            let ncrit = ((n as f64 * self.opts.critical_fraction).ceil() as usize).max(1);
+            let bonus = surplus / ncrit as f64;
+            for &r in order.iter().take(ncrit) {
+                base[r] += bonus;
+            }
+        } else {
+            // Demand exceeds the job cap: scale down proportionally, never
+            // below the operability floor.
+            let scale = self.job_cap_w / total;
+            for b in &mut base {
+                *b = (*b * scale).max(self.opts.min_socket_w);
+            }
+            // Floors may reintroduce a tiny overshoot; shave it off the
+            // largest budgets to keep the invariant Σ budgets = cap.
+            let mut excess = base.iter().sum::<f64>() - self.job_cap_w;
+            while excess > 1e-9 {
+                let (imax, _) = base
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                let take = excess.min(base[imax] - self.opts.min_socket_w);
+                if take <= 0.0 {
+                    break;
+                }
+                base[imax] -= take;
+                excess -= take;
+            }
+        }
+        self.budgets = base;
+        self.epoch_energy.iter_mut().for_each(|e| *e = 0.0);
+        self.epoch_busy.iter_mut().for_each(|e| *e = 0.0);
+        self.epoch_demand_j.iter_mut().for_each(|e| *e = 0.0);
+        self.epoch_demand_s.iter_mut().for_each(|e| *e = 0.0);
+    }
+}
+
+impl Policy for Conductor {
+    fn choose(&mut self, task: EdgeId, rank: u32, _now: f64) -> Decision {
+        let r = rank as usize;
+        self.task_counter[r] += 1;
+        let budget = self.budgets[r];
+
+        let Some(frontier) = self.frontiers.get(task) else {
+            return Decision::Cap { cap_w: budget, threads: self.max_threads };
+        };
+
+        if self.in_warmup() {
+            // Exploration: spread thread counts across ranks and tasks so
+            // the profile covers the configuration space (paper §4.2).
+            let t = 1 + ((rank + self.task_counter[r]) % self.max_threads);
+            return Decision::Cap { cap_w: budget, threads: t };
+        }
+
+        // Adagio: allow off-critical ranks to slow down into their slack.
+        self.iter_fast[r] += frontier.max_power().time_s;
+        let stretch = self.stretch(r);
+        let fastest_allowed = frontier.max_power().time_s * stretch;
+        // Cheapest frontier point meeting the stretched deadline…
+        let relaxed = frontier
+            .points()
+            .iter()
+            .find(|p| p.time_s <= fastest_allowed)
+            .unwrap_or_else(|| frontier.max_power());
+        self.epoch_demand_j[r] += relaxed.power_w * relaxed.time_s;
+        self.epoch_demand_s[r] += relaxed.time_s;
+        // …but never exceeding the socket budget: otherwise the fastest
+        // point that fits.
+        let point = if relaxed.power_w <= budget {
+            relaxed
+        } else {
+            frontier
+                .points()
+                .iter()
+                .rev()
+                .find(|p| p.power_w <= budget)
+                .unwrap_or_else(|| frontier.min_power())
+        };
+        Decision::Cap {
+            cap_w: budget.min(point.power_w * 1.02).max(self.opts.min_socket_w.min(budget)),
+            threads: point.config.threads as u32,
+        }
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        let r = obs.rank as usize;
+        self.iter_busy[r] += obs.duration_s;
+        self.epoch_busy[r] += obs.duration_s;
+        self.epoch_energy[r] += obs.duration_s * obs.power_w;
+    }
+
+    fn at_sync(&mut self, info: &SyncInfo) -> bool {
+        if !info.is_pcontrol {
+            return false;
+        }
+        self.pcontrols += 1;
+        self.last_wall_s = info.time_s - self.last_pcontrol_s;
+        self.last_pcontrol_s = info.time_s;
+        std::mem::swap(&mut self.last_iter_busy, &mut self.iter_busy);
+        self.iter_busy.iter_mut().for_each(|t| *t = 0.0);
+        std::mem::swap(&mut self.last_iter_fast, &mut self.iter_fast);
+        self.iter_fast.iter_mut().for_each(|t| *t = 0.0);
+        if self.pcontrols == self.opts.warmup_iterations {
+            // Exploration data is not representative of steady-state pace:
+            // start the measured phase with no stretch, no stale wall, and
+            // fresh epoch accumulators.
+            self.last_iter_busy.iter_mut().for_each(|t| *t = 0.0);
+            self.last_iter_fast.iter_mut().for_each(|t| *t = 0.0);
+            self.last_wall_s = 0.0;
+            self.epoch_energy.iter_mut().for_each(|e| *e = 0.0);
+            self.epoch_busy.iter_mut().for_each(|e| *e = 0.0);
+            self.epoch_demand_j.iter_mut().for_each(|e| *e = 0.0);
+            self.epoch_demand_s.iter_mut().for_each(|e| *e = 0.0);
+        }
+        // Reallocate as soon as one steady-state iteration of demand data
+        // exists, then every `realloc_period` Pcontrol periods.
+        if self.pcontrols > self.opts.warmup_iterations
+            && (self.pcontrols - self.opts.warmup_iterations - 1).is_multiple_of(self.opts.realloc_period)
+        {
+            self.reallocate();
+            return true; // charges the 566 µs reallocation overhead
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_apps::{comd, nasmz, AppParams};
+    use pcap_machine::MachineSpec;
+    use pcap_sim::{SimOptions, Simulator};
+
+    fn run_conductor(
+        g: &pcap_dag::TaskGraph,
+        m: &MachineSpec,
+        cap: f64,
+        ranks: u32,
+    ) -> (pcap_sim::SimResult, Conductor) {
+        let fr = TaskFrontiers::build(g, m);
+        let mut c = Conductor::new(cap, ranks, m.max_threads, fr, ConductorOptions::default());
+        let res = Simulator::new(g, m, SimOptions::default()).run(&mut c).unwrap();
+        (res, c)
+    }
+
+    #[test]
+    fn budgets_always_sum_to_job_cap() {
+        let m = MachineSpec::e5_2670();
+        let ranks = 8;
+        let g = nasmz::generate_bt(&AppParams { ranks, iterations: 12, seed: 3 });
+        let cap = ranks as f64 * 40.0;
+        let (res, c) = run_conductor(&g, &m, cap, ranks);
+        let total: f64 = (0..ranks).map(|r| c.budget(r)).sum();
+        assert!((total - cap).abs() < 1e-6, "budgets sum {total} vs cap {cap}");
+        assert!(res.respects_cap(cap), "max power {}", res.power.max_power());
+    }
+
+    #[test]
+    fn reallocation_favours_the_loaded_ranks() {
+        // BT-MZ: rank weights grow with rank id, so after reallocation the
+        // heaviest rank must hold a larger budget than the lightest.
+        let m = MachineSpec::e5_2670();
+        let ranks = 8;
+        let g = nasmz::generate_bt(&AppParams { ranks, iterations: 14, seed: 3 });
+        let cap = ranks as f64 * 35.0;
+        let (_res, c) = run_conductor(&g, &m, cap, ranks);
+        assert!(
+            c.budget(ranks - 1) > c.budget(0),
+            "heavy rank budget {} vs light rank budget {}",
+            c.budget(ranks - 1),
+            c.budget(0)
+        );
+    }
+
+    #[test]
+    fn conductor_beats_static_on_imbalanced_apps() {
+        use crate::statics::StaticPolicy;
+        let m = MachineSpec::e5_2670();
+        let ranks = 8;
+        let g = nasmz::generate_bt(&AppParams { ranks, iterations: 14, seed: 3 });
+        let cap = ranks as f64 * 35.0;
+        let (cond, _) = run_conductor(&g, &m, cap, ranks);
+        let stat = Simulator::new(&g, &m, SimOptions::default())
+            .run(&mut StaticPolicy::uniform(cap, ranks, 8))
+            .unwrap();
+        assert!(
+            cond.makespan_s < stat.makespan_s,
+            "conductor {} vs static {}",
+            cond.makespan_s,
+            stat.makespan_s
+        );
+    }
+
+    #[test]
+    fn warmup_explores_thread_counts() {
+        let m = MachineSpec::e5_2670();
+        let ranks = 4;
+        let g = comd::generate(&AppParams { ranks, iterations: 6, seed: 9 });
+        let (res, _) = run_conductor(&g, &m, ranks as f64 * 45.0, ranks);
+        // During the first iterations, distinct thread counts appear.
+        let first_iter_threads: std::collections::HashSet<u32> = res
+            .tasks
+            .iter()
+            .filter(|t| t.start_s < res.vertex_times.iter().cloned().fold(0.0, f64::max) * 0.2)
+            .map(|t| t.threads)
+            .collect();
+        assert!(first_iter_threads.len() >= 2, "{first_iter_threads:?}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # pcap-sched — runtime power-allocation algorithms
+//!
+//! The two contemporary algorithms the paper grades against its LP bound
+//! (§4), plus an ablation:
+//!
+//! * [`StaticPolicy`] — fixed, uniform socket caps with all hardware
+//!   threads; RAPL firmware does whatever it can under each cap. The
+//!   de-facto production scheme (§4.1) and the baseline of every figure.
+//! * [`Conductor`] — the adaptive runtime of Marathe et al. (ISC'15),
+//!   §4.2: per-task configuration selection from measured Pareto
+//!   frontiers, Adagio-style slowing of off-critical-path tasks, and
+//!   periodic power reallocation between ranks driven by (noisy, stale)
+//!   measurements.
+//! * [`ConfigOnly`] — configuration selection under uniform caps, without
+//!   reallocation (the paper's observation that selection alone leaves
+//!   performance on the table).
+//!
+//! All three implement [`pcap_sim::Policy`] and run unmodified through the
+//! discrete-event simulator.
+
+pub mod conductor;
+pub mod statics;
+
+pub use conductor::{Conductor, ConductorOptions};
+pub use statics::{ConfigOnly, StaticPolicy};

@@ -1,0 +1,89 @@
+//! Property-based tests of the runtime policies over random workloads.
+
+use pcap_apps::{CommPattern, Imbalance, SyntheticSpec};
+use pcap_core::TaskFrontiers;
+use pcap_machine::MachineSpec;
+use pcap_sched::{ConfigOnly, Conductor, ConductorOptions, StaticPolicy};
+use pcap_sim::{SimOptions, Simulator};
+use proptest::prelude::*;
+
+fn random_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        2u32..6,
+        4u32..9,
+        any::<u64>(),
+        0.5..5.0f64,
+        0.0..0.7f64,
+        prop_oneof![
+            Just(Imbalance::None),
+            (0.01..0.2f64).prop_map(Imbalance::Jitter),
+            (1.5..5.0f64).prop_map(Imbalance::Geometric),
+            (1.5..4.0f64).prop_map(Imbalance::Straggler),
+        ],
+        prop_oneof![Just(CommPattern::Collectives), Just(CommPattern::RingHalo)],
+    )
+        .prop_map(|(ranks, iterations, seed, work, mem, imbalance, comm)| SyntheticSpec {
+            ranks,
+            iterations,
+            seed,
+            task_serial_s: work,
+            mem_fraction: mem,
+            imbalance,
+            comm,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conductor keeps the instantaneous job power under the cap on any
+    /// workload, regardless of what its reallocation decides.
+    #[test]
+    fn conductor_cap_safety(spec in random_spec(), per_socket in 25.0..85.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let cap = per_socket * spec.ranks as f64;
+        let frontiers = TaskFrontiers::build(&g, &m);
+        let mut c = Conductor::new(cap, spec.ranks, m.max_threads, frontiers,
+            ConductorOptions::default());
+        let res = Simulator::new(&g, &m, SimOptions::default()).run(&mut c).unwrap();
+        prop_assert!(res.respects_cap(cap), "peak {} over cap {}", res.power.max_power(), cap);
+        // Budgets always partition the cap exactly.
+        let total: f64 = (0..spec.ranks).map(|r| c.budget(r)).sum();
+        prop_assert!((total - cap).abs() < 1e-6, "budgets {total} vs {cap}");
+    }
+
+    /// ConfigOnly and Static also never violate the cap.
+    #[test]
+    fn baselines_cap_safety(spec in random_spec(), per_socket in 25.0..85.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let cap = per_socket * spec.ranks as f64;
+        let sim = Simulator::new(&g, &m, SimOptions::default());
+        let st = sim.run(&mut StaticPolicy::uniform(cap, spec.ranks, m.max_threads)).unwrap();
+        prop_assert!(st.respects_cap(cap));
+        let frontiers = TaskFrontiers::build(&g, &m);
+        let co = sim
+            .run(&mut ConfigOnly::new(cap, spec.ranks, frontiers, m.max_threads))
+            .unwrap();
+        prop_assert!(co.respects_cap(cap));
+    }
+
+    /// Noisy profiling never makes Conductor unsafe (only slower).
+    #[test]
+    fn noisy_profiles_stay_safe(
+        spec in random_spec(),
+        per_socket in 30.0..80.0f64,
+        noise in 0.0..0.15f64,
+    ) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let cap = per_socket * spec.ranks as f64;
+        let frontiers = TaskFrontiers::build(&g, &m);
+        let opts = ConductorOptions { profile_noise_std: noise, ..Default::default() };
+        let mut c = Conductor::new(cap, spec.ranks, m.max_threads, frontiers, opts);
+        let res = Simulator::new(&g, &m, SimOptions::default()).run(&mut c).unwrap();
+        prop_assert!(res.respects_cap(cap), "peak {} cap {}", res.power.max_power(), cap);
+    }
+}

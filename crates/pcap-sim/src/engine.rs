@@ -1,0 +1,544 @@
+//! The discrete-event execution engine.
+
+use crate::policy::{Decision, Observation, Policy, SyncInfo};
+use crate::trace::{PowerInterval, PowerTrace, SimResult, TaskRecord};
+use pcap_dag::{EdgeId, EdgeKind, TaskGraph, VertexId, VertexKind};
+use pcap_machine::{MachineSpec, Rapl};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Simulator knobs. Overhead defaults come straight from the paper's §6.2
+/// measurements on Cab.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Instrumentation cost charged at every task start (per MPI call):
+    /// 34 µs median in the paper.
+    pub profiler_overhead_s: f64,
+    /// Cost of a DVFS/concurrency switch between configurations: 145 µs
+    /// median per task in the paper's replay runtime.
+    pub switch_overhead_s: f64,
+    /// Only switch configurations when the upcoming task is at least this
+    /// long (the paper's 1 ms replay threshold, §6.1).
+    pub switch_min_task_s: f64,
+    /// Cost of a power-reallocation step at a `MPI_Pcontrol` sync: 566 µs
+    /// in the paper.
+    pub realloc_overhead_s: f64,
+    /// Multiplicative std-dev of the measurement noise policies observe.
+    pub noise_std: f64,
+    /// PRNG seed for the noise channel.
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            profiler_overhead_s: 34e-6,
+            switch_overhead_s: 145e-6,
+            switch_min_task_s: 1e-3,
+            realloc_overhead_s: 566e-6,
+            noise_std: 0.02,
+            seed: 0xCAB,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Disables all overheads and noise — for analytic comparisons against
+    /// idealized schedules.
+    pub fn ideal() -> Self {
+        Self {
+            profiler_overhead_s: 0.0,
+            switch_overhead_s: 0.0,
+            switch_min_task_s: 0.0,
+            realloc_overhead_s: 0.0,
+            noise_std: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Fatal simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A task cannot make progress: its socket cap is at or below idle
+    /// power, so the firmware gates the clock entirely.
+    Stalled { task: usize, cap_w: f64 },
+    /// A pinned segment had a non-positive frequency or empty segment list.
+    BadSegments { task: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled { task, cap_w } => {
+                write!(f, "task {task} stalled: cap {cap_w} W is below idle power")
+            }
+            SimError::BadSegments { task } => write!(f, "task {task} has invalid segments"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy)]
+struct RankState {
+    /// Configuration of the last executed task: (freq GHz, threads,
+    /// activity) — drives slack power and switch detection.
+    last: Option<(f64, u32, f64)>,
+    /// End time of the rank's last task.
+    last_end_s: f64,
+}
+
+/// Event-queue key with total ordering on time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ev(f64, u32);
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Discrete-event simulator for one application run.
+///
+/// ```
+/// use pcap_dag::{GraphBuilder, VertexKind};
+/// use pcap_machine::{MachineSpec, TaskModel};
+/// use pcap_sim::{SimOptions, Simulator, UniformCapPolicy};
+///
+/// let mut b = GraphBuilder::new(1);
+/// let init = b.vertex(VertexKind::Init, None);
+/// let fin = b.vertex(VertexKind::Finalize, None);
+/// b.task(init, fin, 0, TaskModel::compute_bound(1.0));
+/// let graph = b.build().unwrap();
+///
+/// let machine = MachineSpec::e5_2670();
+/// let sim = Simulator::new(&graph, &machine, SimOptions::ideal());
+/// let res = sim.run(&mut UniformCapPolicy { cap_w: 60.0, threads: 8 }).unwrap();
+/// assert!(res.makespan_s > 0.0);
+/// assert!(res.power.max_power() <= 60.0 + 1e-9); // RAPL honours the cap
+/// ```
+pub struct Simulator<'a> {
+    graph: &'a TaskGraph,
+    machine: &'a MachineSpec,
+    opts: SimOptions,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `graph` on `machine`.
+    pub fn new(graph: &'a TaskGraph, machine: &'a MachineSpec, opts: SimOptions) -> Self {
+        Self { graph, machine, opts }
+    }
+
+    /// Runs the application to completion under `policy`.
+    pub fn run(&self, policy: &mut dyn Policy) -> Result<SimResult, SimError> {
+        let g = self.graph;
+        let nv = g.num_vertices();
+        let mut indeg: Vec<usize> = (0..nv).map(|i| g.in_edges(vid(i)).len()).collect();
+        let mut vtime = vec![0.0_f64; nv];
+        let mut queue: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+        let mut ranks =
+            vec![RankState { last: None, last_end_s: 0.0 }; g.num_ranks() as usize];
+        let mut intervals: Vec<PowerInterval> = Vec::new();
+        let mut records: Vec<TaskRecord> = Vec::new();
+        let mut pending_obs: Vec<Option<Observation>> = vec![None; g.num_edges()];
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut overhead_total = 0.0_f64;
+        let mut sync_count = 0u32;
+
+        // Fire the Init vertex.
+        let mut ready: Vec<VertexId> = vec![g.init_vertex()];
+
+        loop {
+            // Fire all ready vertices (their time is already final).
+            while let Some(v) = ready.pop() {
+                let mut t = vtime[v.index()];
+                let kind = g.vertex(v).kind;
+                if kind.is_global_sync() && kind != VertexKind::Init {
+                    let info = SyncInfo {
+                        time_s: t,
+                        is_pcontrol: kind == VertexKind::Pcontrol,
+                        sync_index: sync_count,
+                    };
+                    sync_count += 1;
+                    if policy.at_sync(&info) {
+                        t += self.opts.realloc_overhead_s;
+                        overhead_total += self.opts.realloc_overhead_s;
+                    }
+                }
+                for &e in g.out_edges(v) {
+                    let end = match &g.edge(e).kind {
+                        EdgeKind::Message { bytes, .. } => t + g.comm().message_time(*bytes),
+                        EdgeKind::Task { rank, model } => {
+                            let r = *rank as usize;
+                            let decision = policy.choose(e, *rank, t);
+                            let (segs, stalled) = self.resolve(model, &decision);
+                            if stalled {
+                                return Err(SimError::Stalled {
+                                    task: e.index(),
+                                    cap_w: match decision {
+                                        Decision::Cap { cap_w, .. } => cap_w,
+                                        _ => f64::NAN,
+                                    },
+                                });
+                            }
+                            if segs.is_empty() || segs.iter().any(|s| s.0 <= 0.0) {
+                                return Err(SimError::BadSegments { task: e.index() });
+                            }
+
+                            // Overheads: profiler at every MPI call, plus a
+                            // switch cost when the configuration changes and
+                            // the task is long enough to bother.
+                            let mut start = t + self.opts.profiler_overhead_s;
+                            overhead_total += self.opts.profiler_overhead_s;
+                            let first = (segs[0].0, segs[0].1);
+                            let nominal: f64 =
+                                segs.iter().map(|&(f, th, frac)| {
+                                    frac * model.duration(self.machine, f, th)
+                                }).sum();
+                            let switches = match ranks[r].last {
+                                Some((f, th, _)) if (f - first.0).abs() < 1e-9 && th == first.1 => {
+                                    segs.len() - 1
+                                }
+                                None => segs.len() - 1,
+                                Some(_) => segs.len(),
+                            };
+                            if nominal >= self.opts.switch_min_task_s && switches > 0 {
+                                let cost = switches as f64 * self.opts.switch_overhead_s;
+                                start += cost;
+                                overhead_total += cost;
+                            }
+
+                            // Slack interval while the rank waited for this
+                            // vertex (draws slack power of its previous
+                            // configuration; idle power before the first task).
+                            let slack_p = match ranks[r].last {
+                                Some((f, th, act)) => {
+                                    self.machine.slack_power(f, th, act)
+                                }
+                                None => self.machine.power.p_idle,
+                            };
+                            if start > ranks[r].last_end_s {
+                                intervals.push(PowerInterval {
+                                    start_s: ranks[r].last_end_s,
+                                    end_s: start,
+                                    power_w: slack_p,
+                                });
+                            }
+
+                            // Execute segments.
+                            let mut seg_t = start;
+                            let mut energy = 0.0;
+                            let mut freq_time = 0.0;
+                            for &(f, th, frac) in &segs {
+                                let d = frac * model.duration(self.machine, f, th);
+                                let p = model.power(self.machine, f, th);
+                                if d > 0.0 {
+                                    intervals.push(PowerInterval {
+                                        start_s: seg_t,
+                                        end_s: seg_t + d,
+                                        power_w: p,
+                                    });
+                                }
+                                energy += p * d;
+                                freq_time += f * d;
+                                seg_t += d;
+                            }
+                            let end = seg_t;
+                            let dur = end - start;
+                            let last_seg = *segs.last().unwrap();
+                            ranks[r].last = Some((last_seg.0, last_seg.1, model.activity));
+                            ranks[r].last_end_s = end;
+
+                            let avg_p = if dur > 0.0 { energy / dur } else { 0.0 };
+                            let avg_f = if dur > 0.0 { freq_time / dur } else { last_seg.0 };
+                            records.push(TaskRecord {
+                                task: e,
+                                rank: *rank,
+                                start_s: start,
+                                end_s: end,
+                                avg_power_w: avg_p,
+                                threads: last_seg.1,
+                                avg_freq_ghz: avg_f,
+                            });
+                            // Noisy measurement delivered at completion.
+                            let noise = |rng: &mut StdRng, std: f64| {
+                                if std == 0.0 {
+                                    1.0
+                                } else {
+                                    // Box-Muller.
+                                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                                    let u2: f64 = rng.gen_range(0.0..1.0);
+                                    let z = (-2.0 * u1.ln()).sqrt()
+                                        * (2.0 * std::f64::consts::PI * u2).cos();
+                                    (1.0 + std * z).max(0.01)
+                                }
+                            };
+                            pending_obs[e.index()] = Some(Observation {
+                                task: e,
+                                rank: *rank,
+                                duration_s: dur * noise(&mut rng, self.opts.noise_std),
+                                power_w: avg_p * noise(&mut rng, self.opts.noise_std),
+                                threads: last_seg.1,
+                                end_time_s: end,
+                            });
+                            end
+                        }
+                    };
+                    queue.push(Reverse(Ev(end, e.index() as u32)));
+                }
+            }
+
+            // Pop the next completion.
+            let Some(Reverse(Ev(t, eidx))) = queue.pop() else {
+                break;
+            };
+            let e = EdgeId::from_index(eidx as usize);
+            if let Some(obs) = pending_obs[eidx as usize].take() {
+                policy.observe(&obs);
+            }
+            let dst = self.graph.edge(e).dst;
+            if t > vtime[dst.index()] {
+                vtime[dst.index()] = t;
+            }
+            indeg[dst.index()] -= 1;
+            if indeg[dst.index()] == 0 {
+                ready.push(dst);
+            }
+        }
+
+        let makespan = vtime[g.finalize_vertex().index()];
+        // Trailing slack until Finalize for every rank.
+        for r in ranks.iter() {
+            if makespan > r.last_end_s {
+                let p = match r.last {
+                    Some((f, th, act)) => self.machine.slack_power(f, th, act),
+                    None => self.machine.power.p_idle,
+                };
+                intervals.push(PowerInterval {
+                    start_s: r.last_end_s,
+                    end_s: makespan,
+                    power_w: p,
+                });
+            }
+        }
+
+        Ok(SimResult {
+            makespan_s: makespan,
+            tasks: records,
+            power: PowerTrace::from_intervals(&intervals),
+            overhead_s: overhead_total,
+            vertex_times: vtime,
+        })
+    }
+
+    /// Resolves a decision into pinned segments `(f_ghz, threads, fraction)`.
+    /// The boolean reports a stall (cap below idle).
+    fn resolve(
+        &self,
+        model: &pcap_machine::TaskModel,
+        decision: &Decision,
+    ) -> (Vec<(f64, u32, f64)>, bool) {
+        match decision {
+            Decision::Cap { cap_w, threads } => {
+                let f = Rapl::new(*cap_w).effective_frequency(self.machine, model, *threads);
+                if f <= 0.0 {
+                    (vec![], true)
+                } else {
+                    (vec![(f, *threads, 1.0)], false)
+                }
+            }
+            Decision::Pinned { segments } => {
+                let total: f64 = segments.iter().map(|s| s.work_fraction).sum();
+                if segments.is_empty() || total <= 0.0 {
+                    return (vec![], false);
+                }
+                (
+                    segments
+                        .iter()
+                        .filter(|s| s.work_fraction > 0.0)
+                        .map(|s| (s.f_ghz, s.threads, s.work_fraction / total))
+                        .collect(),
+                    false,
+                )
+            }
+        }
+    }
+}
+
+fn vid(i: usize) -> VertexId {
+    // Safe: the graph guarantees dense indices.
+    VertexId::from_index(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::UniformCapPolicy;
+    use pcap_apps::{comd, AppParams};
+    use pcap_dag::{GraphBuilder, VertexKind};
+    use pcap_machine::TaskModel;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::e5_2670()
+    }
+
+    fn two_rank_graph() -> TaskGraph {
+        let mut b = GraphBuilder::new(2);
+        let init = b.vertex(VertexKind::Init, None);
+        let coll = b.vertex(VertexKind::Collective, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        b.task(init, coll, 0, TaskModel::compute_bound(1.0));
+        b.task(init, coll, 1, TaskModel::compute_bound(2.0));
+        b.task(coll, fin, 0, TaskModel::compute_bound(1.0));
+        b.task(coll, fin, 1, TaskModel::compute_bound(0.5));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn makespan_matches_analytic_value_without_overheads() {
+        let g = two_rank_graph();
+        let m = machine();
+        let sim = Simulator::new(&g, &m, SimOptions::ideal());
+        let mut pol = UniformCapPolicy { cap_w: 200.0, threads: 8 };
+        let res = sim.run(&mut pol).unwrap();
+        // Uncapped: every task at fmax with 8 threads.
+        let d = |w: f64| TaskModel::compute_bound(w).duration(&m, 2.6, 8);
+        let expected = d(2.0) + d(1.0);
+        assert!((res.makespan_s - expected).abs() < 1e-9);
+        assert_eq!(res.tasks.len(), 4);
+    }
+
+    #[test]
+    fn overheads_increase_makespan() {
+        let g = two_rank_graph();
+        let m = machine();
+        let ideal = Simulator::new(&g, &m, SimOptions::ideal())
+            .run(&mut UniformCapPolicy { cap_w: 200.0, threads: 8 })
+            .unwrap();
+        let real = Simulator::new(&g, &m, SimOptions::default())
+            .run(&mut UniformCapPolicy { cap_w: 200.0, threads: 8 })
+            .unwrap();
+        assert!(real.makespan_s > ideal.makespan_s);
+        assert!(real.overhead_s > 0.0);
+    }
+
+    #[test]
+    fn uniform_cap_bounds_job_power() {
+        let g = two_rank_graph();
+        let m = machine();
+        let sim = Simulator::new(&g, &m, SimOptions::ideal());
+        let cap = 40.0;
+        let res = sim.run(&mut UniformCapPolicy { cap_w: cap, threads: 8 }).unwrap();
+        assert!(res.respects_cap(cap * 2.0), "max {}", res.power.max_power());
+    }
+
+    #[test]
+    fn tighter_caps_run_slower() {
+        let g = two_rank_graph();
+        let m = machine();
+        let sim = Simulator::new(&g, &m, SimOptions::ideal());
+        let mut prev = 0.0;
+        for cap in [80.0, 60.0, 45.0, 35.0, 28.0] {
+            let res = sim.run(&mut UniformCapPolicy { cap_w: cap, threads: 8 }).unwrap();
+            assert!(res.makespan_s >= prev, "cap {cap}");
+            prev = res.makespan_s;
+        }
+    }
+
+    #[test]
+    fn impossible_cap_stalls() {
+        let g = two_rank_graph();
+        let m = machine();
+        let sim = Simulator::new(&g, &m, SimOptions::ideal());
+        let err = sim.run(&mut UniformCapPolicy { cap_w: 10.0, threads: 8 }).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }));
+    }
+
+    #[test]
+    fn pinned_segments_execute_in_order() {
+        struct PinBoth;
+        impl Policy for PinBoth {
+            fn choose(&mut self, _t: EdgeId, _r: u32, _n: f64) -> Decision {
+                Decision::Pinned {
+                    segments: vec![
+                        crate::policy::Segment { f_ghz: 2.6, threads: 8, work_fraction: 0.5 },
+                        crate::policy::Segment { f_ghz: 1.2, threads: 4, work_fraction: 0.5 },
+                    ],
+                }
+            }
+        }
+        let g = two_rank_graph();
+        let m = machine();
+        let res = Simulator::new(&g, &m, SimOptions::ideal()).run(&mut PinBoth).unwrap();
+        let model = TaskModel::compute_bound(2.0);
+        let expected =
+            0.5 * model.duration(&m, 2.6, 8) + 0.5 * model.duration(&m, 1.2, 4);
+        let longest = res
+            .tasks
+            .iter()
+            .map(|t| t.duration())
+            .fold(0.0_f64, f64::max);
+        assert!((longest - expected).abs() < 1e-9, "{longest} vs {expected}");
+    }
+
+    #[test]
+    fn slack_power_appears_between_tasks() {
+        // Rank 0 finishes its 1.0 task early and waits for rank 1's 2.0
+        // task; during the wait the job draws rank-0 slack + rank-1 busy.
+        let g = two_rank_graph();
+        let m = machine();
+        let res = Simulator::new(&g, &m, SimOptions::ideal())
+            .run(&mut UniformCapPolicy { cap_w: 200.0, threads: 8 })
+            .unwrap();
+        let model = TaskModel::compute_bound(1.0);
+        let t_short = model.duration(&m, 2.6, 8);
+        // Probe the window between rank 0 finishing and the collective.
+        let probe = t_short * 1.5;
+        let busy = m.socket_power(2.6, 8, 1.0);
+        let slack = m.slack_power(2.6, 8, 1.0);
+        let p = res.power.power_at(probe);
+        assert!((p - (busy + slack)).abs() < 1e-6, "p {p} busy {busy} slack {slack}");
+    }
+
+    #[test]
+    fn comd_app_runs_end_to_end() {
+        let g = comd::generate(&AppParams { ranks: 8, iterations: 3, seed: 1 });
+        let m = machine();
+        let res = Simulator::new(&g, &m, SimOptions::default())
+            .run(&mut UniformCapPolicy { cap_w: 50.0, threads: 8 })
+            .unwrap();
+        assert!(res.makespan_s > 0.0);
+        assert_eq!(res.tasks.len(), g.num_tasks());
+        assert!(res.respects_cap(50.0 * 8.0 + 1.0));
+    }
+
+    #[test]
+    fn observations_are_delivered_in_completion_order() {
+        struct Recorder(Vec<f64>);
+        impl Policy for Recorder {
+            fn choose(&mut self, _t: EdgeId, _r: u32, _n: f64) -> Decision {
+                Decision::Cap { cap_w: 200.0, threads: 8 }
+            }
+            fn observe(&mut self, obs: &Observation) {
+                self.0.push(obs.end_time_s);
+            }
+        }
+        let g = two_rank_graph();
+        let m = machine();
+        let mut rec = Recorder(vec![]);
+        Simulator::new(&g, &m, SimOptions::ideal()).run(&mut rec).unwrap();
+        assert_eq!(rec.0.len(), 4);
+        for w in rec.0.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # pcap-sim — discrete-event cluster simulator
+//!
+//! Stands in for the paper's Cab cluster runs: executes an application
+//! [`pcap_dag::TaskGraph`] under a power-allocation [`Policy`], producing
+//! per-task records, a job-level instantaneous power trace, and the
+//! makespan. It models what the paper measures:
+//!
+//! * **RAPL capping** — a task launched under a socket cap runs at the
+//!   highest effective frequency fitting the cap ([`pcap_machine::Rapl`]),
+//!   including clock modulation below the lowest DVFS state;
+//! * **slack power** — a rank blocked in MPI draws
+//!   [`pcap_machine::MachineSpec::slack_power`] of its last configuration;
+//! * **overheads** (paper §6.2) — profiler cost per MPI call, DVFS/config
+//!   switch latency between tasks, and power-reallocation cost at
+//!   `MPI_Pcontrol` synchronization points;
+//! * **measurement noise** — policies observe task duration/power through a
+//!   multiplicative noise channel, which is what makes adaptive runtimes
+//!   (Conductor) occasionally misjudge the critical path, as the paper
+//!   reports for SP-MZ.
+//!
+//! Replaying an LP schedule (paper §6.1) is just another policy:
+//! [`replay::ReplayPolicy`] pins each task to the schedule's configuration
+//! segments, and the resulting power trace verifies the job-level cap.
+
+pub mod engine;
+pub mod policy;
+pub mod replay;
+pub mod trace;
+
+pub use engine::{SimOptions, Simulator};
+pub use policy::{Decision, Observation, Policy, Segment, SyncInfo, UniformCapPolicy};
+pub use replay::{ConfigSchedule, ReplayPolicy};
+pub use trace::{PowerTrace, SimResult, TaskRecord};

@@ -1,0 +1,90 @@
+//! The policy interface between the simulator and power-allocation runtimes.
+
+use pcap_dag::EdgeId;
+
+/// One pinned execution segment: run `work_fraction` of the task at the
+/// given operating point. Used by schedule replay to realize the LP's
+/// continuous configurations as a mid-task switch between two discrete
+/// frontier configurations (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Effective frequency in GHz (a real DVFS state when replaying
+    /// discrete schedules; any positive value for analysis runs).
+    pub f_ghz: f64,
+    /// OpenMP threads.
+    pub threads: u32,
+    /// Fraction of the task's work done in this segment (fractions over a
+    /// task sum to 1).
+    pub work_fraction: f64,
+}
+
+/// A runtime decision for one ready task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Run under a RAPL socket cap with a chosen thread count; the firmware
+    /// model picks the effective frequency. This is how Static and
+    /// Conductor actually drive the hardware.
+    Cap { cap_w: f64, threads: u32 },
+    /// Pin explicit configuration segments (schedule replay).
+    Pinned { segments: Vec<Segment> },
+}
+
+/// What a policy gets to see after a task completes. Duration and power pass
+/// through the simulator's measurement-noise channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    pub task: EdgeId,
+    pub rank: u32,
+    /// Measured (noisy) wall-clock duration in seconds.
+    pub duration_s: f64,
+    /// Measured (noisy) average socket power in watts.
+    pub power_w: f64,
+    /// Threads the task ran with.
+    pub threads: u32,
+    /// Simulation time at completion.
+    pub end_time_s: f64,
+}
+
+/// Context delivered at a global synchronization vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncInfo {
+    /// Simulation time of the synchronization.
+    pub time_s: f64,
+    /// True when this vertex is an `MPI_Pcontrol` iteration marker.
+    pub is_pcontrol: bool,
+    /// Index of this sync among syncs seen so far.
+    pub sync_index: u32,
+}
+
+/// A power-allocation runtime under evaluation.
+pub trait Policy {
+    /// Chooses how to run `task` (on `rank`), which became ready at `now`.
+    fn choose(&mut self, task: EdgeId, rank: u32, now: f64) -> Decision;
+
+    /// Receives a (noisy) measurement after a task completes.
+    fn observe(&mut self, _obs: &Observation) {}
+
+    /// Called when a global synchronization vertex fires. Returning `true`
+    /// means the policy performed a power-reallocation step, which charges
+    /// the reallocation overhead to all ranks (paper §6.2: 566 µs).
+    fn at_sync(&mut self, _info: &SyncInfo) -> bool {
+        false
+    }
+}
+
+/// The simplest policy: every socket runs every task under the same RAPL cap
+/// with all hardware threads — the de-facto "Static" production scheme
+/// (paper §4.1) and the simulator's test workhorse.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformCapPolicy {
+    /// Per-socket cap in watts.
+    pub cap_w: f64,
+    /// Threads per socket (Static uses the core count).
+    pub threads: u32,
+}
+
+impl Policy for UniformCapPolicy {
+    fn choose(&mut self, _task: EdgeId, _rank: u32, _now: f64) -> Decision {
+        Decision::Cap { cap_w: self.cap_w, threads: self.threads }
+    }
+}

@@ -1,0 +1,168 @@
+//! Schedule replay: executing an explicit per-task plan.
+//!
+//! The paper validates its LP/ILP schedules by replaying them on the real
+//! benchmarks (§6.1): a runtime switches the configuration at every MPI call
+//! according to the prescribed schedule, with RAPL enforcing each socket's
+//! power allocation. Here the same role is played by [`ReplayPolicy`], which
+//! executes the per-task [`Decision`]s recorded in a [`ConfigSchedule`];
+//! running it through the simulator checks both that the schedule is
+//! *realizable* (precedence holds, makespan matches) and that the job-level
+//! power constraint is respected.
+//!
+//! Two kinds of plans arise from LP schedules:
+//!
+//! * **Pinned segments** — the literal mid-task configuration switch that
+//!   realizes a continuous configuration. Durations reproduce the LP
+//!   exactly, but while two overlapping tasks are both in their high-power
+//!   segment the *instantaneous* job power can transiently exceed the cap
+//!   (the averages still satisfy it).
+//! * **Per-task RAPL caps** — each socket is capped at the task's allocated
+//!   average power, as the paper's replay runtime does. Instantaneous
+//!   compliance is then guaranteed; durations land on the machine's true
+//!   (convex) power/time curve, at or below the LP's chord interpolation
+//!   when the thread count matches.
+
+use crate::policy::{Decision, Policy};
+use pcap_dag::EdgeId;
+
+/// A complete plan: for every task edge, the [`Decision`] to execute.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigSchedule {
+    /// Indexed by edge id; `None` for message edges or unscheduled tasks.
+    decisions: Vec<Option<Decision>>,
+}
+
+impl ConfigSchedule {
+    /// An empty schedule able to hold `num_edges` entries.
+    pub fn new(num_edges: usize) -> Self {
+        Self { decisions: vec![None; num_edges] }
+    }
+
+    /// Assigns the decision of one task.
+    pub fn set(&mut self, task: EdgeId, decision: Decision) {
+        if task.index() >= self.decisions.len() {
+            self.decisions.resize(task.index() + 1, None);
+        }
+        self.decisions[task.index()] = Some(decision);
+    }
+
+    /// Looks up a task's plan.
+    pub fn get(&self, task: EdgeId) -> Option<&Decision> {
+        self.decisions.get(task.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Number of scheduled tasks.
+    pub fn len(&self) -> usize {
+        self.decisions.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no task has a plan.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Policy that replays a [`ConfigSchedule`]. Tasks missing from the schedule
+/// fall back to the given default cap and thread count (used for the tiny
+/// bookkeeping stubs the formulations don't bother scheduling).
+#[derive(Debug, Clone)]
+pub struct ReplayPolicy {
+    schedule: ConfigSchedule,
+    /// Fallback for unscheduled tasks.
+    pub fallback_cap_w: f64,
+    /// Fallback thread count.
+    pub fallback_threads: u32,
+}
+
+impl ReplayPolicy {
+    /// Creates a replay policy with the given fallback operating point.
+    pub fn new(schedule: ConfigSchedule, fallback_cap_w: f64, fallback_threads: u32) -> Self {
+        Self { schedule, fallback_cap_w, fallback_threads }
+    }
+}
+
+impl Policy for ReplayPolicy {
+    fn choose(&mut self, task: EdgeId, _rank: u32, _now: f64) -> Decision {
+        match self.schedule.get(task) {
+            Some(d) => d.clone(),
+            None => Decision::Cap { cap_w: self.fallback_cap_w, threads: self.fallback_threads },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimOptions, Simulator};
+    use crate::policy::Segment;
+    use pcap_dag::{GraphBuilder, VertexKind};
+    use pcap_machine::{MachineSpec, TaskModel};
+
+    #[test]
+    fn replay_pins_configurations() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let t = b.task(init, fin, 0, TaskModel::compute_bound(1.0));
+        let g = b.build().unwrap();
+        let m = MachineSpec::e5_2670();
+
+        let mut sched = ConfigSchedule::new(g.num_edges());
+        sched.set(
+            t,
+            Decision::Pinned {
+                segments: vec![Segment { f_ghz: 1.5, threads: 4, work_fraction: 1.0 }],
+            },
+        );
+        let mut pol = ReplayPolicy::new(sched, 100.0, 8);
+        let res = Simulator::new(&g, &m, SimOptions::ideal()).run(&mut pol).unwrap();
+        let expected = TaskModel::compute_bound(1.0).duration(&m, 1.5, 4);
+        assert!((res.makespan_s - expected).abs() < 1e-9);
+        assert_eq!(res.tasks[0].threads, 4);
+    }
+
+    #[test]
+    fn replay_cap_decisions_go_through_rapl() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let t = b.task(init, fin, 0, TaskModel::compute_bound(1.0));
+        let g = b.build().unwrap();
+        let m = MachineSpec::e5_2670();
+        let mut sched = ConfigSchedule::new(g.num_edges());
+        sched.set(t, Decision::Cap { cap_w: 45.0, threads: 8 });
+        let mut pol = ReplayPolicy::new(sched, 100.0, 8);
+        let res = Simulator::new(&g, &m, SimOptions::ideal()).run(&mut pol).unwrap();
+        assert!(res.power.max_power() <= 45.0 + 1e-9);
+    }
+
+    #[test]
+    fn unscheduled_tasks_use_fallback() {
+        let mut b = GraphBuilder::new(1);
+        let init = b.vertex(VertexKind::Init, None);
+        let fin = b.vertex(VertexKind::Finalize, None);
+        let _t = b.task(init, fin, 0, TaskModel::compute_bound(1.0));
+        let g = b.build().unwrap();
+        let m = MachineSpec::e5_2670();
+        let mut pol = ReplayPolicy::new(ConfigSchedule::new(g.num_edges()), 200.0, 8);
+        let res = Simulator::new(&g, &m, SimOptions::ideal()).run(&mut pol).unwrap();
+        let expected = TaskModel::compute_bound(1.0).duration(&m, 2.6, 8);
+        assert!((res.makespan_s - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_accessors() {
+        let mut s = ConfigSchedule::new(2);
+        assert!(s.is_empty());
+        let seg = Decision::Pinned {
+            segments: vec![Segment { f_ghz: 2.0, threads: 2, work_fraction: 1.0 }],
+        };
+        s.set(EdgeId::from_index(1), seg);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(EdgeId::from_index(0)).is_none());
+        assert!(s.get(EdgeId::from_index(1)).is_some());
+        // Out-of-range set grows the table.
+        s.set(EdgeId::from_index(5), Decision::Cap { cap_w: 30.0, threads: 1 });
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation outputs: task records and job power traces.
+
+use pcap_dag::EdgeId;
+
+/// Execution record of one computation task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    pub task: EdgeId,
+    pub rank: u32,
+    /// Start of execution (after any switch/profiler overheads).
+    pub start_s: f64,
+    /// End of execution.
+    pub end_s: f64,
+    /// Time-averaged socket power over the execution.
+    pub avg_power_w: f64,
+    /// Threads used (of the last segment when pinned schedules switch).
+    pub threads: u32,
+    /// Time-averaged effective frequency in GHz.
+    pub avg_freq_ghz: f64,
+}
+
+impl TaskRecord {
+    /// Wall-clock duration.
+    pub fn duration(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// A step-function power interval contributed by one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PowerInterval {
+    pub start_s: f64,
+    pub end_s: f64,
+    pub power_w: f64,
+}
+
+/// Job-level instantaneous power as a step function of time, assembled from
+/// every rank's busy/slack/idle intervals.
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    /// Breakpoint times, ascending.
+    times: Vec<f64>,
+    /// Power on `[times[i], times[i+1])`; `powers.len() == times.len() - 1`.
+    powers: Vec<f64>,
+}
+
+impl PowerTrace {
+    pub(crate) fn from_intervals(intervals: &[PowerInterval]) -> Self {
+        if intervals.is_empty() {
+            return Self { times: vec![0.0], powers: vec![] };
+        }
+        let mut times: Vec<f64> = intervals
+            .iter()
+            .flat_map(|iv| [iv.start_s, iv.end_s])
+            .filter(|t| t.is_finite())
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let mut powers = vec![0.0; times.len().saturating_sub(1)];
+        for iv in intervals {
+            if iv.end_s <= iv.start_s {
+                continue;
+            }
+            let lo = times.partition_point(|&t| t < iv.start_s - 1e-12);
+            for k in lo..powers.len() {
+                if times[k] >= iv.end_s - 1e-12 {
+                    break;
+                }
+                powers[k] += iv.power_w;
+            }
+        }
+        Self { times, powers }
+    }
+
+    /// Peak instantaneous job power.
+    pub fn max_power(&self) -> f64 {
+        self.powers.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Power at time `t` (0 outside the trace).
+    pub fn power_at(&self, t: f64) -> f64 {
+        if self.powers.is_empty() || t < self.times[0] || t >= *self.times.last().unwrap() {
+            return 0.0;
+        }
+        let k = self.times.partition_point(|&x| x <= t).saturating_sub(1);
+        self.powers.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Time-averaged power over the trace span.
+    pub fn average_power(&self) -> f64 {
+        let span = self.times.last().unwrap() - self.times[0];
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.energy_j() / span
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.powers
+            .iter()
+            .zip(self.times.windows(2))
+            .map(|(p, w)| p * (w[1] - w[0]))
+            .sum()
+    }
+
+    /// Breakpoints and step values, for plotting/export.
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.powers.iter().copied())
+    }
+}
+
+/// Complete result of one simulated application run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time of `MPI_Finalize`.
+    pub makespan_s: f64,
+    /// One record per computation task.
+    pub tasks: Vec<TaskRecord>,
+    /// Job-level instantaneous power.
+    pub power: PowerTrace,
+    /// Total switch + profiler + reallocation overhead charged (seconds,
+    /// summed across ranks).
+    pub overhead_s: f64,
+    /// Realized time of every DAG vertex (indexed by vertex) — used e.g. to
+    /// discard warm-up iterations by reading `MPI_Pcontrol` vertex times.
+    pub vertex_times: Vec<f64>,
+}
+
+impl SimResult {
+    /// True when instantaneous job power never exceeds `cap_w` (with a
+    /// relative tolerance for float accumulation).
+    pub fn respects_cap(&self, cap_w: f64) -> bool {
+        self.power.max_power() <= cap_w * (1.0 + 1e-9) + 1e-9
+    }
+
+    /// Records of tasks longer than `min_duration_s` — the paper's Figure 12
+    /// and Table 3 filter ("long-running tasks").
+    pub fn long_tasks(&self, min_duration_s: f64) -> Vec<&TaskRecord> {
+        self.tasks.iter().filter(|t| t.duration() >= min_duration_s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: f64, e: f64, p: f64) -> PowerInterval {
+        PowerInterval { start_s: s, end_s: e, power_w: p }
+    }
+
+    #[test]
+    fn trace_sums_overlapping_intervals() {
+        let tr = PowerTrace::from_intervals(&[iv(0.0, 2.0, 10.0), iv(1.0, 3.0, 5.0)]);
+        assert_eq!(tr.power_at(0.5), 10.0);
+        assert_eq!(tr.power_at(1.5), 15.0);
+        assert_eq!(tr.power_at(2.5), 5.0);
+        assert_eq!(tr.max_power(), 15.0);
+        assert!((tr.energy_j() - (10.0 * 2.0 + 5.0 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_span() {
+        let tr = PowerTrace::from_intervals(&[iv(0.0, 4.0, 8.0)]);
+        assert!((tr.average_power() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let tr = PowerTrace::from_intervals(&[]);
+        assert_eq!(tr.max_power(), 0.0);
+        assert_eq!(tr.power_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_ignored() {
+        let tr = PowerTrace::from_intervals(&[iv(1.0, 1.0, 100.0), iv(0.0, 2.0, 3.0)]);
+        assert_eq!(tr.max_power(), 3.0);
+    }
+}

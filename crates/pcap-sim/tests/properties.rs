@@ -1,0 +1,138 @@
+//! Property-based tests of the discrete-event simulator: conservation and
+//! consistency laws that must hold for any application and any policy.
+
+use pcap_apps::{CommPattern, Imbalance, SyntheticSpec};
+use pcap_machine::MachineSpec;
+use pcap_sim::{SimOptions, Simulator, UniformCapPolicy};
+use proptest::prelude::*;
+
+fn random_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        2u32..6,
+        1u32..4,
+        any::<u64>(),
+        0.1..4.0f64,
+        0.0..0.8f64,
+        prop_oneof![
+            Just(CommPattern::Collectives),
+            Just(CommPattern::RingHalo),
+            Just(CommPattern::HaloThenCollective),
+        ],
+        0.0..0.15f64,
+    )
+        .prop_map(|(ranks, iterations, seed, work, mem, comm, imb)| SyntheticSpec {
+            ranks,
+            iterations,
+            seed,
+            task_serial_s: work,
+            mem_fraction: mem,
+            comm,
+            imbalance: Imbalance::Jitter(imb),
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every task executes exactly once and fits inside the makespan.
+    #[test]
+    fn every_task_runs_once(spec in random_spec(), cap in 25.0..90.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let mut p = UniformCapPolicy { cap_w: cap, threads: 8 };
+        let res = Simulator::new(&g, &m, SimOptions::default()).run(&mut p).unwrap();
+        prop_assert_eq!(res.tasks.len(), g.num_tasks());
+        let mut seen = vec![false; g.num_edges()];
+        for t in &res.tasks {
+            prop_assert!(!seen[t.task.index()], "task ran twice");
+            seen[t.task.index()] = true;
+            prop_assert!(t.start_s >= -1e-12);
+            prop_assert!(t.end_s <= res.makespan_s + 1e-9);
+            prop_assert!(t.end_s >= t.start_s);
+        }
+    }
+
+    /// Tasks of the same rank never overlap in time.
+    #[test]
+    fn rank_serialization(spec in random_spec(), cap in 25.0..90.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let mut p = UniformCapPolicy { cap_w: cap, threads: 8 };
+        let res = Simulator::new(&g, &m, SimOptions::default()).run(&mut p).unwrap();
+        let mut by_rank: Vec<Vec<(f64, f64)>> = vec![Vec::new(); g.num_ranks() as usize];
+        for t in &res.tasks {
+            by_rank[t.rank as usize].push((t.start_s, t.end_s));
+        }
+        for spans in &mut by_rank {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9, "rank overlaps: {w:?}");
+            }
+        }
+    }
+
+    /// Job power never exceeds ranks x cap, and energy is consistent with
+    /// the average-power x span identity.
+    #[test]
+    fn power_accounting(spec in random_spec(), cap in 25.0..90.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let mut p = UniformCapPolicy { cap_w: cap, threads: 8 };
+        let res = Simulator::new(&g, &m, SimOptions::ideal()).run(&mut p).unwrap();
+        prop_assert!(res.respects_cap(cap * g.num_ranks() as f64));
+        let avg = res.power.average_power();
+        let energy = res.power.energy_j();
+        prop_assert!((avg * res.makespan_s - energy).abs() <= 1e-6 * energy.max(1.0));
+        prop_assert!(res.power.max_power() >= avg - 1e-9);
+    }
+
+    /// The realized vertex times respect every precedence edge.
+    #[test]
+    fn vertex_times_respect_precedence(spec in random_spec(), cap in 25.0..90.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let mut p = UniformCapPolicy { cap_w: cap, threads: 8 };
+        let res = Simulator::new(&g, &m, SimOptions::default()).run(&mut p).unwrap();
+        for (_, e) in g.iter_edges() {
+            prop_assert!(
+                res.vertex_times[e.dst.index()] >= res.vertex_times[e.src.index()] - 1e-9
+            );
+        }
+        prop_assert!(
+            (res.vertex_times[g.finalize_vertex().index()] - res.makespan_s).abs() < 1e-9
+        );
+    }
+
+    /// Overheads only ever slow things down, and by no more than their sum.
+    #[test]
+    fn overhead_bounds(spec in random_spec(), cap in 30.0..90.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let ideal = Simulator::new(&g, &m, SimOptions::ideal())
+            .run(&mut UniformCapPolicy { cap_w: cap, threads: 8 })
+            .unwrap();
+        let real = Simulator::new(&g, &m, SimOptions::default())
+            .run(&mut UniformCapPolicy { cap_w: cap, threads: 8 })
+            .unwrap();
+        prop_assert!(real.makespan_s >= ideal.makespan_s - 1e-9);
+        prop_assert!(real.makespan_s <= ideal.makespan_s + real.overhead_s + 1e-9);
+    }
+
+    /// Determinism: identical runs produce identical traces.
+    #[test]
+    fn deterministic(spec in random_spec(), cap in 25.0..90.0f64) {
+        let m = MachineSpec::e5_2670();
+        let g = spec.generate();
+        let run = || {
+            Simulator::new(&g, &m, SimOptions::default())
+                .run(&mut UniformCapPolicy { cap_w: cap, threads: 8 })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan_s, b.makespan_s);
+        prop_assert_eq!(a.overhead_s, b.overhead_s);
+        prop_assert_eq!(a.tasks.len(), b.tasks.len());
+    }
+}

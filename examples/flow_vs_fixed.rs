@@ -1,0 +1,48 @@
+//! Exact vs. fixed-order scheduling on the two-rank asynchronous message
+//! exchange of the paper's Figures 2 and 8: solve both the flow ILP (exact,
+//! solver-chosen event order) and the fixed-vertex-order LP, and show how
+//! closely they agree.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example flow_vs_fixed
+//! ```
+
+use pcap_apps::exchange::{generate, ExchangeParams};
+use pcap_core::{solve_fixed_order, solve_flow, FixedLpOptions, FlowOptions, TaskFrontiers};
+use pcap_machine::MachineSpec;
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let graph = generate(&ExchangeParams::default());
+    println!(
+        "exchange DAG: {} vertices, {} edges ({} computation tasks)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_tasks()
+    );
+    let frontiers = TaskFrontiers::build(&graph, &machine);
+
+    println!("{:>12}  {:>10}  {:>10}  {:>8}", "total W", "fixed LP", "flow ILP", "gap");
+    for cap in [55.0, 65.0, 75.0, 85.0, 95.0] {
+        let fixed =
+            solve_fixed_order(&graph, &machine, &frontiers, cap, &FixedLpOptions::default());
+        let flow = solve_flow(&graph, &machine, &frontiers, cap, &FlowOptions::default());
+        match (fixed, flow) {
+            (Ok(fx), Ok(fl)) => {
+                println!(
+                    "{cap:>12.0}  {:>10.4}  {:>10.4}  {:>7.2}%",
+                    fx.makespan_s,
+                    fl.makespan_s,
+                    (fx.makespan_s / fl.makespan_s - 1.0) * 100.0
+                );
+            }
+            _ => println!("{cap:>12.0}  infeasible"),
+        }
+    }
+    println!(
+        "\nThe flow ILP may reorder events and so can only be faster; the paper \
+         (Figure 8)\nfinds the two agree within 1.9% on nearly all power limits — \
+         justifying the\npolynomial-time fixed-order LP as the bound generator."
+    );
+}

@@ -1,0 +1,59 @@
+//! Power-cap sweep on a LULESH-like workload: compare the LP upper bound
+//! against the Static and Conductor runtimes across per-socket caps — a
+//! miniature of the paper's Figure 15 pipeline, sized to run in seconds.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example lulesh_sweep
+//! ```
+
+use pcap_apps::{lulesh, AppParams};
+use pcap_bench::measured_region;
+use pcap_core::{solve_decomposed, FixedLpOptions, TaskFrontiers};
+use pcap_machine::MachineSpec;
+use pcap_sched::{Conductor, ConductorOptions, StaticPolicy};
+use pcap_sim::{SimOptions, Simulator};
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+    let ranks = 8u32;
+    // 3 warm-up iterations (Conductor's exploration phase, discarded from
+    // all measurements, as in the paper) + 8 measured ones.
+    let warmup = 3u32;
+    let graph = lulesh::generate(&AppParams { ranks, iterations: warmup + 8, seed: 7 });
+    let frontiers = TaskFrontiers::build(&graph, &machine);
+
+    println!("{:>9}  {:>9}  {:>9}  {:>9}  {:>12}", "W/socket", "LP (s)", "Static", "Conductor", "LP headroom");
+    for per_socket in [40.0, 50.0, 60.0, 70.0, 80.0] {
+        let cap = per_socket * ranks as f64;
+        let lp = solve_decomposed(&graph, &machine, &frontiers, cap, &FixedLpOptions::default())
+            .map(|s| measured_region(&graph, &s.vertex_times, warmup));
+
+        let mut st = StaticPolicy::uniform(cap, ranks, machine.max_threads);
+        let static_s = Simulator::new(&graph, &machine, SimOptions::default())
+            .run(&mut st)
+            .map(|r| measured_region(&graph, &r.vertex_times, warmup));
+
+        let mut cond = Conductor::new(
+            cap,
+            ranks,
+            machine.max_threads,
+            frontiers.clone(),
+            ConductorOptions::default(),
+        );
+        let cond_s = Simulator::new(&graph, &machine, SimOptions::default())
+            .run(&mut cond)
+            .map(|r| measured_region(&graph, &r.vertex_times, warmup));
+
+        match (lp, static_s, cond_s) {
+            (Ok(l), Ok(s), Ok(c)) => {
+                println!(
+                    "{per_socket:>9.0}  {l:>9.3}  {s:>9.3}  {c:>9.3}  {:>11.1}%",
+                    (s / l - 1.0) * 100.0
+                );
+            }
+            _ => println!("{per_socket:>9.0}  not schedulable at this cap"),
+        }
+    }
+    println!("\n(the paper's Figure 15 shows the same sweep on the real LULESH at 32 ranks)");
+}

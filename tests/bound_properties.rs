@@ -1,0 +1,154 @@
+//! Property-based integration tests: the LP bound must behave like a bound
+//! on *randomly generated* applications, not just on the curated benchmark
+//! generators.
+
+use pcap_apps::AppBuilder;
+use pcap_core::{
+    replay_schedule, solve_decomposed, solve_fixed_order, verify_schedule, FixedLpOptions,
+    ReplayMode, TaskFrontiers,
+};
+use pcap_dag::TaskGraph;
+use pcap_machine::{MachineSpec, TaskModel};
+use pcap_sched::StaticPolicy;
+use pcap_sim::{SimOptions, Simulator};
+use proptest::prelude::*;
+
+/// A random bulk-synchronous application description.
+#[derive(Debug, Clone)]
+struct RandomApp {
+    ranks: u32,
+    iterations: u32,
+    /// Per-(iteration, rank) serial seconds and memory fraction.
+    work: Vec<(f64, f64)>,
+    seed: u64,
+}
+
+fn random_app() -> impl Strategy<Value = RandomApp> {
+    (2u32..5, 1u32..4, any::<u64>()).prop_flat_map(|(ranks, iterations, seed)| {
+        let n = (ranks * iterations) as usize;
+        proptest::collection::vec((0.5..6.0f64, 0.0..0.8f64), n).prop_map(move |work| RandomApp {
+            ranks,
+            iterations,
+            work,
+            seed,
+        })
+    })
+}
+
+fn build(app: &RandomApp) -> TaskGraph {
+    let mut b = AppBuilder::new(app.ranks, app.seed);
+    for it in 0..app.iterations {
+        let models: Vec<TaskModel> = (0..app.ranks)
+            .map(|r| {
+                let (w, m) = app.work[(it * app.ranks + r) as usize];
+                TaskModel::mixed(w, m)
+            })
+            .collect();
+        if it % 2 == 0 {
+            b.compute_then_collective(&models);
+        } else {
+            b.compute_then_pcontrol(&models);
+        }
+    }
+    let fin: Vec<TaskModel> = (0..app.ranks).map(|_| TaskModel::compute_bound(0.01)).collect();
+    b.finalize(&fin).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any schedule the LP produces verifies (precedence + cap at events)
+    /// and replays to its predicted makespan.
+    #[test]
+    fn schedules_verify_and_replay(app in random_app(), per_socket in 30.0..90.0f64) {
+        let machine = MachineSpec::e5_2670();
+        let g = build(&app);
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        let cap = per_socket * app.ranks as f64;
+        let Ok(sched) = solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
+        else {
+            return Ok(()); // infeasible cap: legitimate
+        };
+        let v = verify_schedule(&g, &sched);
+        prop_assert!(v.ok(cap, 1e-5), "{v:?}");
+        let res = replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::ideal(), ReplayMode::Segments)
+            .unwrap();
+        let rel = (res.makespan_s - sched.makespan_s).abs() / sched.makespan_s.max(1e-9);
+        prop_assert!(rel < 1e-6, "replay {} vs {}", res.makespan_s, sched.makespan_s);
+    }
+
+    /// The LP bound never meaningfully loses to an idealized Static run.
+    ///
+    /// A bounded artifact allows Static a sliver of advantage: RAPL
+    /// realizes *continuous* effective frequencies between DVFS grid
+    /// points, while the LP mixes discrete frontier points along a chord
+    /// that lies slightly above the machine's true convex power/time
+    /// curve. The gap is bounded by the chord sagitta over one 0.1 GHz
+    /// grid step (well under 1%); the same property holds for the paper's
+    /// formulation, whose configurations are also measured at discrete
+    /// DVFS states.
+    #[test]
+    fn bound_dominates_static(app in random_app(), per_socket in 30.0..90.0f64) {
+        let machine = MachineSpec::e5_2670();
+        let g = build(&app);
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        let cap = per_socket * app.ranks as f64;
+        let Ok(sched) = solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
+        else {
+            return Ok(());
+        };
+        let mut st = StaticPolicy::uniform(cap, app.ranks, machine.max_threads);
+        let Ok(stat) = Simulator::new(&g, &machine, SimOptions::ideal()).run(&mut st) else {
+            return Ok(());
+        };
+        prop_assert!(
+            sched.makespan_s <= stat.makespan_s * 1.01,
+            "LP {} > Static {}",
+            sched.makespan_s,
+            stat.makespan_s
+        );
+    }
+
+    /// Iteration decomposition is lossless on bulk-synchronous graphs.
+    #[test]
+    fn decomposition_is_exact(app in random_app(), per_socket in 35.0..90.0f64) {
+        let machine = MachineSpec::e5_2670();
+        let g = build(&app);
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        let cap = per_socket * app.ranks as f64;
+        let opts = FixedLpOptions::default();
+        match (
+            solve_fixed_order(&g, &machine, &frontiers, cap, &opts),
+            solve_decomposed(&g, &machine, &frontiers, cap, &opts),
+        ) {
+            (Ok(whole), Ok(dec)) => {
+                let rel = (whole.makespan_s - dec.makespan_s).abs() / whole.makespan_s.max(1e-9);
+                prop_assert!(rel < 1e-6, "whole {} vs dec {}", whole.makespan_s, dec.makespan_s);
+            }
+            (Err(_), Err(_)) => {}
+            (w, d) => {
+                return Err(TestCaseError::fail(format!(
+                    "feasibility mismatch: whole ok={} dec ok={}",
+                    w.is_ok(),
+                    d.is_ok()
+                )))
+            }
+        }
+    }
+
+    /// More power never hurts.
+    #[test]
+    fn cap_monotonicity(app in random_app(), lo in 30.0..60.0f64, extra in 5.0..40.0f64) {
+        let machine = MachineSpec::e5_2670();
+        let g = build(&app);
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        let opts = FixedLpOptions::default();
+        let cap_lo = lo * app.ranks as f64;
+        let cap_hi = (lo + extra) * app.ranks as f64;
+        let tight = solve_decomposed(&g, &machine, &frontiers, cap_lo, &opts);
+        let loose = solve_decomposed(&g, &machine, &frontiers, cap_hi, &opts);
+        if let (Ok(t), Ok(l)) = (tight, loose) {
+            prop_assert!(l.makespan_s <= t.makespan_s * (1.0 + 1e-6));
+        }
+    }
+}

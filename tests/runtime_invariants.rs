@@ -1,0 +1,110 @@
+//! Integration tests of the runtime policies: whatever Static, Conductor or
+//! ConfigOnly decide, the job-level power constraint must hold at every
+//! instant, and the policies must run every benchmark to completion.
+
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::TaskFrontiers;
+use pcap_machine::MachineSpec;
+use pcap_sched::{ConfigOnly, Conductor, ConductorOptions, StaticPolicy};
+use pcap_sim::{SimOptions, Simulator};
+
+fn params() -> AppParams {
+    AppParams { ranks: 4, iterations: 8, seed: 77 }
+}
+
+#[test]
+fn static_never_violates_the_job_cap() {
+    let machine = MachineSpec::e5_2670();
+    for bench in Benchmark::ALL {
+        let g = bench.generate(&params());
+        for per_socket in [30.0, 55.0, 80.0] {
+            let cap = 4.0 * per_socket;
+            let mut p = StaticPolicy::uniform(cap, 4, machine.max_threads);
+            let res = Simulator::new(&g, &machine, SimOptions::default()).run(&mut p).unwrap();
+            assert!(
+                res.respects_cap(cap),
+                "{} @ {per_socket} W: peak {} W",
+                bench.name(),
+                res.power.max_power()
+            );
+        }
+    }
+}
+
+#[test]
+fn conductor_never_violates_the_job_cap() {
+    let machine = MachineSpec::e5_2670();
+    for bench in Benchmark::ALL {
+        let g = bench.generate(&params());
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        for per_socket in [30.0, 55.0, 80.0] {
+            let cap = 4.0 * per_socket;
+            let mut p = Conductor::new(
+                cap,
+                4,
+                machine.max_threads,
+                frontiers.clone(),
+                ConductorOptions::default(),
+            );
+            let res = Simulator::new(&g, &machine, SimOptions::default()).run(&mut p).unwrap();
+            assert!(
+                res.respects_cap(cap),
+                "{} @ {per_socket} W: peak {} W",
+                bench.name(),
+                res.power.max_power()
+            );
+            assert_eq!(res.tasks.len(), g.num_tasks());
+        }
+    }
+}
+
+#[test]
+fn config_only_never_violates_the_job_cap() {
+    let machine = MachineSpec::e5_2670();
+    for bench in Benchmark::ALL {
+        let g = bench.generate(&params());
+        let frontiers = TaskFrontiers::build(&g, &machine);
+        let cap = 4.0 * 45.0;
+        let mut p = ConfigOnly::new(cap, 4, frontiers, machine.max_threads);
+        let res = Simulator::new(&g, &machine, SimOptions::default()).run(&mut p).unwrap();
+        assert!(res.respects_cap(cap), "{}: peak {} W", bench.name(), res.power.max_power());
+    }
+}
+
+#[test]
+fn policies_are_deterministic_given_the_seed() {
+    let machine = MachineSpec::e5_2670();
+    let g = Benchmark::Lulesh.generate(&params());
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let cap = 4.0 * 50.0;
+    let run = || {
+        let mut p = Conductor::new(
+            cap,
+            4,
+            machine.max_threads,
+            frontiers.clone(),
+            ConductorOptions::default(),
+        );
+        Simulator::new(&g, &machine, SimOptions::default()).run(&mut p).unwrap().makespan_s
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn conductor_beats_static_under_imbalance_and_tight_power() {
+    let machine = MachineSpec::e5_2670();
+    let g = Benchmark::BtMz.generate(&AppParams { ranks: 8, iterations: 14, seed: 5 });
+    let frontiers = TaskFrontiers::build(&g, &machine);
+    let cap = 8.0 * 35.0;
+    let sim = Simulator::new(&g, &machine, SimOptions::default());
+    let stat = sim.run(&mut StaticPolicy::uniform(cap, 8, machine.max_threads)).unwrap();
+    let cond = sim
+        .run(&mut Conductor::new(cap, 8, machine.max_threads, frontiers, ConductorOptions::default()))
+        .unwrap();
+    assert!(
+        cond.makespan_s < stat.makespan_s,
+        "conductor {} vs static {}",
+        cond.makespan_s,
+        stat.makespan_s
+    );
+}
