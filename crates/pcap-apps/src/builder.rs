@@ -167,7 +167,8 @@ mod tests {
     fn collective_app_builds() {
         let mut b = AppBuilder::new(4, 1);
         for _ in 0..3 {
-            let models: Vec<TaskModel> = (0..4).map(|r| TaskModel::compute_bound(1.0 + r as f64)).collect();
+            let models: Vec<TaskModel> =
+                (0..4).map(|r| TaskModel::compute_bound(1.0 + r as f64)).collect();
             b.compute_then_collective(&models);
             b.compute_then_pcontrol(&tiny(4));
         }

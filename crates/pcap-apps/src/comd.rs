@@ -24,10 +24,7 @@ const STATIC_IMBALANCE: f64 = 0.045;
 const ITER_JITTER: f64 = 0.012;
 
 fn force_model(scale: f64) -> TaskModel {
-    TaskModel {
-        activity: 0.88,
-        ..TaskModel::mixed(FORCE_SERIAL_S * scale, 0.25)
-    }
+    TaskModel { activity: 0.88, ..TaskModel::mixed(FORCE_SERIAL_S * scale, 0.25) }
 }
 
 fn update_model(scale: f64) -> TaskModel {

@@ -81,9 +81,8 @@ mod tests {
         let g = generate(&ExchangeParams::default());
         // There must be a message edge ending at the Wait vertex — the
         // cross-rank coupling that makes co-scheduling nontrivial.
-        let has_ack = g
-            .iter_edges()
-            .any(|(_, e)| !e.is_task() && g.vertex(e.dst).kind == VertexKind::Wait);
+        let has_ack =
+            g.iter_edges().any(|(_, e)| !e.is_task() && g.vertex(e.dst).kind == VertexKind::Wait);
         assert!(has_ack);
     }
 }

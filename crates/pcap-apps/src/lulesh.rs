@@ -107,10 +107,7 @@ mod tests {
         let (i, j, _) = mix.unwrap();
         let ti = frontier.points()[i].config.threads;
         let tj = frontier.points()[j].config.threads;
-        assert!(
-            ti < 8 || tj < 8,
-            "expected <8 threads near 50 W, got {ti} and {tj} threads"
-        );
+        assert!(ti < 8 || tj < 8, "expected <8 threads near 50 W, got {ti} and {tj} threads");
     }
 
     #[test]

@@ -49,8 +49,7 @@ fn bt_zone_weights(ranks: u32) -> Vec<f64> {
     if n == 1 {
         return vec![1.0];
     }
-    let weights: Vec<f64> =
-        (0..n).map(|r| BT_ZONE_RATIO.powf(r as f64 / (n - 1) as f64)).collect();
+    let weights: Vec<f64> = (0..n).map(|r| BT_ZONE_RATIO.powf(r as f64 / (n - 1) as f64)).collect();
     let mean = weights.iter().sum::<f64>() / n as f64;
     weights.into_iter().map(|w| w / mean).collect()
 }

@@ -120,9 +120,8 @@ impl SyntheticSpec {
         let stub = TaskModel::mixed(0.005, 0.2);
 
         for _ in 0..self.iterations {
-            let models: Vec<TaskModel> = (0..n)
-                .map(|r| self.task(weights[r] * b.jitter(self.iteration_jitter)))
-                .collect();
+            let models: Vec<TaskModel> =
+                (0..n).map(|r| self.task(weights[r] * b.jitter(self.iteration_jitter))).collect();
             match self.comm {
                 CommPattern::Collectives => {
                     b.compute_then_collective(&models);
@@ -173,11 +172,8 @@ mod tests {
 
     #[test]
     fn geometric_ratio_is_honoured() {
-        let spec = SyntheticSpec {
-            imbalance: Imbalance::Geometric(4.0),
-            ranks: 16,
-            ..Default::default()
-        };
+        let spec =
+            SyntheticSpec { imbalance: Imbalance::Geometric(4.0), ranks: 16, ..Default::default() };
         let w = spec.weights();
         let max = w.iter().cloned().fold(f64::MIN, f64::max);
         let min = w.iter().cloned().fold(f64::MAX, f64::min);
@@ -186,11 +182,8 @@ mod tests {
 
     #[test]
     fn straggler_puts_extra_on_last_rank() {
-        let spec = SyntheticSpec {
-            imbalance: Imbalance::Straggler(3.0),
-            ranks: 4,
-            ..Default::default()
-        };
+        let spec =
+            SyntheticSpec { imbalance: Imbalance::Straggler(3.0), ranks: 4, ..Default::default() };
         let w = spec.weights();
         assert!(w[3] > w[0] * 2.5);
     }

@@ -62,9 +62,7 @@ fn bench_flow_ilp(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("solve_75w", |b| {
         b.iter(|| {
-            solve_flow(&g, &machine, &frontiers, 75.0, &FlowOptions::default())
-                .unwrap()
-                .makespan_s
+            solve_flow(&g, &machine, &frontiers, 75.0, &FlowOptions::default()).unwrap().makespan_s
         })
     });
     group.finish();

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pcap_apps::{AppParams, Benchmark};
-use pcap_core::{
-    replay_schedule, solve_decomposed, FixedLpOptions, ReplayMode, TaskFrontiers,
-};
+use pcap_core::{replay_schedule, solve_decomposed, FixedLpOptions, ReplayMode, TaskFrontiers};
 use pcap_machine::MachineSpec;
 use pcap_sched::{Conductor, ConductorOptions, StaticPolicy};
 use pcap_sim::{SimOptions, Simulator};
@@ -49,9 +47,16 @@ fn bench_replay(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("replay_comd_16r5i", |b| {
         b.iter(|| {
-            replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::default(), ReplayMode::Segments)
-                .unwrap()
-                .makespan_s
+            replay_schedule(
+                &g,
+                &machine,
+                &frontiers,
+                &sched,
+                SimOptions::default(),
+                ReplayMode::Segments,
+            )
+            .unwrap()
+            .makespan_s
         })
     });
     group.finish();

@@ -22,7 +22,12 @@ fn main() {
     let cap = per_socket * ranks as f64;
 
     let mut table = Table::new(&[
-        "zone_ratio", "lp_s", "static_s", "conductor_s", "lp_vs_static_pct", "cond_vs_static_pct",
+        "zone_ratio",
+        "lp_s",
+        "static_s",
+        "conductor_s",
+        "lp_vs_static_pct",
+        "cond_vs_static_pct",
     ]);
     for ratio in [1.0, 1.5, 2.0, 3.0, 4.5, 6.0] {
         let spec = SyntheticSpec {
@@ -31,11 +36,7 @@ fn main() {
             seed: 11,
             task_serial_s: 5.0,
             mem_fraction: 0.3,
-            imbalance: if ratio == 1.0 {
-                Imbalance::None
-            } else {
-                Imbalance::Geometric(ratio)
-            },
+            imbalance: if ratio == 1.0 { Imbalance::None } else { Imbalance::Geometric(ratio) },
             comm: CommPattern::RingHalo,
             ..Default::default()
         };

@@ -42,13 +42,7 @@ fn main() {
         // exploration-phase profile Conductor's frontiers come from.
         let cond_opts = ConductorOptions { profile_noise_std: noise, ..Default::default() };
         let cd = sim
-            .run(&mut Conductor::new(
-                cap,
-                ranks,
-                machine.max_threads,
-                frontiers.clone(),
-                cond_opts,
-            ))
+            .run(&mut Conductor::new(cap, ranks, machine.max_threads, frontiers.clone(), cond_opts))
             .map(|r| measured_region(&g, &r.vertex_times, warmup))
             .unwrap();
         table.row(vec![

@@ -18,17 +18,23 @@ fn main() {
     let cap = per_socket * ranks as f64;
     let g = Benchmark::BtMz.generate(&AppParams { ranks, iterations: 4, seed: 13 });
 
-    let mut table = Table::new(&[
-        "slack_fraction", "lp_bound_s", "avg_power_w", "utilization_pct", "peak_w",
-    ]);
+    let mut table =
+        Table::new(&["slack_fraction", "lp_bound_s", "avg_power_w", "utilization_pct", "peak_w"]);
     for frac in [0.2, 0.4, 0.55, 0.7, 0.85, 1.0] {
         let mut machine = MachineSpec::e5_2670();
         machine.slack_power_fraction = frac;
         let frontiers = TaskFrontiers::build(&g, &machine);
         let sched = solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
             .expect("schedulable");
-        let res = replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::ideal(), ReplayMode::Segments)
-            .unwrap();
+        let res = replay_schedule(
+            &g,
+            &machine,
+            &frontiers,
+            &sched,
+            SimOptions::ideal(),
+            ReplayMode::Segments,
+        )
+        .unwrap();
         let avg = res.power.average_power();
         table.row(vec![
             format!("{frac:.2}"),

@@ -3,9 +3,9 @@
 //! parameters can be tuned to reproduce the paper's qualitative shape.
 //! Not one of the paper's artefacts — a development tool.
 
+use pcap_apps::Benchmark;
 use pcap_bench::harness::{evaluate_benchmark, improvement_pct, ExperimentConfig};
 use pcap_bench::table::{fmt_opt_pct, fmt_opt_s, Table};
-use pcap_apps::Benchmark;
 use pcap_machine::MachineSpec;
 
 fn main() {
@@ -33,8 +33,14 @@ fn main() {
         let rows = evaluate_benchmark(bench, &machine, &cfg, &caps, true);
         let dt = t0.elapsed().as_secs_f64();
         let mut table = Table::new(&[
-            "W/socket", "LP(s)", "Static(s)", "Cond(s)", "CfgOnly(s)", "LPvsStatic%",
-            "LPvsCond%", "CondVsStatic%",
+            "W/socket",
+            "LP(s)",
+            "Static(s)",
+            "Cond(s)",
+            "CfgOnly(s)",
+            "LPvsStatic%",
+            "LPvsCond%",
+            "CondVsStatic%",
         ]);
         for r in rows {
             let t = r.times;

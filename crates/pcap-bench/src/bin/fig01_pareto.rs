@@ -40,8 +40,7 @@ fn main() {
 
     let frontiers = TaskFrontiers::build(&g, &machine);
     let frontier = frontiers.get(task_id).unwrap();
-    let mut front_table =
-        Table::new(&["i", "freq_ghz", "threads", "power_w", "time_s"]);
+    let mut front_table = Table::new(&["i", "freq_ghz", "threads", "power_w", "time_s"]);
     for (i, p) in frontier.points().iter().enumerate() {
         front_table.row(vec![
             i.to_string(),

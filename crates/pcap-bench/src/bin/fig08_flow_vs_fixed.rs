@@ -9,9 +9,7 @@
 
 use pcap_apps::exchange::{generate, ExchangeParams};
 use pcap_bench::table::Table;
-use pcap_core::{
-    solve_fixed_order, solve_flow, FixedLpOptions, FlowOptions, TaskFrontiers,
-};
+use pcap_core::{solve_fixed_order, solve_flow, FixedLpOptions, FlowOptions, TaskFrontiers};
 use pcap_machine::MachineSpec;
 
 fn main() {

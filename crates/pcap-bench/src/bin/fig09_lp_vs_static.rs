@@ -36,4 +36,28 @@ fn main() {
          (paper: \"Some benchmarks were not able to be scheduled at the lowest \
          average per-socket power constraint\")"
     );
+
+    // Solver telemetry for the LP bounds behind this figure, aggregated
+    // over every (benchmark, cap) cell of the sweep.
+    let mut total = pcap_lp::SolveStats::default();
+    for (_, rows) in &sweep {
+        for r in rows {
+            if r.lp_stats.solves > 0 {
+                total.absorb(&r.lp_stats);
+            }
+        }
+    }
+    if total.solves > 0 {
+        println!(
+            "solver telemetry: {} window solves, {} simplex iterations \
+             ({} in phase 1), {} refactorizations, {:.3} s total solve wall \
+             time, warm starts used: {}",
+            total.solves,
+            total.iterations,
+            total.phase1_iterations,
+            total.refactorizations,
+            total.wall_time_s,
+            if total.warm_started { "yes" } else { "no" },
+        );
+    }
 }

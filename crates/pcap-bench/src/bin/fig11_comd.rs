@@ -10,8 +10,6 @@ use pcap_bench::SWEEP_CAPS;
 
 fn main() {
     let stats = per_benchmark_figure(Benchmark::CoMD, &SWEEP_CAPS, "fig11");
-    println!(
-        "paper reference: max 12.6%, median 4.6%, min 2.4%; Conductor within 3% of LP"
-    );
+    println!("paper reference: max 12.6%, median 4.6%, min 2.4%; Conductor within 3% of LP");
     assert!(stats.lp_vs_static_max < 25.0, "CoMD gains should stay mild");
 }

@@ -44,8 +44,7 @@ fn main() {
     let replay_real =
         replay_schedule(&g, &machine, &frontiers, &sched, opts.clone(), ReplayMode::Segments)
             .unwrap();
-    let per_task_replay_overhead =
-        replay_real.overhead_s / replay_real.tasks.len() as f64 * 1e6;
+    let per_task_replay_overhead = replay_real.overhead_s / replay_real.tasks.len() as f64 * 1e6;
 
     // Conductor: reallocation overhead accounting.
     let mut cond = Conductor::new(

@@ -165,10 +165,7 @@ fn main() {
             format!("{:.4}", s.med_freq),
         ]);
     }
-    println!(
-        "=== Table 3: LULESH single-iteration task characteristics @ {} W total ===",
-        job_cap
-    );
+    println!("=== Table 3: LULESH single-iteration task characteristics @ {} W total ===", job_cap);
     println!("{}", table.render());
     println!("{}", table.render_tsv("tab3"));
     println!(

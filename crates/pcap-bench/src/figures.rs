@@ -1,6 +1,8 @@
 //! Shared rendering for the per-benchmark improvement figures (11, 13–15).
 
-use crate::harness::{cached_sweep, default_sweep_path, improvement_pct, ExperimentConfig, SWEEP_CAPS};
+use crate::harness::{
+    cached_sweep, default_sweep_path, improvement_pct, ExperimentConfig, SWEEP_CAPS,
+};
 use crate::table::{fmt_opt_pct, Table};
 use pcap_apps::Benchmark;
 use pcap_machine::MachineSpec;

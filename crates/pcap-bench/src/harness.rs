@@ -1,10 +1,11 @@
 //! Shared measurement machinery for the figure/table binaries.
 
 use pcap_apps::{AppParams, Benchmark};
-use pcap_core::{solve_decomposed, FixedLpOptions, TaskFrontiers};
+use pcap_core::{solve_decomposed, solve_sweep, FixedLpOptions, SweepOptions, TaskFrontiers};
 use pcap_dag::{TaskGraph, VertexKind};
+use pcap_lp::SolveStats;
 use pcap_machine::MachineSpec;
-use pcap_sched::{ConfigOnly, Conductor, ConductorOptions, StaticPolicy};
+use pcap_sched::{Conductor, ConductorOptions, ConfigOnly, StaticPolicy};
 use pcap_sim::{Policy, SimOptions, Simulator};
 
 /// A single experiment's fixed parameters.
@@ -68,6 +69,10 @@ pub struct CapRow {
     /// Average watts per processor socket.
     pub per_socket_w: f64,
     pub times: MethodTimes,
+    /// Simplex telemetry aggregated over every LP window solved at this cap
+    /// (zeroed when the cap is infeasible or the row came from a pre-v2
+    /// cache; check `lp_stats.solves > 0` before reporting).
+    pub lp_stats: SolveStats,
 }
 
 /// Performance improvement of the bound over a method, in percent:
@@ -108,11 +113,28 @@ pub fn evaluate_at_cap(
     with_config_only: bool,
 ) -> MethodTimes {
     let job_cap = per_socket_w * cfg.ranks as f64;
-    let warm = cfg.warmup_iterations;
 
     let lp = solve_decomposed(graph, machine, frontiers, job_cap, &FixedLpOptions::default())
         .ok()
-        .map(|s| measured_region(graph, &s.vertex_times, warm));
+        .map(|s| measured_region(graph, &s.vertex_times, cfg.warmup_iterations));
+
+    let mut times = simulate_at_cap(graph, machine, frontiers, cfg, per_socket_w, with_config_only);
+    times.lp = lp;
+    times
+}
+
+/// Simulates the runtime policies (everything except the LP bound) for one
+/// benchmark at one cap.
+fn simulate_at_cap(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    cfg: &ExperimentConfig,
+    per_socket_w: f64,
+    with_config_only: bool,
+) -> MethodTimes {
+    let job_cap = per_socket_w * cfg.ranks as f64;
+    let warm = cfg.warmup_iterations;
 
     let run = |policy: &mut dyn Policy| -> Option<f64> {
         Simulator::new(graph, machine, cfg.sim.clone())
@@ -135,11 +157,17 @@ pub fn evaluate_at_cap(
         None
     };
 
-    MethodTimes { lp, static_, conductor, config_only }
+    MethodTimes { lp: None, static_, conductor, config_only }
 }
 
-/// Sweeps a benchmark over per-socket caps, spreading cap evaluations over
-/// worker threads (the graph and frontiers are shared read-only).
+/// Sweeps a benchmark over per-socket caps.
+///
+/// The LP bound for the whole grid is computed by one
+/// [`pcap_core::solve_sweep`] call — the event LPs are built once per window
+/// and re-solved per cap with warm-started bases, parallel across cap chunks
+/// — while the simulator policies (whose runs are independent per cap and
+/// dominated by event processing, not LP solving) spread over a worker pool
+/// as before. Each returned row carries the solver telemetry for its cap.
 pub fn evaluate_benchmark(
     bench: Benchmark,
     machine: &MachineSpec,
@@ -149,6 +177,9 @@ pub fn evaluate_benchmark(
 ) -> Vec<CapRow> {
     let graph = cfg.generate(bench);
     let frontiers = TaskFrontiers::build(&graph, machine);
+
+    let job_caps: Vec<f64> = per_socket_caps.iter().map(|&w| w * cfg.ranks as f64).collect();
+    let lp_points = solve_sweep(&graph, machine, &frontiers, &job_caps, &SweepOptions::default());
 
     let n = per_socket_caps.len();
     let mut rows: Vec<Option<CapRow>> = vec![None; n];
@@ -160,7 +191,7 @@ pub fn evaluate_benchmark(
             tx.send(i).unwrap();
         }
         drop(tx);
-        let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, CapRow)>();
+        let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, MethodTimes)>();
         for _ in 0..workers {
             let rx = rx.clone();
             let out = out_tx.clone();
@@ -170,19 +201,34 @@ pub fn evaluate_benchmark(
                 while let Ok(i) = rx.recv() {
                     let cap = per_socket_caps[i];
                     let times =
-                        evaluate_at_cap(graph, machine, frontiers, cfg, cap, with_config_only);
-                    out.send((i, CapRow { per_socket_w: cap, times })).unwrap();
+                        simulate_at_cap(graph, machine, frontiers, cfg, cap, with_config_only);
+                    out.send((i, times)).unwrap();
                 }
             });
         }
         drop(out_tx);
-        while let Ok((i, row)) = out_rx.recv() {
-            rows[i] = Some(row);
+        while let Ok((i, times)) = out_rx.recv() {
+            rows[i] = Some(CapRow {
+                per_socket_w: per_socket_caps[i],
+                times,
+                lp_stats: SolveStats::default(),
+            });
         }
     })
     .expect("sweep workers do not panic");
 
-    rows.into_iter().map(|r| r.expect("all caps evaluated")).collect()
+    rows.into_iter()
+        .zip(&lp_points)
+        .map(|(r, pt)| {
+            let mut row = r.expect("all caps evaluated");
+            if let Ok(sched) = &pt.schedule {
+                row.times.lp =
+                    Some(measured_region(&graph, &sched.vertex_times, cfg.warmup_iterations));
+                row.lp_stats = sched.stats;
+            }
+            row
+        })
+        .collect()
 }
 
 /// The standard four-benchmark sweep feeding Figures 9–15, cached on disk so
@@ -194,8 +240,10 @@ pub fn cached_sweep(
     cfg: &ExperimentConfig,
     per_socket_caps: &[f64],
 ) -> Vec<(Benchmark, Vec<CapRow>)> {
+    // `v2` marks the 12-column format (6 time + 6 solver-telemetry columns);
+    // caches written by earlier versions mismatch the key and recompute.
     let key = format!(
-        "#sweep ranks={} warmup={} measured={} seed={} caps={:?}",
+        "#sweep v2 ranks={} warmup={} measured={} seed={} caps={:?}",
         cfg.ranks, cfg.warmup_iterations, cfg.measured_iterations, cfg.seed, per_socket_caps
     );
     if let Ok(text) = std::fs::read_to_string(path) {
@@ -213,14 +261,21 @@ pub fn cached_sweep(
         let rows = evaluate_benchmark(bench, machine, cfg, per_socket_caps, true);
         for r in &rows {
             let f = |v: Option<f64>| v.map(|x| format!("{x:.9}")).unwrap_or_else(|| "-".into());
+            let s = &r.lp_stats;
             text.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\n",
                 bench.name(),
                 r.per_socket_w,
                 f(r.times.lp),
                 f(r.times.static_),
                 f(r.times.conductor),
                 f(r.times.config_only),
+                s.iterations,
+                s.phase1_iterations,
+                s.refactorizations,
+                s.wall_time_s,
+                u64::from(s.warm_started),
+                s.solves,
             ));
         }
         out.push((bench, rows));
@@ -236,7 +291,7 @@ fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
     let mut map: Vec<(Benchmark, Vec<CapRow>)> = Vec::new();
     for line in text.lines().skip(1) {
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 6 {
+        if cols.len() != 12 {
             return None;
         }
         let bench = Benchmark::ALL.iter().copied().find(|b| b.name() == cols[0])?;
@@ -255,6 +310,15 @@ fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
                 static_: f(cols[3])?,
                 conductor: f(cols[4])?,
                 config_only: f(cols[5])?,
+            },
+            lp_stats: SolveStats {
+                iterations: cols[6].parse().ok()?,
+                phase1_iterations: cols[7].parse().ok()?,
+                refactorizations: cols[8].parse().ok()?,
+                wall_time_s: cols[9].parse().ok()?,
+                warm_started: cols[10] == "1",
+                solves: cols[11].parse().ok()?,
+                ..Default::default()
             },
         };
         match map.iter_mut().find(|(b, _)| *b == bench) {
@@ -305,6 +369,11 @@ mod tests {
                 if let (Some(x), Some(y)) = (a.times.lp, b.times.lp) {
                     assert!((x - y).abs() < 1e-6);
                 }
+                // Telemetry survives the TSV round trip.
+                assert_eq!(a.lp_stats.iterations, b.lp_stats.iterations);
+                assert_eq!(a.lp_stats.refactorizations, b.lp_stats.refactorizations);
+                assert_eq!(a.lp_stats.solves, b.lp_stats.solves);
+                assert_eq!(a.lp_stats.warm_started, b.lp_stats.warm_started);
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -329,6 +398,57 @@ mod tests {
         // Warm-up is one of three iterations: roughly a third is removed.
         let ratio = trimmed / full;
         assert!((0.45..0.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Acceptance check for the sweep API: on CoMD at the Figure 9
+    /// experiment configuration, the warm-started parallel sweep returns
+    /// makespans bitwise identical to the sequential cold-start loop.
+    #[test]
+    fn sweep_api_matches_cold_loop_on_fig09_comd() {
+        let cfg = ExperimentConfig::default(); // fig09 configuration
+        let g = cfg.generate(Benchmark::CoMD);
+        let m = MachineSpec::e5_2670();
+        let fr = TaskFrontiers::build(&g, &m);
+        // 8 per-socket caps spanning and exceeding the paper's 30–80 W range.
+        let caps: Vec<f64> = (0..8).map(|k| (30.0 + 10.0 * k as f64) * cfg.ranks as f64).collect();
+        let pts = solve_sweep(&g, &m, &fr, &caps, &SweepOptions::default());
+        assert_eq!(pts.len(), caps.len());
+        for (pt, &cap) in pts.iter().zip(&caps) {
+            let cold = solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default());
+            match (&pt.schedule, &cold) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.makespan_s.to_bits(),
+                        b.makespan_s.to_bits(),
+                        "cap {cap}: sweep {} vs cold {}",
+                        a.makespan_s,
+                        b.makespan_s
+                    );
+                    assert!(a.stats.iterations > 0, "cap {cap}: no iterations recorded");
+                    assert!(a.stats.wall_time_s > 0.0, "cap {cap}: no wall time recorded");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("feasibility mismatch at cap {cap}"),
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_benchmark_populates_solver_telemetry() {
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let m = MachineSpec::e5_2670();
+        let rows = evaluate_benchmark(Benchmark::CoMD, &m, &cfg, &[50.0, 80.0], false);
+        for r in &rows {
+            assert!(r.times.lp.is_some(), "cap {} unexpectedly infeasible", r.per_socket_w);
+            assert!(r.lp_stats.solves > 0, "cap {}: no solves recorded", r.per_socket_w);
+            assert!(r.lp_stats.iterations > 0, "cap {}: no iterations", r.per_socket_w);
+            assert!(r.lp_stats.wall_time_s > 0.0, "cap {}: no wall time", r.per_socket_w);
+        }
     }
 
     #[test]

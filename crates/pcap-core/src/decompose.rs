@@ -54,7 +54,7 @@ pub fn windows_at_syncs(graph: &TaskGraph) -> Vec<Window> {
     // Merge windows spanned by an edge: union-find over window indices.
     let nwin = syncs.len().saturating_sub(1).max(1);
     let mut parent: Vec<usize> = (0..nwin).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -133,20 +133,21 @@ pub fn solve_decomposed(
     let mut vertex_times = vec![0.0_f64; graph.num_vertices()];
     let mut choices = vec![None; graph.num_edges()];
     let mut offset = 0.0;
+    let mut stats = pcap_lp::SolveStats::default();
     for w in &windows {
-        let (times, window_choices, makespan) =
-            solve_window(graph, machine, frontiers, cap_w, w, opts)?;
-        for (v, t) in times {
+        let ws = solve_window(graph, machine, frontiers, cap_w, w, opts)?;
+        for (v, t) in ws.times {
             vertex_times[v.index()] = offset + t;
         }
-        for (i, c) in window_choices.into_iter().enumerate() {
+        for (i, c) in ws.choices.into_iter().enumerate() {
             if let Some(c) = c {
                 choices[i] = Some(c);
             }
         }
-        offset += makespan;
+        offset += ws.makespan_s;
+        stats.absorb(&ws.stats);
     }
-    Ok(LpSchedule { makespan_s: offset, vertex_times, choices, cap_w })
+    Ok(LpSchedule { makespan_s: offset, vertex_times, choices, cap_w, stats })
 }
 
 #[cfg(test)]

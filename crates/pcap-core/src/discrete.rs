@@ -93,17 +93,14 @@ pub fn solve_fixed_order_discrete(
                 p.add_constraint(expr, Bound::Lower(0.0));
             }
             EdgeKind::Message { bytes, .. } => {
-                let expr = LinExpr::from(vec![
-                    (vvars[e.dst.index()], 1.0),
-                    (vvars[e.src.index()], -1.0),
-                ]);
+                let expr =
+                    LinExpr::from(vec![(vvars[e.dst.index()], 1.0), (vvars[e.src.index()], -1.0)]);
                 p.add_constraint(expr, Bound::Lower(graph.comm().message_time(*bytes)));
             }
         }
     }
 
-    for v in 0..graph.num_vertices() {
-        let acts = &active[v];
+    for acts in active.iter().take(graph.num_vertices()) {
         if acts.is_empty() {
             continue;
         }
@@ -146,6 +143,7 @@ pub fn solve_fixed_order_discrete(
         vertex_times,
         choices,
         cap_w,
+        stats: Default::default(),
     })
 }
 
@@ -171,8 +169,7 @@ mod tests {
         let g = b.build().unwrap();
         let m = machine();
         let fr = TaskFrontiers::build(&g, &m);
-        let s =
-            solve_fixed_order_discrete(&g, &m, &fr, 90.0, &DiscreteOptions::default()).unwrap();
+        let s = solve_fixed_order_discrete(&g, &m, &fr, 90.0, &DiscreteOptions::default()).unwrap();
         for c in s.choices.iter().flatten() {
             assert!(c.is_discrete());
         }

@@ -22,7 +22,7 @@ use crate::frontiers::TaskFrontiers;
 use crate::schedule::{LpSchedule, TaskChoice};
 use crate::{CoreError, CoreResult};
 use pcap_dag::{EdgeId, EdgeKind, TaskGraph, VertexId};
-use pcap_lp::{Bound, LinExpr, Problem, Sense, SolverOptions};
+use pcap_lp::{Basis, Bound, LinExpr, Problem, Sense, SolveStats, SolverOptions};
 use pcap_machine::MachineSpec;
 
 /// Options for the fixed-order LP.
@@ -100,19 +100,37 @@ pub fn solve_fixed_order(
     opts: &FixedLpOptions,
 ) -> CoreResult<LpSchedule> {
     let window = Window::whole(graph);
-    let (times, choices, makespan) =
-        solve_window(graph, machine, frontiers, cap_w, &window, opts)?;
+    let ws = solve_window(graph, machine, frontiers, cap_w, &window, opts)?;
     let mut vertex_times = vec![0.0; graph.num_vertices()];
-    for (v, t) in times {
+    for (v, t) in ws.times {
         vertex_times[v.index()] = t;
     }
-    Ok(LpSchedule { makespan_s: makespan, vertex_times, choices, cap_w })
+    Ok(LpSchedule {
+        makespan_s: ws.makespan_s,
+        vertex_times,
+        choices: ws.choices,
+        cap_w,
+        stats: ws.stats,
+    })
 }
 
-/// Solves one window. Returns per-vertex times (relative to the window
-/// source), a full-length choices vector populated only for window tasks,
-/// and the window makespan.
-#[allow(clippy::type_complexity)]
+/// The result of solving one window at one power cap.
+#[derive(Debug, Clone)]
+pub struct WindowSolution {
+    /// Per-vertex times relative to the window source.
+    pub times: Vec<(VertexId, f64)>,
+    /// Full-length (graph-sized) choices vector, populated only for window
+    /// tasks.
+    pub choices: Vec<Option<TaskChoice>>,
+    /// The window makespan (sink time).
+    pub makespan_s: f64,
+    /// Solver telemetry for this solve.
+    pub stats: SolveStats,
+}
+
+/// Solves one window from a cold start. Convenience wrapper over
+/// [`WindowLp::build`] + [`WindowLp::solve_at`] for one-shot callers; sweeps
+/// over many caps should build the [`WindowLp`] once and re-solve it.
 pub fn solve_window(
     graph: &TaskGraph,
     machine: &MachineSpec,
@@ -120,8 +138,107 @@ pub fn solve_window(
     cap_w: f64,
     window: &Window,
     opts: &FixedLpOptions,
-) -> CoreResult<(Vec<(VertexId, f64)>, Vec<Option<TaskChoice>>, f64)> {
+) -> CoreResult<WindowSolution> {
     let _ = machine; // durations/powers come pre-baked in the frontiers
+    let mut lp = WindowLp::build(graph, frontiers, window, opts);
+    lp.solve_at(frontiers, cap_w, None).map(|(ws, _)| ws)
+}
+
+/// A window's LP, built once and re-solvable at any power cap.
+///
+/// The constraint matrix — precedence rows, configuration-mixture rows,
+/// event-order rows and the *coefficients* of the per-event power rows — is
+/// independent of the cap; only the power rows' right-hand sides carry it.
+/// [`WindowLp::solve_at`] therefore rewrites just those bounds and re-solves,
+/// optionally warm-starting from the [`Basis`] of a previous (typically
+/// adjacent-cap) solve. This is the primitive behind
+/// [`crate::sweep::solve_sweep`].
+#[derive(Debug, Clone)]
+pub struct WindowLp {
+    problem: Problem,
+    /// Vertex-time variable per graph vertex (None outside the window).
+    vvar: Vec<Option<pcap_lp::VarId>>,
+    /// Frontier-fraction variables per task edge.
+    cvars: Vec<Vec<pcap_lp::VarId>>,
+    /// Window task edges, in window order.
+    tasks: Vec<EdgeId>,
+    /// Row indices of the per-event power constraints (the only rows whose
+    /// bound depends on the cap).
+    power_rows: Vec<usize>,
+    /// Window vertices (for time extraction).
+    vertices: Vec<VertexId>,
+    sink: VertexId,
+    num_edges: usize,
+    lp_opts: SolverOptions,
+}
+
+impl WindowLp {
+    /// Builds the cap-independent LP structure for `window`. Power rows are
+    /// installed with a placeholder bound; [`WindowLp::solve_at`] sets the
+    /// actual cap before every solve.
+    pub fn build(
+        graph: &TaskGraph,
+        frontiers: &TaskFrontiers,
+        window: &Window,
+        opts: &FixedLpOptions,
+    ) -> Self {
+        build_window_lp(graph, frontiers, window, opts)
+    }
+
+    /// Number of per-event power rows (diagnostics).
+    pub fn num_power_rows(&self) -> usize {
+        self.power_rows.len()
+    }
+
+    /// Re-solves this window's LP at `cap_w`, optionally warm-starting from
+    /// a previous solve's [`Basis`]. Returns the solution together with the
+    /// final basis for chaining into the next cap.
+    pub fn solve_at(
+        &mut self,
+        frontiers: &TaskFrontiers,
+        cap_w: f64,
+        warm: Option<&Basis>,
+    ) -> CoreResult<(WindowSolution, Basis)> {
+        for &row in &self.power_rows {
+            self.problem.set_constraint_bound(row, Bound::Upper(cap_w));
+        }
+        let (sol, basis) = pcap_lp::solve_with_basis(&self.problem, &self.lp_opts, warm)
+            .map_err(CoreError::from)?;
+
+        let vv = |v: VertexId| self.vvar[v.index()].expect("window vertex has a variable");
+        let times: Vec<(VertexId, f64)> =
+            self.vertices.iter().map(|&v| (v, sol.value(vv(v)))).collect();
+        let mut choices: Vec<Option<TaskChoice>> = vec![None; self.num_edges];
+        for &e in &self.tasks {
+            let frontier = frontiers.get(e).unwrap();
+            let mut mix = Vec::new();
+            let mut dur = 0.0;
+            let mut pow = 0.0;
+            for (j, &c) in self.cvars[e.index()].iter().enumerate() {
+                let frac = sol.value(c);
+                if frac > 1e-9 {
+                    mix.push((j, frac));
+                    dur += frac * frontier.points()[j].time_s;
+                    pow += frac * frontier.points()[j].power_w;
+                }
+            }
+            choices[e.index()] = Some(TaskChoice { mix, duration_s: dur, power_w: pow });
+        }
+        let makespan = sol.value(vv(self.sink));
+        let ws = WindowSolution { times, choices, makespan_s: makespan, stats: sol.stats };
+        Ok((ws, basis))
+    }
+}
+
+/// Builds the window LP: initial schedule, event order, activity sets, and
+/// all constraint rows. Factored out of [`WindowLp::build`] to keep the
+/// construction readable.
+fn build_window_lp(
+    graph: &TaskGraph,
+    frontiers: &TaskFrontiers,
+    window: &Window,
+    opts: &FixedLpOptions,
+) -> WindowLp {
     // --- Initial (power-unconstrained) schedule within the window. ---
     // ASAP from the window source with every task at its fastest frontier
     // point; activity windows [src, dst) then implicitly model the
@@ -134,18 +251,11 @@ pub fn solve_window(
     init_time[window.source.index()] = 0.0;
     // Process vertices in the graph's topological order restricted to the
     // window.
-    let topo: Vec<VertexId> = graph
-        .topo_order()
-        .iter()
-        .copied()
-        .filter(|v| in_window[v.index()])
-        .collect();
+    let topo: Vec<VertexId> =
+        graph.topo_order().iter().copied().filter(|v| in_window[v.index()]).collect();
     let edge_dur_fast = |e: EdgeId| -> f64 {
         match &graph.edge(e).kind {
-            EdgeKind::Task { .. } => frontiers
-                .get(e)
-                .map(|f| f.max_power().time_s)
-                .unwrap_or(0.0),
+            EdgeKind::Task { .. } => frontiers.get(e).map(|f| f.max_power().time_s).unwrap_or(0.0),
             EdgeKind::Message { bytes, .. } => graph.comm().message_time(*bytes),
         }
     };
@@ -181,12 +291,8 @@ pub fn solve_window(
     // Per-event active tasks: window task edges whose [src, dst) initial
     // window contains the event time (half-open; zero-length tasks count at
     // their start).
-    let tasks: Vec<EdgeId> = window
-        .edges
-        .iter()
-        .copied()
-        .filter(|&e| graph.edge(e).is_task())
-        .collect();
+    let tasks: Vec<EdgeId> =
+        window.edges.iter().copied().filter(|&e| graph.edge(e).is_task()).collect();
     let tol = opts.tie_tol;
     let mut active: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.num_vertices()];
     for &v in &events {
@@ -257,7 +363,9 @@ pub fn solve_window(
         }
     }
 
-    // (10)(11) per-event power.
+    // (10)(11) per-event power. The bound is a placeholder: `solve_at`
+    // rewrites every power row's RHS with the actual cap before solving.
+    let mut power_rows = Vec::new();
     for &v in &events {
         let acts = &active[v.index()];
         if acts.is_empty() {
@@ -270,7 +378,8 @@ pub fn solve_window(
                 expr.add(c, frontier.points()[j].power_w);
             }
         }
-        p.add_constraint(expr, Bound::Upper(cap_w));
+        power_rows.push(p.num_constraints());
+        p.add_constraint(expr, Bound::Upper(f64::INFINITY));
     }
 
     // (12)(13) event order.
@@ -286,29 +395,17 @@ pub fn solve_window(
         }
     }
 
-    // --- Solve and extract. ---
-    let sol = pcap_lp::solve_with(&p, &opts.lp).map_err(CoreError::from)?;
-
-    let times: Vec<(VertexId, f64)> =
-        window.vertices.iter().map(|&v| (v, sol.value(vv(v)))).collect();
-    let mut choices: Vec<Option<TaskChoice>> = vec![None; graph.num_edges()];
-    for &e in &tasks {
-        let frontier = frontiers.get(e).unwrap();
-        let mut mix = Vec::new();
-        let mut dur = 0.0;
-        let mut pow = 0.0;
-        for (j, &c) in cvars[e.index()].iter().enumerate() {
-            let frac = sol.value(c);
-            if frac > 1e-9 {
-                mix.push((j, frac));
-                dur += frac * frontier.points()[j].time_s;
-                pow += frac * frontier.points()[j].power_w;
-            }
-        }
-        choices[e.index()] = Some(TaskChoice { mix, duration_s: dur, power_w: pow });
+    WindowLp {
+        problem: p,
+        vvar,
+        cvars,
+        tasks,
+        power_rows,
+        vertices: window.vertices.clone(),
+        sink: window.sink,
+        num_edges: graph.num_edges(),
+        lp_opts: opts.lp.clone(),
     }
-    let makespan = sol.value(vv(window.sink));
-    Ok((times, choices, makespan))
 }
 
 #[cfg(test)]
@@ -352,8 +449,7 @@ mod tests {
         // equals the nominal critical path.
         let fast = |e: usize| fr.get(EdgeId::from_index(e)).unwrap().max_power().time_s;
         let expected = fast(1) + fast(2).max(fast(3));
-        assert!((sched.makespan_s - expected).abs() < 1e-6,
-            "{} vs {}", sched.makespan_s, expected);
+        assert!((sched.makespan_s - expected).abs() < 1e-6, "{} vs {}", sched.makespan_s, expected);
     }
 
     #[test]
@@ -373,8 +469,7 @@ mod tests {
         let m = machine();
         let fr = TaskFrontiers::build(&g, &m);
         // Below the sum of the two cheapest frontier powers nothing works.
-        let err =
-            solve_fixed_order(&g, &m, &fr, 20.0, &FixedLpOptions::default()).unwrap_err();
+        let err = solve_fixed_order(&g, &m, &fr, 20.0, &FixedLpOptions::default()).unwrap_err();
         assert!(matches!(err, CoreError::Infeasible));
     }
 

@@ -26,6 +26,10 @@
 //! vertices) but not in the power flow: the NIC is not on the socket power
 //! plane.
 
+// The (a, b) index pairs below mirror the appendix's constraint
+// subscripts over the activity set; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use crate::frontiers::TaskFrontiers;
 use crate::schedule::{LpSchedule, TaskChoice};
 use crate::{CoreError, CoreResult};
@@ -112,17 +116,18 @@ pub fn solve_flow(
     let mut pmax: Vec<f64> = Vec::with_capacity(nt);
     for &e in &tasks {
         let frontier = frontiers.get(e).unwrap();
-        let vars: Vec<VarId> = frontier
-            .points()
-            .iter()
-            .map(|_| {
-                if opts.discrete_configs {
-                    p.add_bin_var(0.0)
-                } else {
-                    p.add_var(0.0, 1.0, 0.0)
-                }
-            })
-            .collect();
+        let vars: Vec<VarId> =
+            frontier
+                .points()
+                .iter()
+                .map(|_| {
+                    if opts.discrete_configs {
+                        p.add_bin_var(0.0)
+                    } else {
+                        p.add_var(0.0, 1.0, 0.0)
+                    }
+                })
+                .collect();
         p.add_constraint(
             LinExpr::from(vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>()),
             Bound::Equal(1.0),
@@ -156,10 +161,8 @@ pub fn solve_flow(
                 p.add_constraint(expr, Bound::Lower(0.0));
             }
             EdgeKind::Message { bytes, .. } => {
-                let expr = LinExpr::from(vec![
-                    (vvars[e.dst.index()], 1.0),
-                    (vvars[e.src.index()], -1.0),
-                ]);
+                let expr =
+                    LinExpr::from(vec![(vvars[e.dst.index()], 1.0), (vvars[e.src.index()], -1.0)]);
                 p.add_constraint(expr, Bound::Lower(graph.comm().message_time(*bytes)));
             }
         }
@@ -292,10 +295,7 @@ pub fn solve_flow(
     // Sink time = makespan: s_sink ≥ v for every vertex; minimize it.
     let s_sink = p.add_var(0.0, horizon, 1.0);
     for v in 0..nv {
-        p.add_constraint(
-            LinExpr::from(vec![(s_sink, 1.0), (vvars[v], -1.0)]),
-            Bound::Lower(0.0),
-        );
+        p.add_constraint(LinExpr::from(vec![(s_sink, 1.0), (vvars[v], -1.0)]), Bound::Lower(0.0));
     }
 
     // --- Power flow (24–29). ---
@@ -328,10 +328,7 @@ pub fn solve_flow(
             fvars[a][b] = Some(f);
             // (27): f_ab ≤ Pmax·x_ab when x is a variable.
             if let X::Var(xv) = x[a][b] {
-                p.add_constraint(
-                    LinExpr::from(vec![(f, 1.0), (xv, -ub)]),
-                    Bound::Upper(0.0),
-                );
+                p.add_constraint(LinExpr::from(vec![(f, 1.0), (xv, -ub)]), Bound::Upper(0.0));
             }
             // (27): f_ab ≤ p_a and f_ab ≤ p_b for variable-power tasks.
             if a < nt {
@@ -402,7 +399,15 @@ pub fn solve_flow(
         choices[e.index()] = Some(TaskChoice { mix, duration_s: dur, power_w: pow });
     }
     let vertex_times: Vec<f64> = vvars.iter().map(|&v| sol.value(v)).collect();
-    Ok(LpSchedule { makespan_s: sol.value(s_sink), vertex_times, choices, cap_w })
+    // Branch-and-bound does not expose per-node simplex telemetry; the
+    // schedule carries default (zero) stats.
+    Ok(LpSchedule {
+        makespan_s: sol.value(s_sink),
+        vertex_times,
+        choices,
+        cap_w,
+        stats: Default::default(),
+    })
 }
 
 #[cfg(test)]
@@ -429,12 +434,7 @@ mod tests {
         let cap = 50.0;
         let sched = solve_flow(&g, &m, &fr, cap, &FlowOptions::default()).unwrap();
         let expected = fr.get(e).unwrap().time_at_power(cap).unwrap();
-        assert!(
-            (sched.makespan_s - expected).abs() < 1e-6,
-            "{} vs {}",
-            sched.makespan_s,
-            expected
-        );
+        assert!((sched.makespan_s - expected).abs() < 1e-6, "{} vs {}", sched.makespan_s, expected);
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl TaskFrontiers {
     /// The minimum job power at which every task can run simultaneously at
     /// its cheapest frontier point — a quick lower feasibility probe.
     pub fn min_simultaneous_power(&self, tasks: &[EdgeId]) -> f64 {
-        tasks
-            .iter()
-            .filter_map(|&e| self.get(e))
-            .map(|f| f.min_power().power_w)
-            .sum()
+        tasks.iter().filter_map(|&e| self.get(e)).map(|f| f.min_power().power_w).sum()
     }
 }
 
@@ -88,8 +84,7 @@ mod tests {
         let f = TaskFrontiers::build(&g, &m);
         let tasks = g.task_ids();
         let total = f.min_simultaneous_power(&tasks);
-        let manual: f64 =
-            tasks.iter().map(|&e| f.get(e).unwrap().min_power().power_w).sum();
+        let manual: f64 = tasks.iter().map(|&e| f.get(e).unwrap().min_power().power_w).sum();
         assert_eq!(total, manual);
     }
 }

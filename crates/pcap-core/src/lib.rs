@@ -36,14 +36,18 @@ pub mod fixed_lp;
 pub mod flow_ilp;
 pub mod frontiers;
 pub mod schedule;
+pub mod sweep;
 pub mod verify;
 
 pub use decompose::solve_decomposed;
 pub use discrete::{solve_fixed_order_discrete, DiscreteOptions};
-pub use fixed_lp::{solve_fixed_order, solve_window, FixedLpOptions, Window};
+pub use fixed_lp::{
+    solve_fixed_order, solve_window, FixedLpOptions, Window, WindowLp, WindowSolution,
+};
 pub use flow_ilp::{solve_flow, FlowOptions};
 pub use frontiers::TaskFrontiers;
 pub use schedule::{LpSchedule, TaskChoice};
+pub use sweep::{solve_sweep, total_stats, SweepOptions, SweepPoint};
 pub use verify::{replay_schedule, verify_schedule, ReplayMode, Verification};
 
 /// Errors from the scheduling formulations.

@@ -42,6 +42,11 @@ pub struct LpSchedule {
     pub choices: Vec<Option<TaskChoice>>,
     /// The job-level power constraint this schedule was built for.
     pub cap_w: f64,
+    /// Aggregated solver telemetry: one solve for a whole-graph LP, the sum
+    /// over windows for [`crate::decompose::solve_decomposed`]. Defaulted
+    /// (all-zero) for schedules not produced by the simplex (e.g. rounding
+    /// transforms reuse their source's stats).
+    pub stats: pcap_lp::SolveStats,
 }
 
 impl LpSchedule {
@@ -80,25 +85,27 @@ impl LpSchedule {
         out
     }
 
-    /// Converts to a RAPL-enforced plan: every task's socket is capped at
-    /// the task's allocated average power and runs with the mix's dominant
-    /// thread count. This is how the paper's replay runtime actually drives
-    /// the hardware: each socket provably never exceeds its allocation.
+    /// Converts to a RAPL-enforced plan: every task's socket is capped so
+    /// it realizes the LP's planned duration and runs with the mix's
+    /// dominant thread count. This is how the paper's replay runtime
+    /// actually drives the hardware: each socket provably never exceeds its
+    /// allocation.
     ///
-    /// Note the job-level guarantee is *per allocation*, not per instant:
-    /// because the machine's true power/time curve lies at or below the
-    /// LP's chord interpolation, tasks can finish slightly early, shifting
-    /// co-schedule sets relative to the LP's event order — so the summed
-    /// instantaneous power can transiently exceed the cap by a few percent
-    /// (the slack-power margin absorbs most of it). The paper's replay has
-    /// the same property and verifies compliance empirically (§6.1), as the
-    /// integration tests here do.
+    /// The cap is *paced*, not the raw allocation. Under a cap equal to the
+    /// allocated average power, the machine's true power/time curve lies at
+    /// or below the LP's chord interpolation, so tasks would finish early
+    /// and drift ahead of the LP's event order — letting short high-power
+    /// tasks overlap tails of long ones and transiently push the summed
+    /// instantaneous power past the job cap. Capping instead at the (lower)
+    /// power whose RAPL-throttled duration equals the LP duration keeps
+    /// replay on the LP's event timeline, so the LP's per-event power rows
+    /// carry over to replay instants; the cap never exceeds the allocation.
     pub fn to_rapl_schedule(
         &self,
+        graph: &TaskGraph,
         machine: &MachineSpec,
         frontiers: &TaskFrontiers,
     ) -> ConfigSchedule {
-        let _ = machine;
         let mut out = ConfigSchedule::new(self.choices.len());
         for (i, choice) in self.choices.iter().enumerate() {
             let e = EdgeId::from_index(i);
@@ -113,7 +120,11 @@ impl LpSchedule {
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .map(|&(idx, _)| pts[idx].config.threads as u32)
                 .unwrap_or(machine.max_threads);
-            out.set(e, Decision::Cap { cap_w: choice.power_w + 1e-9, threads });
+            let EdgeKind::Task { model, .. } = &graph.edge(e).kind else {
+                continue;
+            };
+            let cap_w = paced_cap(machine, model, threads, choice.power_w, choice.duration_s);
+            out.set(e, Decision::Cap { cap_w, threads });
         }
         out
     }
@@ -143,8 +154,7 @@ impl LpSchedule {
                 .iter()
                 .position(|p| p == nearest)
                 .expect("nearest point belongs to the frontier");
-            choices[i] =
-                Some(TaskChoice::single(idx, nearest.time_s, nearest.power_w));
+            choices[i] = Some(TaskChoice::single(idx, nearest.time_s, nearest.power_w));
         }
         let dur = |e: EdgeId| match &graph.edge(e).kind {
             EdgeKind::Task { .. } => {
@@ -158,6 +168,7 @@ impl LpSchedule {
             vertex_times: asap.vertex_times,
             choices,
             cap_w: self.cap_w,
+            stats: self.stats,
         }
     }
 
@@ -175,6 +186,42 @@ impl LpSchedule {
             0.0
         }
     }
+}
+
+/// The socket cap (watts) that makes `model` take `lp_duration_s` under RAPL
+/// throttling with `threads` threads — the pacing inverse used by
+/// [`LpSchedule::to_rapl_schedule`]. Never exceeds `alloc_w` (plus the tiny
+/// epsilon that keeps an exactly-tight cap from rounding to the next lower
+/// throttle state); falls back to the allocation when the true curve cannot
+/// beat the LP duration anyway (pure single-point choices, or a dominant
+/// thread count whose curve sits above the cross-thread chord).
+fn paced_cap(
+    machine: &MachineSpec,
+    model: &pcap_machine::TaskModel,
+    threads: u32,
+    alloc_w: f64,
+    lp_duration_s: f64,
+) -> f64 {
+    let eps = 1e-9;
+    let alloc = alloc_w + eps;
+    let f_alloc = machine.max_frequency_under(alloc, threads, model.activity);
+    if f_alloc <= 0.0 || model.duration(machine, f_alloc, threads) >= lp_duration_s {
+        return alloc;
+    }
+    // Bisect the effective frequency realizing the LP duration: duration is
+    // continuous and strictly decreasing in f, and grows without bound as
+    // f -> 0 (duty cycling), so a solution exists below f_alloc.
+    let (mut lo, mut hi) = (f_alloc * 1e-6, f_alloc);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if model.duration(machine, mid, threads) > lp_duration_s {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // `hi` errs on the not-slower-than-planned side.
+    (model.power(machine, hi, threads) + eps).min(alloc)
 }
 
 #[cfg(test)]
@@ -210,6 +257,7 @@ mod tests {
                 power_w: p,
             })],
             cap_w: 45.0,
+            stats: Default::default(),
         };
         let cfg = sched.to_config_schedule(&m, &fr);
         let Decision::Pinned { segments } = cfg.get(e).unwrap() else {
@@ -219,12 +267,16 @@ mod tests {
         let total: f64 = segments.iter().map(|s| s.work_fraction).sum();
         assert!((total - 1.0).abs() < 1e-9);
 
-        // The RAPL plan caps the socket at the allocated power.
-        let rapl = sched.to_rapl_schedule(&m, &fr);
-        let Decision::Cap { cap_w, .. } = rapl.get(e).unwrap() else {
+        // The RAPL plan paces the socket: the cap realizes the LP duration
+        // on the true curve and never exceeds the allocated power.
+        let rapl = sched.to_rapl_schedule(&g, &m, &fr);
+        let Decision::Cap { cap_w, threads } = rapl.get(e).unwrap() else {
             panic!("expected a cap decision");
         };
-        assert!((cap_w - 45.0).abs() < 1e-6);
+        assert!(*cap_w <= 45.0 + 1e-6, "paced cap {cap_w} above allocation");
+        let pcap_dag::EdgeKind::Task { model, .. } = &g.edge(e).kind else { unreachable!() };
+        let d = pcap_machine::Rapl::new(*cap_w).duration(&m, model, *threads);
+        assert!((d - t).abs() <= t * 1e-6, "paced duration {d} should match the LP duration {t}");
     }
 
     #[test]
@@ -244,6 +296,7 @@ mod tests {
                 power_w: 45.0,
             })],
             cap_w: 45.0,
+            stats: Default::default(),
         };
         let rounded = sched.rounded_nearest(&g, &fr);
         let rc = rounded.choice(e).unwrap();

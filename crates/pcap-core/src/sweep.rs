@@ -1,0 +1,369 @@
+//! Power-cap sweeps: evaluate the LP bound over an ordered grid of caps.
+//!
+//! Every figure in the paper's evaluation (Figures 9–15) is a sweep: the
+//! same application graph solved at many job-level power constraints. The
+//! naive loop rebuilds and cold-solves every window LP at every cap, yet
+//! almost all of that work is shared:
+//!
+//! * the **windows** ([`crate::decompose::windows_at_syncs`]) and each
+//!   window's **LP structure** ([`WindowLp`]) depend only on the graph and
+//!   the frontiers — they are built once per sweep, not once per cap;
+//! * adjacent caps differ only in the power rows' right-hand sides, so the
+//!   optimal basis at cap `k` stays *dual feasible* at cap `k+1`; seeding
+//!   it (**warm start**, [`pcap_lp::solve_with_basis`]) lets the solver's
+//!   dual simplex phase walk back to primal feasibility in a few pivots
+//!   instead of re-running both primal phases — the denser the cap grid,
+//!   the closer adjacent optima and the larger the saving;
+//! * distinct caps are independent, so the grid is split into contiguous
+//!   chunks solved by **scoped worker threads**, warm-starting within each
+//!   chunk and collecting results in deterministic input order.
+//!
+//! The results are identical to the sequential cold-start loop: warm and
+//! cold solves may terminate at *different* optimal bases of the same
+//! vertex, but the solver canonicalizes the final basis and iteratively
+//! refines the extracted values to the correctly rounded solution, making
+//! the output independent of the pivot path — which the test-suite checks
+//! down to the bit pattern of the makespans.
+
+use crate::decompose::windows_at_syncs;
+use crate::fixed_lp::{FixedLpOptions, Window, WindowLp};
+use crate::frontiers::TaskFrontiers;
+use crate::schedule::LpSchedule;
+use crate::CoreResult;
+use pcap_dag::TaskGraph;
+use pcap_lp::{Basis, SolveStats};
+use pcap_machine::MachineSpec;
+
+/// Options for [`solve_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Per-window LP options (shared by every cap).
+    pub fixed: FixedLpOptions,
+    /// Worker threads across cap chunks; `0` uses the machine's available
+    /// parallelism. The grid is split into at most `caps.len()` chunks.
+    pub workers: usize,
+    /// Seed each solve with the basis of the previous cap in its chunk.
+    /// Disable to force cold starts (diagnostics / baseline timing).
+    pub warm_start: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self { fixed: FixedLpOptions::default(), workers: 0, warm_start: true }
+    }
+}
+
+/// One cap's result in a sweep: the schedule (with per-cap aggregated
+/// [`SolveStats`] in [`LpSchedule::stats`]) or the infeasibility/solver
+/// error for that cap.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// The job-level cap this point was solved at.
+    pub cap_w: f64,
+    /// The decomposed schedule, or why this cap has none.
+    pub schedule: CoreResult<LpSchedule>,
+}
+
+impl SweepPoint {
+    /// The makespan, if this cap was feasible.
+    pub fn makespan_s(&self) -> Option<f64> {
+        self.schedule.as_ref().ok().map(|s| s.makespan_s)
+    }
+}
+
+/// Sums the solver telemetry over all feasible points of a sweep.
+pub fn total_stats(points: &[SweepPoint]) -> SolveStats {
+    let mut total = SolveStats::default();
+    for p in points {
+        if let Ok(s) = &p.schedule {
+            total.absorb(&s.stats);
+        }
+    }
+    total
+}
+
+/// Evaluates the decomposed LP bound at every cap in `caps_w` (one
+/// [`SweepPoint`] per cap, in input order).
+///
+/// Equivalent to calling [`crate::solve_decomposed`] once per cap — the
+/// makespans are bit-identical — but shares the window/LP construction
+/// across the whole grid, warm-starts adjacent caps, and spreads cap chunks
+/// over scoped worker threads. Caps are conventionally ordered (ascending or
+/// descending); warm starting is correct for any order, merely most
+/// effective when neighbours are close.
+pub fn solve_sweep(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    caps_w: &[f64],
+    opts: &SweepOptions,
+) -> Vec<SweepPoint> {
+    let _ = machine; // durations/powers come pre-baked in the frontiers
+    let n = caps_w.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let windows = windows_at_syncs(graph);
+
+    let requested = if opts.workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        opts.workers
+    };
+    let workers = requested.min(n).max(1);
+
+    if workers == 1 {
+        return sweep_chunk(graph, frontiers, &windows, caps_w, 0..n, opts);
+    }
+
+    // Contiguous chunks keep warm-start locality (adjacent caps share a
+    // worker) and make ordered collection trivial: chunk k of the output is
+    // exactly chunk k of the input grid, whatever the thread timing.
+    let chunk = n.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let windows = &windows;
+        let handles: Vec<_> = (0..workers)
+            .map(|k| (k * chunk, ((k + 1) * chunk).min(n)))
+            .filter(|&(lo, hi)| lo < hi)
+            .map(|(lo, hi)| {
+                scope.spawn(move |_| sweep_chunk(graph, frontiers, windows, caps_w, lo..hi, opts))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("sweep worker panicked"));
+        }
+        out
+    })
+    .expect("sweep scope")
+}
+
+/// Solves one contiguous range of the cap grid on the calling thread,
+/// building each window's LP once and chaining warm bases cap-to-cap.
+fn sweep_chunk(
+    graph: &TaskGraph,
+    frontiers: &TaskFrontiers,
+    windows: &[Window],
+    caps_w: &[f64],
+    range: std::ops::Range<usize>,
+    opts: &SweepOptions,
+) -> Vec<SweepPoint> {
+    let mut lps: Vec<WindowLp> =
+        windows.iter().map(|w| WindowLp::build(graph, frontiers, w, &opts.fixed)).collect();
+    let mut bases: Vec<Option<Basis>> = vec![None; lps.len()];
+
+    range
+        .map(|i| {
+            let cap_w = caps_w[i];
+            let mut vertex_times = vec![0.0_f64; graph.num_vertices()];
+            let mut choices = vec![None; graph.num_edges()];
+            let mut offset = 0.0;
+            let mut stats = SolveStats::default();
+            let mut failure = None;
+            for (wi, lp) in lps.iter_mut().enumerate() {
+                let warm = if opts.warm_start { bases[wi].as_ref() } else { None };
+                match lp.solve_at(frontiers, cap_w, warm) {
+                    Ok((ws, basis)) => {
+                        for (v, t) in ws.times {
+                            vertex_times[v.index()] = offset + t;
+                        }
+                        for (e, c) in ws.choices.into_iter().enumerate() {
+                            if let Some(c) = c {
+                                choices[e] = Some(c);
+                            }
+                        }
+                        offset += ws.makespan_s;
+                        stats.absorb(&ws.stats);
+                        bases[wi] = Some(basis);
+                    }
+                    Err(e) => {
+                        // Keep the previous basis: the next (e.g. higher)
+                        // cap may be feasible again and still benefits from
+                        // the last successful one.
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            let schedule = match failure {
+                Some(e) => Err(e),
+                None => Ok(LpSchedule { makespan_s: offset, vertex_times, choices, cap_w, stats }),
+            };
+            SweepPoint { cap_w, schedule }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::solve_decomposed;
+    use crate::CoreError;
+    use pcap_apps::{comd, AppParams};
+    use pcap_machine::MachineSpec;
+
+    fn setup() -> (TaskGraph, MachineSpec, TaskFrontiers) {
+        let m = MachineSpec::e5_2670();
+        let g = comd::generate(&AppParams { ranks: 4, iterations: 3, seed: 0x5C15 });
+        let fr = TaskFrontiers::build(&g, &m);
+        (g, m, fr)
+    }
+
+    /// Job caps spanning infeasible (lowest) through generous.
+    fn cap_grid() -> Vec<f64> {
+        [20.0, 30.0, 35.0, 40.0, 45.0, 50.0, 60.0, 70.0, 80.0].iter().map(|c| c * 4.0).collect()
+    }
+
+    #[test]
+    fn sweep_matches_sequential_cold_loop_bitwise() {
+        let (g, m, fr) = setup();
+        let caps = cap_grid();
+        let opts = SweepOptions { workers: 3, warm_start: true, ..Default::default() };
+        let sweep = solve_sweep(&g, &m, &fr, &caps, &opts);
+        assert_eq!(sweep.len(), caps.len());
+        for (point, &cap) in sweep.iter().zip(&caps) {
+            let cold = solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default());
+            match (&point.schedule, &cold) {
+                (Ok(s), Ok(c)) => {
+                    assert_eq!(
+                        s.makespan_s.to_bits(),
+                        c.makespan_s.to_bits(),
+                        "cap {cap}: sweep {} vs cold loop {}",
+                        s.makespan_s,
+                        c.makespan_s
+                    );
+                    // Vertex times agree bitwise too: warm starting changes
+                    // the pivot path, not the optimum.
+                    for (a, b) in s.vertex_times.iter().zip(&c.vertex_times) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "cap {cap}");
+                    }
+                }
+                (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => {}
+                (a, b) => panic!("cap {cap}: sweep {a:?} vs cold {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_engages_and_stats_are_populated() {
+        let (g, m, fr) = setup();
+        let caps: Vec<f64> = [40.0, 45.0, 50.0, 55.0, 60.0].iter().map(|c| c * 4.0).collect();
+        let opts = SweepOptions { workers: 1, warm_start: true, ..Default::default() };
+        let sweep = solve_sweep(&g, &m, &fr, &caps, &opts);
+        for (i, point) in sweep.iter().enumerate() {
+            let s = point.schedule.as_ref().expect("grid is feasible");
+            assert!(s.stats.iterations > 0, "cap {}: zero pivots", point.cap_w);
+            assert!(s.stats.wall_time_s > 0.0, "cap {}: zero wall time", point.cap_w);
+            assert!(s.stats.refactorizations > 0);
+            assert!(s.stats.solves > 0);
+            if i == 0 {
+                assert!(!s.stats.warm_started, "first cap must start cold");
+            } else {
+                assert!(s.stats.warm_started, "cap {} should warm start", point.cap_w);
+            }
+        }
+        let total = total_stats(&sweep);
+        assert_eq!(
+            total.solves,
+            sweep.iter().map(|p| p.schedule.as_ref().unwrap().stats.solves).sum::<u64>()
+        );
+
+        // Warm starting reduces total pivots relative to cold solves of the
+        // same grid (the whole point of basis reuse).
+        let cold_opts = SweepOptions { workers: 1, warm_start: false, ..Default::default() };
+        let cold = solve_sweep(&g, &m, &fr, &caps, &cold_opts);
+        let cold_total = total_stats(&cold);
+        assert!(
+            total.iterations < cold_total.iterations,
+            "warm {} pivots vs cold {}",
+            total.iterations,
+            cold_total.iterations
+        );
+    }
+
+    #[test]
+    fn results_keep_input_order_across_worker_counts() {
+        let (g, m, fr) = setup();
+        let caps = cap_grid();
+        for workers in [1, 2, 4, 16] {
+            let opts = SweepOptions { workers, warm_start: true, ..Default::default() };
+            let sweep = solve_sweep(&g, &m, &fr, &caps, &opts);
+            let got: Vec<f64> = sweep.iter().map(|p| p.cap_w).collect();
+            assert_eq!(got, caps, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_sweeps_agree_bitwise() {
+        let (g, m, fr) = setup();
+        let caps = cap_grid();
+        let warm = solve_sweep(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 2, warm_start: true, ..Default::default() },
+        );
+        let cold = solve_sweep(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 1, warm_start: false, ..Default::default() },
+        );
+        for (a, b) in warm.iter().zip(&cold) {
+            match (a.makespan_s(), b.makespan_s()) {
+                (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits(), "cap {}", a.cap_w),
+                (None, None) => {}
+                _ => panic!("feasibility mismatch at cap {}", a.cap_w),
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_round_trips_hold_at_cap_grid_endpoints() {
+        // At the extremes of the sweep grid — the lowest feasible cap and
+        // the most generous one — every task frontier's interpolant and its
+        // inverse must still agree, including at saturation (cap above the
+        // task's fastest point) and at the cheapest point.
+        let (g, m, fr) = setup();
+        let caps = cap_grid();
+        let sweep = solve_sweep(&g, &m, &fr, &caps, &SweepOptions::default());
+        let lo = sweep.iter().find(|p| p.schedule.is_ok()).expect("some cap feasible");
+        let hi = sweep.last().unwrap();
+        assert!(hi.schedule.is_ok(), "top of the grid must be feasible");
+        for point in [lo, hi] {
+            let sched = point.schedule.as_ref().unwrap();
+            assert!(sched.makespan_s > 0.0);
+            let tasks = g.task_ids().len() as f64;
+            for (e, f) in fr.iter() {
+                // The whole job cap clamps to the task's fastest point
+                // (saturation branch); an equal per-task share of the lowest
+                // cap clamps to the cheapest (infeasibility boundary). Both
+                // round trips must hold.
+                for raw in [point.cap_w, point.cap_w / tasks] {
+                    let p = raw.clamp(f.min_power().power_w, f.max_power().power_w);
+                    let t = f.time_at_power(p).expect("clamped power is in span");
+                    let back = f.power_at_time(t).expect("achievable time");
+                    assert!(
+                        (back - p).abs() <= 1e-9 * p.max(1.0),
+                        "task {e:?} cap {}: p {p} -> t {t} -> {back}",
+                        point.cap_w
+                    );
+                    let t2 = f.time_at_power(back).expect("round-tripped power is in span");
+                    assert!(
+                        (t2 - t).abs() <= 1e-9 * t.max(1e-12),
+                        "task {e:?} cap {}: t {t} vs {t2}",
+                        point.cap_w
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_returns_empty() {
+        let (g, m, fr) = setup();
+        assert!(solve_sweep(&g, &m, &fr, &[], &SweepOptions::default()).is_empty());
+    }
+}

@@ -55,8 +55,7 @@ pub fn verify_schedule(graph: &TaskGraph, schedule: &LpSchedule) -> Verification
             let t0 = vt[e.src.index()];
             let t1 = vt[e.dst.index()];
             let zero = (t1 - t0).abs() <= tol;
-            let active =
-                (tv >= t0 - tol && tv < t1 - tol) || (zero && (tv - t0).abs() <= tol);
+            let active = (tv >= t0 - tol && tv < t1 - tol) || (zero && (tv - t0).abs() <= tol);
             if active {
                 if let Some(c) = schedule.choice(id) {
                     sum += c.power_w;
@@ -81,12 +80,11 @@ pub enum ReplayMode {
     /// exactly; instantaneous power may transiently overshoot while two
     /// tasks overlap in their high-power segments.
     Segments,
-    /// Per-socket RAPL caps at each task's allocated power: every socket
-    /// provably stays within its allocation; durations follow the machine's
-    /// true convex power/time curve (at or below the LP's chord
-    /// interpolation for same-thread mixes), so tasks may drift slightly
-    /// ahead of the LP's event times and the *summed* instantaneous power
-    /// can transiently exceed the cap by a few percent.
+    /// Per-socket RAPL caps, *paced* to the LP timeline: each socket is
+    /// capped at the power whose throttled duration equals the task's LP
+    /// duration (never above the task's allocation), so sockets provably
+    /// stay within their allocations and tasks do not drift ahead of the
+    /// LP's event times. See [`LpSchedule::to_rapl_schedule`].
     RaplCaps,
 }
 
@@ -103,7 +101,7 @@ pub fn replay_schedule(
 ) -> Result<SimResult, pcap_sim::engine::SimError> {
     let cfg = match mode {
         ReplayMode::Segments => schedule.to_config_schedule(machine, frontiers),
-        ReplayMode::RaplCaps => schedule.to_rapl_schedule(machine, frontiers),
+        ReplayMode::RaplCaps => schedule.to_rapl_schedule(graph, machine, frontiers),
     };
     let fallback = machine.socket_power(machine.f_max_ghz(), machine.max_threads, 1.0);
     let mut policy = ReplayPolicy::new(cfg, fallback, machine.max_threads);
@@ -123,8 +121,7 @@ mod tests {
         let g = comd::generate(&AppParams { ranks: 4, iterations: 2, seed: 3 });
         let fr = TaskFrontiers::build(&g, &m);
         let cap = 4.0 * 45.0;
-        let sched =
-            solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default()).unwrap();
+        let sched = solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default()).unwrap();
 
         // Static verification: cap respected at the schedule's own times.
         let v = verify_schedule(&g, &sched);
@@ -155,11 +152,9 @@ mod tests {
         let g = comd::generate(&AppParams { ranks: 2, iterations: 2, seed: 3 });
         let fr = TaskFrontiers::build(&g, &m);
         let cap = 2.0 * 50.0;
-        let sched =
-            solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default()).unwrap();
-        let ideal =
-            replay_schedule(&g, &m, &fr, &sched, SimOptions::ideal(), ReplayMode::Segments)
-                .unwrap();
+        let sched = solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default()).unwrap();
+        let ideal = replay_schedule(&g, &m, &fr, &sched, SimOptions::ideal(), ReplayMode::Segments)
+            .unwrap();
         let real =
             replay_schedule(&g, &m, &fr, &sched, SimOptions::default(), ReplayMode::Segments)
                 .unwrap();

@@ -28,11 +28,7 @@ pub struct EventOrder {
 pub fn event_order(graph: &TaskGraph, initial: &Schedule, tol: f64) -> EventOrder {
     let mut order: Vec<VertexId> = graph.topo_order().to_vec();
     order.sort_by(|&a, &b| {
-        initial
-            .time(a)
-            .partial_cmp(&initial.time(b))
-            .unwrap()
-            .then(a.index().cmp(&b.index()))
+        initial.time(a).partial_cmp(&initial.time(b)).unwrap().then(a.index().cmp(&b.index()))
     });
     let mut groups: Vec<Vec<VertexId>> = Vec::new();
     for &v in &order {
@@ -55,7 +51,7 @@ pub fn event_order(graph: &TaskGraph, initial: &Schedule, tol: f64) -> EventOrde
 pub fn activity_sets(graph: &TaskGraph, initial: &Schedule, tol: f64) -> Vec<Vec<EdgeId>> {
     let mut active = vec![Vec::new(); graph.num_vertices()];
     let tasks: Vec<EdgeId> = graph.task_ids();
-    for v in 0..graph.num_vertices() {
+    for (v, active_v) in active.iter_mut().enumerate() {
         let tv = initial.vertex_times[v];
         for &e in &tasks {
             let edge = graph.edge(e);
@@ -65,7 +61,7 @@ pub fn activity_sets(graph: &TaskGraph, initial: &Schedule, tol: f64) -> Vec<Vec
             let starts_here = (tv - t0).abs() <= tol;
             let running = tv >= t0 - tol && tv < t1 - tol;
             if running || (zero_window && starts_here) {
-                active[v].push(e);
+                active_v.push(e);
             }
         }
     }

@@ -65,7 +65,10 @@ pub enum VertexKind {
 impl VertexKind {
     /// True for vertices that synchronize all ranks.
     pub fn is_global_sync(self) -> bool {
-        matches!(self, VertexKind::Init | VertexKind::Finalize | VertexKind::Collective | VertexKind::Pcontrol)
+        matches!(
+            self,
+            VertexKind::Init | VertexKind::Finalize | VertexKind::Collective | VertexKind::Pcontrol
+        )
     }
 }
 
@@ -81,16 +84,9 @@ pub struct Vertex {
 #[derive(Debug, Clone)]
 pub enum EdgeKind {
     /// OpenMP computation between two consecutive MPI calls on `rank`.
-    Task {
-        rank: u32,
-        model: TaskModel,
-    },
+    Task { rank: u32, model: TaskModel },
     /// Point-to-point message.
-    Message {
-        from_rank: u32,
-        to_rank: u32,
-        bytes: u64,
-    },
+    Message { from_rank: u32, to_rank: u32, bytes: u64 },
 }
 
 /// A directed edge `src → dst`.
@@ -269,11 +265,7 @@ impl TaskGraph {
     /// Global synchronization vertices in topological order — the seams at
     /// which the whole-run LP decomposes into per-iteration LPs.
     pub fn sync_vertices(&self) -> Vec<VertexId> {
-        self.topo
-            .iter()
-            .copied()
-            .filter(|&v| self.vertex(v).kind.is_global_sync())
-            .collect()
+        self.topo.iter().copied().filter(|&v| self.vertex(v).kind.is_global_sync()).collect()
     }
 }
 
@@ -332,7 +324,8 @@ impl GraphBuilder {
     pub fn build(self) -> Result<TaskGraph, GraphError> {
         let nv = self.vertices.len();
         // Exactly one Init / Finalize.
-        let inits: Vec<usize> = (0..nv).filter(|&i| self.vertices[i].kind == VertexKind::Init).collect();
+        let inits: Vec<usize> =
+            (0..nv).filter(|&i| self.vertices[i].kind == VertexKind::Init).collect();
         let finals: Vec<usize> =
             (0..nv).filter(|&i| self.vertices[i].kind == VertexKind::Finalize).collect();
         if inits.len() != 1 {

@@ -51,9 +51,7 @@ impl Schedule {
         dur: impl Fn(EdgeId) -> f64,
         tol: f64,
     ) -> bool {
-        graph.iter_edges().all(|(id, e)| {
-            self.time(e.dst) - self.time(e.src) >= dur(id) - tol
-        })
+        graph.iter_edges().all(|(id, e)| self.time(e.dst) - self.time(e.src) >= dur(id) - tol)
     }
 }
 

@@ -311,8 +311,14 @@ mod tests {
             }
         }
         for i in 0..4 {
-            p.add_constraint(expr((0..4).map(|j| (xs[i * 4 + j], 1.0)).collect()), Bound::Equal(1.0));
-            p.add_constraint(expr((0..4).map(|j| (xs[j * 4 + i], 1.0)).collect()), Bound::Equal(1.0));
+            p.add_constraint(
+                expr((0..4).map(|j| (xs[i * 4 + j], 1.0)).collect()),
+                Bound::Equal(1.0),
+            );
+            p.add_constraint(
+                expr((0..4).map(|j| (xs[j * 4 + i], 1.0)).collect()),
+                Bound::Equal(1.0),
+            );
         }
         let sol = solve_mip(&p, &BranchOptions::default()).unwrap();
         // Optimal assignment: r1→c1 (0), r3→c0 (1), r2→c3 (1), r0→c2 (3) → 5.

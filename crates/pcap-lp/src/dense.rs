@@ -58,12 +58,11 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let n = self.n;
         let mut y = vec![0.0; n];
-        for j in 0..n {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate().take(n) {
             if xj != 0.0 {
                 let col = self.col(j);
-                for i in 0..n {
-                    y[i] += col[i] * xj;
+                for (yi, &cij) in y.iter_mut().zip(col) {
+                    *yi += cij * xj;
                 }
             }
         }

@@ -113,7 +113,8 @@ mod tests {
 
     #[test]
     fn compress_merges_duplicates_and_drops_zeros() {
-        let e = LinExpr::from(vec![(v(2), 1.0), (v(0), 2.0), (v(2), 3.0), (v(1), -2.0), (v(1), 2.0)]);
+        let e =
+            LinExpr::from(vec![(v(2), 1.0), (v(0), 2.0), (v(2), 3.0), (v(1), -2.0), (v(1), 2.0)]);
         let c = e.compressed();
         assert_eq!(c, vec![(v(0), 2.0), (v(2), 4.0)]);
     }

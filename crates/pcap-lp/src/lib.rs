@@ -51,5 +51,5 @@ pub use error::{LpError, LpResult};
 pub use expr::LinExpr;
 pub use presolve::{presolve, presolve_and_solve, Presolved};
 pub use problem::{Bound, Problem, Sense, VarId, VarKind};
-pub use simplex::{solve, solve_with, SolverOptions};
-pub use solution::{Solution, Status};
+pub use simplex::{solve, solve_with, solve_with_basis, Basis, SolverOptions};
+pub use solution::{Solution, SolveStats, Status};

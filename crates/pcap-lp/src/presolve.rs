@@ -37,19 +37,19 @@ pub struct Presolved {
 
 impl Presolved {
     /// Solves the reduced problem; the returned primal values and objective
-    /// apply verbatim to the original problem.
+    /// apply verbatim to the original problem. The solution's
+    /// [`crate::SolveStats`] carry this presolve's reduction counts.
     pub fn solve_with(&self, opts: &SolverOptions) -> LpResult<Solution> {
-        solve_with(&self.problem, opts)
+        let mut sol = solve_with(&self.problem, opts)?;
+        sol.stats.presolve_rows_dropped = self.rows_dropped as u64;
+        sol.stats.presolve_bounds_tightened = self.bounds_tightened as u64;
+        Ok(sol)
     }
 
     /// Maps an original row index to its dual in `solution` (`None` for
     /// rows removed by presolve).
     pub fn dual_for_row(&self, solution: &Solution, original_row: usize) -> Option<f64> {
-        self.row_map
-            .get(original_row)
-            .copied()
-            .flatten()
-            .map(|k| solution.duals[k])
+        self.row_map.get(original_row).copied().flatten().map(|k| solution.duals[k])
     }
 }
 
@@ -167,10 +167,7 @@ pub fn presolve(problem: &Problem) -> LpResult<Presolved> {
     for (i, c) in problem.cons.iter().enumerate() {
         if keep[i] {
             row_map[i] = Some(reduced.num_constraints());
-            reduced.add_constraint(
-                crate::expr::LinExpr::from(c.terms.clone()),
-                c.bound,
-            );
+            reduced.add_constraint(crate::expr::LinExpr::from(c.terms.clone()), c.bound);
         }
     }
 

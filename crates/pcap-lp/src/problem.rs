@@ -123,6 +123,23 @@ impl Problem {
         self.cons.push(Constraint { terms: expr.compressed(), bound });
     }
 
+    /// Replaces the bound (sense + right-hand side) of constraint `row`,
+    /// leaving its coefficients untouched. This is the re-solve hook for
+    /// sweeps over a family of problems that share a constraint matrix and
+    /// differ only in right-hand sides (e.g. power caps): update the bound,
+    /// re-solve with a warm basis.
+    ///
+    /// # Panics
+    /// If `row >= num_constraints()`.
+    pub fn set_constraint_bound(&mut self, row: usize, bound: Bound) {
+        self.cons[row].bound = bound;
+    }
+
+    /// The bound of constraint `row`.
+    pub fn constraint_bound(&self, row: usize) -> Bound {
+        self.cons[row].bound
+    }
+
     /// Number of variables (columns).
     pub fn num_vars(&self) -> usize {
         self.vars.len()
@@ -200,7 +217,10 @@ impl Problem {
                     return Err(LpError::NotANumber { context: "constraint coefficient" });
                 }
                 if v.index() >= self.vars.len() {
-                    return Err(LpError::UnknownVariable { index: v.index(), nvars: self.vars.len() });
+                    return Err(LpError::UnknownVariable {
+                        index: v.index(),
+                        nvars: self.vars.len(),
+                    });
                 }
             }
         }

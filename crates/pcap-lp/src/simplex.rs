@@ -29,7 +29,8 @@
 use crate::dense::{DenseMatrix, LuFactors};
 use crate::error::{LpError, LpResult};
 use crate::problem::{Problem, Sense};
-use crate::solution::{Solution, Status};
+use crate::solution::{Solution, SolveStats, Status};
+use std::time::Instant;
 
 /// Tunable tolerances and limits for [`solve_with`].
 #[derive(Debug, Clone)]
@@ -74,10 +75,61 @@ pub fn solve(problem: &Problem) -> LpResult<Solution> {
 
 /// Solves `problem` with explicit [`SolverOptions`].
 pub fn solve_with(problem: &Problem, opts: &SolverOptions) -> LpResult<Solution> {
+    solve_with_basis(problem, opts, None).map(|(sol, _)| sol)
+}
+
+/// A snapshot of a simplex basis partition, opaque to callers.
+///
+/// Returned by [`solve_with_basis`] and fed back in to **warm-start** a
+/// subsequent solve of a problem with the *same* constraint matrix and
+/// variable layout but possibly different bounds/right-hand sides — the
+/// power-cap sweep use case, where adjacent caps differ only in the power
+/// rows' RHS. The snapshot records which columns are basic and, for each
+/// nonbasic column, which bound it rests at.
+///
+/// A warm basis is only a starting point: if it does not match the problem's
+/// dimensions or its basis matrix has become singular, the solver silently
+/// falls back to the cold slack basis, so correctness never depends on the
+/// snapshot being usable.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Column index occupying each of the `m` basis slots.
+    basis: Vec<u32>,
+    /// Per-column status over all `n + m` columns (structurals then slacks).
+    stat: Vec<VStat>,
+}
+
+impl Basis {
+    /// `(rows, columns)` the snapshot was taken from; a warm start requires
+    /// the target problem to match exactly.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.basis.len(), self.stat.len())
+    }
+}
+
+/// Solves `problem`, optionally warm-starting from a previous [`Basis`], and
+/// returns the solution together with the final basis for chaining.
+///
+/// The warm basis must come from a problem with the same matrix coefficients
+/// and dimensions (only bounds/RHS may differ); otherwise it is ignored and
+/// the solve starts cold. [`Solution::stats`] reports whether the warm start
+/// was actually adopted.
+pub fn solve_with_basis(
+    problem: &Problem,
+    opts: &SolverOptions,
+    warm: Option<&Basis>,
+) -> LpResult<(Solution, Basis)> {
+    let t0 = Instant::now();
     problem.validate()?;
     let mut s = Simplex::new(problem, opts.clone());
+    if let Some(b) = warm {
+        s.adopt_basis(b);
+    }
     s.run()?;
-    Ok(s.extract(problem))
+    let mut sol = s.extract(problem);
+    sol.stats.wall_time_s = t0.elapsed().as_secs_f64();
+    let basis = Basis { basis: s.basis.clone(), stat: s.stat.clone() };
+    Ok((sol, basis))
 }
 
 /// Column status in the current basis partition.
@@ -129,6 +181,13 @@ struct Simplex {
     /// Final duals/reduced costs filled in by `run`.
     duals: Vec<f64>,
     reduced: Vec<f64>,
+
+    // Telemetry (surfaced through `Solution::stats`).
+    refactorizations: u64,
+    phase1_iterations: u64,
+    phase1_time_s: f64,
+    phase2_time_s: f64,
+    warm_started: bool,
 }
 
 impl Simplex {
@@ -226,32 +285,7 @@ impl Simplex {
             }
         }
 
-        // Initial partition: slack basis; structurals at their nearest
-        // finite bound (free structurals pinned at 0).
-        let mut stat = vec![VStat::AtLower; ncols];
-        let mut x = vec![0.0; ncols];
-        for j in 0..n {
-            let (lo, hi) = (lower[j], upper[j]);
-            stat[j] = if lo.is_finite() {
-                if hi.is_finite() && hi.abs() < lo.abs() { VStat::AtUpper } else { VStat::AtLower }
-            } else if hi.is_finite() {
-                VStat::AtUpper
-            } else {
-                VStat::Free
-            };
-            x[j] = match stat[j] {
-                VStat::AtLower => lo,
-                VStat::AtUpper => hi,
-                _ => 0.0,
-            };
-        }
-        let mut basis = Vec::with_capacity(m);
-        for i in 0..m {
-            basis.push((n + i) as u32);
-            stat[n + i] = VStat::Basic;
-        }
-
-        Self {
+        let mut s = Self {
             m,
             ncols,
             cols,
@@ -259,9 +293,9 @@ impl Simplex {
             upper,
             cost,
             sign,
-            basis,
-            stat,
-            x,
+            basis: Vec::with_capacity(m),
+            stat: vec![VStat::AtLower; ncols],
+            x: vec![0.0; ncols],
             lu: None,
             etas: Vec::new(),
             row_scale,
@@ -271,7 +305,88 @@ impl Simplex {
             degenerate_run: 0,
             duals: vec![0.0; m],
             reduced: Vec::new(),
+            refactorizations: 0,
+            phase1_iterations: 0,
+            phase1_time_s: 0.0,
+            phase2_time_s: 0.0,
+            warm_started: false,
+        };
+        s.reset_slack_basis();
+        s
+    }
+
+    /// Installs the cold starting partition: slack basis; structurals at
+    /// their nearest finite bound (free structurals pinned at 0).
+    fn reset_slack_basis(&mut self) {
+        let n = self.ncols - self.m;
+        for j in 0..n {
+            let (lo, hi) = (self.lower[j], self.upper[j]);
+            self.stat[j] = if lo.is_finite() {
+                if hi.is_finite() && hi.abs() < lo.abs() {
+                    VStat::AtUpper
+                } else {
+                    VStat::AtLower
+                }
+            } else if hi.is_finite() {
+                VStat::AtUpper
+            } else {
+                VStat::Free
+            };
+            self.x[j] = match self.stat[j] {
+                VStat::AtLower => lo,
+                VStat::AtUpper => hi,
+                _ => 0.0,
+            };
         }
+        self.basis.clear();
+        for i in 0..self.m {
+            self.basis.push((n + i) as u32);
+            self.stat[n + i] = VStat::Basic;
+            self.x[n + i] = 0.0;
+        }
+        self.warm_started = false;
+    }
+
+    /// Adopts a warm [`Basis`] snapshot if it is structurally compatible
+    /// (matching dimensions and a consistent basic set). Nonbasic values are
+    /// set from the snapshot's bound statuses; basic values are recomputed by
+    /// the first `refactor`. Returns without effect on any mismatch — the
+    /// solver then proceeds from the cold slack basis.
+    fn adopt_basis(&mut self, warm: &Basis) {
+        if warm.basis.len() != self.m || warm.stat.len() != self.ncols {
+            return;
+        }
+        let mut is_basic = vec![false; self.ncols];
+        for &j in &warm.basis {
+            let j = j as usize;
+            if j >= self.ncols || is_basic[j] {
+                return; // out of range or duplicated basis column
+            }
+            is_basic[j] = true;
+        }
+        for (j, &st) in warm.stat.iter().enumerate() {
+            if (st == VStat::Basic) != is_basic[j] {
+                return; // partition inconsistent with the basis list
+            }
+        }
+        self.basis.clone_from(&warm.basis);
+        self.stat.clone_from(&warm.stat);
+        for j in 0..self.ncols {
+            self.x[j] = match self.stat[j] {
+                VStat::Basic => 0.0, // recomputed by refactor()
+                VStat::AtLower if self.lower[j].is_finite() => self.lower[j],
+                VStat::AtUpper if self.upper[j].is_finite() => self.upper[j],
+                _ => 0.0,
+            };
+            // A bound that became infinite since the snapshot leaves the
+            // column nonbasic at 0, which `run` treats as a free placement.
+            match self.stat[j] {
+                VStat::AtLower if !self.lower[j].is_finite() => self.stat[j] = VStat::Free,
+                VStat::AtUpper if !self.upper[j].is_finite() => self.stat[j] = VStat::Free,
+                _ => {}
+            }
+        }
+        self.warm_started = true;
     }
 
     /// Gathers the basis columns, factors them, clears etas and recomputes
@@ -290,6 +405,7 @@ impl Simplex {
             }
         }
         let lu = LuFactors::factor(b, 1e-11).map_err(|_| LpError::SingularBasis)?;
+        self.refactorizations += 1;
         self.etas.clear();
         // Recompute basic values: B·x_B = −Σ_{nonbasic} a_j x_j.
         let mut rhs = vec![0.0; self.m];
@@ -307,6 +423,42 @@ impl Simplex {
         }
         self.lu = Some(lu);
         Ok(())
+    }
+
+    /// A couple of steps of iterative refinement on the basic values:
+    /// `r = −A·x`, `x_B += B⁻¹·r`, stopping early at a fixed point. Run
+    /// against a fresh factorization (no etas), this drives the basic
+    /// values to the correctly rounded solution of the final basic system,
+    /// which makes the extracted solution independent of the pivot path —
+    /// and, at a degenerate optimum, of *which* optimal basis represents
+    /// the vertex — rather than carrying ~1-ulp LU noise from either.
+    fn refine_basic_values(&mut self) {
+        if self.lu.is_none() {
+            return;
+        }
+        for _ in 0..3 {
+            let mut r = vec![0.0; self.m];
+            for j in 0..self.ncols {
+                let xj = self.x[j];
+                if xj != 0.0 {
+                    for &(row, v) in &self.cols[j] {
+                        r[row as usize] -= v * xj;
+                    }
+                }
+            }
+            self.lu.as_ref().unwrap().solve_in_place(&mut r);
+            let mut changed = false;
+            for (k, &j) in self.basis.iter().enumerate() {
+                let nx = self.x[j as usize] + r[k];
+                if nx != self.x[j as usize] {
+                    self.x[j as usize] = nx;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
     }
 
     /// FTRAN: returns `B⁻¹·a_j` as a dense vector.
@@ -372,39 +524,59 @@ impl Simplex {
         if self.m == 0 {
             return self.solve_unconstrained();
         }
-        self.refactor()?;
-        let max_iters = self
-            .opts
-            .max_iterations
-            .unwrap_or(20_000 + 100 * (self.m as u64 + self.ncols as u64));
+        // A warm basis can have become singular (it was factored against a
+        // different RHS era, or the caller handed over a stale snapshot);
+        // fall back to the always-nonsingular slack basis rather than fail.
+        if let Err(e) = self.refactor() {
+            if !self.warm_started {
+                return Err(e);
+            }
+            self.reset_slack_basis();
+            self.refactor()?;
+        }
+        let max_iters =
+            self.opts.max_iterations.unwrap_or(20_000 + 100 * (self.m as u64 + self.ncols as u64));
 
-        // Phase 1.
-        loop {
-            if self.infeasibility() <= self.opts.feas_tol * (1 + self.m) as f64 {
-                break;
-            }
-            if self.iterations >= max_iters {
-                return Err(LpError::IterationLimit { iterations: self.iterations });
-            }
-            match self.iterate(true)? {
-                StepResult::Pivoted | StepResult::BoundFlip => {}
-                StepResult::Optimal => {
-                    // Phase-1 optimum with residual infeasibility: no
-                    // feasible point exists.
-                    if self.infeasibility() > self.opts.feas_tol * (1 + self.m) as f64 {
-                        return Err(LpError::Infeasible);
-                    }
+        // Phase 1 — or, for a warm basis (dual feasible after a pure RHS
+        // change), dual simplex restoration, which reaches primal
+        // feasibility in a handful of pivots while keeping the reduced
+        // costs optimal, so the phase-2 loop below terminates almost
+        // immediately. `dual_phase` declining (false) is always safe: any
+        // pivots it made leave a valid basis for the primal phases.
+        let phase1_start = Instant::now();
+        let dual_restored = if self.warm_started { self.dual_phase(max_iters)? } else { false };
+        if !dual_restored {
+            loop {
+                if self.infeasibility() <= self.opts.feas_tol * (1 + self.m) as f64 {
                     break;
                 }
-                StepResult::Unbounded => {
-                    // Cannot happen with the phase-1 blocking rule unless
-                    // numerics failed; report as singular.
-                    return Err(LpError::SingularBasis);
+                if self.iterations >= max_iters {
+                    return Err(LpError::IterationLimit { iterations: self.iterations });
+                }
+                match self.iterate(true)? {
+                    StepResult::Pivoted | StepResult::BoundFlip => {}
+                    StepResult::Optimal => {
+                        // Phase-1 optimum with residual infeasibility: no
+                        // feasible point exists.
+                        if self.infeasibility() > self.opts.feas_tol * (1 + self.m) as f64 {
+                            return Err(LpError::Infeasible);
+                        }
+                        break;
+                    }
+                    StepResult::Unbounded => {
+                        // Cannot happen with the phase-1 blocking rule unless
+                        // numerics failed; report as singular.
+                        return Err(LpError::SingularBasis);
+                    }
                 }
             }
         }
 
+        self.phase1_iterations = self.iterations;
+        self.phase1_time_s = phase1_start.elapsed().as_secs_f64();
+
         // Phase 2.
+        let phase2_start = Instant::now();
         self.degenerate_run = 0;
         loop {
             if self.iterations >= max_iters {
@@ -416,7 +588,228 @@ impl Simplex {
                 StepResult::Unbounded => return Err(LpError::Unbounded),
             }
         }
+        self.phase2_time_s = phase2_start.elapsed().as_secs_f64();
         Ok(())
+    }
+
+    /// Dual simplex restoration for warm starts.
+    ///
+    /// A basis that was optimal before a pure RHS change (the sweep's
+    /// power-row bound rewrite) is still *dual* feasible: reduced costs do
+    /// not depend on bounds. The dual simplex walks such a basis back to
+    /// primal feasibility — each pivot drives one out-of-bounds basic
+    /// variable exactly onto its violated bound — in roughly as many pivots
+    /// as there are rows whose binding status changed, instead of the full
+    /// primal phase-1 + phase-2 re-solve.
+    ///
+    /// Returns `Ok(true)` when primal feasibility was restored (phase 2
+    /// then terminates almost immediately), `Ok(false)` when the basis is
+    /// not dual feasible or the phase gave up — the caller falls back to
+    /// the ordinary primal phases, for which any intermediate dual pivots
+    /// left a valid basis — and `Err(Infeasible)` when a violated row
+    /// admits no eligible entering column (a Farkas certificate that no
+    /// feasible point exists).
+    fn dual_phase(&mut self, max_iters: u64) -> LpResult<bool> {
+        let feas = self.opts.feas_tol;
+        let dual_tol = self.opts.opt_tol * 10.0;
+        // Beyond a generous pivot allowance, the primal phases'
+        // anti-cycling machinery is the safer path.
+        let give_up = self.iterations + 4 * self.m as u64 + 100;
+
+        // Reduced costs, computed once up front (with the dual-feasibility
+        // gate) and then maintained incrementally across pivots:
+        // d'_j = d_j − θ·α_j with θ = d_q/α_q. Refreshed from scratch after
+        // every refactorization to bound drift.
+        let mut d = vec![0.0; self.ncols];
+        let refresh_d = |sx: &Simplex, d: &mut Vec<f64>, gate: bool| -> bool {
+            let cb: Vec<f64> = sx.basis.iter().map(|&j| sx.cost[j as usize]).collect();
+            let y = sx.btran(cb);
+            for (j, slot) in d.iter_mut().enumerate().take(sx.ncols) {
+                if sx.stat[j] == VStat::Basic {
+                    *slot = 0.0;
+                    continue;
+                }
+                let mut dj = sx.cost[j];
+                for &(r, v) in &sx.cols[j] {
+                    dj -= y[r as usize] * v;
+                }
+                *slot = dj;
+                if gate {
+                    let ok = match sx.stat[j] {
+                        VStat::AtLower => dj >= -dual_tol,
+                        VStat::AtUpper => dj <= dual_tol,
+                        VStat::Free => dj.abs() <= dual_tol,
+                        VStat::Basic => unreachable!(),
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+        if !refresh_d(self, &mut d, true) {
+            return Ok(false); // not dual feasible: primal path
+        }
+        let mut alpha = vec![0.0; self.ncols];
+        loop {
+            if self.iterations >= max_iters.min(give_up) {
+                return Ok(false);
+            }
+
+            // Leaving variable: largest bound violation among the basics.
+            let mut leave: Option<(usize, f64, f64)> = None; // (slot, target, violation)
+            for (k, &jb) in self.basis.iter().enumerate() {
+                let jb = jb as usize;
+                let x = self.x[jb];
+                let (lo, hi) = (self.lower[jb], self.upper[jb]);
+                let (viol, target) = if x < lo - feas {
+                    (lo - x, lo)
+                } else if x > hi + feas {
+                    (x - hi, hi)
+                } else {
+                    continue;
+                };
+                if leave.is_none_or(|(_, _, best)| viol > best) {
+                    leave = Some((k, target, viol));
+                }
+            }
+            let Some((slot, target, _)) = leave else {
+                return Ok(true); // primal feasible
+            };
+            let jb = self.basis[slot] as usize;
+            let need_up = target > self.x[jb];
+
+            // Pivot row of B⁻¹: ρ = B⁻ᵀ·e_slot; α_j = ρ·a_j.
+            let mut e = vec![0.0; self.m];
+            e[slot] = 1.0;
+            let rho = self.btran(e);
+
+            // Dual ratio test: among columns whose allowed movement shifts
+            // x_B[slot] toward `target` (moving x_j by t changes x_B[slot]
+            // by −α_j·t), the smallest |d_j|/|α_j| keeps every reduced cost
+            // on its feasible side. Ties prefer the larger pivot.
+            let mut best: Option<(usize, f64, f64)> = None; // (col, alpha, ratio)
+            for j in 0..self.ncols {
+                let st = self.stat[j];
+                if st == VStat::Basic {
+                    alpha[j] = 0.0;
+                    continue;
+                }
+                let mut aj = 0.0;
+                for &(r, v) in &self.cols[j] {
+                    aj += rho[r as usize] * v;
+                }
+                alpha[j] = aj;
+                if self.lower[j] == self.upper[j] || aj.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let eligible = match st {
+                    VStat::AtLower => {
+                        if need_up {
+                            aj < 0.0
+                        } else {
+                            aj > 0.0
+                        }
+                    }
+                    VStat::AtUpper => {
+                        if need_up {
+                            aj > 0.0
+                        } else {
+                            aj < 0.0
+                        }
+                    }
+                    VStat::Free => true,
+                    VStat::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = d[j].abs() / aj.abs();
+                let better = match best {
+                    None => true,
+                    Some((_, ba, br)) => {
+                        ratio < br - 1e-12 || (ratio < br + 1e-12 && aj.abs() > ba.abs())
+                    }
+                };
+                if better {
+                    best = Some((j, aj, ratio));
+                }
+            }
+            let Some((q, alpha_q, _)) = best else {
+                // The violated row cannot be moved toward its bound by any
+                // nonbasic column: no feasible point exists.
+                return Err(LpError::Infeasible);
+            };
+
+            let w = self.ftran(q);
+            let wk = w[slot];
+            if wk.abs() <= self.opts.pivot_tol {
+                // ρ-row and FTRAN disagree: stale etas. Refactor and retry,
+                // or hand over to the primal phases if already fresh.
+                if self.etas.is_empty() {
+                    return Ok(false);
+                }
+                self.refactor()?;
+                refresh_d(self, &mut d, false);
+                continue;
+            }
+            let dir = match self.stat[q] {
+                VStat::AtLower => 1.0,
+                VStat::AtUpper => -1.0,
+                // Free: pick the direction that moves x_B[slot] (rate
+                // −dir·wk) toward the target.
+                _ => {
+                    if (target - self.x[jb]) * -wk > 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+            };
+            // Step that lands x_B[slot] exactly on `target`.
+            let t = (target - self.x[jb]) / (-dir * wk);
+            if !t.is_finite() || t < 0.0 {
+                return Ok(false);
+            }
+
+            self.iterations += 1;
+            for (k, &jbk) in self.basis.iter().enumerate() {
+                if w[k] != 0.0 {
+                    self.x[jbk as usize] -= t * dir * w[k];
+                }
+            }
+            self.x[q] += t * dir;
+            self.x[jb] = target; // exact landing, no roundoff residue
+            self.stat[jb] = if target == self.lower[jb] { VStat::AtLower } else { VStat::AtUpper };
+            self.basis[slot] = q as u32;
+            self.stat[q] = VStat::Basic;
+
+            let mut entries = Vec::new();
+            for (i, &wi) in w.iter().enumerate() {
+                if i != slot && wi != 0.0 {
+                    entries.push((i as u32, wi));
+                }
+            }
+            self.etas.push(Eta { pos: slot, entries, pivot: wk });
+
+            // Incremental dual update; θ is the new reduced cost of the
+            // leaving variable (α of the leaving column in its own pivot
+            // row is exactly 1).
+            let theta = d[q] / alpha_q;
+            for j in 0..self.ncols {
+                if self.stat[j] != VStat::Basic && alpha[j] != 0.0 {
+                    d[j] -= theta * alpha[j];
+                }
+            }
+            d[q] = 0.0;
+            d[jb] = -theta;
+
+            if self.etas.len() >= self.opts.refactor_every {
+                self.refactor()?;
+                refresh_d(self, &mut d, false);
+            }
+        }
     }
 
     /// Handles the degenerate `m == 0` case: every variable goes to its
@@ -537,9 +930,7 @@ impl Simplex {
             let better = match leave {
                 None => t < t_max,
                 // Prefer larger pivots among (near-)ties for stability.
-                Some(_) => {
-                    t < t_max - 1e-12 || (t < t_max + 1e-12 && wk.abs() > leave_pivot.abs())
-                }
+                Some(_) => t < t_max - 1e-12 || (t < t_max + 1e-12 && wk.abs() > leave_pivot.abs()),
             };
             if better {
                 t_max = t;
@@ -598,11 +989,12 @@ impl Simplex {
 
         let leaving = self.basis[slot] as usize;
         self.x[leaving] = target;
-        self.stat[leaving] = if (target - self.lower[leaving]).abs() <= (target - self.upper[leaving]).abs() {
-            VStat::AtLower
-        } else {
-            VStat::AtUpper
-        };
+        self.stat[leaving] =
+            if (target - self.lower[leaving]).abs() <= (target - self.upper[leaving]).abs() {
+                VStat::AtLower
+            } else {
+                VStat::AtUpper
+            };
         self.basis[slot] = q as u32;
         self.stat[q] = VStat::Basic;
 
@@ -635,7 +1027,15 @@ impl Simplex {
     fn extract(&mut self, problem: &Problem) -> Solution {
         let n = problem.num_vars();
         if self.m > 0 {
+            // Canonicalize the basis slot order before the final
+            // factorization: the extracted values then depend only on the
+            // final basis *set*, not on the pivot path that produced it, so
+            // warm-started and cold solves that reach the same optimal basis
+            // return bit-identical results. (Slot order is internal — duals
+            // and basic values are recomputed below.)
+            self.basis.sort_unstable();
             let _ = self.refactor();
+            self.refine_basic_values();
             let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j as usize]).collect();
             let y = self.btran(cb);
             self.reduced = (0..n)
@@ -673,8 +1073,7 @@ impl Simplex {
 
         // Undo the equilibration: x_j = s_j x'_j, y_i = r_i y'_i,
         // d_j = d'_j / s_j (see the scaling derivation in `new`).
-        let values: Vec<f64> =
-            (0..n).map(|j| self.x[j] * self.col_scale[j]).collect();
+        let values: Vec<f64> = (0..n).map(|j| self.x[j] * self.col_scale[j]).collect();
         let duals: Vec<f64> =
             self.duals.iter().enumerate().map(|(i, &y)| y * self.row_scale[i]).collect();
         let reduced: Vec<f64> =
@@ -687,6 +1086,18 @@ impl Simplex {
             duals,
             reduced_costs: reduced,
             iterations: self.iterations,
+            stats: SolveStats {
+                iterations: self.iterations,
+                phase1_iterations: self.phase1_iterations,
+                refactorizations: self.refactorizations,
+                presolve_rows_dropped: 0,
+                presolve_bounds_tightened: 0,
+                phase1_time_s: self.phase1_time_s,
+                phase2_time_s: self.phase2_time_s,
+                wall_time_s: 0.0, // stamped by solve_with_basis
+                warm_started: self.warm_started,
+                solves: 1,
+            },
         }
     }
 }
@@ -874,6 +1285,107 @@ mod tests {
         let unscaled =
             solve_with(&p, &SolverOptions { scale: false, ..SolverOptions::default() }).unwrap();
         assert!(p.max_violation(&unscaled.values) > p.max_violation(&sol.values));
+    }
+
+    #[test]
+    fn warm_start_reaches_same_optimum_with_fewer_pivots() {
+        // A family of RHS-perturbed LPs mimicking the power-cap sweep: only
+        // the cap row's bound changes between solves.
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var(0.0, 10.0, 2.0);
+            let y = p.add_var(0.0, 10.0, 3.0);
+            let z = p.add_var(0.0, 10.0, 1.0);
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0), (z, 1.0)]), Bound::Lower(5.0));
+            p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(1.0));
+            p.add_constraint(expr(vec![(y, 2.0), (z, 1.0)]), Bound::Upper(cap));
+            (p, x, y, z)
+        };
+        let opts = SolverOptions::default();
+        let (p0, ..) = build(8.0);
+        let (cold0, basis) = solve_with_basis(&p0, &opts, None).unwrap();
+        assert!(!cold0.stats.warm_started);
+        assert!(cold0.stats.wall_time_s > 0.0);
+        assert!(cold0.stats.refactorizations >= 1);
+
+        // Re-solve at a different cap via set_constraint_bound + warm basis.
+        let (mut p1, ..) = build(8.0);
+        p1.set_constraint_bound(2, Bound::Upper(6.0));
+        let (warm, _) = solve_with_basis(&p1, &opts, Some(&basis)).unwrap();
+        assert!(warm.stats.warm_started);
+        let (ref_cold, _) = solve_with_basis(&build(6.0).0, &opts, None).unwrap();
+        assert!((warm.objective - ref_cold.objective).abs() < 1e-9);
+        assert!(
+            warm.iterations <= ref_cold.iterations,
+            "warm {} > cold {}",
+            warm.iterations,
+            ref_cold.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_on_infeasible_tightening() {
+        // Tightening the cap row until the LP is infeasible must yield the
+        // same verdict from the warm (dual simplex Farkas exit) and cold
+        // (primal phase-1) paths.
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var(0.0, 10.0, 2.0);
+            let y = p.add_var(0.0, 10.0, 3.0);
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Lower(5.0));
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(cap));
+            p
+        };
+        let opts = SolverOptions::default();
+        let (_, basis) = solve_with_basis(&build(8.0), &opts, None).unwrap();
+
+        let mut tight = build(8.0);
+        tight.set_constraint_bound(1, Bound::Upper(3.0)); // conflicts with ≥ 5
+        let warm_err = solve_with_basis(&tight, &opts, Some(&basis)).unwrap_err();
+        let cold_err = solve_with_basis(&build(3.0), &opts, None).unwrap_err();
+        assert!(matches!(warm_err, LpError::Infeasible), "warm: {warm_err:?}");
+        assert!(matches!(cold_err, LpError::Infeasible), "cold: {cold_err:?}");
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        let mut small = Problem::new(Sense::Minimize);
+        let x = small.add_var(0.0, 1.0, 1.0);
+        small.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(0.5));
+        let (_, small_basis) = solve_with_basis(&small, &SolverOptions::default(), None).unwrap();
+
+        let mut big = Problem::new(Sense::Minimize);
+        let a = big.add_var(0.0, 5.0, 1.0);
+        let b = big.add_var(0.0, 5.0, 2.0);
+        big.add_constraint(expr(vec![(a, 1.0), (b, 1.0)]), Bound::Lower(3.0));
+        big.add_constraint(expr(vec![(a, 1.0), (b, -1.0)]), Bound::Upper(1.0));
+        let (sol, _) =
+            solve_with_basis(&big, &SolverOptions::default(), Some(&small_basis)).unwrap();
+        assert!(!sol.stats.warm_started, "incompatible basis must be ignored");
+        // min a + 2b s.t. a+b >= 3, a-b <= 1 → (a,b) = (2,1), objective 4.
+        assert!((sol.objective - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn stats_are_populated_on_every_solve() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Equal(10.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(4.0));
+        let (sol, basis) = solve_with_basis(&p, &SolverOptions::default(), None).unwrap();
+        assert!(sol.stats.iterations > 0);
+        assert!(sol.stats.wall_time_s > 0.0);
+        assert_eq!(sol.stats.iterations, sol.iterations);
+        assert!(sol.stats.phase1_iterations <= sol.stats.iterations);
+        assert_eq!(sol.stats.solves, 1);
+        assert_eq!(basis.dims(), (2, 4));
+
+        let mut agg = crate::SolveStats::default();
+        agg.absorb(&sol.stats);
+        agg.absorb(&sol.stats);
+        assert_eq!(agg.solves, 2);
+        assert_eq!(agg.iterations, 2 * sol.stats.iterations);
     }
 
     #[test]

@@ -13,6 +13,56 @@ pub enum Status {
     Unbounded,
 }
 
+/// Observability counters for a single simplex solve.
+///
+/// Every solve populates these (a successful solve always has
+/// `iterations_total() > 0` pivot attempts recorded via phase timings and
+/// `wall_time_s > 0`); callers that aggregate over many solves — the
+/// power-cap sweep, window decomposition — fold instances together with
+/// [`SolveStats::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Total simplex pivots (phase 1 + phase 2).
+    pub iterations: u64,
+    /// Pivots spent restoring primal feasibility: the primal phase 1 for
+    /// cold starts, the dual simplex restoration (plus any primal phase-1
+    /// fallback) for warm starts.
+    pub phase1_iterations: u64,
+    /// Basis refactorizations (initial factorization included).
+    pub refactorizations: u64,
+    /// Rows removed by presolve (0 when the caller bypassed presolve).
+    pub presolve_rows_dropped: u64,
+    /// Variable bounds tightened by presolve.
+    pub presolve_bounds_tightened: u64,
+    /// Wall time spent in phase 1.
+    pub phase1_time_s: f64,
+    /// Wall time spent in phase 2.
+    pub phase2_time_s: f64,
+    /// End-to-end wall time of the solve (setup + both phases + extraction).
+    pub wall_time_s: f64,
+    /// Whether the solve started from a caller-supplied basis.
+    pub warm_started: bool,
+    /// Number of solves folded into this instance (1 for a single solve).
+    pub solves: u64,
+}
+
+impl SolveStats {
+    /// Folds another solve's counters into this one. Times and pivot counts
+    /// add; `warm_started` becomes true if *any* folded solve was warm.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.iterations += other.iterations;
+        self.phase1_iterations += other.phase1_iterations;
+        self.refactorizations += other.refactorizations;
+        self.presolve_rows_dropped += other.presolve_rows_dropped;
+        self.presolve_bounds_tightened += other.presolve_bounds_tightened;
+        self.phase1_time_s += other.phase1_time_s;
+        self.phase2_time_s += other.phase2_time_s;
+        self.wall_time_s += other.wall_time_s;
+        self.warm_started |= other.warm_started;
+        self.solves += other.solves;
+    }
+}
+
 /// An optimal LP solution together with its dual certificate.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -30,6 +80,8 @@ pub struct Solution {
     pub reduced_costs: Vec<f64>,
     /// Number of simplex pivots performed.
     pub iterations: u64,
+    /// Detailed solver telemetry for this solve.
+    pub stats: SolveStats,
 }
 
 impl Solution {

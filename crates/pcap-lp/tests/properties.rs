@@ -25,11 +25,8 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
     (2usize..7, 1usize..8, any::<bool>()).prop_flat_map(|(nvars, nrows, maximize)| {
         let costs = proptest::collection::vec(-5.0..5.0f64, nvars);
         let bounds = proptest::collection::vec((-4.0..0.0f64, 0.0..4.0f64), nvars);
-        let row = (
-            proptest::collection::vec((0..nvars, -3.0..3.0f64), 1..=nvars),
-            0u8..3,
-            -3.0..3.0f64,
-        );
+        let row =
+            (proptest::collection::vec((0..nvars, -3.0..3.0f64), 1..=nvars), 0u8..3, -3.0..3.0f64);
         let rows = proptest::collection::vec(row, nrows);
         (costs, bounds, rows).prop_map(move |(costs, bounds, rows)| RandomLp {
             nvars,
@@ -44,13 +41,10 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
 fn build(lp: &RandomLp) -> Problem {
     let sense = if lp.maximize { Sense::Maximize } else { Sense::Minimize };
     let mut p = Problem::new(sense);
-    let vars: Vec<VarId> = (0..lp.nvars)
-        .map(|j| p.add_var(lp.bounds[j].0, lp.bounds[j].1, lp.costs[j]))
-        .collect();
+    let vars: Vec<VarId> =
+        (0..lp.nvars).map(|j| p.add_var(lp.bounds[j].0, lp.bounds[j].1, lp.costs[j])).collect();
     for (terms, kind, rhs) in &lp.rows {
-        let expr = LinExpr::from(
-            terms.iter().map(|&(j, c)| (vars[j], c)).collect::<Vec<_>>(),
-        );
+        let expr = LinExpr::from(terms.iter().map(|&(j, c)| (vars[j], c)).collect::<Vec<_>>());
         // Center rows near the bound box so a healthy fraction is feasible.
         let bound = match kind % 3 {
             0 => Bound::Upper(rhs.abs() + 1.0),

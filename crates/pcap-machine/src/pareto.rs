@@ -18,14 +18,21 @@ pub struct FrontierPoint {
 /// Dominance filter: keeps configurations for which no other configuration
 /// has `power <=` and `time <=` with at least one strict inequality.
 /// The result is sorted by ascending power (hence strictly descending time).
+///
+/// Tie rule for (numerically) equal power — powers within `1e-12` W are
+/// treated as the same operating cost: exactly one survivor is kept, the
+/// one with the smallest time. Exact duplicates (identical power *and*
+/// time, e.g. the same configuration listed twice) therefore collapse to a
+/// single copy; which copy survives is unobservable since the points are
+/// equal. Times within `1e-15` s of the incumbent do not count as an
+/// improvement, so a slower-or-equal point at higher power is dropped
+/// rather than kept as a zero-width frontier segment. The output is thus
+/// *strictly* increasing in power and *strictly* decreasing in time.
 pub fn pareto_filter(points: &[ConfigPoint]) -> Vec<ConfigPoint> {
     let mut sorted: Vec<ConfigPoint> = points.to_vec();
     // Sort by power ascending; ties broken by faster time first.
     sorted.sort_by(|a, b| {
-        a.power_w
-            .partial_cmp(&b.power_w)
-            .unwrap()
-            .then(a.time_s.partial_cmp(&b.time_s).unwrap())
+        a.power_w.partial_cmp(&b.power_w).unwrap().then(a.time_s.partial_cmp(&b.time_s).unwrap())
     });
     let mut out: Vec<ConfigPoint> = Vec::new();
     let mut best_time = f64::INFINITY;
@@ -98,9 +105,18 @@ impl ConvexFrontier {
         self.points.len()
     }
 
-    /// True when the frontier has a single point.
+    /// Always `false`: [`convex_frontier`] rejects empty input and the hull
+    /// pass keeps at least one point, so every constructed frontier has
+    /// `len() > 0`. Kept only for the conventional `len`/`is_empty` pairing.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// True when the frontier has collapsed to a single configuration —
+    /// the task offers the LP no time/power trade-off, so its window
+    /// variable degenerates to a fixed (time, power) pair.
+    pub fn is_degenerate(&self) -> bool {
+        self.points.len() == 1
     }
 
     /// Cheapest (slowest) frontier point.
@@ -283,6 +299,91 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f.time_at_power(10.0), Some(1.0));
         assert_eq!(f.time_at_power(9.0), None);
+    }
+
+    #[test]
+    fn pareto_filter_equal_power_keeps_faster_point() {
+        // Two candidates at identical power: only the faster survives, and
+        // the result stays strictly monotone in both coordinates.
+        let pts = vec![pt(10.0, 5.0), pt(10.0, 3.0), pt(20.0, 2.0)];
+        let front = pareto_filter(&pts);
+        assert_eq!(front.len(), 2);
+        assert_eq!((front[0].power_w, front[0].time_s), (10.0, 3.0));
+        assert_eq!((front[1].power_w, front[1].time_s), (20.0, 2.0));
+    }
+
+    #[test]
+    fn pareto_filter_collapses_exact_duplicates() {
+        // The same configuration listed twice (identical power and time)
+        // collapses to one copy.
+        let pts = vec![pt(10.0, 4.0), pt(10.0, 4.0), pt(20.0, 2.0), pt(20.0, 2.0)];
+        let front = pareto_filter(&pts);
+        assert_eq!(front.len(), 2);
+        for w in front.windows(2) {
+            assert!(w[0].power_w < w[1].power_w);
+            assert!(w[0].time_s > w[1].time_s);
+        }
+    }
+
+    #[test]
+    fn pareto_filter_near_equal_power_pops_slower_twin() {
+        // Powers within the 1e-12 W tie tolerance but not bitwise equal:
+        // the marginally pricier-but-faster point replaces its twin instead
+        // of creating a near-vertical frontier segment.
+        let eps = 5e-13;
+        let pts = vec![pt(10.0, 5.0), pt(10.0 + eps, 3.0), pt(20.0, 2.0)];
+        let front = pareto_filter(&pts);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].time_s, 3.0);
+    }
+
+    #[test]
+    #[allow(clippy::len_zero)] // `len() > 0` is the invariant under test
+    fn frontier_is_never_empty() {
+        // `convex_frontier` panics on empty input and otherwise keeps at
+        // least one point, so `is_empty` is always false; a one-point cloud
+        // is the degenerate (no trade-off) case.
+        let single = convex_frontier(&[pt(10.0, 1.0)]);
+        assert!(single.len() > 0);
+        assert!(!single.is_empty());
+        assert!(single.is_degenerate());
+
+        let multi = convex_frontier(&[pt(10.0, 4.0), pt(20.0, 2.0)]);
+        assert!(multi.len() > 0);
+        assert!(!multi.is_empty());
+        assert!(!multi.is_degenerate());
+
+        // Even a cloud that collapses under dedup + hulling retains a point.
+        let collapsed = convex_frontier(&[pt(10.0, 4.0), pt(10.0, 4.0), pt(10.0, 6.0)]);
+        assert!(collapsed.len() > 0);
+        assert!(collapsed.is_degenerate());
+    }
+
+    #[test]
+    fn mix_for_power_edge_cases() {
+        let pts = vec![pt(10.0, 4.0), pt(20.0, 2.0), pt(40.0, 1.0)];
+        let f = convex_frontier(&pts);
+        // Below the cheapest point: infeasible, mirroring time_at_power.
+        assert_eq!(f.mix_for_power(9.0), None);
+        // Exactly at the cheapest point: pure first configuration.
+        let (i, j, alpha) = f.mix_for_power(10.0).unwrap();
+        let avg = alpha * f.points()[i].power_w + (1.0 - alpha) * f.points()[j].power_w;
+        assert!((avg - 10.0).abs() < 1e-12);
+        // At an interior breakpoint the mix is a pure single configuration.
+        let (i, j, alpha) = f.mix_for_power(20.0).unwrap();
+        let avg = alpha * f.points()[i].power_w + (1.0 - alpha) * f.points()[j].power_w;
+        assert!((avg - 20.0).abs() < 1e-12);
+        // At or above the most expensive point: saturate at the fastest.
+        assert_eq!(f.mix_for_power(40.0), Some((2, 2, 1.0)));
+        assert_eq!(f.mix_for_power(55.0), Some((2, 2, 1.0)));
+    }
+
+    #[test]
+    fn mix_for_power_single_point_frontier() {
+        let f = convex_frontier(&[pt(10.0, 1.0)]);
+        assert_eq!(f.mix_for_power(9.0), None);
+        assert_eq!(f.mix_for_power(10.0), Some((0, 0, 1.0)));
+        assert_eq!(f.mix_for_power(11.0), Some((0, 0, 1.0)));
     }
 
     #[test]

@@ -33,7 +33,12 @@ impl Rapl {
     /// with `threads` threads. May fall below the machine's lowest DVFS
     /// state (clock modulation); returns 0 when the cap is below idle power,
     /// in which case the task cannot make progress.
-    pub fn effective_frequency(&self, machine: &MachineSpec, task: &TaskModel, threads: u32) -> f64 {
+    pub fn effective_frequency(
+        &self,
+        machine: &MachineSpec,
+        task: &TaskModel,
+        threads: u32,
+    ) -> f64 {
         machine.max_frequency_under(self.cap_w, threads, task.activity)
     }
 

@@ -6,11 +6,11 @@ use proptest::prelude::*;
 
 fn random_task() -> impl Strategy<Value = TaskModel> {
     (
-        0.01..20.0f64,  // serial seconds
-        0.0..0.95f64,   // memory fraction
-        0.0..0.3f64,    // cache penalty
-        2.0..8.0f64,    // sweet spot
-        2.0..8.0f64,    // bandwidth saturation
+        0.01..20.0f64, // serial seconds
+        0.0..0.95f64,  // memory fraction
+        0.0..0.3f64,   // cache penalty
+        2.0..8.0f64,   // sweet spot
+        2.0..8.0f64,   // bandwidth saturation
     )
         .prop_map(|(w, mem, pen, sweet, sat)| TaskModel {
             cache_penalty: pen,

@@ -204,13 +204,13 @@ impl Conductor {
         // not shrink when a rank is throttled, so budgets can recover and
         // reallocation does not ratchet the job downward.
         let mut base = vec![0.0; n];
-        for r in 0..n {
+        for (r, b) in base.iter_mut().enumerate() {
             let demand = if self.epoch_demand_s[r] > 1e-9 {
                 self.epoch_demand_j[r] / self.epoch_demand_s[r]
             } else {
                 self.budgets[r]
             };
-            base[r] = (demand * self.opts.headroom).max(self.opts.min_socket_w);
+            *b = (demand * self.opts.headroom).max(self.opts.min_socket_w);
         }
         let total: f64 = base.iter().sum();
         let surplus = self.job_cap_w - total;
@@ -236,11 +236,8 @@ impl Conductor {
             // largest budgets to keep the invariant Σ budgets = cap.
             let mut excess = base.iter().sum::<f64>() - self.job_cap_w;
             while excess > 1e-9 {
-                let (imax, _) = base
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .unwrap();
+                let (imax, _) =
+                    base.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
                 let take = excess.min(base[imax] - self.opts.min_socket_w);
                 if take <= 0.0 {
                     break;
@@ -337,7 +334,8 @@ impl Policy for Conductor {
         // Reallocate as soon as one steady-state iteration of demand data
         // exists, then every `realloc_period` Pcontrol periods.
         if self.pcontrols > self.opts.warmup_iterations
-            && (self.pcontrols - self.opts.warmup_iterations - 1).is_multiple_of(self.opts.realloc_period)
+            && (self.pcontrols - self.opts.warmup_iterations - 1)
+                .is_multiple_of(self.opts.realloc_period)
         {
             self.reallocate();
             return true; // charges the 566 µs reallocation overhead

@@ -45,7 +45,12 @@ pub struct ConfigOnly {
 
 impl ConfigOnly {
     /// Creates the policy from profiled frontiers.
-    pub fn new(job_cap_w: f64, ranks: u32, frontiers: TaskFrontiers, fallback_threads: u32) -> Self {
+    pub fn new(
+        job_cap_w: f64,
+        ranks: u32,
+        frontiers: TaskFrontiers,
+        fallback_threads: u32,
+    ) -> Self {
         Self { socket_cap_w: job_cap_w / ranks as f64, frontiers, fallback_threads }
     }
 }

@@ -3,7 +3,7 @@
 use pcap_apps::{CommPattern, Imbalance, SyntheticSpec};
 use pcap_core::TaskFrontiers;
 use pcap_machine::MachineSpec;
-use pcap_sched::{ConfigOnly, Conductor, ConductorOptions, StaticPolicy};
+use pcap_sched::{Conductor, ConductorOptions, ConfigOnly, StaticPolicy};
 use pcap_sim::{SimOptions, Simulator};
 use proptest::prelude::*;
 

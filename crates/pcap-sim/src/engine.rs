@@ -145,8 +145,7 @@ impl<'a> Simulator<'a> {
         let mut indeg: Vec<usize> = (0..nv).map(|i| g.in_edges(vid(i)).len()).collect();
         let mut vtime = vec![0.0_f64; nv];
         let mut queue: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
-        let mut ranks =
-            vec![RankState { last: None, last_end_s: 0.0 }; g.num_ranks() as usize];
+        let mut ranks = vec![RankState { last: None, last_end_s: 0.0 }; g.num_ranks() as usize];
         let mut intervals: Vec<PowerInterval> = Vec::new();
         let mut records: Vec<TaskRecord> = Vec::new();
         let mut pending_obs: Vec<Option<Observation>> = vec![None; g.num_edges()];
@@ -200,10 +199,10 @@ impl<'a> Simulator<'a> {
                             let mut start = t + self.opts.profiler_overhead_s;
                             overhead_total += self.opts.profiler_overhead_s;
                             let first = (segs[0].0, segs[0].1);
-                            let nominal: f64 =
-                                segs.iter().map(|&(f, th, frac)| {
-                                    frac * model.duration(self.machine, f, th)
-                                }).sum();
+                            let nominal: f64 = segs
+                                .iter()
+                                .map(|&(f, th, frac)| frac * model.duration(self.machine, f, th))
+                                .sum();
                             let switches = match ranks[r].last {
                                 Some((f, th, _)) if (f - first.0).abs() < 1e-9 && th == first.1 => {
                                     segs.len() - 1
@@ -221,9 +220,7 @@ impl<'a> Simulator<'a> {
                             // vertex (draws slack power of its previous
                             // configuration; idle power before the first task).
                             let slack_p = match ranks[r].last {
-                                Some((f, th, act)) => {
-                                    self.machine.slack_power(f, th, act)
-                                }
+                                Some((f, th, act)) => self.machine.slack_power(f, th, act),
                                 None => self.machine.power.p_idle,
                             };
                             if start > ranks[r].last_end_s {
@@ -480,13 +477,8 @@ mod tests {
         let m = machine();
         let res = Simulator::new(&g, &m, SimOptions::ideal()).run(&mut PinBoth).unwrap();
         let model = TaskModel::compute_bound(2.0);
-        let expected =
-            0.5 * model.duration(&m, 2.6, 8) + 0.5 * model.duration(&m, 1.2, 4);
-        let longest = res
-            .tasks
-            .iter()
-            .map(|t| t.duration())
-            .fold(0.0_f64, f64::max);
+        let expected = 0.5 * model.duration(&m, 2.6, 8) + 0.5 * model.duration(&m, 1.2, 4);
+        let longest = res.tasks.iter().map(|t| t.duration()).fold(0.0_f64, f64::max);
         assert!((longest - expected).abs() < 1e-9, "{longest} vs {expected}");
     }
 

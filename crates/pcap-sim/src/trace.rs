@@ -97,11 +97,7 @@ impl PowerTrace {
 
     /// Total energy in joules.
     pub fn energy_j(&self) -> f64 {
-        self.powers
-            .iter()
-            .zip(self.times.windows(2))
-            .map(|(p, w)| p * (w[1] - w[0]))
-            .sum()
+        self.powers.iter().zip(self.times.windows(2)).map(|(p, w)| p * (w[1] - w[0])).sum()
     }
 
     /// Breakpoints and step values, for plotting/export.

@@ -120,12 +120,9 @@ fn main() {
 
     println!("BT-MZ-like workload, {ranks} ranks @ {per_socket} W/socket ({cap} W job cap)\n");
     println!("{:<12} {:>9}  {:>16}", "method", "time (s)", "distance to bound");
-    for (name, t) in [
-        ("LP bound", lp),
-        ("Static", static_s),
-        ("Conductor", cond_s),
-        ("GreedyBoost", greedy_s),
-    ] {
+    for (name, t) in
+        [("LP bound", lp), ("Static", static_s), ("Conductor", cond_s), ("GreedyBoost", greedy_s)]
+    {
         println!("{name:<12} {t:>9.3}  {:>15.1}%", (t / lp - 1.0) * 100.0);
     }
     println!(

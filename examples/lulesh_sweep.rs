@@ -23,7 +23,10 @@ fn main() {
     let graph = lulesh::generate(&AppParams { ranks, iterations: warmup + 8, seed: 7 });
     let frontiers = TaskFrontiers::build(&graph, &machine);
 
-    println!("{:>9}  {:>9}  {:>9}  {:>9}  {:>12}", "W/socket", "LP (s)", "Static", "Conductor", "LP headroom");
+    println!(
+        "{:>9}  {:>9}  {:>9}  {:>9}  {:>12}",
+        "W/socket", "LP (s)", "Static", "Conductor", "LP headroom"
+    );
     for per_socket in [40.0, 50.0, 60.0, 70.0, 80.0] {
         let cap = per_socket * ranks as f64;
         let lp = solve_decomposed(&graph, &machine, &frontiers, cap, &FixedLpOptions::default())

@@ -10,8 +10,7 @@
 
 use pcap_apps::AppBuilder;
 use pcap_core::{
-    replay_schedule, solve_fixed_order, verify_schedule, FixedLpOptions, ReplayMode,
-    TaskFrontiers,
+    replay_schedule, solve_fixed_order, verify_schedule, FixedLpOptions, ReplayMode, TaskFrontiers,
 };
 use pcap_machine::{MachineSpec, TaskModel};
 use pcap_sim::SimOptions;
@@ -58,8 +57,9 @@ fn main() {
 
     // Solve the LP at a job-level cap of 45 W per socket.
     let cap_w = 45.0 * ranks as f64;
-    let schedule = solve_fixed_order(&graph, &machine, &frontiers, cap_w, &FixedLpOptions::default())
-        .expect("feasible at 45 W/socket");
+    let schedule =
+        solve_fixed_order(&graph, &machine, &frontiers, cap_w, &FixedLpOptions::default())
+            .expect("feasible at 45 W/socket");
     println!("LP bound: {:.3} s time-to-solution under {cap_w} W", schedule.makespan_s);
 
     // Inspect the nonuniform power allocation of the first iteration.

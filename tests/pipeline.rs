@@ -31,17 +31,37 @@ fn every_benchmark_schedules_verifies_and_replays() {
 
         // Segment replay reproduces the predicted makespan exactly
         // (no overheads).
-        let seg = replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::ideal(), ReplayMode::Segments)
-            .unwrap();
+        let seg = replay_schedule(
+            &g,
+            &machine,
+            &frontiers,
+            &sched,
+            SimOptions::ideal(),
+            ReplayMode::Segments,
+        )
+        .unwrap();
         let rel = (seg.makespan_s - sched.makespan_s).abs() / sched.makespan_s;
-        assert!(rel < 1e-6, "{}: replay {} vs LP {}", bench.name(), seg.makespan_s, sched.makespan_s);
+        assert!(
+            rel < 1e-6,
+            "{}: replay {} vs LP {}",
+            bench.name(),
+            seg.makespan_s,
+            sched.makespan_s
+        );
 
         // RAPL replay: sockets honour their allocations; the summed
         // instantaneous power stays within the transient margin discussed
         // in `ReplayMode::RaplCaps` (tasks running ahead of the LP's event
         // times can briefly co-schedule differently).
-        let rapl = replay_schedule(&g, &machine, &frontiers, &sched, SimOptions::ideal(), ReplayMode::RaplCaps)
-            .unwrap();
+        let rapl = replay_schedule(
+            &g,
+            &machine,
+            &frontiers,
+            &sched,
+            SimOptions::ideal(),
+            ReplayMode::RaplCaps,
+        )
+        .unwrap();
         assert!(
             rapl.respects_cap(cap * 1.15),
             "{}: RAPL replay peak {} W far over cap {cap}",
@@ -95,7 +115,9 @@ fn lp_makespan_is_monotone_in_cap() {
         let mut prev = f64::INFINITY;
         for per_socket in [35.0, 45.0, 55.0, 65.0, 75.0, 90.0] {
             let cap = 4.0 * per_socket;
-            if let Ok(s) = solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default()) {
+            if let Ok(s) =
+                solve_decomposed(&g, &machine, &frontiers, cap, &FixedLpOptions::default())
+            {
                 assert!(
                     s.makespan_s <= prev * (1.0 + 1e-6),
                     "{}: cap {per_socket} made things worse",
@@ -126,8 +148,15 @@ fn rounded_schedules_are_realizable_and_close() {
     let rel = (rounded.makespan_s - sched.makespan_s).abs() / sched.makespan_s;
     assert!(rel < 0.05, "rounding cost {rel}");
     // And replays exactly.
-    let res = replay_schedule(&g, &machine, &frontiers, &rounded, SimOptions::ideal(), ReplayMode::Segments)
-        .unwrap();
+    let res = replay_schedule(
+        &g,
+        &machine,
+        &frontiers,
+        &rounded,
+        SimOptions::ideal(),
+        ReplayMode::Segments,
+    )
+    .unwrap();
     let rel = (res.makespan_s - rounded.makespan_s).abs() / rounded.makespan_s;
     assert!(rel < 1e-6);
 }

@@ -5,7 +5,7 @@
 use pcap_apps::{AppParams, Benchmark};
 use pcap_core::TaskFrontiers;
 use pcap_machine::MachineSpec;
-use pcap_sched::{ConfigOnly, Conductor, ConductorOptions, StaticPolicy};
+use pcap_sched::{Conductor, ConductorOptions, ConfigOnly, StaticPolicy};
 use pcap_sim::{SimOptions, Simulator};
 
 fn params() -> AppParams {
@@ -99,7 +99,13 @@ fn conductor_beats_static_under_imbalance_and_tight_power() {
     let sim = Simulator::new(&g, &machine, SimOptions::default());
     let stat = sim.run(&mut StaticPolicy::uniform(cap, 8, machine.max_threads)).unwrap();
     let cond = sim
-        .run(&mut Conductor::new(cap, 8, machine.max_threads, frontiers, ConductorOptions::default()))
+        .run(&mut Conductor::new(
+            cap,
+            8,
+            machine.max_threads,
+            frontiers,
+            ConductorOptions::default(),
+        ))
         .unwrap();
     assert!(
         cond.makespan_s < stat.makespan_s,

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of criterion the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! straightforward wall-clock harness: a short warm-up, then timed batches
+//! until a per-bench time budget is spent, reporting min/mean/max time per
+//! iteration. No statistics machinery, HTML reports, or outlier analysis;
+//! numbers print to stdout in a single line per bench.
+//!
+//! Like real criterion, the harness recognizes being run under `cargo test`
+//! (cargo passes `--test`) and then executes each benchmark exactly once so
+//! bench targets stay cheap smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value whose computation is the
+/// thing being measured.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one bench within a group, e.g. a parameterized size.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self { label: format!("{name}/{param}") }
+    }
+
+    /// An id rendered as just the parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self { label: param.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs and times the payload.
+pub struct Bencher<'a> {
+    stats: &'a mut Stats,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+#[derive(Default)]
+struct Stats {
+    iters: u64,
+    total: Duration,
+    min: Option<Duration>,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `f` repeatedly. In test mode (`cargo test`) runs it once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.stats.iters = 1;
+            return;
+        }
+        // Warm-up: run until ~10% of the budget is spent (at least once).
+        let warmup_end = Instant::now() + self.measurement_time / 10;
+        loop {
+            black_box(f());
+            if Instant::now() >= warmup_end {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples or the time budget, whichever
+        // comes first (always at least one sample).
+        let budget_end = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.stats.iters += 1;
+            self.stats.total += dt;
+            self.stats.min = Some(self.stats.min.map_or(dt, |m| m.min(dt)));
+            self.stats.max = self.stats.max.max(dt);
+            if Instant::now() >= budget_end {
+                break;
+            }
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` under `cargo test`; the
+        // benches also accept `--bench <filter>` style args, all ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(
+    label: &str,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut stats = Stats::default();
+    let mut b = Bencher { stats: &mut stats, test_mode, sample_size, measurement_time };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (test mode, 1 iteration)");
+    } else if stats.iters > 0 {
+        let mean = stats.total / stats.iters as u32;
+        println!(
+            "{label}: mean {} (min {}, max {}, {} samples)",
+            fmt_duration(mean),
+            fmt_duration(stats.min.unwrap_or_default()),
+            fmt_duration(stats.max),
+            stats.iters,
+        );
+    } else {
+        println!("{label}: no iterations recorded");
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.test_mode, 60, Duration::from_secs(3), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 60,
+            measurement_time: Duration::from_secs(3),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-bench measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark with shared setup data.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op; results were printed as they completed).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this tiny crate
+//! provides the exact API surface the workspace uses: `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over float and
+//! integer ranges. The generator is a xorshift64* seeded through SplitMix64
+//! — deterministic, fast, and statistically adequate for the simulation
+//! noise and synthetic-trace generation it feeds. It makes no attempt to be
+//! reproducible with upstream `rand` streams, only with itself.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: 64 uniform bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, mirroring the subset of `rand::Rng` in use.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` half-open, `a..=b` inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw a uniform sample of `T` from an RNG.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_closed<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // [0, 1] inclusive of both ends.
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_open(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_closed(rng) * (hi - lo)
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i32, i64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xorshift64* generator (the stand-in for `rand`'s
+    /// `StdRng`; not stream-compatible with upstream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambles the seed so that nearby seeds (0, 1, 2…)
+            // produce unrelated streams and the all-zero state is avoided.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-0.25..=0.25);
+            assert!((-0.25..=0.25).contains(&x));
+            let y: f64 = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&y));
+            let n: u32 = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.gen_range(0.0..1.0) == b.gen_range(0.0..1.0)).count();
+        assert!(same < 4);
+    }
+}
