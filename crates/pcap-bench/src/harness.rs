@@ -82,6 +82,17 @@ pub fn improvement_pct(t_method: f64, t_lp: f64) -> f64 {
     (t_method / t_lp - 1.0) * 100.0
 }
 
+/// True when the figure binary was asked to certify every LP solve:
+/// `--certify` on the command line or `PCAP_CERTIFY=1` in the environment.
+/// Certification re-verifies each solution against an independently
+/// computed duality certificate and cold re-solves every warm-started sweep
+/// point (see `pcap_lp::certificate`); it is always on in debug/test
+/// builds, this flag extends it to release-mode experiment runs.
+pub fn certify_requested() -> bool {
+    std::env::args().any(|a| a == "--certify")
+        || std::env::var("PCAP_CERTIFY").is_ok_and(|v| v == "1")
+}
+
 /// Time elapsed between the end of warm-up (the `warmup`-th `MPI_Pcontrol`)
 /// and `MPI_Finalize`, given realized vertex times.
 pub fn measured_region(graph: &TaskGraph, vertex_times: &[f64], warmup: u32) -> f64 {
@@ -179,7 +190,12 @@ pub fn evaluate_benchmark(
     let frontiers = TaskFrontiers::build(&graph, machine);
 
     let job_caps: Vec<f64> = per_socket_caps.iter().map(|&w| w * cfg.ranks as f64).collect();
-    let lp_points = solve_sweep(&graph, machine, &frontiers, &job_caps, &SweepOptions::default());
+    let mut sweep_opts = SweepOptions::default();
+    if certify_requested() {
+        sweep_opts.certify = true;
+        sweep_opts.fixed.lp.certify = true;
+    }
+    let lp_points = solve_sweep(&graph, machine, &frontiers, &job_caps, &sweep_opts);
 
     let n = per_socket_caps.len();
     let mut rows: Vec<Option<CapRow>> = vec![None; n];
@@ -248,9 +264,12 @@ pub fn cached_sweep(
     );
     if let Ok(text) = std::fs::read_to_string(path) {
         if text.lines().next() == Some(key.as_str()) {
-            if let Some(parsed) = parse_sweep(&text) {
+            if let Some(parsed) = parse_sweep(&text, per_socket_caps) {
                 return parsed;
             }
+            // A matching key with an unparsable body means the cache was
+            // truncated or corrupted mid-write: fall through and re-solve.
+            eprintln!("[sweep] cache at {} is incomplete or corrupt; recomputing", path.display());
         }
     }
     let mut out = Vec::new();
@@ -287,7 +306,13 @@ pub fn cached_sweep(
     out
 }
 
-fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
+/// Parses a v2 cache body, returning `None` unless it is **complete**: a
+/// file truncated at a line boundary (e.g. a crashed writer) or a row with
+/// mangled telemetry parses cleanly line-by-line, and silently returning
+/// the partial grid would feed the figure binaries short data. Every
+/// benchmark must therefore appear with exactly the requested cap grid, in
+/// order, and every telemetry field must parse strictly.
+fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
     let mut map: Vec<(Benchmark, Vec<CapRow>)> = Vec::new();
     for line in text.lines().skip(1) {
         let cols: Vec<&str> = line.split('\t').collect();
@@ -303,6 +328,11 @@ fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
                 s.parse::<f64>().ok().map(Some)
             }
         };
+        let warm_started = match cols[10] {
+            "1" => true,
+            "0" => false,
+            _ => return None, // anything else is corruption, not "cold"
+        };
         let row = CapRow {
             per_socket_w: cap,
             times: MethodTimes {
@@ -316,7 +346,7 @@ fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
                 phase1_iterations: cols[7].parse().ok()?,
                 refactorizations: cols[8].parse().ok()?,
                 wall_time_s: cols[9].parse().ok()?,
-                warm_started: cols[10] == "1",
+                warm_started,
                 solves: cols[11].parse().ok()?,
                 ..Default::default()
             },
@@ -326,11 +356,19 @@ fn parse_sweep(text: &str) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
             None => map.push((bench, vec![row])),
         }
     }
-    if map.is_empty() {
-        None
-    } else {
-        Some(map)
+    // Completeness: all four benchmarks, each with the full requested cap
+    // grid in writing order (caps round-trip exactly through `{}`).
+    if map.len() != Benchmark::ALL.len() {
+        return None;
     }
+    for (_, rows) in &map {
+        if rows.len() != expected_caps.len()
+            || rows.iter().zip(expected_caps).any(|(r, &c)| r.per_socket_w != c)
+        {
+            return None;
+        }
+    }
+    Some(map)
 }
 
 /// Default location of the shared sweep cache.
@@ -377,6 +415,65 @@ mod tests {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A cache truncated at a line boundary must be rejected, not returned
+    /// as a silently shorter grid — and `cached_sweep` must then recompute
+    /// and rewrite the full file.
+    #[test]
+    fn truncated_cache_is_rejected_and_recomputed() {
+        let dir = std::env::temp_dir().join(format!("pcap-sweep-trunc-{}", std::process::id()));
+        let path = dir.join("sweep.tsv");
+        let m = MachineSpec::e5_2670();
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let caps = [50.0, 80.0];
+        let full = cached_sweep(&path, &m, &cfg, &caps);
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // Drop the last data line: still parses line-by-line, but the grid
+        // is short — parse_sweep must reject it.
+        let truncated: String =
+            text.lines().take(text.lines().count() - 1).map(|l| format!("{l}\n")).collect();
+        assert!(parse_sweep(&truncated, &caps).is_none(), "truncated cache must not parse");
+        std::fs::write(&path, &truncated).unwrap();
+        let recomputed = cached_sweep(&path, &m, &cfg, &caps);
+        assert_eq!(recomputed.len(), full.len());
+        for (b, rows) in &recomputed {
+            assert_eq!(rows.len(), caps.len(), "{} grid incomplete after recompute", b.name());
+        }
+        // The rewritten cache is whole again.
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), text.lines().count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Garbage in the `warm_started` column used to parse as `false`; it
+    /// must reject the cache instead.
+    #[test]
+    fn mangled_telemetry_is_rejected() {
+        let caps = [50.0, 80.0];
+        let f = |warm: &str| {
+            let mut text = String::from("#key\n");
+            for bench in Benchmark::ALL {
+                for cap in caps {
+                    text.push_str(&format!(
+                        "{}\t{cap}\t1.0\t1.1\t1.2\t-\t10\t4\t1\t0.001000\t{warm}\t2\n",
+                        bench.name(),
+                    ));
+                }
+            }
+            text
+        };
+        assert!(parse_sweep(&f("1"), &caps).is_some(), "well-formed cache must parse");
+        assert!(parse_sweep(&f("x"), &caps).is_none(), "garbage warm_started must reject");
+        assert!(parse_sweep(&f(""), &caps).is_none(), "empty warm_started must reject");
+        // A cap grid disagreeing with the request is also a stale cache.
+        assert!(parse_sweep(&f("0"), &[50.0]).is_none(), "extra caps must reject");
+        assert!(parse_sweep(&f("0"), &[50.0, 80.0, 90.0]).is_none(), "missing caps must reject");
     }
 
     #[test]
@@ -430,6 +527,31 @@ mod tests {
                 (Err(_), Err(_)) => {}
                 _ => panic!("feasibility mismatch at cap {cap}"),
             }
+        }
+    }
+
+    /// Regression: this small CoMD configuration has a degenerate optimum
+    /// in its second window where warm and cold pivot paths stop at
+    /// different (equally optimal) bases whose refined makespans differ in
+    /// the last ulp. Certification must accept ulp-level divergence at
+    /// alternate optima instead of reporting a warm-start bug.
+    #[test]
+    fn certified_sweep_tolerates_degenerate_alternate_optima() {
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let m = MachineSpec::e5_2670();
+        let g = cfg.generate(Benchmark::CoMD);
+        let fr = TaskFrontiers::build(&g, &m);
+        let caps: Vec<f64> = [50.0, 80.0].iter().map(|w| w * cfg.ranks as f64).collect();
+        let mut opts = SweepOptions { certify: true, ..Default::default() };
+        opts.fixed.lp.certify = true;
+        for pt in solve_sweep(&g, &m, &fr, &caps, &opts) {
+            let s = pt.schedule.unwrap_or_else(|e| panic!("cap {}: {e}", pt.cap_w));
+            assert!(s.makespan_s > 0.0);
         }
     }
 

@@ -521,4 +521,48 @@ mod tests {
             assert!(lhs >= d - 1e-6, "edge {} violates precedence", id.index());
         }
     }
+
+    /// Degenerate single-point frontiers — tasks with no time/power
+    /// trade-off — must flow through the LP unharmed: every task is pinned
+    /// to its sole configuration and feasibility flips exactly at the
+    /// summed fixed power of the concurrent tasks.
+    #[test]
+    fn degenerate_single_point_frontiers_feed_the_lp() {
+        let g = two_rank();
+        let m = machine();
+        // Collapse every frontier to its fastest point.
+        let deg = TaskFrontiers::build(&g, &m)
+            .map(|_, f| pcap_machine::convex_frontier(&[*f.max_power()]));
+        assert!(deg.iter().all(|(_, f)| f.is_degenerate()));
+
+        // All four tasks share a model's memory fraction, so the collapsed
+        // points all cost the same power; two tasks overlap per window.
+        let point = |e: usize| *deg.get(EdgeId::from_index(e)).unwrap().max_power();
+        let overlap_w = point(0).power_w + point(1).power_w;
+
+        // Slightly above the fixed concurrent power: feasible, with every
+        // choice pinned to the single point and the makespan equal to the
+        // fixed critical path.
+        let sched =
+            solve_fixed_order(&g, &m, &deg, overlap_w * 1.01, &FixedLpOptions::default()).unwrap();
+        for (id, f) in deg.iter() {
+            let c = sched.choice(id).unwrap();
+            assert!(
+                (c.duration_s - f.max_power().time_s).abs() < 1e-9,
+                "task {} not pinned: {} vs {}",
+                id.index(),
+                c.duration_s,
+                f.max_power().time_s
+            );
+            assert!((c.power_w - f.max_power().power_w).abs() < 1e-9);
+        }
+        let expected = point(0).time_s.max(point(1).time_s) + point(2).time_s.max(point(3).time_s);
+        assert!((sched.makespan_s - expected).abs() < 1e-6, "{} vs {}", sched.makespan_s, expected);
+
+        // Slightly below it: with no cheaper configuration to retreat to,
+        // the LP must report infeasibility rather than shave power.
+        let err = solve_fixed_order(&g, &m, &deg, overlap_w * 0.99, &FixedLpOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible));
+    }
 }

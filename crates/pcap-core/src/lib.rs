@@ -35,6 +35,7 @@ pub mod discrete;
 pub mod fixed_lp;
 pub mod flow_ilp;
 pub mod frontiers;
+pub mod oracle;
 pub mod schedule;
 pub mod sweep;
 pub mod verify;
@@ -46,6 +47,10 @@ pub use fixed_lp::{
 };
 pub use flow_ilp::{solve_flow, FlowOptions};
 pub use frontiers::TaskFrontiers;
+pub use oracle::{
+    check_instance, load_seeds, persist_seed, shrink_instance, OracleInstance, OracleReport,
+    TaskSpec,
+};
 pub use schedule::{LpSchedule, TaskChoice};
 pub use sweep::{solve_sweep, total_stats, SweepOptions, SweepPoint};
 pub use verify::{replay_schedule, verify_schedule, ReplayMode, Verification};
@@ -58,6 +63,11 @@ pub enum CoreError {
     Infeasible,
     /// The underlying solver failed.
     Solver(pcap_lp::LpError),
+    /// An independent verification cross-check failed: a certified sweep
+    /// found a warm-started solve disagreeing with its cold re-solve, or a
+    /// replay/differential check caught an inconsistent result. Always a
+    /// bug, never a property of the instance.
+    Verification(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -67,6 +77,9 @@ impl std::fmt::Display for CoreError {
                 write!(f, "no schedule satisfies the power constraint")
             }
             CoreError::Solver(e) => write!(f, "solver failure: {e}"),
+            CoreError::Verification(detail) => {
+                write!(f, "verification cross-check failed: {detail}")
+            }
         }
     }
 }

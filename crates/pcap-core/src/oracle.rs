@@ -1,0 +1,592 @@
+//! Differential oracle: randomized cross-validation of the solver stack.
+//!
+//! The paper's evaluation rests on three relationships between its
+//! formulations (§3, appendix, Figure 8):
+//!
+//! * the **flow ILP** chooses the event order, so its makespan never exceeds
+//!   the **fixed-order LP**'s (the LP restricts the order; Figure 8 finds
+//!   the two agree within ~1.9% on the benchmark suite);
+//! * the **discrete** fixed-order formulation restricts the LP's continuous
+//!   configuration mixtures to single configurations, so its makespan never
+//!   beats the continuous LP's;
+//! * every **replayed** schedule must respect the power cap (within the
+//!   replay mode's documented transient margin) and can never finish before
+//!   the LP bound.
+//!
+//! Together: `flow-ILP ≤ fixed-LP ≤ discrete ≤ replay`, with the power cap
+//! holding at every event. [`check_instance`] verifies the whole chain on
+//! one small random instance; the property suite (`tests/`
+//! `differential_oracle.rs`) generates hundreds of instances with proptest
+//! strategies, and [`shrink_instance`] + [`persist_seed`] reduce any failure
+//! to a minimal reproducer committed under `tests/seeds/` so it becomes a
+//! permanent regression test.
+//!
+//! Instances are kept deliberately tiny (≤ 3 ranks × ≤ 2 layers) because the
+//! flow ILP is only tractable below a few dozen DAG edges (paper appendix).
+
+use crate::discrete::{solve_fixed_order_discrete, DiscreteOptions};
+use crate::fixed_lp::{solve_fixed_order, FixedLpOptions};
+use crate::flow_ilp::{solve_flow, FlowOptions};
+use crate::frontiers::TaskFrontiers;
+use crate::schedule::LpSchedule;
+use crate::verify::{replay_schedule, verify_schedule, ReplayMode};
+use crate::CoreError;
+use pcap_dag::{GraphBuilder, TaskGraph, VertexKind};
+use pcap_machine::{MachineSpec, TaskModel};
+use pcap_sim::SimOptions;
+use std::path::{Path, PathBuf};
+
+/// One random computation task: total serial work and memory-boundedness,
+/// the two knobs of [`TaskModel::mixed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Serial execution time at nominal frequency, seconds.
+    pub serial_s: f64,
+    /// Memory-bound fraction in `[0, 0.9]` (limits thread/DVFS scaling).
+    pub mem_fraction: f64,
+}
+
+/// A randomly generated scheduling instance for the differential oracle:
+/// a layered DAG (`layers[l][r]` is rank `r`'s task in layer `l`, layers
+/// separated by collectives), a machine model, and a power cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleInstance {
+    /// Use the low-power E5-2650L machine model instead of the E5-2670.
+    pub small_machine: bool,
+    /// `layers[l][r]`: every layer has one task per rank.
+    pub layers: Vec<Vec<TaskSpec>>,
+    /// Per-rank watts; the job cap is `ranks · cap_per_rank_w`.
+    pub cap_per_rank_w: f64,
+}
+
+impl OracleInstance {
+    /// Number of MPI ranks (tasks per layer).
+    pub fn ranks(&self) -> u32 {
+        self.layers.first().map(|l| l.len() as u32).unwrap_or(0)
+    }
+
+    /// The job-level power cap in watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cap_per_rank_w * self.ranks() as f64
+    }
+
+    /// The machine model this instance runs on.
+    pub fn machine(&self) -> MachineSpec {
+        if self.small_machine {
+            MachineSpec::e5_2650l()
+        } else {
+            MachineSpec::e5_2670()
+        }
+    }
+
+    /// Builds the layered task graph: `init → layer → collective → layer →
+    /// … → finalize`, one task per rank per layer.
+    pub fn build_graph(&self) -> TaskGraph {
+        let mut b = GraphBuilder::new(self.ranks());
+        let init = b.vertex(VertexKind::Init, None);
+        let mut prev = init;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let next = if li + 1 == self.layers.len() {
+                b.vertex(VertexKind::Finalize, None)
+            } else {
+                b.vertex(VertexKind::Collective, None)
+            };
+            for (r, t) in layer.iter().enumerate() {
+                b.task(prev, next, r as u32, TaskModel::mixed(t.serial_s, t.mem_fraction));
+            }
+            prev = next;
+        }
+        b.build().expect("oracle instances build valid graphs")
+    }
+
+    /// Structural sanity for hand-edited or deserialized instances.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() || self.layers.len() > 3 {
+            return Err(format!("{} layers (want 1–3)", self.layers.len()));
+        }
+        let ranks = self.layers[0].len();
+        if ranks == 0 || ranks > 4 {
+            return Err(format!("{ranks} ranks (want 1–4)"));
+        }
+        for (li, layer) in self.layers.iter().enumerate() {
+            if layer.len() != ranks {
+                return Err(format!("layer {li} has {} tasks, expected {ranks}", layer.len()));
+            }
+            for (r, t) in layer.iter().enumerate() {
+                if !(t.serial_s > 0.0 && t.serial_s <= 32.0) {
+                    return Err(format!("layer {li} rank {r}: serial_s {}", t.serial_s));
+                }
+                if !(0.0..=0.9).contains(&t.mem_fraction) {
+                    return Err(format!("layer {li} rank {r}: mem_fraction {}", t.mem_fraction));
+                }
+            }
+        }
+        if !(self.cap_per_rank_w > 0.0 && self.cap_per_rank_w <= 200.0) {
+            return Err(format!("cap_per_rank_w {}", self.cap_per_rank_w));
+        }
+        Ok(())
+    }
+
+    /// Serializes the instance in the `tests/seeds/` format (stable,
+    /// line-oriented, human-editable; floats round-trip exactly).
+    pub fn to_seed_string(&self) -> String {
+        let mut s = String::from("# pcap differential-oracle regression seed\n");
+        s.push_str(&format!(
+            "machine={}\n",
+            if self.small_machine { "e5_2650l" } else { "e5_2670" }
+        ));
+        s.push_str(&format!("cap_per_rank_w={}\n", self.cap_per_rank_w));
+        for layer in &self.layers {
+            let cells: Vec<String> =
+                layer.iter().map(|t| format!("{}:{}", t.serial_s, t.mem_fraction)).collect();
+            s.push_str(&format!("layer={}\n", cells.join(",")));
+        }
+        s
+    }
+
+    /// Parses a `tests/seeds/` file produced by
+    /// [`OracleInstance::to_seed_string`].
+    pub fn from_seed_str(text: &str) -> Result<Self, String> {
+        let mut small_machine = None;
+        let mut cap = None;
+        let mut layers = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) =
+                line.split_once('=').ok_or_else(|| format!("line {}: no '='", ln + 1))?;
+            match key {
+                "machine" => {
+                    small_machine = Some(match value {
+                        "e5_2650l" => true,
+                        "e5_2670" => false,
+                        other => return Err(format!("line {}: unknown machine {other}", ln + 1)),
+                    })
+                }
+                "cap_per_rank_w" => {
+                    cap = Some(value.parse::<f64>().map_err(|e| format!("line {}: {e}", ln + 1))?)
+                }
+                "layer" => {
+                    let mut layer = Vec::new();
+                    for cell in value.split(',') {
+                        let (s, m) = cell
+                            .split_once(':')
+                            .ok_or_else(|| format!("line {}: task cell '{cell}'", ln + 1))?;
+                        layer.push(TaskSpec {
+                            serial_s: s.parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                            mem_fraction: m.parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                        });
+                    }
+                    layers.push(layer);
+                }
+                other => return Err(format!("line {}: unknown key {other}", ln + 1)),
+            }
+        }
+        let inst = OracleInstance {
+            small_machine: small_machine.ok_or("missing machine=")?,
+            layers,
+            cap_per_rank_w: cap.ok_or("missing cap_per_rank_w=")?,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+}
+
+/// What the oracle measured on one instance (all `None` when the cap was
+/// infeasible for that formulation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleReport {
+    /// Fixed-order LP makespan.
+    pub fixed_s: Option<f64>,
+    /// Flow ILP makespan.
+    pub flow_s: Option<f64>,
+    /// Discrete fixed-order makespan.
+    pub discrete_s: Option<f64>,
+    /// Segment-replay realized makespan.
+    pub replay_s: Option<f64>,
+}
+
+/// Transient margin for RAPL-paced replay: sockets honour their
+/// allocations, but slack-power transitions at task boundaries can briefly
+/// stack (the envelope the repo's replay tests have always used, see
+/// [`ReplayMode`]).
+const RAPL_OVERSHOOT: f64 = 1.10;
+/// Relative float tolerance on "never finishes before the LP bound".
+const BOUND_TOL: f64 = 1e-6;
+/// Relative numeric tolerance on makespan comparisons between formulations.
+const ORDER_TOL: f64 = 1e-6;
+
+/// Runs the full differential check on one instance. `Ok` carries the
+/// measured makespans; `Err` is a human-readable description of the violated
+/// invariant (the instance is then a genuine solver bug — shrink and persist
+/// it).
+pub fn check_instance(inst: &OracleInstance) -> Result<OracleReport, String> {
+    inst.validate()?;
+    let graph = inst.build_graph();
+    let machine = inst.machine();
+    let frontiers = TaskFrontiers::build(&graph, &machine);
+    let cap = inst.cap_w();
+
+    let fixed = feasibility(solve_fixed_order(
+        &graph,
+        &machine,
+        &frontiers,
+        cap,
+        &FixedLpOptions::default(),
+    ))
+    .map_err(|e| format!("fixed LP solver failure: {e}"))?;
+    let flow = feasibility(solve_flow(&graph, &machine, &frontiers, cap, &FlowOptions::default()))
+        .map_err(|e| format!("flow ILP solver failure: {e}"))?;
+    let discrete = feasibility(solve_fixed_order_discrete(
+        &graph,
+        &machine,
+        &frontiers,
+        cap,
+        &DiscreteOptions::default(),
+    ))
+    .map_err(|e| format!("discrete MIP solver failure: {e}"))?;
+
+    // Feasibility coherence: a fixed-order schedule is a valid flow
+    // schedule, and a discrete schedule is a valid continuous one.
+    if fixed.is_some() && flow.is_none() {
+        return Err("fixed-order LP feasible but flow ILP infeasible".into());
+    }
+    if discrete.is_some() && fixed.is_none() {
+        return Err("discrete MIP feasible but continuous LP infeasible".into());
+    }
+
+    // Bound sandwich: flow ≤ fixed ≤ discrete.
+    if let (Some(fl), Some(fx)) = (&flow, &fixed) {
+        if fl.makespan_s > fx.makespan_s * (1.0 + ORDER_TOL) + ORDER_TOL {
+            return Err(format!(
+                "flow ILP makespan {} exceeds fixed-order LP {}",
+                fl.makespan_s, fx.makespan_s
+            ));
+        }
+    }
+    if let (Some(fx), Some(dc)) = (&fixed, &discrete) {
+        if fx.makespan_s > dc.makespan_s * (1.0 + ORDER_TOL) + ORDER_TOL {
+            return Err(format!(
+                "fixed-order LP makespan {} exceeds discrete makespan {}",
+                fx.makespan_s, dc.makespan_s
+            ));
+        }
+    }
+
+    // Replay cross-checks on the fixed-order schedule (tentpole 3): the cap
+    // holds at every event of the schedule's own timeline and at every step
+    // of the simulated power trace, and no replay finishes before the bound.
+    let mut replay_s = None;
+    if let Some(sched) = &fixed {
+        replay_s = Some(replay_checks(&graph, &machine, &frontiers, sched, cap)?);
+    }
+
+    Ok(OracleReport {
+        fixed_s: fixed.map(|s| s.makespan_s),
+        flow_s: flow.map(|s| s.makespan_s),
+        discrete_s: discrete.map(|s| s.makespan_s),
+        replay_s,
+    })
+}
+
+fn replay_checks(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    sched: &LpSchedule,
+    cap: f64,
+) -> Result<f64, String> {
+    let v = verify_schedule(graph, sched);
+    if !v.ok(cap, 1e-6) {
+        return Err(format!(
+            "static verification failed: max event power {} W under cap {} W, worst precedence \
+             violation {} s",
+            v.max_event_power_w, cap, v.max_precedence_violation_s
+        ));
+    }
+    // Segment replay reproduces LP durations exactly; instantaneous power
+    // may transiently stack overlapping high-power segments (bounded only
+    // by the machine's physical ceiling), but total energy is conserved, so
+    // the *energy* budget `cap · makespan` and the makespan itself are the
+    // guaranteed invariants (see [`ReplayMode::Segments`]).
+    let seg = replay_schedule(
+        graph,
+        machine,
+        frontiers,
+        sched,
+        SimOptions::ideal(),
+        ReplayMode::Segments,
+    )
+    .map_err(|e| format!("segment replay failed: {e:?}"))?;
+    let ranks = graph.num_ranks().max(1) as f64;
+    let ceiling_w = machine.socket_power(machine.f_max_ghz(), machine.max_threads, 1.0) * ranks;
+    seg.verify_replay(ceiling_w, 1.0, sched.makespan_s, BOUND_TOL)
+        .map_err(|e| format!("segment replay: {e}"))?;
+    let rel = (seg.makespan_s - sched.makespan_s).abs() / sched.makespan_s.max(1e-9);
+    if rel > BOUND_TOL {
+        return Err(format!(
+            "segment replay makespan {} does not reproduce the LP makespan {}",
+            seg.makespan_s, sched.makespan_s
+        ));
+    }
+    let energy_budget = cap * sched.makespan_s;
+    if seg.power.energy_j() > energy_budget * (1.0 + 1e-6) {
+        return Err(format!(
+            "segment replay energy {} J exceeds the cap's budget {} J",
+            seg.power.energy_j(),
+            energy_budget
+        ));
+    }
+    // RAPL-paced replay is the strict mode: throttled sockets never exceed
+    // their allocations and tasks never drift ahead of the LP timeline.
+    let rapl = replay_schedule(
+        graph,
+        machine,
+        frontiers,
+        sched,
+        SimOptions::ideal(),
+        ReplayMode::RaplCaps,
+    )
+    .map_err(|e| format!("RAPL replay failed: {e:?}"))?;
+    rapl.verify_replay(cap, RAPL_OVERSHOOT, sched.makespan_s, BOUND_TOL)
+        .map_err(|e| format!("RAPL replay: {e}"))?;
+    Ok(seg.makespan_s)
+}
+
+fn feasibility(r: Result<LpSchedule, CoreError>) -> Result<Option<LpSchedule>, CoreError> {
+    match r {
+        Ok(s) => Ok(Some(s)),
+        Err(CoreError::Infeasible) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Greedily shrinks a failing instance: repeatedly tries structurally
+/// smaller/simpler candidates (fewer layers, fewer ranks, unit work, zero
+/// memory fraction, rounded cap) and adopts any candidate on which `fails`
+/// still returns true, until none does. The result is the minimal
+/// reproducer persisted by the property suite.
+pub fn shrink_instance(
+    start: &OracleInstance,
+    fails: impl Fn(&OracleInstance) -> bool,
+) -> OracleInstance {
+    let mut current = start.clone();
+    // The candidate space is tiny, but bound the walk defensively.
+    for _ in 0..256 {
+        let mut improved = false;
+        for cand in shrink_candidates(&current) {
+            if cand.validate().is_ok() && fails(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+fn shrink_candidates(inst: &OracleInstance) -> Vec<OracleInstance> {
+    let mut out = Vec::new();
+    // Drop a whole layer.
+    if inst.layers.len() > 1 {
+        for l in 0..inst.layers.len() {
+            let mut c = inst.clone();
+            c.layers.remove(l);
+            out.push(c);
+        }
+    }
+    // Drop a rank (same column from every layer).
+    if inst.ranks() > 1 {
+        for r in 0..inst.ranks() as usize {
+            let mut c = inst.clone();
+            for layer in &mut c.layers {
+                layer.remove(r);
+            }
+            out.push(c);
+        }
+    }
+    // Simplify one task at a time: unit work, then no memory-boundedness.
+    for l in 0..inst.layers.len() {
+        for r in 0..inst.layers[l].len() {
+            let t = inst.layers[l][r];
+            if t.serial_s != 1.0 {
+                let mut c = inst.clone();
+                c.layers[l][r].serial_s = 1.0;
+                out.push(c);
+            }
+            if t.mem_fraction != 0.0 {
+                let mut c = inst.clone();
+                c.layers[l][r].mem_fraction = 0.0;
+                out.push(c);
+            }
+        }
+    }
+    // Prefer the big machine and a round cap.
+    if inst.small_machine {
+        let mut c = inst.clone();
+        c.small_machine = false;
+        out.push(c);
+    }
+    if inst.cap_per_rank_w.fract() != 0.0 {
+        let mut c = inst.clone();
+        c.cap_per_rank_w = inst.cap_per_rank_w.round();
+        out.push(c);
+    }
+    out
+}
+
+/// Writes a shrunk failing instance into the regression corpus `dir`
+/// (created if needed), named by a stable content hash. Returns the path.
+pub fn persist_seed(dir: &Path, inst: &OracleInstance) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let text = inst.to_seed_string();
+    // FNV-1a over the canonical text: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let path = dir.join(format!("oracle-{h:016x}.seed"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads every `*.seed` file in `dir` (sorted by file name). Missing
+/// directory = empty corpus.
+pub fn load_seeds(dir: &Path) -> std::io::Result<Vec<(PathBuf, OracleInstance)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("seed") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let inst = OracleInstance::from_seed_str(&text).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path:?}: {e}"))
+        })?;
+        out.push((path, inst));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OracleInstance {
+        OracleInstance {
+            small_machine: false,
+            layers: vec![
+                vec![
+                    TaskSpec { serial_s: 2.0, mem_fraction: 0.3 },
+                    TaskSpec { serial_s: 4.5, mem_fraction: 0.1 },
+                ],
+                vec![
+                    TaskSpec { serial_s: 1.25, mem_fraction: 0.6 },
+                    TaskSpec { serial_s: 3.0, mem_fraction: 0.0 },
+                ],
+            ],
+            cap_per_rank_w: 45.0,
+        }
+    }
+
+    #[test]
+    fn seed_round_trips_exactly() {
+        let inst = sample();
+        let text = inst.to_seed_string();
+        let back = OracleInstance::from_seed_str(&text).unwrap();
+        assert_eq!(inst, back);
+        // Awkward floats round-trip too (Display prints shortest exact form).
+        let mut odd = inst;
+        odd.cap_per_rank_w = 33.7;
+        odd.layers[0][0].serial_s = 0.1 + 0.2; // 0.30000000000000004
+        let back = OracleInstance::from_seed_str(&odd.to_seed_string()).unwrap();
+        assert_eq!(odd, back);
+    }
+
+    #[test]
+    fn malformed_seeds_are_rejected() {
+        assert!(OracleInstance::from_seed_str("").is_err());
+        assert!(OracleInstance::from_seed_str("machine=z80\ncap_per_rank_w=40\nlayer=1:0").is_err());
+        assert!(OracleInstance::from_seed_str("machine=e5_2670\nlayer=1:0").is_err());
+        // Ragged layers fail validation.
+        let ragged = "machine=e5_2670\ncap_per_rank_w=40\nlayer=1:0,2:0\nlayer=1:0";
+        assert!(OracleInstance::from_seed_str(ragged).is_err());
+    }
+
+    #[test]
+    fn graph_shape_matches_instance() {
+        let inst = sample();
+        let g = inst.build_graph();
+        assert_eq!(g.num_tasks(), 4);
+        // init + collective + finalize.
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn sample_instance_passes_the_oracle() {
+        let report = check_instance(&sample()).unwrap();
+        let fixed = report.fixed_s.expect("45 W/rank is feasible");
+        let flow = report.flow_s.unwrap();
+        let discrete = report.discrete_s.unwrap();
+        assert!(flow <= fixed * (1.0 + 1e-6));
+        assert!(fixed <= discrete * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn infeasible_cap_reports_all_none() {
+        let mut inst = sample();
+        inst.cap_per_rank_w = 1.0; // far below idle power
+        let report = check_instance(&inst).unwrap();
+        assert_eq!(report.fixed_s, None);
+        assert_eq!(report.flow_s, None);
+        assert_eq!(report.discrete_s, None);
+    }
+
+    #[test]
+    fn shrinker_reaches_a_minimal_failing_instance() {
+        // Synthetic failure predicate: "fails whenever there are ≥ 2 ranks
+        // and any task is memory-bound". The shrinker must keep the failure
+        // while discarding everything else.
+        let fails = |i: &OracleInstance| {
+            i.ranks() >= 2 && i.layers.iter().flatten().any(|t| t.mem_fraction > 0.0)
+        };
+        let start = sample();
+        assert!(fails(&start));
+        let min = shrink_instance(&start, fails);
+        assert!(fails(&min), "shrinking must preserve the failure");
+        assert_eq!(min.ranks(), 2, "cannot drop below 2 ranks");
+        assert_eq!(min.layers.len(), 1, "one layer suffices");
+        let mem_tasks = min.layers.iter().flatten().filter(|t| t.mem_fraction > 0.0).count();
+        assert_eq!(mem_tasks, 1, "exactly one memory-bound task needed");
+        assert!(min.layers.iter().flatten().all(|t| t.serial_s == 1.0));
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pcap-oracle-seeds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let inst = sample();
+        let path = persist_seed(&dir, &inst).unwrap();
+        assert!(path.exists());
+        // Persisting the same instance twice is idempotent (same hash name).
+        let path2 = persist_seed(&dir, &inst).unwrap();
+        assert_eq!(path, path2);
+        let seeds = load_seeds(&dir).unwrap();
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].1, inst);
+        assert!(load_seeds(&dir.join("missing")).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

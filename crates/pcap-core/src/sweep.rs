@@ -29,7 +29,7 @@ use crate::decompose::windows_at_syncs;
 use crate::fixed_lp::{FixedLpOptions, Window, WindowLp};
 use crate::frontiers::TaskFrontiers;
 use crate::schedule::LpSchedule;
-use crate::CoreResult;
+use crate::{CoreError, CoreResult};
 use pcap_dag::TaskGraph;
 use pcap_lp::{Basis, SolveStats};
 use pcap_machine::MachineSpec;
@@ -45,11 +45,20 @@ pub struct SweepOptions {
     /// Seed each solve with the basis of the previous cap in its chunk.
     /// Disable to force cold starts (diagnostics / baseline timing).
     pub warm_start: bool,
+    /// Certify every warm-started window solve bit-for-bit against an
+    /// independent cold re-solve of the same window at the same cap, failing
+    /// the sweep point with [`CoreError::Verification`] on any mismatch.
+    /// The cold solves are checks, not measurements: their telemetry is not
+    /// folded into the point's [`SolveStats`]. Combine with
+    /// [`pcap_lp::SolverOptions::certify`] (via `fixed.lp.certify`) to also
+    /// run the LP-level certificate on every solve in release builds — the
+    /// bench harness's `--certify` flag sets both.
+    pub certify: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        Self { fixed: FixedLpOptions::default(), workers: 0, warm_start: true }
+        Self { fixed: FixedLpOptions::default(), workers: 0, warm_start: true, certify: false }
     }
 }
 
@@ -162,8 +171,15 @@ fn sweep_chunk(
             let mut failure = None;
             for (wi, lp) in lps.iter_mut().enumerate() {
                 let warm = if opts.warm_start { bases[wi].as_ref() } else { None };
+                let warm_used = warm.is_some();
                 match lp.solve_at(frontiers, cap_w, warm) {
                     Ok((ws, basis)) => {
+                        if opts.certify && warm_used {
+                            if let Err(e) = certify_against_cold(lp, frontiers, cap_w, &ws, wi) {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
                         for (v, t) in ws.times {
                             vertex_times[v.index()] = offset + t;
                         }
@@ -192,6 +208,65 @@ fn sweep_chunk(
             SweepPoint { cap_w, schedule }
         })
         .collect()
+}
+
+/// Largest warm-vs-cold divergence accepted by [`certify_against_cold`].
+///
+/// The solver canonicalizes the final basis *slot order*, so two solves
+/// that stop at the same basis set extract bit-identical values. Warm and
+/// cold pivot paths, however, may legitimately stop at *different* algebraic
+/// bases of the same degenerate optimal vertex; each basis' values are then
+/// refined to the correctly rounded solution of its own basic system, and
+/// the two roundings can disagree in the last few ulps. Anything beyond
+/// this ulp budget is a real warm-start bug (wrong basis restoration, a
+/// different vertex, drift), not degeneracy noise.
+const CERTIFY_MAX_ULPS: u64 = 8;
+
+/// ULP distance between two finite same-sign floats; `u64::MAX` for any
+/// pair (sign mismatch, non-finite) that can never be "close".
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0; // covers +0 vs -0
+    }
+    if !a.is_finite() || !b.is_finite() || a.is_sign_negative() != b.is_sign_negative() {
+        return u64::MAX;
+    }
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+/// Re-solves a window cold at the same cap and demands agreement with the
+/// warm-started solution `ws` — the sweep-level half of the verification
+/// subsystem (the LP-level half is the per-solve certificate in `pcap-lp`).
+/// Agreement is bitwise except at degenerate alternate optima, where up to
+/// [`CERTIFY_MAX_ULPS`] of divergence is accepted (see its doc comment).
+fn certify_against_cold(
+    lp: &mut WindowLp,
+    frontiers: &TaskFrontiers,
+    cap_w: f64,
+    ws: &crate::fixed_lp::WindowSolution,
+    window_index: usize,
+) -> CoreResult<()> {
+    let (cold, _) = lp.solve_at(frontiers, cap_w, None).map_err(|e| {
+        CoreError::Verification(format!(
+            "window {window_index} at cap {cap_w} W: warm solve succeeded but cold re-solve \
+             failed: {e}"
+        ))
+    })?;
+    if ulp_distance(cold.makespan_s, ws.makespan_s) > CERTIFY_MAX_ULPS {
+        return Err(CoreError::Verification(format!(
+            "window {window_index} at cap {cap_w} W: warm makespan {} != cold makespan {}",
+            ws.makespan_s, cold.makespan_s
+        )));
+    }
+    for ((v, warm_t), (_, cold_t)) in ws.times.iter().zip(&cold.times) {
+        if ulp_distance(*warm_t, *cold_t) > CERTIFY_MAX_ULPS {
+            return Err(CoreError::Verification(format!(
+                "window {window_index} at cap {cap_w} W: vertex {} time {warm_t} != cold {cold_t}",
+                v.index()
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -359,6 +434,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Satellite regression for the verification subsystem: across a 16-cap
+    /// CoMD grid, warm-started solves must produce objectives bit-identical
+    /// to cold solves, survive the sweep-level cold-re-solve certification
+    /// (`certify: true`), and have every underlying simplex solve pass the
+    /// independent LP certificate (`certified == solves` in test builds).
+    #[test]
+    fn sixteen_cap_comd_grid_is_certified_warm_vs_cold() {
+        let (g, m, fr) = setup();
+        // 16 per-socket caps, 25–100 W in 5 W steps, times 4 ranks.
+        let caps: Vec<f64> = (0..16).map(|k| (25.0 + 5.0 * k as f64) * 4.0).collect();
+        assert_eq!(caps.len(), 16);
+        let mut opts =
+            SweepOptions { workers: 2, warm_start: true, certify: true, ..Default::default() };
+        opts.fixed.lp.certify = true;
+        let warm = solve_sweep(&g, &m, &fr, &caps, &opts);
+        let cold = solve_sweep(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 1, warm_start: false, ..Default::default() },
+        );
+        assert_eq!(warm.len(), 16);
+        let mut feasible = 0;
+        for (a, b) in warm.iter().zip(&cold) {
+            match (&a.schedule, &b.schedule) {
+                (Ok(x), Ok(y)) => {
+                    feasible += 1;
+                    assert_eq!(
+                        x.makespan_s.to_bits(),
+                        y.makespan_s.to_bits(),
+                        "cap {}: warm {} vs cold {}",
+                        a.cap_w,
+                        x.makespan_s,
+                        y.makespan_s
+                    );
+                    // Every simplex solve behind this point was certified.
+                    assert_eq!(
+                        x.stats.certified, x.stats.solves,
+                        "cap {}: {} of {} solves certified",
+                        a.cap_w, x.stats.certified, x.stats.solves
+                    );
+                }
+                (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => {}
+                (x, y) => panic!("cap {}: warm {x:?} vs cold {y:?}", a.cap_w),
+            }
+        }
+        assert!(feasible >= 12, "most of the 25–100 W grid should be feasible");
+    }
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 3)), 3);
+        // The observed degenerate-optimum divergence: last-digit neighbours.
+        assert_eq!(ulp_distance(0.15189151263002257, 0.15189151263002254), 1);
+        assert_eq!(ulp_distance(1.0, -1.0), u64::MAX);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert!(ulp_distance(1.0, 1.0 + 1e-9) > CERTIFY_MAX_ULPS);
     }
 
     #[test]

@@ -135,6 +135,9 @@ mod tests {
         let rel = (seg.makespan_s - sched.makespan_s).abs() / sched.makespan_s;
         assert!(rel < 1e-6, "replay {} vs LP {}", seg.makespan_s, sched.makespan_s);
         assert!(seg.respects_cap(cap * 1.10), "segment max power {}", seg.power.max_power());
+        // Same two facts through the structured checker: transient envelope
+        // held at every step, bound never beaten.
+        seg.verify_replay(cap, 1.10, sched.makespan_s, 1e-6).unwrap();
 
         // RAPL replay: every socket honours its allocation; job-level
         // power stays within a small transient margin of the cap, and the
@@ -144,6 +147,7 @@ mod tests {
         assert!(rapl.respects_cap(cap * 1.10), "RAPL max power {}", rapl.power.max_power());
         let rel = (rapl.makespan_s - sched.makespan_s) / sched.makespan_s;
         assert!(rel.abs() < 0.05, "RAPL replay {} vs LP {}", rapl.makespan_s, sched.makespan_s);
+        rapl.verify_replay(cap, 1.10, sched.makespan_s, 0.05).unwrap();
     }
 
     #[test]

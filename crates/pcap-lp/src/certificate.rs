@@ -1,0 +1,463 @@
+//! Independent certification of simplex solutions.
+//!
+//! The solver already *claims* optimality through [`crate::Solution`]'s dual
+//! certificate (row duals + reduced costs). This module re-verifies that
+//! claim **without reusing any solver state**: every residual below is
+//! recomputed from the raw [`Problem`] rows and the returned primal/dual
+//! vectors alone, so a pivot bug, a stale eta file, or a bad warm start
+//! cannot vouch for itself.
+//!
+//! Four independent conditions are checked, each with a scale-invariant
+//! (relative) residual so badly conditioned models are judged fairly:
+//!
+//! 1. **Primal feasibility** — every row activity `a_i'x` lies inside its
+//!    bound interval and every variable inside its bounds, relative to the
+//!    magnitude of the terms that formed the activity.
+//! 2. **Dual stationarity** — the reported reduced costs agree with
+//!    `d_j = c̃_j − y'a_j` recomputed from the reported duals (minimization
+//!    convention, `c̃ = sign·c`).
+//! 3. **Dual feasibility / complementary slackness** — a significantly
+//!    nonzero dual or reduced cost must pair with an active bound of the
+//!    correct side: `y_i > 0` requires the row at its lower bound, `y_i < 0`
+//!    at its upper; `d_j > 0` requires `x_j` at its lower bound, `d_j < 0`
+//!    at its upper. This subsumes the sign conventions (a `≤` row has no
+//!    finite lower side, so any significantly positive dual is rejected).
+//! 4. **Strong duality** — the independently recomputed dual objective
+//!    matches the primal objective within a relative gap tolerance.
+//!
+//! [`certify`] runs automatically on every successful solve in debug/test
+//! builds, and in release builds when [`crate::SolverOptions::certify`] is
+//! set (the bench harness's `--certify` flag).
+
+use crate::problem::{Problem, Sense};
+use crate::solution::{Solution, Status};
+use std::fmt;
+
+/// Tolerances for [`certify`]. All residuals are relative (scale-invariant).
+#[derive(Debug, Clone)]
+pub struct CertifyOptions {
+    /// Relative primal feasibility residual (rows and variable bounds), and
+    /// the activity-at-bound slack allowed by complementary slackness.
+    pub primal_tol: f64,
+    /// Relative dual stationarity residual, and the threshold above which a
+    /// dual/reduced cost counts as "significantly nonzero" for slackness.
+    pub dual_tol: f64,
+    /// Relative primal/dual objective gap.
+    pub gap_tol: f64,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        // An order of magnitude looser than the solver's own working
+        // tolerances: the certificate must accept every solution the solver
+        // legitimately terminates on (including iteratively refined ones on
+        // poorly scaled models) while still catching genuine pivot bugs,
+        // which corrupt residuals by many orders of magnitude.
+        Self { primal_tol: 1e-5, dual_tol: 1e-5, gap_tol: 1e-6 }
+    }
+}
+
+/// The verified residuals of a certified solution (all relative; all below
+/// their tolerance when [`certify`] returns `Ok`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Certificate {
+    /// Worst relative violation of any row interval or variable bound.
+    pub primal_residual: f64,
+    /// Worst relative mismatch between reported and recomputed reduced costs.
+    pub stationarity_residual: f64,
+    /// Worst relative complementary-slackness violation (0 when every
+    /// significantly nonzero dual pairs with an active bound).
+    pub slackness_residual: f64,
+    /// Relative primal/dual objective gap.
+    pub duality_gap: f64,
+}
+
+/// Why a solution failed certification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateError {
+    /// The solution vectors do not match the problem's shape, or contain
+    /// non-finite entries.
+    Malformed { what: String },
+    /// A row or variable bound is violated beyond tolerance.
+    PrimalInfeasible { residual: f64, tol: f64, where_: String },
+    /// Reported reduced costs disagree with `c̃ − A'y`.
+    NotStationary { residual: f64, tol: f64, var: usize },
+    /// A significantly nonzero dual is paired with an inactive or absent
+    /// bound (wrong sign for the row sense, or slack in the paired bound).
+    SlacknessViolated { residual: f64, tol: f64, where_: String },
+    /// Primal and dual objectives disagree.
+    DualityGap { gap: f64, tol: f64, primal: f64, dual: f64 },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::Malformed { what } => write!(f, "malformed solution: {what}"),
+            CertificateError::PrimalInfeasible { residual, tol, where_ } => {
+                write!(f, "primal residual {residual:e} > {tol:e} at {where_}")
+            }
+            CertificateError::NotStationary { residual, tol, var } => {
+                write!(f, "reduced cost of variable {var} off by {residual:e} (tol {tol:e})")
+            }
+            CertificateError::SlacknessViolated { residual, tol, where_ } => {
+                write!(
+                    f,
+                    "complementary slackness violated by {residual:e} (tol {tol:e}) at {where_}"
+                )
+            }
+            CertificateError::DualityGap { gap, tol, primal, dual } => {
+                write!(f, "duality gap {gap:e} > {tol:e} (primal {primal}, dual {dual})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Certifies `solution` against `problem` with default tolerances.
+pub fn certify(problem: &Problem, solution: &Solution) -> Result<Certificate, CertificateError> {
+    certify_with(problem, solution, &CertifyOptions::default())
+}
+
+/// Certifies `solution` against `problem`: recomputes primal residuals, dual
+/// stationarity, complementary slackness and the duality gap from raw
+/// problem data, returning the verified residuals or the first failure.
+pub fn certify_with(
+    problem: &Problem,
+    solution: &Solution,
+    opts: &CertifyOptions,
+) -> Result<Certificate, CertificateError> {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    check_shape(problem, solution, n, m)?;
+
+    let x = &solution.values;
+    let y = &solution.duals;
+    let d = &solution.reduced_costs;
+    // Minimization-convention costs: the dual vectors are reported in this
+    // convention regardless of the problem's sense.
+    let sign = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut primal_residual: f64 = 0.0;
+    let mut slackness_residual: f64 = 0.0;
+    // Trigger separating "numerically zero" duals from ones that assert an
+    // active bound; scaled by the cost magnitude the duals price against.
+    let cost_scale = 1.0 + problem.vars.iter().map(|v| v.cost.abs()).fold(0.0, f64::max);
+    let trigger = opts.dual_tol * cost_scale;
+
+    // --- Variable bounds + variable-side complementary slackness. ---
+    for (j, var) in problem.vars.iter().enumerate() {
+        let scale = 1.0 + x[j].abs() + var.lower.abs().min(var.upper.abs());
+        let below = (var.lower - x[j]) / scale;
+        let above = (x[j] - var.upper) / scale;
+        let viol = below.max(above);
+        if viol > opts.primal_tol {
+            return Err(CertificateError::PrimalInfeasible {
+                residual: viol,
+                tol: opts.primal_tol,
+                where_: format!("variable {j} = {} outside [{}, {}]", x[j], var.lower, var.upper),
+            });
+        }
+        primal_residual = primal_residual.max(viol);
+
+        // d_j > 0 asserts x_j rests at its (finite) lower bound; d_j < 0 at
+        // its upper. Basic variables carry d_j = 0 and skip this.
+        if d[j].abs() > trigger {
+            let (bound, side) =
+                if d[j] > 0.0 { (var.lower, "lower") } else { (var.upper, "upper") };
+            let slack = if bound.is_finite() {
+                (x[j] - bound).abs() / (1.0 + x[j].abs() + bound.abs())
+            } else {
+                f64::INFINITY
+            };
+            if slack > opts.primal_tol {
+                return Err(CertificateError::SlacknessViolated {
+                    residual: slack,
+                    tol: opts.primal_tol,
+                    where_: format!(
+                        "variable {j}: reduced cost {} but x = {} is not at its {side} bound {bound}",
+                        d[j], x[j]
+                    ),
+                });
+            }
+            slackness_residual = slackness_residual.max(slack);
+        }
+    }
+
+    // --- Row activities: feasibility + row-side complementary slackness. ---
+    for (i, con) in problem.cons.iter().enumerate() {
+        let mut act = 0.0;
+        let mut row_scale = 1.0;
+        for &(v, coeff) in &con.terms {
+            let term = coeff * x[v.index()];
+            act += term;
+            row_scale += term.abs();
+        }
+        let (lo, hi) = con.bound.interval();
+        let viol = ((lo - act) / row_scale).max((act - hi) / row_scale);
+        if viol > opts.primal_tol {
+            return Err(CertificateError::PrimalInfeasible {
+                residual: viol,
+                tol: opts.primal_tol,
+                where_: format!("row {i} activity {act} outside [{lo}, {hi}]"),
+            });
+        }
+        primal_residual = primal_residual.max(viol.max(0.0));
+
+        // y_i > 0 asserts the row rests at its (finite) lower bound; y_i < 0
+        // at its upper. This enforces the sign convention: a pure `≤` row
+        // has lo = −∞, so any significantly positive dual is rejected here.
+        if y[i].abs() > trigger {
+            let (bound, side) = if y[i] > 0.0 { (lo, "lower") } else { (hi, "upper") };
+            let slack = if bound.is_finite() {
+                (act - bound).abs() / (row_scale + bound.abs())
+            } else {
+                f64::INFINITY
+            };
+            if slack > opts.primal_tol {
+                return Err(CertificateError::SlacknessViolated {
+                    residual: slack,
+                    tol: opts.primal_tol,
+                    where_: format!(
+                        "row {i}: dual {} but activity {act} is not at the {side} bound {bound}",
+                        y[i]
+                    ),
+                });
+            }
+            slackness_residual = slackness_residual.max(slack);
+        }
+    }
+
+    // --- Dual stationarity: reported d must equal c̃ − A'y, column-wise. ---
+    // A'y is accumulated row-major so the sparse rows are walked once.
+    let mut aty = vec![0.0_f64; n];
+    let mut aty_scale = vec![0.0_f64; n];
+    for (i, con) in problem.cons.iter().enumerate() {
+        if y[i] == 0.0 {
+            continue;
+        }
+        for &(v, coeff) in &con.terms {
+            let term = y[i] * coeff;
+            aty[v.index()] += term;
+            aty_scale[v.index()] += term.abs();
+        }
+    }
+    let mut stationarity_residual: f64 = 0.0;
+    for (j, var) in problem.vars.iter().enumerate() {
+        let c = sign * var.cost;
+        let recomputed = c - aty[j];
+        let residual = (recomputed - d[j]).abs() / (1.0 + c.abs() + aty_scale[j]);
+        if residual > opts.dual_tol {
+            return Err(CertificateError::NotStationary { residual, tol: opts.dual_tol, var: j });
+        }
+        stationarity_residual = stationarity_residual.max(residual);
+    }
+
+    // --- Strong duality: recompute the dual objective from scratch. ---
+    // min convention: b'y over the active sides plus the bound terms of the
+    // nonbasic variables priced by their reduced costs.
+    let mut dual_obj = 0.0;
+    for (i, con) in problem.cons.iter().enumerate() {
+        if y[i] == 0.0 {
+            continue;
+        }
+        let (lo, hi) = con.bound.interval();
+        let b = if y[i] > 0.0 { lo } else { hi };
+        if b.is_finite() {
+            dual_obj += y[i] * b;
+        }
+    }
+    for (j, var) in problem.vars.iter().enumerate() {
+        if d[j] > 0.0 && var.lower.is_finite() {
+            dual_obj += d[j] * var.lower;
+        } else if d[j] < 0.0 && var.upper.is_finite() {
+            dual_obj += d[j] * var.upper;
+        }
+    }
+    let primal_obj = sign * solution.objective;
+    let gap = (primal_obj - dual_obj).abs() / primal_obj.abs().max(1.0);
+    if gap > opts.gap_tol {
+        return Err(CertificateError::DualityGap {
+            gap,
+            tol: opts.gap_tol,
+            primal: primal_obj,
+            dual: dual_obj,
+        });
+    }
+
+    Ok(Certificate { primal_residual, stationarity_residual, slackness_residual, duality_gap: gap })
+}
+
+fn check_shape(
+    problem: &Problem,
+    solution: &Solution,
+    n: usize,
+    m: usize,
+) -> Result<(), CertificateError> {
+    let malformed = |what: String| Err(CertificateError::Malformed { what });
+    if solution.status != Status::Optimal {
+        return malformed(format!("status {:?} is not Optimal", solution.status));
+    }
+    if solution.values.len() != n {
+        return malformed(format!("{} values for {n} variables", solution.values.len()));
+    }
+    if solution.duals.len() != m {
+        return malformed(format!("{} duals for {m} rows", solution.duals.len()));
+    }
+    if solution.reduced_costs.len() != n {
+        return malformed(format!(
+            "{} reduced costs for {n} variables",
+            solution.reduced_costs.len()
+        ));
+    }
+    if !solution.objective.is_finite() {
+        return malformed(format!("objective {}", solution.objective));
+    }
+    for (name, vec) in [
+        ("value", &solution.values),
+        ("dual", &solution.duals),
+        ("reduced cost", &solution.reduced_costs),
+    ] {
+        if let Some(i) = vec.iter().position(|v| !v.is_finite()) {
+            return malformed(format!("{name} {i} = {}", vec[i]));
+        }
+    }
+    let _ = problem;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Bound, Problem, Sense};
+    use crate::simplex::solve;
+
+    fn expr(terms: Vec<(crate::problem::VarId, f64)>) -> LinExpr {
+        LinExpr::from(terms)
+    }
+
+    fn sample() -> Problem {
+        // min 2x + 3y + z  s.t.  x+y+z >= 5,  x−y = 1,  y+2z >= 3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 2.0);
+        let y = p.add_var(0.0, 10.0, 3.0);
+        let z = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0), (z, 1.0)]), Bound::Lower(5.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(1.0));
+        p.add_constraint(expr(vec![(y, 1.0), (z, 2.0)]), Bound::Lower(3.0));
+        p
+    }
+
+    #[test]
+    fn optimal_solution_certifies() {
+        let p = sample();
+        let sol = solve(&p).unwrap();
+        let cert = certify(&p, &sol).unwrap();
+        assert!(cert.primal_residual <= 1e-9, "{cert:?}");
+        assert!(cert.stationarity_residual <= 1e-9, "{cert:?}");
+        assert!(cert.duality_gap <= 1e-9, "{cert:?}");
+    }
+
+    #[test]
+    fn maximization_solution_certifies() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 4.0, 3.0);
+        let y = p.add_var(0.0, 4.0, 5.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 2.0)]), Bound::Upper(8.0));
+        p.add_constraint(expr(vec![(x, 3.0), (y, 2.0)]), Bound::Upper(12.0));
+        let sol = solve(&p).unwrap();
+        certify(&p, &sol).unwrap();
+    }
+
+    #[test]
+    fn corrupted_primal_value_is_rejected() {
+        let p = sample();
+        let mut sol = solve(&p).unwrap();
+        // Shifting x off the optimum either breaks a row outright or opens
+        // slack in a row whose dual claims it is binding.
+        sol.values[0] += 1.0;
+        let err = certify(&p, &sol).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CertificateError::PrimalInfeasible { .. }
+                    | CertificateError::SlacknessViolated { .. }
+            ),
+            "unexpected verdict: {err}"
+        );
+
+        // Driving a variable below its lower bound is a plain primal
+        // infeasibility.
+        let mut sol = solve(&p).unwrap();
+        sol.values[2] = -0.5;
+        let err = certify(&p, &sol).unwrap_err();
+        assert!(
+            matches!(err, CertificateError::PrimalInfeasible { .. }),
+            "unexpected verdict: {err}"
+        );
+    }
+
+    #[test]
+    fn corrupted_dual_is_rejected() {
+        let p = sample();
+        let mut sol = solve(&p).unwrap();
+        // Flip the sign of the binding >= row's dual: stationarity (or
+        // slackness, depending on magnitudes) must notice.
+        let row = sol.duals.iter().position(|&y| y.abs() > 1e-6).expect("a binding row");
+        sol.duals[row] = -sol.duals[row];
+        assert!(certify(&p, &sol).is_err());
+    }
+
+    #[test]
+    fn corrupted_reduced_cost_is_rejected() {
+        let p = sample();
+        let mut sol = solve(&p).unwrap();
+        sol.reduced_costs[2] += 0.5;
+        let err = certify(&p, &sol).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CertificateError::NotStationary { .. } | CertificateError::SlacknessViolated { .. }
+            ),
+            "unexpected verdict: {err}"
+        );
+    }
+
+    #[test]
+    fn objective_drift_is_a_duality_gap() {
+        let p = sample();
+        let mut sol = solve(&p).unwrap();
+        sol.objective += 0.25;
+        let err = certify(&p, &sol).unwrap_err();
+        assert!(matches!(err, CertificateError::DualityGap { .. }), "unexpected verdict: {err}");
+    }
+
+    #[test]
+    fn wrong_shape_is_malformed() {
+        let p = sample();
+        let mut sol = solve(&p).unwrap();
+        sol.duals.pop();
+        assert!(matches!(certify(&p, &sol), Err(CertificateError::Malformed { .. })));
+        let mut sol = solve(&p).unwrap();
+        sol.values[1] = f64::NAN;
+        assert!(matches!(certify(&p, &sol), Err(CertificateError::Malformed { .. })));
+    }
+
+    #[test]
+    fn wrong_sign_dual_on_upper_row_is_rejected() {
+        // max x s.t. x <= 3: the row dual must be non-positive (min
+        // convention). Forging a positive dual asserts a lower bound the
+        // row does not have.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 10.0, 1.0);
+        p.add_constraint(expr(vec![(x, 1.0)]), Bound::Upper(3.0));
+        let mut sol = solve(&p).unwrap();
+        certify(&p, &sol).unwrap();
+        sol.duals[0] = 1.0;
+        assert!(certify(&p, &sol).is_err());
+    }
+}

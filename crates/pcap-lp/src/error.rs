@@ -26,6 +26,10 @@ pub enum LpError {
     NodeLimit { nodes: u64 },
     /// Branch-and-bound found no integer-feasible point.
     MipInfeasible,
+    /// The independent certificate check rejected a claimed-optimal
+    /// solution (see [`crate::certificate`]). Raised in debug/test builds
+    /// and when [`crate::SolverOptions::certify`] is set.
+    Certificate { detail: String },
 }
 
 impl fmt::Display for LpError {
@@ -48,6 +52,9 @@ impl fmt::Display for LpError {
                 write!(f, "branch-and-bound node limit reached after {nodes} nodes")
             }
             LpError::MipInfeasible => write!(f, "no integer-feasible solution exists"),
+            LpError::Certificate { detail } => {
+                write!(f, "solution failed independent certification: {detail}")
+            }
         }
     }
 }

@@ -38,6 +38,7 @@
 //! which the test-suite property checks drive to ~1e-7.
 
 pub mod branch;
+pub mod certificate;
 pub mod dense;
 pub mod error;
 pub mod expr;
@@ -47,6 +48,7 @@ pub mod simplex;
 pub mod solution;
 
 pub use branch::{solve_mip, BranchOptions, MipSolution};
+pub use certificate::{certify, certify_with, Certificate, CertificateError, CertifyOptions};
 pub use error::{LpError, LpResult};
 pub use expr::LinExpr;
 pub use presolve::{presolve, presolve_and_solve, Presolved};

@@ -52,6 +52,12 @@ pub struct SolverOptions {
     /// badly scaled models at negligible cost; results are bit-identical on
     /// already well-scaled ones.
     pub scale: bool,
+    /// Run the independent certificate check ([`crate::certificate`]) on
+    /// every successful solve, failing with [`LpError::Certificate`] when a
+    /// claimed optimum does not verify. Debug/test builds always certify;
+    /// this flag extends the check to release builds (the bench harness's
+    /// `--certify` path).
+    pub certify: bool,
 }
 
 impl Default for SolverOptions {
@@ -64,6 +70,7 @@ impl Default for SolverOptions {
             max_iterations: None,
             bland_trigger: 200,
             scale: true,
+            certify: false,
         }
     }
 }
@@ -127,6 +134,13 @@ pub fn solve_with_basis(
     }
     s.run()?;
     let mut sol = s.extract(problem);
+    // Every solve is re-verified by the independent certificate checker in
+    // debug/test builds; `opts.certify` extends that to release builds.
+    if opts.certify || cfg!(debug_assertions) {
+        crate::certificate::certify(problem, &sol)
+            .map_err(|e| LpError::Certificate { detail: e.to_string() })?;
+        sol.stats.certified = 1;
+    }
     sol.stats.wall_time_s = t0.elapsed().as_secs_f64();
     let basis = Basis { basis: s.basis.clone(), stat: s.stat.clone() };
     Ok((sol, basis))
@@ -1097,6 +1111,7 @@ impl Simplex {
                 wall_time_s: 0.0, // stamped by solve_with_basis
                 warm_started: self.warm_started,
                 solves: 1,
+                certified: 0, // stamped by solve_with_basis after the check
             },
         }
     }
@@ -1281,10 +1296,20 @@ mod tests {
         assert!(sol.duality_gap(&p) < 1e-9, "gap {}", sol.duality_gap(&p));
         // Without equilibration the same instance drifts measurably
         // infeasible (tolerances compare against values 10 orders of
-        // magnitude apart) — the motivation for scaling by default.
-        let unscaled =
-            solve_with(&p, &SolverOptions { scale: false, ..SolverOptions::default() }).unwrap();
-        assert!(p.max_violation(&unscaled.values) > p.max_violation(&sol.values));
+        // magnitude apart) — the motivation for scaling by default. In
+        // debug/test builds the independent certificate checker catches the
+        // drift and fails the solve; in release builds (no automatic
+        // certification) the infeasible point is returned as before.
+        let unscaled = solve_with(&p, &SolverOptions { scale: false, ..SolverOptions::default() });
+        if cfg!(debug_assertions) {
+            assert!(
+                matches!(unscaled, Err(LpError::Certificate { .. })),
+                "expected certification failure, got {unscaled:?}"
+            );
+        } else {
+            let unscaled = unscaled.unwrap();
+            assert!(p.max_violation(&unscaled.values) > p.max_violation(&sol.values));
+        }
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct SolveStats {
     pub warm_started: bool,
     /// Number of solves folded into this instance (1 for a single solve).
     pub solves: u64,
+    /// Solves that passed the independent certificate check
+    /// ([`crate::certificate`]) — equal to `solves` in debug/test builds
+    /// and under [`crate::SolverOptions::certify`], 0 otherwise.
+    pub certified: u64,
 }
 
 impl SolveStats {
@@ -60,6 +64,7 @@ impl SolveStats {
         self.wall_time_s += other.wall_time_s;
         self.warm_started |= other.warm_started;
         self.solves += other.solves;
+        self.certified += other.certified;
     }
 }
 

@@ -30,4 +30,4 @@ pub mod trace;
 pub use engine::{SimOptions, Simulator};
 pub use policy::{Decision, Observation, Policy, Segment, SyncInfo, UniformCapPolicy};
 pub use replay::{ConfigSchedule, ReplayPolicy};
-pub use trace::{PowerTrace, SimResult, TaskRecord};
+pub use trace::{PowerTrace, ReplayViolation, SimResult, TaskRecord};

@@ -135,7 +135,69 @@ impl SimResult {
     pub fn long_tasks(&self, min_duration_s: f64) -> Vec<&TaskRecord> {
         self.tasks.iter().filter(|t| t.duration() >= min_duration_s).collect()
     }
+
+    /// Cross-checks a replayed schedule against its originating LP solution
+    /// (paper §6.1): instantaneous job power must stay within
+    /// `cap_w · overshoot` at **every** step of the trace, and the realized
+    /// makespan must never beat the LP's lower bound `bound_s` (within a
+    /// relative tolerance `rel_tol` for float accumulation). `overshoot` is
+    /// the replay mode's documented transient margin — `1.0` for a strict
+    /// cap, larger for segment replay where overlapping high-power segments
+    /// may transiently exceed the allocation.
+    ///
+    /// Returns the first violation found, with the offending step time, so
+    /// property suites can report *where* a schedule went over budget.
+    pub fn verify_replay(
+        &self,
+        cap_w: f64,
+        overshoot: f64,
+        bound_s: f64,
+        rel_tol: f64,
+    ) -> Result<(), ReplayViolation> {
+        let limit = cap_w * overshoot;
+        let threshold = limit * (1.0 + 1e-9) + 1e-9;
+        for (t, p) in self.power.steps() {
+            if p > threshold {
+                return Err(ReplayViolation::CapExceeded { at_s: t, power_w: p, limit_w: limit });
+            }
+        }
+        if self.makespan_s < bound_s * (1.0 - rel_tol) {
+            return Err(ReplayViolation::BeatsBound { makespan_s: self.makespan_s, bound_s });
+        }
+        Ok(())
+    }
 }
+
+/// A violation found by [`SimResult::verify_replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayViolation {
+    /// Instantaneous job power exceeded the allowed envelope at some step.
+    CapExceeded {
+        /// Start of the violating step.
+        at_s: f64,
+        /// Job power over that step.
+        power_w: f64,
+        /// The envelope (`cap_w · overshoot`) that was exceeded.
+        limit_w: f64,
+    },
+    /// The replay finished before the LP bound says any schedule could.
+    BeatsBound { makespan_s: f64, bound_s: f64 },
+}
+
+impl std::fmt::Display for ReplayViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayViolation::CapExceeded { at_s, power_w, limit_w } => {
+                write!(f, "job power {power_w} W exceeds the {limit_w} W envelope at t = {at_s} s")
+            }
+            ReplayViolation::BeatsBound { makespan_s, bound_s } => {
+                write!(f, "replay finished at {makespan_s} s, before the LP bound {bound_s} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayViolation {}
 
 #[cfg(test)]
 mod tests {
@@ -172,5 +234,56 @@ mod tests {
     fn zero_length_intervals_are_ignored() {
         let tr = PowerTrace::from_intervals(&[iv(1.0, 1.0, 100.0), iv(0.0, 2.0, 3.0)]);
         assert_eq!(tr.max_power(), 3.0);
+    }
+
+    fn result_with(trace: PowerTrace, makespan_s: f64) -> SimResult {
+        SimResult {
+            makespan_s,
+            tasks: Vec::new(),
+            power: trace,
+            overhead_s: 0.0,
+            vertex_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn verify_replay_accepts_capped_on_time_runs() {
+        let tr = PowerTrace::from_intervals(&[iv(0.0, 2.0, 40.0), iv(1.0, 3.0, 55.0)]);
+        let r = result_with(tr, 3.0);
+        // Peak 95 W < 100 W, finishes exactly on the bound.
+        r.verify_replay(100.0, 1.0, 3.0, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn verify_replay_pins_the_overshooting_step() {
+        let tr = PowerTrace::from_intervals(&[iv(0.0, 2.0, 40.0), iv(1.0, 3.0, 80.0)]);
+        let r = result_with(tr, 3.0);
+        match r.verify_replay(100.0, 1.0, 3.0, 1e-9) {
+            Err(ReplayViolation::CapExceeded { at_s, power_w, limit_w }) => {
+                assert_eq!(at_s, 1.0);
+                assert_eq!(power_w, 120.0);
+                assert_eq!(limit_w, 100.0);
+            }
+            other => panic!("expected CapExceeded, got {other:?}"),
+        }
+        // The documented transient margin admits the same trace.
+        r.verify_replay(100.0, 1.25, 3.0, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn verify_replay_rejects_beating_the_bound() {
+        let tr = PowerTrace::from_intervals(&[iv(0.0, 2.0, 40.0)]);
+        let r = result_with(tr, 2.0);
+        match r.verify_replay(100.0, 1.0, 2.5, 1e-6) {
+            Err(ReplayViolation::BeatsBound { makespan_s, bound_s }) => {
+                assert_eq!(makespan_s, 2.0);
+                assert_eq!(bound_s, 2.5);
+            }
+            other => panic!("expected BeatsBound, got {other:?}"),
+        }
+        // Finishing a hair early is within the float tolerance.
+        result_with(PowerTrace::from_intervals(&[iv(0.0, 2.0, 40.0)]), 2.5 - 1e-9)
+            .verify_replay(100.0, 1.0, 2.5, 1e-6)
+            .unwrap();
     }
 }

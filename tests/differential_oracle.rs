@@ -1,0 +1,160 @@
+//! Differential oracle property suite: random small DAG instances are
+//! cross-validated through every formulation in the stack (fixed-order LP,
+//! flow ILP, discrete MIP, simulator replay) via
+//! [`pcap_core::check_instance`], which asserts the paper's bound chain
+//! `flow-ILP ≤ fixed-LP ≤ discrete ≤ replay`, feasibility coherence between
+//! the formulations, and that no replay exceeds the cap envelope or beats
+//! the LP bound.
+//!
+//! Failures are **shrunk** ([`pcap_core::shrink_instance`]) to a minimal
+//! reproducer and **persisted** under `tests/seeds/` so they become
+//! permanent regression tests: `committed_seeds_replay_clean` re-runs the
+//! whole committed corpus on every CI run.
+//!
+//! The default case count keeps PR CI fast; the scheduled deep-verification
+//! job (`.github/workflows/deep-verify.yml`) raises it via
+//! `PCAP_ORACLE_CASES`.
+
+use pcap_core::oracle::{check_instance, load_seeds, persist_seed, shrink_instance};
+use pcap_core::{OracleInstance, TaskSpec};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::path::PathBuf;
+
+/// The committed regression corpus, resolved relative to this source tree
+/// (the test runs from the pcap-bench crate directory).
+fn seeds_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds")
+}
+
+/// Default random case count; `PCAP_ORACLE_CASES` overrides (the deep CI
+/// job sets it much higher).
+fn case_count() -> u32 {
+    std::env::var("PCAP_ORACLE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+fn task_spec() -> impl Strategy<Value = TaskSpec> {
+    (0.25..8.0f64, 0.0..0.9f64)
+        .prop_map(|(serial_s, mem_fraction)| TaskSpec { serial_s, mem_fraction })
+}
+
+/// Per-rank cap draws from three regimes so the corpus exercises
+/// infeasibility, tight caps (where mixtures matter), and loose caps
+/// (where every formulation should agree at the unconstrained optimum).
+fn cap_per_rank() -> impl Strategy<Value = f64> {
+    prop_oneof![5.0..20.0f64, 20.0..60.0f64, 60.0..120.0f64]
+}
+
+/// Random layered instance: 1–3 ranks × 1–2 collective-separated layers,
+/// small enough for the flow ILP's branch-and-bound (paper appendix limits
+/// it to a few dozen DAG edges).
+fn oracle_instance() -> impl Strategy<Value = OracleInstance> {
+    (1usize..=3, 1usize..=2, any::<bool>(), cap_per_rank()).prop_flat_map(
+        |(ranks, layers, small_machine, cap_per_rank_w)| {
+            proptest::collection::vec(
+                proptest::collection::vec(task_spec(), ranks..=ranks),
+                layers..=layers,
+            )
+            .prop_map(move |layers| OracleInstance {
+                small_machine,
+                layers,
+                cap_per_rank_w,
+            })
+        },
+    )
+}
+
+/// The tentpole: every random instance must pass the full differential
+/// check. On failure the instance is shrunk to a minimal reproducer,
+/// persisted into `tests/seeds/`, and the test panics with both the
+/// original and minimal forms so the seed can be committed directly.
+#[test]
+fn random_instances_satisfy_the_bound_chain() {
+    let cases = case_count();
+    let strat = oracle_instance();
+    let mut rng = TestRng::for_test("differential_oracle::random_instances");
+    let mut checked = 0u32;
+    for case in 0..cases {
+        let inst = strat.generate(&mut rng);
+        if let Err(reason) = check_instance(&inst) {
+            let minimal = shrink_instance(&inst, |i| check_instance(i).is_err());
+            let min_reason = check_instance(&minimal).expect_err("shrink preserves failure");
+            let persisted = persist_seed(&seeds_dir(), &minimal)
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|e| format!("<persist failed: {e}>"));
+            panic!(
+                "differential oracle failed on case {case}/{cases}: {reason}\n\
+                 original instance:\n{}\n\
+                 minimal reproducer ({min_reason}):\n{}\n\
+                 persisted to {persisted} — commit it so this stays a regression test",
+                inst.to_seed_string(),
+                minimal.to_seed_string(),
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, cases);
+}
+
+/// Every committed seed — each one a shrunk former failure — must pass on
+/// every run. This is the regression half of the oracle: once a bug is
+/// caught and fixed, its minimal reproducer keeps guarding the fix.
+#[test]
+fn committed_seeds_replay_clean() {
+    let seeds = load_seeds(&seeds_dir()).expect("tests/seeds must be readable");
+    assert!(!seeds.is_empty(), "the committed seed corpus must not be empty");
+    let mut failures = Vec::new();
+    for (path, inst) in &seeds {
+        if let Err(reason) = check_instance(inst) {
+            failures.push(format!("{}: {reason}", path.display()));
+        }
+    }
+    assert!(failures.is_empty(), "committed seeds failed:\n{}", failures.join("\n"));
+}
+
+/// Makespan of a feasible solve, `None` when the cap is infeasible, error
+/// text on genuine solver failure.
+fn feasible_makespan(
+    r: pcap_core::CoreResult<pcap_core::LpSchedule>,
+) -> Result<Option<f64>, String> {
+    match r {
+        Ok(s) => Ok(Some(s.makespan_s)),
+        Err(pcap_core::CoreError::Infeasible) => Ok(None),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Monotonicity: raising the cap never worsens the fixed-order bound,
+    /// and never turns a feasible instance infeasible.
+    #[test]
+    fn higher_caps_never_hurt(inst in oracle_instance(), bump in 1.05..2.0f64) {
+        use pcap_core::{solve_fixed_order, FixedLpOptions, TaskFrontiers};
+
+        let graph = inst.build_graph();
+        let machine = inst.machine();
+        let frontiers = TaskFrontiers::build(&graph, &machine);
+        let opts = FixedLpOptions::default();
+        let lo = feasible_makespan(
+            solve_fixed_order(&graph, &machine, &frontiers, inst.cap_w(), &opts));
+        let hi = feasible_makespan(
+            solve_fixed_order(&graph, &machine, &frontiers, inst.cap_w() * bump, &opts));
+        match (lo, hi) {
+            (Ok(Some(l)), Ok(Some(h))) => {
+                prop_assert!(h <= l * (1.0 + 1e-6) + 1e-9, "cap ×{bump}: {l} → {h}")
+            }
+            (Ok(Some(l)), Ok(None)) => {
+                return Err(TestCaseError::fail(format!(
+                    "feasible at cap {} (makespan {l}) but infeasible at ×{bump}",
+                    inst.cap_w()
+                )))
+            }
+            (Ok(None), _) | (_, Ok(None)) => {} // infeasible low cap is legitimate
+            (Err(e), _) | (_, Err(e)) => {
+                return Err(TestCaseError::fail(format!("solver failure: {e}")))
+            }
+        }
+    }
+}
