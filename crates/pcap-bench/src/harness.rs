@@ -247,6 +247,37 @@ pub fn evaluate_benchmark(
         .collect()
 }
 
+/// Canonical content fingerprint of everything the LP side of a sweep
+/// depends on: the machine model, each benchmark's DAG parameters, and the
+/// job-level cap grid, hashed over the [`pcap_core::canon`] encodings of
+/// the four per-benchmark instances. Editing a machine parameter (e.g. a
+/// pcap-machine frequency table or power coefficient) changes this value
+/// and therefore invalidates any cache keyed on it — which a key built
+/// only from grid parameters cannot do.
+pub fn sweep_fingerprint(
+    machine: &MachineSpec,
+    cfg: &ExperimentConfig,
+    per_socket_caps: &[f64],
+) -> u64 {
+    let job_caps: Vec<f64> = per_socket_caps.iter().map(|&w| w * cfg.ranks as f64).collect();
+    let mut text = String::new();
+    for bench in Benchmark::ALL {
+        let instance = pcap_core::Instance {
+            machine: machine.clone(),
+            dag: pcap_core::DagSpec::Bench {
+                name: bench.name().to_ascii_lowercase(),
+                ranks: cfg.ranks,
+                iterations: cfg.total_iterations(),
+                seed: cfg.seed,
+            },
+            caps_w: job_caps.clone(),
+        };
+        text.push_str(&instance.encode());
+        text.push('\n');
+    }
+    pcap_core::canon::fnv1a(text.as_bytes())
+}
+
 /// The standard four-benchmark sweep feeding Figures 9–15, cached on disk so
 /// the figure binaries share one expensive computation. The cache key (first
 /// line) encodes the experiment parameters; a mismatch recomputes.
@@ -256,11 +287,19 @@ pub fn cached_sweep(
     cfg: &ExperimentConfig,
     per_socket_caps: &[f64],
 ) -> Vec<(Benchmark, Vec<CapRow>)> {
-    // `v2` marks the 12-column format (6 time + 6 solver-telemetry columns);
-    // caches written by earlier versions mismatch the key and recompute.
+    // `v3` adds the machine/DAG content fingerprint to the v2 12-column
+    // format; caches written by earlier versions (or against a since-edited
+    // machine model) mismatch the key and recompute. Warm-up/measured stay
+    // in the key separately because the split (not just the total) shifts
+    // the measured-region boundary.
     let key = format!(
-        "#sweep v2 ranks={} warmup={} measured={} seed={} caps={:?}",
-        cfg.ranks, cfg.warmup_iterations, cfg.measured_iterations, cfg.seed, per_socket_caps
+        "#sweep v3 fp={:016x} ranks={} warmup={} measured={} seed={} caps={:?}",
+        sweep_fingerprint(machine, cfg, per_socket_caps),
+        cfg.ranks,
+        cfg.warmup_iterations,
+        cfg.measured_iterations,
+        cfg.seed,
+        per_socket_caps
     );
     if let Ok(text) = std::fs::read_to_string(path) {
         if text.lines().next() == Some(key.as_str()) {
@@ -371,9 +410,23 @@ fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<
     Some(map)
 }
 
-/// Default location of the shared sweep cache.
+/// Default location of the shared sweep cache: `$PCAP_RESULTS_DIR/sweep.tsv`
+/// when the override is set, otherwise `results/sweep.tsv` under the
+/// workspace root. Resolving against the workspace root (not the current
+/// working directory) keeps the figure binaries sharing one cache no matter
+/// where they are launched from.
 pub fn default_sweep_path() -> std::path::PathBuf {
-    std::path::PathBuf::from("results/sweep.tsv")
+    match std::env::var("PCAP_RESULTS_DIR") {
+        Ok(dir) if !dir.is_empty() => std::path::PathBuf::from(dir).join("sweep.tsv"),
+        _ => workspace_root().join("results").join("sweep.tsv"),
+    }
+}
+
+/// The workspace root, resolved from this crate's compiled-in manifest dir
+/// (`crates/pcap-bench` → two levels up).
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).unwrap_or(manifest).to_path_buf()
 }
 
 /// Default per-socket cap grid used by Figures 9 and 10 (the paper sweeps
@@ -474,6 +527,72 @@ mod tests {
         // A cap grid disagreeing with the request is also a stale cache.
         assert!(parse_sweep(&f("0"), &[50.0]).is_none(), "extra caps must reject");
         assert!(parse_sweep(&f("0"), &[50.0, 80.0, 90.0]).is_none(), "missing caps must reject");
+    }
+
+    /// The v3 cache key must react to the machine model, not just the grid
+    /// header: editing pcap-machine parameters has to invalidate a stale
+    /// `results/sweep.tsv`.
+    #[test]
+    fn sweep_fingerprint_tracks_machine_model_and_grid() {
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let caps = [50.0, 80.0];
+        let base = sweep_fingerprint(&MachineSpec::e5_2670(), &cfg, &caps);
+        // Deterministic across calls.
+        assert_eq!(base, sweep_fingerprint(&MachineSpec::e5_2670(), &cfg, &caps));
+        // A different machine model changes the key.
+        assert_ne!(base, sweep_fingerprint(&MachineSpec::e5_2650l(), &cfg, &caps));
+        // So does a perturbed power coefficient on the *same* model.
+        let mut tweaked = MachineSpec::e5_2670();
+        tweaked.power.p_idle += 0.5;
+        assert_ne!(base, sweep_fingerprint(&tweaked, &cfg, &caps));
+        // And the cap grid / workload parameters.
+        assert_ne!(base, sweep_fingerprint(&MachineSpec::e5_2670(), &cfg, &[50.0]));
+        let reseeded = ExperimentConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        assert_ne!(base, sweep_fingerprint(&MachineSpec::e5_2670(), &reseeded, &caps));
+    }
+
+    /// End-to-end: a cache written against one machine model is recomputed
+    /// (not reused) when the model changes.
+    #[test]
+    fn cache_written_for_one_machine_is_stale_for_another() {
+        let dir = std::env::temp_dir().join(format!("pcap-sweep-machine-{}", std::process::id()));
+        let path = dir.join("sweep.tsv");
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let caps = [50.0, 80.0];
+        let _ = cached_sweep(&path, &MachineSpec::e5_2670(), &cfg, &caps);
+        let first_key = std::fs::read_to_string(&path).unwrap().lines().next().unwrap().to_string();
+        let _ = cached_sweep(&path, &MachineSpec::e5_2650l(), &cfg, &caps);
+        let second_key =
+            std::fs::read_to_string(&path).unwrap().lines().next().unwrap().to_string();
+        assert_ne!(first_key, second_key, "machine change must rewrite the cache key");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_sweep_path_honors_env_override_and_workspace_root() {
+        // Without the override, the path is absolute (workspace-rooted),
+        // not relative to whatever CWD the binary happens to run in.
+        std::env::remove_var("PCAP_RESULTS_DIR");
+        let default = default_sweep_path();
+        assert!(default.is_absolute(), "default path must not be CWD-relative: {default:?}");
+        assert!(default.ends_with("results/sweep.tsv"), "{default:?}");
+        let root = default.parent().unwrap().parent().unwrap();
+        assert!(root.join("Cargo.toml").exists(), "{root:?} should be the workspace root");
+
+        std::env::set_var("PCAP_RESULTS_DIR", "/tmp/pcap-override");
+        let overridden = default_sweep_path();
+        std::env::remove_var("PCAP_RESULTS_DIR");
+        assert_eq!(overridden, std::path::PathBuf::from("/tmp/pcap-override/sweep.tsv"));
     }
 
     #[test]

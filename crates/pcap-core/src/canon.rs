@@ -1,0 +1,578 @@
+//! Canonical instance codec and content fingerprints.
+//!
+//! A *problem instance* — machine model + application DAG + cap grid — is
+//! everything needed to reproduce a power-cap sweep. This module gives
+//! instances a **canonical, deterministic text encoding** and a stable
+//! 64-bit **content fingerprint**, which is what makes result caching and
+//! warm-pool affinity in the serving layer (`pcap-serve`) sound:
+//!
+//! * [`Instance::encode`] is a pure function of the value: one line, fixed
+//!   field order, floats printed in Rust's shortest round-trip form (so
+//!   `decode(encode(x)) == x` exactly, bit patterns included);
+//! * [`Instance::fingerprint`] hashes the canonical encoding (FNV-1a, the
+//!   repo's established content-hash idiom — see `oracle::persist_seed`),
+//!   so it depends only on the *value*, never on the spelling a client
+//!   happened to send: [`Instance::decode`] accepts any valid float
+//!   spelling, and fingerprinting always re-encodes first;
+//! * [`Instance::scope_fingerprint`] hashes the machine + DAG but not the
+//!   caps: two requests for the same application on the same machine share
+//!   a scope even when their cap grids differ, which is exactly the unit of
+//!   warm-start reuse (the LP structure depends on graph and frontiers,
+//!   only the power rows' right-hand sides carry the cap).
+//!
+//! The grammar (one line, `;`-separated top-level fields, strict order):
+//!
+//! ```text
+//! pcapc1;machine=freqs:F,F,…|threads:U|fref:F|pidle:F|pcore:F|kappa:F
+//!        |vbase:F|vslope:F|slack:F;dag=DAG;caps=F,F,…
+//! DAG  = bench:NAME:RANKS:ITERATIONS:SEEDHEX
+//!      | layers:CELL,CELL,…/CELL,CELL,…          (one group per layer)
+//! CELL = SERIAL:MEMFRACTION
+//! ```
+//!
+//! `bench` names an application-trace generator resolved by the consumer
+//! (the server maps them onto `pcap-apps` benchmarks); `layers` describes
+//! an explicit layered DAG in the differential oracle's shape, built here
+//! by [`build_layered_graph`].
+
+use crate::oracle::TaskSpec;
+use pcap_dag::{GraphBuilder, TaskGraph, VertexKind};
+use pcap_machine::{MachineSpec, PowerParams, TaskModel};
+
+/// Leading tag of every canonical encoding; bump on grammar changes.
+pub const FORMAT_TAG: &str = "pcapc1";
+
+/// How the application DAG of an [`Instance`] is described.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagSpec {
+    /// A named benchmark-trace generator plus its generation parameters.
+    /// The name is opaque data here; consumers resolve it (the serving
+    /// layer accepts the four paper benchmarks from `pcap-apps`).
+    Bench {
+        /// Generator name, lowercase `[a-z0-9_-]`, at most 32 chars.
+        name: String,
+        /// MPI ranks to generate.
+        ranks: u32,
+        /// Iterations (timesteps) to generate.
+        iterations: u32,
+        /// Workload PRNG seed.
+        seed: u64,
+    },
+    /// An explicit layered DAG: `layers[l][r]` is rank `r`'s task in layer
+    /// `l`, layers separated by collectives (the oracle instance shape).
+    Layers(Vec<Vec<TaskSpec>>),
+}
+
+/// A complete, self-describing power-bound problem: solve the DAG on the
+/// machine at every cap in the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Full machine model (all parameters participate in the fingerprint,
+    /// so editing the power curve invalidates cached results).
+    pub machine: MachineSpec,
+    /// The application DAG description.
+    pub dag: DagSpec,
+    /// Job-level power caps in watts, in solve order.
+    pub caps_w: Vec<f64>,
+}
+
+/// Why a canonical text failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanonError {
+    /// The text does not match the grammar.
+    Malformed(String),
+    /// The text parsed but the instance violates a validity bound.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CanonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanonError::Malformed(m) => write!(f, "malformed instance: {m}"),
+            CanonError::Invalid(m) => write!(f, "invalid instance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// FNV-1a over `bytes`: the repo's standard stable content hash (matches
+/// the seed-corpus naming in [`crate::oracle::persist_seed`]).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Instance {
+    /// The canonical one-line encoding (see the module docs for the
+    /// grammar). Deterministic: equal values encode to equal bytes.
+    pub fn encode(&self) -> String {
+        format!("{};caps={}", self.encode_scope(), join_f64(&self.caps_w))
+    }
+
+    /// The machine + DAG prefix of the encoding, without the cap grid —
+    /// the warm-start affinity key.
+    fn encode_scope(&self) -> String {
+        let p = &self.machine.power;
+        let dag = match &self.dag {
+            DagSpec::Bench { name, ranks, iterations, seed } => {
+                format!("bench:{name}:{ranks}:{iterations}:{seed:x}")
+            }
+            DagSpec::Layers(layers) => {
+                let groups: Vec<String> = layers
+                    .iter()
+                    .map(|layer| {
+                        layer
+                            .iter()
+                            .map(|t| format!("{}:{}", t.serial_s, t.mem_fraction))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                format!("layers:{}", groups.join("/"))
+            }
+        };
+        format!(
+            "{FORMAT_TAG};machine=freqs:{}|threads:{}|fref:{}|pidle:{}|pcore:{}|kappa:{}|vbase:{}\
+             |vslope:{}|slack:{};dag={dag}",
+            join_f64(&self.machine.freqs_ghz),
+            self.machine.max_threads,
+            self.machine.f_ref_ghz,
+            p.p_idle,
+            p.p_core,
+            p.kappa,
+            p.v_base,
+            p.v_slope,
+            self.machine.slack_power_fraction,
+        )
+    }
+
+    /// Parses an encoding produced by [`Instance::encode`] (any valid float
+    /// spelling is accepted; fingerprints are computed over the re-encoded
+    /// canonical form, so spelling differences cannot split the cache).
+    /// The result is always validated.
+    pub fn decode(text: &str) -> Result<Self, CanonError> {
+        let text = text.trim();
+        let mut parts = text.split(';');
+        let tag = parts.next().unwrap_or_default();
+        if tag != FORMAT_TAG {
+            return Err(CanonError::Malformed(format!(
+                "expected leading '{FORMAT_TAG}', got '{}'",
+                truncate_for_error(tag)
+            )));
+        }
+        let machine_part = strip_field(parts.next(), "machine")?;
+        let dag_part = strip_field(parts.next(), "dag")?;
+        let caps_part = strip_field(parts.next(), "caps")?;
+        if let Some(extra) = parts.next() {
+            return Err(CanonError::Malformed(format!(
+                "trailing field '{}'",
+                truncate_for_error(extra)
+            )));
+        }
+
+        let machine = decode_machine(machine_part)?;
+        let dag = decode_dag(dag_part)?;
+        let caps_w = parse_f64_list(caps_part, "caps")?;
+
+        let inst = Instance { machine, dag, caps_w };
+        inst.validate().map_err(CanonError::Invalid)?;
+        Ok(inst)
+    }
+
+    /// Stable 64-bit content fingerprint of the whole instance (machine +
+    /// DAG + cap grid): the result-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.encode().as_bytes())
+    }
+
+    /// Fingerprint of the machine + DAG only — the warm-start affinity key
+    /// shared by all cap grids over the same application.
+    pub fn scope_fingerprint(&self) -> u64 {
+        fnv1a(self.encode_scope().as_bytes())
+    }
+
+    /// Bounds that keep instances physically meaningful and server-safe
+    /// (every limit is generous compared to the paper's experiments).
+    pub fn validate(&self) -> Result<(), String> {
+        let m = &self.machine;
+        if m.freqs_ghz.is_empty() || m.freqs_ghz.len() > 64 {
+            return Err(format!("{} DVFS states (want 1–64)", m.freqs_ghz.len()));
+        }
+        for w in m.freqs_ghz.windows(2) {
+            if w[1] <= w[0] || w[1].is_nan() || w[0].is_nan() {
+                return Err(format!("DVFS grid not strictly ascending at {} → {}", w[0], w[1]));
+            }
+        }
+        if !m.freqs_ghz.iter().all(|f| f.is_finite() && *f > 0.0) {
+            return Err("DVFS frequencies must be finite and positive".into());
+        }
+        if m.max_threads == 0 || m.max_threads > 256 {
+            return Err(format!("{} threads (want 1–256)", m.max_threads));
+        }
+        if !(m.f_ref_ghz.is_finite() && m.f_ref_ghz > 0.0) {
+            return Err(format!("reference frequency {}", m.f_ref_ghz));
+        }
+        let p = &m.power;
+        for (name, v) in [
+            ("pidle", p.p_idle),
+            ("pcore", p.p_core),
+            ("kappa", p.kappa),
+            ("vbase", p.v_base),
+            ("vslope", p.v_slope),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("power parameter {name} = {v}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&m.slack_power_fraction) {
+            return Err(format!("slack power fraction {}", m.slack_power_fraction));
+        }
+        match &self.dag {
+            DagSpec::Bench { name, ranks, iterations, .. } => {
+                if name.is_empty() || name.len() > 32 {
+                    return Err(format!("bench name length {}", name.len()));
+                }
+                if !name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+                {
+                    return Err(format!("bench name '{name}' (want [a-z0-9_-]+)"));
+                }
+                if *ranks == 0 || *ranks > 1024 {
+                    return Err(format!("{ranks} ranks (want 1–1024)"));
+                }
+                if *iterations == 0 || *iterations > 10_000 {
+                    return Err(format!("{iterations} iterations (want 1–10000)"));
+                }
+            }
+            DagSpec::Layers(layers) => {
+                if layers.is_empty() || layers.len() > 16 {
+                    return Err(format!("{} layers (want 1–16)", layers.len()));
+                }
+                let ranks = layers[0].len();
+                if ranks == 0 || ranks > 64 {
+                    return Err(format!("{ranks} ranks (want 1–64)"));
+                }
+                for (li, layer) in layers.iter().enumerate() {
+                    if layer.len() != ranks {
+                        return Err(format!(
+                            "layer {li} has {} tasks, expected {ranks}",
+                            layer.len()
+                        ));
+                    }
+                    for (r, t) in layer.iter().enumerate() {
+                        if !(t.serial_s > 0.0 && t.serial_s <= 1e4 && t.serial_s.is_finite()) {
+                            return Err(format!("layer {li} rank {r}: serial_s {}", t.serial_s));
+                        }
+                        if !(0.0..=0.9).contains(&t.mem_fraction) {
+                            return Err(format!(
+                                "layer {li} rank {r}: mem_fraction {}",
+                                t.mem_fraction
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if self.caps_w.is_empty() || self.caps_w.len() > 4096 {
+            return Err(format!("{} caps (want 1–4096)", self.caps_w.len()));
+        }
+        if !self.caps_w.iter().all(|c| c.is_finite() && *c > 0.0 && *c <= 1e9) {
+            return Err("caps must be finite, positive and at most 1e9 W".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builds the layered task graph of a [`DagSpec::Layers`] instance:
+/// `init → layer → collective → … → finalize`, one task per rank per layer
+/// (the differential oracle's shape, shared with [`crate::OracleInstance`]).
+///
+/// Expects a validated shape: at least one layer, uniform layer width ≥ 1.
+pub fn build_layered_graph(layers: &[Vec<TaskSpec>]) -> TaskGraph {
+    let ranks = layers.first().map(|l| l.len() as u32).unwrap_or(0);
+    assert!(ranks > 0, "layered DAG needs at least one layer with one rank");
+    let mut b = GraphBuilder::new(ranks);
+    let init = b.vertex(VertexKind::Init, None);
+    let mut prev = init;
+    for (li, layer) in layers.iter().enumerate() {
+        assert_eq!(layer.len() as u32, ranks, "ragged layer {li}");
+        let next = if li + 1 == layers.len() {
+            b.vertex(VertexKind::Finalize, None)
+        } else {
+            b.vertex(VertexKind::Collective, None)
+        };
+        for (r, t) in layer.iter().enumerate() {
+            b.task(prev, next, r as u32, TaskModel::mixed(t.serial_s, t.mem_fraction));
+        }
+        prev = next;
+    }
+    b.build().expect("layered instances build valid graphs")
+}
+
+fn join_f64(vals: &[f64]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn truncate_for_error(s: &str) -> String {
+    if s.chars().count() > 32 {
+        let head: String = s.chars().take(32).collect();
+        format!("{head}…")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Peels `key=` off a top-level field, erroring on absence or mismatch.
+fn strip_field<'a>(part: Option<&'a str>, key: &str) -> Result<&'a str, CanonError> {
+    let part = part.ok_or_else(|| CanonError::Malformed(format!("missing '{key}=' field")))?;
+    part.strip_prefix(key).and_then(|r| r.strip_prefix('=')).ok_or_else(|| {
+        CanonError::Malformed(format!("expected '{key}=…', got '{}'", truncate_for_error(part)))
+    })
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, CanonError> {
+    s.parse::<f64>().map_err(|_| {
+        CanonError::Malformed(format!("{what}: bad float '{}'", truncate_for_error(s)))
+    })
+}
+
+fn parse_f64_list(s: &str, what: &str) -> Result<Vec<f64>, CanonError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|c| parse_f64(c, what)).collect()
+}
+
+fn decode_machine(text: &str) -> Result<MachineSpec, CanonError> {
+    let mut freqs = None;
+    let mut threads = None;
+    let mut scalars = [None::<f64>; 7]; // fref pidle pcore kappa vbase vslope slack
+    const SCALAR_KEYS: [&str; 7] = ["fref", "pidle", "pcore", "kappa", "vbase", "vslope", "slack"];
+    for item in text.split('|') {
+        let (key, value) = item.split_once(':').ok_or_else(|| {
+            CanonError::Malformed(format!("machine item '{}'", truncate_for_error(item)))
+        })?;
+        match key {
+            "freqs" => freqs = Some(parse_f64_list(value, "freqs")?),
+            "threads" => {
+                threads = Some(value.parse::<u32>().map_err(|_| {
+                    CanonError::Malformed(format!("threads '{}'", truncate_for_error(value)))
+                })?)
+            }
+            _ => {
+                let slot = SCALAR_KEYS.iter().position(|k| *k == key).ok_or_else(|| {
+                    CanonError::Malformed(format!(
+                        "unknown machine key '{}'",
+                        truncate_for_error(key)
+                    ))
+                })?;
+                scalars[slot] = Some(parse_f64(value, key)?);
+            }
+        }
+    }
+    let scalar = |i: usize| {
+        scalars[i].ok_or_else(|| {
+            CanonError::Malformed(format!("missing machine key '{}'", SCALAR_KEYS[i]))
+        })
+    };
+    Ok(MachineSpec {
+        freqs_ghz: freqs
+            .ok_or_else(|| CanonError::Malformed("missing machine key 'freqs'".into()))?,
+        max_threads: threads
+            .ok_or_else(|| CanonError::Malformed("missing machine key 'threads'".into()))?,
+        f_ref_ghz: scalar(0)?,
+        power: PowerParams {
+            p_idle: scalar(1)?,
+            p_core: scalar(2)?,
+            kappa: scalar(3)?,
+            v_base: scalar(4)?,
+            v_slope: scalar(5)?,
+        },
+        slack_power_fraction: scalar(6)?,
+    })
+}
+
+fn decode_dag(text: &str) -> Result<DagSpec, CanonError> {
+    let (kind, rest) = text
+        .split_once(':')
+        .ok_or_else(|| CanonError::Malformed(format!("dag '{}'", truncate_for_error(text))))?;
+    match kind {
+        "bench" => {
+            let fields: Vec<&str> = rest.split(':').collect();
+            if fields.len() != 4 {
+                return Err(CanonError::Malformed(format!(
+                    "bench wants name:ranks:iterations:seed, got '{}'",
+                    truncate_for_error(rest)
+                )));
+            }
+            let uint = |s: &str, what: &str| {
+                s.parse::<u32>().map_err(|_| {
+                    CanonError::Malformed(format!("bench {what} '{}'", truncate_for_error(s)))
+                })
+            };
+            let seed = u64::from_str_radix(fields[3], 16).map_err(|_| {
+                CanonError::Malformed(format!("bench seed '{}'", truncate_for_error(fields[3])))
+            })?;
+            Ok(DagSpec::Bench {
+                name: fields[0].to_string(),
+                ranks: uint(fields[1], "ranks")?,
+                iterations: uint(fields[2], "iterations")?,
+                seed,
+            })
+        }
+        "layers" => {
+            let mut layers = Vec::new();
+            for group in rest.split('/') {
+                let mut layer = Vec::new();
+                for cell in group.split(',') {
+                    let (s, m) = cell.split_once(':').ok_or_else(|| {
+                        CanonError::Malformed(format!("task cell '{}'", truncate_for_error(cell)))
+                    })?;
+                    layer.push(TaskSpec {
+                        serial_s: parse_f64(s, "serial_s")?,
+                        mem_fraction: parse_f64(m, "mem_fraction")?,
+                    });
+                }
+                layers.push(layer);
+            }
+            Ok(DagSpec::Layers(layers))
+        }
+        other => {
+            Err(CanonError::Malformed(format!("unknown dag kind '{}'", truncate_for_error(other))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_instance() -> Instance {
+        Instance {
+            machine: MachineSpec::e5_2670(),
+            dag: DagSpec::Bench { name: "comd".into(), ranks: 4, iterations: 3, seed: 0x5c15 },
+            caps_w: vec![120.0, 160.0, 200.0],
+        }
+    }
+
+    fn layers_instance() -> Instance {
+        Instance {
+            machine: MachineSpec::e5_2650l(),
+            dag: DagSpec::Layers(vec![
+                vec![
+                    TaskSpec { serial_s: 2.0, mem_fraction: 0.3 },
+                    TaskSpec { serial_s: 4.5, mem_fraction: 0.1 },
+                ],
+                vec![
+                    TaskSpec { serial_s: 0.1 + 0.2, mem_fraction: 0.6 },
+                    TaskSpec { serial_s: 3.0, mem_fraction: 0.0 },
+                ],
+            ]),
+            caps_w: vec![90.0],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        for inst in [bench_instance(), layers_instance()] {
+            let text = inst.encode();
+            let back = Instance::decode(&text).unwrap();
+            assert_eq!(inst, back);
+            assert_eq!(text, back.encode(), "re-encoding must be canonical");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_value_based_not_spelling_based() {
+        let inst = bench_instance();
+        // A non-canonical spelling of the same value ("120.0" vs "120").
+        let sloppy = inst.encode().replace("caps=120,", "caps=120.0,");
+        assert_ne!(sloppy, inst.encode());
+        let back = Instance::decode(&sloppy).unwrap();
+        assert_eq!(back.fingerprint(), inst.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_separate_scope_from_caps() {
+        let a = bench_instance();
+        let mut b = a.clone();
+        b.caps_w = vec![140.0, 180.0];
+        assert_eq!(a.scope_fingerprint(), b.scope_fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Any machine-model edit moves both fingerprints.
+        let mut c = a.clone();
+        c.machine.power.kappa += 0.01;
+        assert_ne!(a.scope_fingerprint(), c.scope_fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn malformed_texts_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "pcapc0;machine=;dag=;caps=",
+            "pcapc1",
+            "pcapc1;machine=threads:8;dag=bench:comd:4:3:0;caps=100",
+            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:0;caps=100;extra=1",
+            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=rings:3;caps=100",
+            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:zz;caps=100",
+            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=layers:1:0,nan:0;caps=100",
+        ] {
+            assert!(Instance::decode(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let mut inst = bench_instance();
+        inst.caps_w = vec![];
+        assert!(inst.validate().is_err());
+        let mut inst = bench_instance();
+        inst.caps_w = vec![f64::NAN];
+        assert!(inst.validate().is_err());
+        let mut inst = bench_instance();
+        inst.machine.freqs_ghz = vec![2.0, 1.0];
+        assert!(inst.validate().is_err());
+        let mut inst = bench_instance();
+        if let DagSpec::Bench { name, .. } = &mut inst.dag {
+            *name = "CoMD;caps".into(); // separators must not smuggle fields
+        }
+        assert!(inst.validate().is_err());
+        let mut inst = layers_instance();
+        if let DagSpec::Layers(layers) = &mut inst.dag {
+            layers[1].pop(); // ragged
+        }
+        assert!(inst.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_pinned() {
+        // Golden value: if this moves, every persisted cache key moves with
+        // it — bump FORMAT_TAG instead of silently re-keying.
+        let fp = bench_instance().fingerprint();
+        assert_eq!(fp, fnv1a(bench_instance().encode().as_bytes()));
+        let text = bench_instance().encode();
+        assert!(text.starts_with("pcapc1;machine=freqs:1.2,"), "{text}");
+        assert!(text.ends_with(";caps=120,160,200"), "{text}");
+    }
+
+    #[test]
+    fn layered_graph_matches_oracle_shape() {
+        let inst = layers_instance();
+        if let DagSpec::Layers(layers) = &inst.dag {
+            let g = build_layered_graph(layers);
+            assert_eq!(g.num_ranks(), 2);
+            assert_eq!(g.num_edges(), 4);
+            // init + collective + finalize.
+            assert_eq!(g.num_vertices(), 3);
+        } else {
+            unreachable!()
+        }
+    }
+}

@@ -30,6 +30,7 @@
 //!   and the power constraint, and replay-based validation through the
 //!   simulator (paper §6.1).
 
+pub mod canon;
 pub mod decompose;
 pub mod discrete;
 pub mod fixed_lp;
@@ -40,6 +41,7 @@ pub mod schedule;
 pub mod sweep;
 pub mod verify;
 
+pub use canon::{build_layered_graph, CanonError, DagSpec, Instance};
 pub use decompose::solve_decomposed;
 pub use discrete::{solve_fixed_order_discrete, DiscreteOptions};
 pub use fixed_lp::{
@@ -52,7 +54,7 @@ pub use oracle::{
     TaskSpec,
 };
 pub use schedule::{LpSchedule, TaskChoice};
-pub use sweep::{solve_sweep, total_stats, SweepOptions, SweepPoint};
+pub use sweep::{solve_sweep, total_stats, SweepContext, SweepOptions, SweepPoint};
 pub use verify::{replay_schedule, verify_schedule, ReplayMode, Verification};
 
 /// Errors from the scheduling formulations.

@@ -31,8 +31,8 @@ use crate::frontiers::TaskFrontiers;
 use crate::schedule::LpSchedule;
 use crate::verify::{replay_schedule, verify_schedule, ReplayMode};
 use crate::CoreError;
-use pcap_dag::{GraphBuilder, TaskGraph, VertexKind};
-use pcap_machine::{MachineSpec, TaskModel};
+use pcap_dag::TaskGraph;
+use pcap_machine::MachineSpec;
 use pcap_sim::SimOptions;
 use std::path::{Path, PathBuf};
 
@@ -80,23 +80,10 @@ impl OracleInstance {
     }
 
     /// Builds the layered task graph: `init → layer → collective → layer →
-    /// … → finalize`, one task per rank per layer.
+    /// … → finalize`, one task per rank per layer (shared with the serving
+    /// layer's explicit-DAG requests via [`crate::canon::build_layered_graph`]).
     pub fn build_graph(&self) -> TaskGraph {
-        let mut b = GraphBuilder::new(self.ranks());
-        let init = b.vertex(VertexKind::Init, None);
-        let mut prev = init;
-        for (li, layer) in self.layers.iter().enumerate() {
-            let next = if li + 1 == self.layers.len() {
-                b.vertex(VertexKind::Finalize, None)
-            } else {
-                b.vertex(VertexKind::Collective, None)
-            };
-            for (r, t) in layer.iter().enumerate() {
-                b.task(prev, next, r as u32, TaskModel::mixed(t.serial_s, t.mem_fraction));
-            }
-            prev = next;
-        }
-        b.build().expect("oracle instances build valid graphs")
+        crate::canon::build_layered_graph(&self.layers)
     }
 
     /// Structural sanity for hand-edited or deserialized instances.

@@ -147,8 +147,8 @@ pub fn solve_sweep(
     .expect("sweep scope")
 }
 
-/// Solves one contiguous range of the cap grid on the calling thread,
-/// building each window's LP once and chaining warm bases cap-to-cap.
+/// Solves one contiguous range of the cap grid on the calling thread via a
+/// fresh [`SweepContext`], chaining warm bases cap-to-cap within the chunk.
 fn sweep_chunk(
     graph: &TaskGraph,
     frontiers: &TaskFrontiers,
@@ -157,57 +157,120 @@ fn sweep_chunk(
     range: std::ops::Range<usize>,
     opts: &SweepOptions,
 ) -> Vec<SweepPoint> {
-    let mut lps: Vec<WindowLp> =
-        windows.iter().map(|w| WindowLp::build(graph, frontiers, w, &opts.fixed)).collect();
-    let mut bases: Vec<Option<Basis>> = vec![None; lps.len()];
+    let mut ctx = SweepContext::from_windows(graph, frontiers, windows, opts.clone());
+    range.map(|i| ctx.solve_one(frontiers, caps_w[i])).collect()
+}
 
-    range
-        .map(|i| {
-            let cap_w = caps_w[i];
-            let mut vertex_times = vec![0.0_f64; graph.num_vertices()];
-            let mut choices = vec![None; graph.num_edges()];
-            let mut offset = 0.0;
-            let mut stats = SolveStats::default();
-            let mut failure = None;
-            for (wi, lp) in lps.iter_mut().enumerate() {
-                let warm = if opts.warm_start { bases[wi].as_ref() } else { None };
-                let warm_used = warm.is_some();
-                match lp.solve_at(frontiers, cap_w, warm) {
-                    Ok((ws, basis)) => {
-                        if opts.certify && warm_used {
-                            if let Err(e) = certify_against_cold(lp, frontiers, cap_w, &ws, wi) {
-                                failure = Some(e);
-                                break;
-                            }
+/// Reusable sweep state: every window's LP built once, plus the chain of
+/// warm-start bases, surviving across solve calls.
+///
+/// [`solve_sweep`] creates one per worker chunk and drops it at the end of
+/// the grid; a serving layer instead keeps a `SweepContext` per
+/// machine/DAG scope (see [`crate::canon::Instance::scope_fingerprint`]) in
+/// its worker pool, so *separate requests* over the same application warm
+/// start from each other — the basis left by the last cap of one request
+/// seeds the first cap of the next. Results never depend on that reuse:
+/// warm and cold solves agree bitwise (the invariant the test-suite pins),
+/// so a context hit changes latency, not bytes.
+///
+/// The context is only valid for the graph/frontiers it was built from;
+/// callers key storage by content fingerprint to guarantee that.
+#[derive(Debug)]
+pub struct SweepContext {
+    lps: Vec<WindowLp>,
+    bases: Vec<Option<Basis>>,
+    opts: SweepOptions,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+impl SweepContext {
+    /// Builds the per-window LPs for `graph` once; `opts` applies to every
+    /// subsequent solve.
+    pub fn new(graph: &TaskGraph, frontiers: &TaskFrontiers, opts: SweepOptions) -> Self {
+        let windows = windows_at_syncs(graph);
+        Self::from_windows(graph, frontiers, &windows, opts)
+    }
+
+    fn from_windows(
+        graph: &TaskGraph,
+        frontiers: &TaskFrontiers,
+        windows: &[Window],
+        opts: SweepOptions,
+    ) -> Self {
+        let lps: Vec<WindowLp> =
+            windows.iter().map(|w| WindowLp::build(graph, frontiers, w, &opts.fixed)).collect();
+        let bases = vec![None; lps.len()];
+        Self { lps, bases, opts, num_vertices: graph.num_vertices(), num_edges: graph.num_edges() }
+    }
+
+    /// Whether any window already carries a warm basis (i.e. this context
+    /// has solved before and the next solve will warm start).
+    pub fn has_warm_state(&self) -> bool {
+        self.bases.iter().any(|b| b.is_some())
+    }
+
+    /// Drops all warm bases, forcing the next solve to start cold
+    /// (diagnostics / cold-baseline measurements).
+    pub fn reset(&mut self) {
+        for b in &mut self.bases {
+            *b = None;
+        }
+    }
+
+    /// Solves every cap in `caps_w` in order on the calling thread,
+    /// chaining warm bases (including any left by previous calls).
+    pub fn solve_grid(&mut self, frontiers: &TaskFrontiers, caps_w: &[f64]) -> Vec<SweepPoint> {
+        caps_w.iter().map(|&c| self.solve_one(frontiers, c)).collect()
+    }
+
+    /// Solves the full decomposed schedule at one cap, reusing this
+    /// context's LPs and warm bases. `frontiers` must be the instance the
+    /// context was built from.
+    pub fn solve_one(&mut self, frontiers: &TaskFrontiers, cap_w: f64) -> SweepPoint {
+        let mut vertex_times = vec![0.0_f64; self.num_vertices];
+        let mut choices = vec![None; self.num_edges];
+        let mut offset = 0.0;
+        let mut stats = SolveStats::default();
+        let mut failure = None;
+        for (wi, lp) in self.lps.iter_mut().enumerate() {
+            let warm = if self.opts.warm_start { self.bases[wi].as_ref() } else { None };
+            let warm_used = warm.is_some();
+            match lp.solve_at(frontiers, cap_w, warm) {
+                Ok((ws, basis)) => {
+                    if self.opts.certify && warm_used {
+                        if let Err(e) = certify_against_cold(lp, frontiers, cap_w, &ws, wi) {
+                            failure = Some(e);
+                            break;
                         }
-                        for (v, t) in ws.times {
-                            vertex_times[v.index()] = offset + t;
-                        }
-                        for (e, c) in ws.choices.into_iter().enumerate() {
-                            if let Some(c) = c {
-                                choices[e] = Some(c);
-                            }
-                        }
-                        offset += ws.makespan_s;
-                        stats.absorb(&ws.stats);
-                        bases[wi] = Some(basis);
                     }
-                    Err(e) => {
-                        // Keep the previous basis: the next (e.g. higher)
-                        // cap may be feasible again and still benefits from
-                        // the last successful one.
-                        failure = Some(e);
-                        break;
+                    for (v, t) in ws.times {
+                        vertex_times[v.index()] = offset + t;
                     }
+                    for (e, c) in ws.choices.into_iter().enumerate() {
+                        if let Some(c) = c {
+                            choices[e] = Some(c);
+                        }
+                    }
+                    offset += ws.makespan_s;
+                    stats.absorb(&ws.stats);
+                    self.bases[wi] = Some(basis);
+                }
+                Err(e) => {
+                    // Keep the previous basis: the next (e.g. higher) cap
+                    // may be feasible again and still benefits from the
+                    // last successful one.
+                    failure = Some(e);
+                    break;
                 }
             }
-            let schedule = match failure {
-                Some(e) => Err(e),
-                None => Ok(LpSchedule { makespan_s: offset, vertex_times, choices, cap_w, stats }),
-            };
-            SweepPoint { cap_w, schedule }
-        })
-        .collect()
+        }
+        let schedule = match failure {
+            Some(e) => Err(e),
+            None => Ok(LpSchedule { makespan_s: offset, vertex_times, choices, cap_w, stats }),
+        };
+        SweepPoint { cap_w, schedule }
+    }
 }
 
 /// Largest warm-vs-cold divergence accepted by [`certify_against_cold`].
@@ -496,6 +559,50 @@ mod tests {
         assert_eq!(ulp_distance(1.0, -1.0), u64::MAX);
         assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
         assert!(ulp_distance(1.0, 1.0 + 1e-9) > CERTIFY_MAX_ULPS);
+    }
+
+    /// The serving pool's reuse pattern: one long-lived context answering
+    /// several "requests" (cap grids) in sequence must return exactly the
+    /// bytes a fresh in-process sweep returns — cross-request warm starting
+    /// changes latency, never results.
+    #[test]
+    fn context_reuse_across_grids_is_bitwise_identical() {
+        let (g, m, fr) = setup();
+        let grids: [&[f64]; 3] = [&[160.0, 200.0, 240.0], &[140.0, 180.0], &[160.0, 200.0, 240.0]];
+        let mut ctx = SweepContext::new(&g, &fr, SweepOptions::default());
+        assert!(!ctx.has_warm_state());
+        for (req, caps) in grids.iter().enumerate() {
+            let served = ctx.solve_grid(&fr, caps);
+            let fresh = solve_sweep(
+                &g,
+                &m,
+                &fr,
+                caps,
+                &SweepOptions { workers: 1, warm_start: false, ..Default::default() },
+            );
+            for (a, b) in served.iter().zip(&fresh) {
+                match (a.makespan_s(), b.makespan_s()) {
+                    (Some(x), Some(y)) => assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "request {req} cap {}: served {x} vs fresh {y}",
+                        a.cap_w
+                    ),
+                    (None, None) => {}
+                    _ => panic!("request {req} cap {}: feasibility mismatch", a.cap_w),
+                }
+            }
+            assert!(ctx.has_warm_state(), "request {req} should leave warm bases");
+        }
+        // From the second request on, the very first cap warm starts off the
+        // previous request's final basis — the cross-request saving.
+        let second = ctx.solve_one(&fr, 200.0);
+        assert!(second.schedule.as_ref().unwrap().stats.warm_started);
+        ctx.reset();
+        assert!(!ctx.has_warm_state());
+        let cold = ctx.solve_one(&fr, 200.0);
+        assert!(!cold.schedule.as_ref().unwrap().stats.warm_started);
+        assert_eq!(second.makespan_s().unwrap().to_bits(), cold.makespan_s().unwrap().to_bits());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Property tests for the canonical instance codec (`pcap_core::canon`):
+//! exact decode∘encode round-trips, fingerprint stability, and fingerprint
+//! sensitivity over random oracle-style instances.
+
+use proptest::prelude::*;
+
+use pcap_core::{CanonError, DagSpec, Instance, TaskSpec};
+use pcap_machine::MachineSpec;
+
+/// A random but always-valid machine spec (strictly ascending positive
+/// frequencies, finite power parameters, slack in [0,1]).
+fn machine_strategy() -> impl Strategy<Value = MachineSpec> {
+    (
+        1usize..6,    // number of DVFS states
+        0.8f64..1.6,  // base frequency, GHz
+        0.05f64..0.3, // frequency step
+        1u32..16,     // max threads
+        5.0f64..20.0, // p_idle
+        0.5f64..2.0,  // p_core
+        1.0f64..4.0,  // kappa
+        0.0f64..=1.0, // slack fraction
+    )
+        .prop_map(|(n, f0, step, threads, p_idle, p_core, kappa, slack)| {
+            let mut machine = MachineSpec::e5_2670();
+            machine.freqs_ghz = (0..n).map(|i| f0 + step * i as f64).collect();
+            machine.max_threads = threads;
+            machine.f_ref_ghz = f0 + step * n as f64; // above the top state
+            machine.power.p_idle = p_idle;
+            machine.power.p_core = p_core;
+            machine.power.kappa = kappa;
+            machine.slack_power_fraction = slack;
+            machine
+        })
+}
+
+/// Oracle-style layered DAGs: uniform-width layers of (serial_s,
+/// mem_fraction) tasks, matching the differential oracle's instance shape.
+fn layers_strategy() -> impl Strategy<Value = Vec<Vec<TaskSpec>>> {
+    (1usize..4, 1usize..4).prop_flat_map(|(layers, width)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (0.001f64..10.0, 0.0f64..=0.9)
+                    .prop_map(|(serial_s, mem_fraction)| TaskSpec { serial_s, mem_fraction }),
+                width..width + 1,
+            ),
+            layers..layers + 1,
+        )
+    })
+}
+
+fn dag_strategy() -> impl Strategy<Value = DagSpec> {
+    prop_oneof![
+        (1u32..64, 1u32..32, any::<u64>()).prop_map(|(ranks, iterations, seed)| DagSpec::Bench {
+            name: "comd".to_string(),
+            ranks,
+            iterations,
+            seed,
+        }),
+        layers_strategy().prop_map(DagSpec::Layers),
+    ]
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (machine_strategy(), dag_strategy(), proptest::collection::vec(0.1f64..5000.0, 1..8))
+        .prop_map(|(machine, dag, caps_w)| Instance { machine, dag, caps_w })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(x)) == x, exactly — Rust's shortest-round-trip f64
+    /// formatting makes the text form lossless.
+    #[test]
+    fn decode_encode_round_trips_exactly(instance in instance_strategy()) {
+        prop_assert!(instance.validate().is_ok(), "strategy must produce valid instances");
+        let text = instance.encode();
+        let decoded = Instance::decode(&text).expect("canonical text must decode");
+        prop_assert_eq!(&decoded, &instance);
+        // And the round trip is a fixed point of encoding.
+        prop_assert_eq!(decoded.encode(), text);
+    }
+
+    /// Fingerprints are stable (pure functions of the value) and the scope
+    /// fingerprint ignores exactly the cap grid.
+    #[test]
+    fn fingerprints_are_stable_and_scope_ignores_caps(
+        instance in instance_strategy(),
+        extra_cap in 5000.0f64..6000.0,
+    ) {
+        let fp = instance.fingerprint();
+        prop_assert_eq!(fp, instance.fingerprint());
+        prop_assert_eq!(fp, Instance::decode(&instance.encode()).unwrap().fingerprint());
+
+        let mut recapped = instance.clone();
+        recapped.caps_w.push(extra_cap);
+        prop_assert!(
+            fp != recapped.fingerprint(),
+            "cap grid must be in the full fingerprint"
+        );
+        prop_assert_eq!(
+            instance.scope_fingerprint(),
+            recapped.scope_fingerprint(),
+            "cap grid must NOT be in the scope fingerprint"
+        );
+    }
+
+    /// Any single-field perturbation changes the full fingerprint; machine
+    /// and DAG perturbations also change the scope fingerprint.
+    #[test]
+    fn fingerprints_are_sensitive_to_each_component(instance in instance_strategy()) {
+        let fp = instance.fingerprint();
+        let scope = instance.scope_fingerprint();
+
+        let mut machine_tweak = instance.clone();
+        machine_tweak.machine.power.p_idle += 0.125;
+        prop_assert!(fp != machine_tweak.fingerprint());
+        prop_assert!(scope != machine_tweak.scope_fingerprint());
+
+        let mut dag_tweak = instance.clone();
+        match &mut dag_tweak.dag {
+            DagSpec::Bench { seed, .. } => *seed = seed.wrapping_add(1),
+            DagSpec::Layers(layers) => layers[0][0].serial_s += 0.0625,
+        }
+        prop_assert!(fp != dag_tweak.fingerprint());
+        prop_assert!(scope != dag_tweak.scope_fingerprint());
+
+        let mut cap_tweak = instance.clone();
+        cap_tweak.caps_w[0] += 0.03125;
+        prop_assert!(fp != cap_tweak.fingerprint());
+    }
+
+    /// Non-canonical float spellings in otherwise well-formed text decode
+    /// to the same value and therefore the same fingerprint: fingerprints
+    /// are value-based, so formatting differences cannot split the
+    /// server-side cache.
+    #[test]
+    fn float_spelling_does_not_split_fingerprints(
+        ranks in 1u32..64,
+        iterations in 1u32..32,
+        seed in any::<u64>(),
+        cap in 1u32..4000,
+    ) {
+        let canonical = Instance {
+            machine: MachineSpec::e5_2670(),
+            dag: DagSpec::Bench { name: "lulesh".into(), ranks, iterations, seed },
+            caps_w: vec![cap as f64],
+        };
+        let text = canonical.encode();
+        // Respell the integral cap "N" as "N.000" and with exponent "Ne0".
+        let needle = format!("caps={cap}");
+        prop_assert!(text.ends_with(&needle), "encoding should end with {needle}: {text}");
+        for respelled in [
+            text.replace(&needle, &format!("caps={cap}.000")),
+            text.replace(&needle, &format!("caps={cap}e0")),
+        ] {
+            let decoded = Instance::decode(&respelled).expect("respelled float must decode");
+            prop_assert_eq!(decoded.fingerprint(), canonical.fingerprint());
+            prop_assert_eq!(decoded.encode(), text, "re-encoding must canonicalize");
+        }
+    }
+
+    /// Truncating canonical text anywhere never panics the decoder. Almost
+    /// every cut errors cleanly; the one legitimate exception is a cut
+    /// inside the final float list that happens to leave a parseable float
+    /// (the decoder accepts any spelling by design) — in that case the
+    /// result must still be a valid instance that re-encodes canonically.
+    #[test]
+    fn truncations_never_panic_and_error_cleanly(
+        instance in instance_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let text = instance.encode();
+        // Canonical text is ASCII, but clamp to a char boundary anyway.
+        let mut cut = (((text.len() as f64) * frac) as usize).min(text.len().saturating_sub(1));
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &text[..cut];
+        match Instance::decode(truncated) {
+            Err(CanonError::Malformed(_)) | Err(CanonError::Invalid(_)) => {}
+            Ok(decoded) => {
+                prop_assert!(decoded.validate().is_ok());
+                let reencoded = decoded.encode();
+                prop_assert_eq!(Instance::decode(&reencoded).unwrap(), decoded);
+            }
+        }
+    }
+}

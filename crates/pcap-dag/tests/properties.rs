@@ -127,7 +127,7 @@ proptest! {
         let g = build(&app);
         let s = asap_schedule(&g, serial(&g));
         let act = activity_sets(&g, &s, 1e-9);
-        for v in 0..g.num_vertices() {
+        for (v, active) in act.iter().enumerate() {
             let tv = s.vertex_times[v];
             for (id, e) in g.iter_edges() {
                 if !e.is_task() {
@@ -137,7 +137,7 @@ proptest! {
                 let t1 = s.time(e.dst);
                 let inside = tv >= t0 - 1e-9 && tv < t1 - 1e-9;
                 let zero = (t1 - t0).abs() <= 1e-9 && (tv - t0).abs() <= 1e-9;
-                let listed = act[v].contains(&id);
+                let listed = active.contains(&id);
                 prop_assert_eq!(listed, inside || zero,
                     "vertex {} task {}: listed={} window=[{},{})", v, id.index(), listed, t0, t1);
             }
@@ -152,9 +152,9 @@ proptest! {
         let g = build(&app);
         let s = asap_schedule(&g, serial(&g));
         let act = activity_sets(&g, &s, 1e-9);
-        for v in 0..g.num_vertices() {
+        for active in &act {
             let mut per_rank = std::collections::HashMap::new();
-            for &e in &act[v] {
+            for &e in active {
                 let r = g.edge(e).task_rank().unwrap();
                 *per_rank.entry(r).or_insert(0u32) += 1;
             }

@@ -305,9 +305,9 @@ mod tests {
         ];
         let mut p = Problem::new(Sense::Minimize);
         let mut xs = vec![];
-        for i in 0..4 {
-            for j in 0..4 {
-                xs.push(p.add_bin_var(costs[i][j]));
+        for row in &costs {
+            for &cost in row {
+                xs.push(p.add_bin_var(cost));
             }
         }
         for i in 0..4 {

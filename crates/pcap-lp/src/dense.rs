@@ -262,9 +262,9 @@ mod tests {
         let x_true = [0.5, 2.0, -1.5];
         // b = Aᵀ x
         let mut b = vec![0.0; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                b[j] += a.get(i, j) * x_true[i];
+        for (i, xi) in x_true.iter().enumerate() {
+            for (j, bj) in b.iter_mut().enumerate() {
+                *bj += a.get(i, j) * xi;
             }
         }
         lu.solve_transpose_in_place(&mut b);

@@ -112,6 +112,17 @@ impl Basis {
     pub fn dims(&self) -> (usize, usize) {
         (self.basis.len(), self.stat.len())
     }
+
+    /// Whether this snapshot's dimensions match `problem`, i.e. whether
+    /// [`solve_with_basis`] would actually adopt it rather than silently
+    /// falling back to a cold start. Pools that keep warm bases keyed by
+    /// problem shape (the `pcap-serve` worker pool, the sweep context) use
+    /// this to drop stale state eagerly instead of paying for a doomed
+    /// adoption attempt on every solve.
+    pub fn compatible_with(&self, problem: &Problem) -> bool {
+        let m = problem.num_constraints();
+        self.basis.len() == m && self.stat.len() == problem.num_vars() + m
+    }
 }
 
 /// Solves `problem`, optionally warm-starting from a previous [`Basis`], and
@@ -1150,6 +1161,27 @@ mod tests {
         let sol = solve(&p).unwrap();
         assert_eq!(sol.value(x), 7.0);
         assert_eq!(sol.objective, 21.0);
+    }
+
+    #[test]
+    fn basis_compatibility_tracks_problem_shape() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 4.0, 3.0);
+        let y = p.add_var(0.0, 4.0, 2.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(4.0));
+        let (_, basis) = solve_with_basis(&p, &SolverOptions::default(), None).unwrap();
+        assert!(basis.compatible_with(&p));
+        // Same shape, different bounds/RHS: still adoptable (the sweep case).
+        let mut q = p.clone();
+        q.set_constraint_bound(0, Bound::Upper(6.0));
+        assert!(basis.compatible_with(&q));
+        // Extra row or extra variable: the snapshot no longer fits.
+        let mut extra_row = p.clone();
+        extra_row.add_constraint(expr(vec![(x, 1.0)]), Bound::Upper(3.0));
+        assert!(!basis.compatible_with(&extra_row));
+        let mut extra_var = p.clone();
+        extra_var.add_var(0.0, 1.0, 0.0);
+        assert!(!basis.compatible_with(&extra_var));
     }
 
     #[test]

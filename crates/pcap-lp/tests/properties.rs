@@ -10,14 +10,16 @@ use pcap_lp::{
 };
 use proptest::prelude::*;
 
+/// One random row: (terms, row-kind selector, rhs shift).
+type RandomRow = (Vec<(usize, f64)>, u8, f64);
+
 /// A compact description of a random LP instance.
 #[derive(Debug, Clone)]
 struct RandomLp {
     nvars: usize,
     costs: Vec<f64>,
     bounds: Vec<(f64, f64)>,
-    /// rows: (terms, row-kind selector, rhs shift)
-    rows: Vec<(Vec<(usize, f64)>, u8, f64)>,
+    rows: Vec<RandomRow>,
     maximize: bool,
 }
 

@@ -1,0 +1,254 @@
+//! The pcap-client binary: submit jobs to a pcap-serve daemon and render
+//! the results/stats.
+//!
+//! ```text
+//! pcap-client ping     [--addr A]
+//! pcap-client stats    [--addr A]
+//! pcap-client shutdown [--addr A]
+//! pcap-client sweep    [--addr A] [--bench comd] [--ranks 8] [--iterations 4]
+//!                      [--seed 42] [--machine e5_2670] [--caps 30,40,50,60,70,80]
+//! pcap-client flood    [--addr A] [--requests 16] [--threads 4] (sweep args)
+//! ```
+//!
+//! `sweep` prints one line per cap: the cap, the makespan bound (or
+//! `infeasible`), and whether the daemon served it from cache. `flood`
+//! submits the same sweep from many threads — watch `stats` afterwards to
+//! see single-flight coalescing at work.
+
+use std::collections::BTreeMap;
+
+use pcap_core::{DagSpec, Instance};
+use pcap_machine::MachineSpec;
+use pcap_serve::{decode_result_entry, field, Client};
+
+struct Options {
+    addr: String,
+    bench: String,
+    ranks: u32,
+    iterations: u32,
+    seed: u64,
+    machine: String,
+    caps: Vec<f64>,
+    requests: usize,
+    threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7199".into(),
+            bench: "comd".into(),
+            ranks: 8,
+            iterations: 4,
+            seed: 42,
+            machine: "e5_2670".into(),
+            caps: vec![30.0, 40.0, 50.0, 60.0, 70.0, 80.0],
+            requests: 16,
+            threads: 4,
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let command = args.remove(0);
+    let opts = parse_options(&args);
+
+    let outcome = match command.as_str() {
+        "ping" => cmd_simple(&opts, "{\"op\":\"ping\"}"),
+        "shutdown" => cmd_simple(&opts, "{\"op\":\"shutdown\"}"),
+        "stats" => cmd_stats(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "flood" => cmd_flood(&opts),
+        "--help" | "-h" | "help" => {
+            usage_and_exit();
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            usage_and_exit();
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: pcap-client <ping|stats|shutdown|sweep|flood> [--addr A]\n\
+         sweep/flood: [--bench comd|lulesh|sp|bt] [--ranks N] [--iterations N] [--seed N]\n\
+         \x20            [--machine e5_2670|e5_2650l] [--caps W,W,...]\n\
+         flood:       [--requests N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--bench" => opts.bench = value("--bench"),
+            "--ranks" => opts.ranks = parse_num(&value("--ranks"), "--ranks"),
+            "--iterations" => opts.iterations = parse_num(&value("--iterations"), "--iterations"),
+            "--seed" => opts.seed = parse_num(&value("--seed"), "--seed"),
+            "--machine" => opts.machine = value("--machine"),
+            "--caps" => {
+                let raw = value("--caps");
+                opts.caps = raw
+                    .split(',')
+                    .map(|c| {
+                        c.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: bad cap '{c}' in --caps");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--requests" => opts.requests = parse_num(&value("--requests"), "--requests"),
+            "--threads" => opts.threads = parse_num(&value("--threads"), "--threads"),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a number, got '{text}'");
+        std::process::exit(2);
+    })
+}
+
+fn build_instance(opts: &Options) -> Result<Instance, String> {
+    let machine = match opts.machine.as_str() {
+        "e5_2670" => MachineSpec::e5_2670(),
+        "e5_2650l" => MachineSpec::e5_2650l(),
+        other => return Err(format!("unknown machine '{other}' (e5_2670 | e5_2650l)")),
+    };
+    let instance = Instance {
+        machine,
+        dag: DagSpec::Bench {
+            name: opts.bench.to_ascii_lowercase(),
+            ranks: opts.ranks,
+            iterations: opts.iterations,
+            seed: opts.seed,
+        },
+        caps_w: opts.caps.clone(),
+    };
+    instance.validate().map_err(|e| format!("bad instance: {e}"))?;
+    Ok(instance)
+}
+
+fn expect_ok(resp: &pcap_serve::Response) -> Result<(), String> {
+    if field(resp, "ok") == Some("true") {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: {}",
+            field(resp, "code").unwrap_or("unknown"),
+            field(resp, "error").unwrap_or("no detail")
+        ))
+    }
+}
+
+fn cmd_simple(opts: &Options, line: &str) -> Result<(), String> {
+    let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
+    let resp = client.request(line).map_err(|e| e.to_string())?;
+    expect_ok(&resp)?;
+    println!("ok ({})", field(&resp, "op").unwrap_or("?"));
+    Ok(())
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
+    let resp = client.stats().map_err(|e| e.to_string())?;
+    expect_ok(&resp)?;
+    for (k, v) in &resp {
+        if k == "ok" || k == "op" {
+            continue;
+        }
+        println!("{k:24} {v}");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let instance = build_instance(opts)?;
+    let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
+    let resp = client.sweep(&instance).map_err(|e| e.to_string())?;
+    expect_ok(&resp)?;
+    println!(
+        "instance {} ({}) — {} [{} ms]",
+        field(&resp, "fingerprint").unwrap_or("?"),
+        opts.bench,
+        field(&resp, "cached").unwrap_or("?"),
+        field(&resp, "solve_ms").unwrap_or("?"),
+    );
+    for entry in field(&resp, "results").unwrap_or("").split(',').filter(|e| !e.is_empty()) {
+        match decode_result_entry(entry) {
+            Some((cap, Some(makespan))) => println!("  cap {cap:>8} W  makespan {makespan:.6} s"),
+            Some((cap, None)) => println!("  cap {cap:>8} W  infeasible"),
+            None => println!("  unparseable entry '{entry}'"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_flood(opts: &Options) -> Result<(), String> {
+    let instance = build_instance(opts)?;
+    let line = pcap_serve::sweep_request_line(&instance);
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..opts.threads.max(1) {
+            let share = opts.requests / opts.threads.max(1)
+                + usize::from(t < opts.requests % opts.threads.max(1));
+            let addr = opts.addr.clone();
+            let line = line.clone();
+            handles.push(scope.spawn(move || {
+                let mut local: BTreeMap<String, usize> = BTreeMap::new();
+                for _ in 0..share {
+                    let outcome = Client::connect(&addr)
+                        .and_then(|mut c| c.request(&line))
+                        .map(|resp| {
+                            if field(&resp, "ok") == Some("true") {
+                                format!("ok/{}", field(&resp, "cached").unwrap_or("?"))
+                            } else {
+                                format!("err/{}", field(&resp, "code").unwrap_or("?"))
+                            }
+                        })
+                        .unwrap_or_else(|e| format!("io/{}", e.kind()));
+                    *local.entry(outcome).or_default() += 1;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            if let Ok(local) = h.join() {
+                for (k, v) in local {
+                    *outcomes.entry(k).or_default() += v;
+                }
+            }
+        }
+    });
+    println!("flood: {} requests x {} threads", opts.requests, opts.threads);
+    for (outcome, count) in &outcomes {
+        println!("  {outcome:16} {count}");
+    }
+    Ok(())
+}

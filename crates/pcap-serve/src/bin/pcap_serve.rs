@@ -1,0 +1,66 @@
+//! The pcap-serve daemon binary.
+//!
+//! ```text
+//! pcap-serve [--addr 127.0.0.1:7199] [--workers 2] [--queue 64]
+//!            [--cache 256] [--max-line 65536] [--certify]
+//! ```
+//!
+//! Prints `pcap-serve listening on ADDR` once ready (scripts and CI wait
+//! for this line), then blocks until a client sends `{"op":"shutdown"}`,
+//! drains every admitted job, and exits 0.
+
+use pcap_serve::{Server, ServerConfig};
+
+fn main() {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7199".into(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue" => cfg.queue_cap = parse_num(&value("--queue"), "--queue"),
+            "--cache" => cfg.cache_cap = parse_num(&value("--cache"), "--cache"),
+            "--max-line" => cfg.max_line_bytes = parse_num(&value("--max-line"), "--max-line"),
+            "--certify" => cfg.certify = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: pcap-serve [--addr A] [--workers N] [--queue N] [--cache N] \
+                     [--max-line BYTES] [--certify]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("pcap-serve listening on {}", server.addr());
+    // Line-buffered stdout may sit on the message when piped; scripts wait
+    // for it, so push it out now.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("pcap-serve drained and stopped");
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a number, got '{text}'");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,309 @@
+//! Content-addressed result cache with single-flight deduplication.
+//!
+//! Keys are the canonical instance fingerprints of [`pcap_core::canon`]
+//! (64-bit FNV-1a over the canonical encoding), so two requests spelling
+//! the same problem differently — float formatting, whitespace — hash to
+//! the same entry. Correctness of caching *at all* rests on the solver's
+//! determinism invariant: warm-started and cold solves are bitwise
+//! identical, so a cached reply is indistinguishable from a fresh one.
+//!
+//! Single-flight: when several connections ask for the same fingerprint
+//! concurrently, exactly one (the *leader*) executes the solve; the rest
+//! (*coalesced* followers) block on a condvar until the leader publishes a
+//! result or failure. Failures are published as short-lived tombstones so
+//! every already-waiting follower observes the error, while the *next*
+//! claimant after the tombstone drains becomes a fresh leader (a transient
+//! failure doesn't poison the key).
+//!
+//! Eviction is LRU over **ready** entries only; in-flight entries are
+//! never evicted (waiters hold their ticket through the condvar, not the
+//! map).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::pool::SweepReply;
+use crate::protocol::{ErrorCode, ProtoError};
+
+/// Outcome of [`ResultCache::claim`].
+pub enum Claim {
+    /// The value was cached; no solve needed.
+    Hit(Arc<SweepReply>),
+    /// The caller is the first asker: it must execute the solve and then
+    /// call [`ResultCache::fulfill`] or [`ResultCache::fail`].
+    Leader,
+    /// Another connection is already solving this fingerprint; the caller
+    /// blocked until it finished. `Ok` is the leader's published reply,
+    /// `Err` its published failure.
+    Coalesced(Result<Arc<SweepReply>, ProtoError>),
+}
+
+enum Entry {
+    /// A leader is solving; `waiters` counts blocked followers.
+    InFlight { waiters: usize },
+    /// A published result, with its LRU tick.
+    Ready { reply: Arc<SweepReply>, last_used: u64 },
+    /// A published failure, kept only until the last already-registered
+    /// waiter has observed it.
+    Tombstone { err: ProtoError, remaining: usize },
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Shared, bounded, single-flight result cache.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// `capacity` bounds the number of **ready** entries; `0` disables
+    /// caching of results (single-flight coalescing still works).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Looks up `fp`, becoming the leader if nobody has it yet, or blocking
+    /// behind the current leader. See [`Claim`].
+    pub fn claim(&self, fp: u64) -> Claim {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.map.get_mut(&fp) {
+                None => {
+                    inner.map.insert(fp, Entry::InFlight { waiters: 0 });
+                    return Claim::Leader;
+                }
+                Some(Entry::Ready { reply, last_used }) => {
+                    *last_used = tick;
+                    return Claim::Hit(Arc::clone(reply));
+                }
+                Some(Entry::InFlight { waiters }) => {
+                    *waiters += 1;
+                    // Block until this fingerprint leaves the in-flight
+                    // state, then re-inspect: Ready → coalesced success,
+                    // Tombstone → coalesced failure (and drain our ticket).
+                    loop {
+                        inner = self.cond.wait(inner).unwrap();
+                        inner.tick += 1;
+                        let tick = inner.tick;
+                        match inner.map.get_mut(&fp) {
+                            Some(Entry::InFlight { .. }) => continue,
+                            Some(Entry::Ready { reply, last_used }) => {
+                                *last_used = tick;
+                                return Claim::Coalesced(Ok(Arc::clone(reply)));
+                            }
+                            Some(Entry::Tombstone { err, remaining }) => {
+                                let err = err.clone();
+                                *remaining -= 1;
+                                if *remaining == 0 {
+                                    inner.map.remove(&fp);
+                                }
+                                return Claim::Coalesced(Err(err));
+                            }
+                            // Entry vanished (tombstone fully drained by
+                            // others before we woke — can't happen for our
+                            // own ticket, but be safe): retry from scratch.
+                            None => break,
+                        }
+                    }
+                }
+                Some(Entry::Tombstone { .. }) => {
+                    // A failure is being drained by its waiters; new
+                    // claimants don't join it — wait for the key to free
+                    // up, then become a fresh leader.
+                    inner = self.cond.wait(inner).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Leader publishes a successful reply; wakes all coalesced waiters and
+    /// applies LRU eviction to ready entries.
+    pub fn fulfill(&self, fp: u64, reply: Arc<SweepReply>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(fp, Entry::Ready { reply, last_used: tick });
+        self.evict_locked(&mut inner);
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Leader publishes a failure. Already-registered waiters each observe
+    /// the error once; the entry is gone after the last of them (or
+    /// immediately when there are none).
+    pub fn fail(&self, fp: u64, err: ProtoError) {
+        let mut inner = self.inner.lock().unwrap();
+        let waiters = match inner.map.get(&fp) {
+            Some(Entry::InFlight { waiters }) => *waiters,
+            _ => 0,
+        };
+        if waiters == 0 {
+            inner.map.remove(&fp);
+        } else {
+            inner.map.insert(fp, Entry::Tombstone { err, remaining: waiters });
+        }
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Number of ready (cached) entries.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.map.values().filter(|e| matches!(e, Entry::Ready { .. })).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn evict_locked(&self, inner: &mut Inner) {
+        loop {
+            let ready = inner.map.values().filter(|e| matches!(e, Entry::Ready { .. })).count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, *k)),
+                    _ => None,
+                })
+                .min();
+            match victim {
+                Some((_, k)) => {
+                    inner.map.remove(&k);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// A convenient default failure for leaders that die without publishing
+/// (used by the worker pool's drop guard).
+pub fn leader_lost_error() -> ProtoError {
+    ProtoError::new(ErrorCode::Internal, "leader abandoned the solve")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    fn dummy_reply(fp: u64) -> Arc<SweepReply> {
+        Arc::new(SweepReply {
+            fingerprint: fp,
+            scope: 0,
+            results: format!("r{fp}"),
+            feasible: 1,
+            infeasible: 0,
+            solver_errors: 0,
+            lp: Default::default(),
+            solve_wall_s: 0.0,
+        })
+    }
+
+    #[test]
+    fn hit_after_fulfill() {
+        let c = ResultCache::new(4);
+        assert!(matches!(c.claim(7), Claim::Leader));
+        c.fulfill(7, dummy_reply(7));
+        match c.claim(7) {
+            Claim::Hit(r) => assert_eq!(r.results, "r7"),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn coalesced_waiters_share_one_solve() {
+        let c = Arc::new(ResultCache::new(4));
+        assert!(matches!(c.claim(1), Claim::Leader));
+        let solves = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            let solves = Arc::clone(&solves);
+            handles.push(thread::spawn(move || match c.claim(1) {
+                Claim::Leader => {
+                    solves.fetch_add(1, Ordering::SeqCst);
+                    panic!("second leader for an in-flight key");
+                }
+                Claim::Coalesced(Ok(r)) => r.results.clone(),
+                other => panic!("unexpected claim: hit={}", matches!(other, Claim::Hit(_))),
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        c.fulfill(1, dummy_reply(1));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "r1");
+        }
+        assert_eq!(solves.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn failure_reaches_waiters_then_clears() {
+        let c = Arc::new(ResultCache::new(4));
+        assert!(matches!(c.claim(2), Claim::Leader));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || match c.claim(2) {
+                Claim::Coalesced(Err(e)) => e.code,
+                _ => panic!("expected coalesced failure"),
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        c.fail(2, ProtoError::new(ErrorCode::Internal, "boom"));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), ErrorCode::Internal);
+        }
+        // The tombstone has drained: the next claimant is a fresh leader.
+        assert!(matches!(c.claim(2), Claim::Leader));
+        c.fail(2, ProtoError::new(ErrorCode::Internal, "boom"));
+        assert!(matches!(c.claim(2), Claim::Leader));
+        c.fulfill(2, dummy_reply(2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_ready_entry() {
+        let c = ResultCache::new(2);
+        for fp in [10, 11] {
+            assert!(matches!(c.claim(fp), Claim::Leader));
+            c.fulfill(fp, dummy_reply(fp));
+        }
+        // Touch 10 so 11 is the LRU victim.
+        assert!(matches!(c.claim(10), Claim::Hit(_)));
+        assert!(matches!(c.claim(12), Claim::Leader));
+        c.fulfill(12, dummy_reply(12));
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.claim(10), Claim::Hit(_)));
+        assert!(matches!(c.claim(12), Claim::Hit(_)));
+        assert!(matches!(c.claim(11), Claim::Leader)); // evicted
+        c.fail(11, ProtoError::new(ErrorCode::Internal, "cleanup"));
+    }
+
+    #[test]
+    fn zero_capacity_still_coalesces_but_never_stores() {
+        let c = ResultCache::new(0);
+        assert!(matches!(c.claim(5), Claim::Leader));
+        c.fulfill(5, dummy_reply(5));
+        assert_eq!(c.len(), 0);
+        assert!(matches!(c.claim(5), Claim::Leader));
+        c.fail(5, ProtoError::new(ErrorCode::Internal, "cleanup"));
+    }
+}

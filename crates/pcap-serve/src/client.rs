@@ -1,0 +1,93 @@
+//! Minimal blocking client for the pcap-serve protocol.
+//!
+//! One TCP connection, one request line out, one response line back. The
+//! response is returned as the flat key/value pairs of
+//! [`crate::protocol::parse_object`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pcap_core::Instance;
+
+use crate::protocol::{json_escape, parse_object};
+
+/// A parsed flat response: key/value pairs in wire order.
+pub type Response = Vec<(String, String)>;
+
+/// Looks up `key` in a response (last occurrence wins, matching the
+/// server-side duplicate-key rule).
+pub fn field<'a>(resp: &'a Response, key: &str) -> Option<&'a str> {
+    resp.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Builds the one-line request for a sweep over `instance`.
+pub fn sweep_request_line(instance: &Instance) -> String {
+    format!("{{\"op\":\"sweep\",\"instance\":\"{}\"}}", json_escape(&instance.encode()))
+}
+
+/// Decodes one `cap=value` results entry into `(cap, makespan)`;
+/// `None` makespan means infeasible (or a solver error at that cap).
+pub fn decode_result_entry(entry: &str) -> Option<(f64, Option<f64>)> {
+    let (cap, value) = entry.split_once('=')?;
+    let cap: f64 = cap.parse().ok()?;
+    match value {
+        "inf" | "err" => Some((cap, None)),
+        bits => {
+            let bits = u64::from_str_radix(bits, 16).ok()?;
+            Some((cap, Some(f64::from_bits(bits))))
+        }
+    }
+}
+
+/// Blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw request line, returns the raw response line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one request line and parses the flat response.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        let raw = self.request_line(line)?;
+        parse_object(&raw).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request("{\"op\":\"ping\"}")
+    }
+
+    pub fn stats(&mut self) -> std::io::Result<Response> {
+        self.request("{\"op\":\"stats\"}")
+    }
+
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request("{\"op\":\"shutdown\"}")
+    }
+
+    pub fn sweep(&mut self, instance: &Instance) -> std::io::Result<Response> {
+        self.request(&sweep_request_line(instance))
+    }
+}

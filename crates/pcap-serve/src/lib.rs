@@ -1,0 +1,43 @@
+//! # pcap-serve — power bounds as a service
+//!
+//! A std-only daemon turning [`pcap_core`]'s power-cap sweep into a shared
+//! network service: clients submit canonical problem instances
+//! ([`pcap_core::canon`]) over line-delimited TCP and get back LP
+//! bounds/sweep results. The daemon layers, on top of the solver:
+//!
+//! * **content-addressed caching** — results keyed by the instance's
+//!   64-bit canonical fingerprint, LRU-bounded ([`cache`]);
+//! * **single-flight deduplication** — concurrent identical requests
+//!   coalesce onto one solve ([`cache::Claim`]);
+//! * **warm-pooled workers** — each worker keeps per-scope
+//!   [`pcap_core::SweepContext`]s so requests sharing a machine+DAG reuse
+//!   factored LPs and warm bases across requests ([`pool`]);
+//! * **backpressure** — a bounded admission queue with explicit load
+//!   shedding (`overloaded` + retry hint) and graceful drain on shutdown
+//!   ([`server`]).
+//!
+//! All of this is sound only because the solver guarantees warm-started
+//! and cold solves are **bitwise identical** — a cached or coalesced reply
+//! is exactly the bytes a fresh solve would have produced, and the e2e
+//! tests assert that equality against an in-process [`pcap_core::solve_sweep`].
+//!
+//! Binaries: `pcap-serve` (the daemon) and `pcap-client` (submit jobs,
+//! render stats). Protocol grammar and error codes: [`protocol`] and
+//! `DESIGN.md` §7.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{Claim, ResultCache};
+pub use client::{decode_result_entry, field, sweep_request_line, Client, Response};
+pub use metrics::Metrics;
+pub use pool::{resolve_graph, Job, JobQueue, PushError, SweepReply, WorkerPool};
+pub use protocol::{
+    error_response, json_escape, parse_object, parse_request, render_object, render_results,
+    ErrorCode, ProtoError, Request, MAX_LINE_BYTES,
+};
+pub use server::{Server, ServerConfig, SHED_RETRY_MS};

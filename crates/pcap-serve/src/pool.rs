@@ -1,0 +1,389 @@
+//! Bounded admission queue and warm-pooled worker threads.
+//!
+//! Each worker owns a small LRU of [`SweepContext`]s keyed by **scope
+//! fingerprint** (machine + DAG, caps excluded): two jobs for the same
+//! scope but different cap grids reuse the same per-window LPs *and* the
+//! warm bases the previous grid left behind, which is exactly the
+//! warm-chaining that makes adjacent-cap solves cheap inside one sweep —
+//! extended across requests. Correctness is free because warm and cold
+//! solves are bitwise identical (and certifiable via `--certify`).
+//!
+//! Admission is a bounded queue with explicit load shedding: when full,
+//! [`JobQueue::try_push`] refuses instead of blocking the connection
+//! thread, and the server answers `overloaded` with a retry hint. After
+//! [`JobQueue::close`], pushes fail with [`PushError::Closed`] but workers
+//! keep draining what was admitted — graceful shutdown never drops an
+//! accepted job.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::{total_stats, DagSpec, Instance, SweepContext, SweepOptions, TaskFrontiers};
+use pcap_dag::TaskGraph;
+use pcap_lp::SolveStats;
+
+use crate::cache::{leader_lost_error, ResultCache};
+use crate::metrics::Metrics;
+use crate::protocol::{render_results, ErrorCode, ProtoError};
+
+/// Warm contexts kept per worker before the least-recently-used one is
+/// dropped. Small on purpose: each context holds factored per-window LPs.
+const WARM_SCOPES_PER_WORKER: usize = 4;
+
+/// The published result of one executed sweep job.
+#[derive(Debug, Default)]
+pub struct SweepReply {
+    /// Full instance fingerprint (cache key).
+    pub fingerprint: u64,
+    /// Machine+DAG scope fingerprint (warm-start affinity key).
+    pub scope: u64,
+    /// Canonical `cap=bits` result list ([`render_results`]).
+    pub results: String,
+    /// Caps with a feasible schedule.
+    pub feasible: u64,
+    /// Caps proven infeasible.
+    pub infeasible: u64,
+    /// Caps that failed with a solver/verification error.
+    pub solver_errors: u64,
+    /// Aggregated LP telemetry over the feasible caps.
+    pub lp: SolveStats,
+    /// End-to-end job execution time on the worker, seconds.
+    pub solve_wall_s: f64,
+}
+
+/// One admitted unit of work: solve `instance`, publish into the cache,
+/// reply to the leading connection.
+pub struct Job {
+    pub fingerprint: u64,
+    pub scope: u64,
+    pub instance: Instance,
+    pub done: mpsc::Sender<Result<Arc<SweepReply>, ProtoError>>,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the request.
+    Full,
+    /// The queue has been closed — the server is draining.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPMC job queue (mutex + condvar; no busy waiting).
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner { jobs: VecDeque::new(), closed: false }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Non-blocking admission; the connection thread never waits on a full
+    /// queue. Rejection hands the job back so the caller can abandon it
+    /// (publishing the failure to any coalesced waiters), which makes the
+    /// `Err` variant deliberately large.
+    #[allow(clippy::result_large_err)]
+    pub fn try_push(&self, job: Job) -> Result<(), (Job, PushError)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((job, PushError::Closed));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((job, PushError::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed **and**
+    /// drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cond.wait(inner).unwrap();
+        }
+    }
+
+    /// Stops admission; queued jobs are still drained by `pop`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Jobs currently waiting (the queue-depth gauge).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+}
+
+/// Resolves an instance's DAG spec to a concrete task graph. `Bench` names
+/// are matched case-insensitively against [`Benchmark::name`].
+pub fn resolve_graph(instance: &Instance) -> Result<TaskGraph, String> {
+    match &instance.dag {
+        DagSpec::Bench { name, ranks, iterations, seed } => {
+            let bench = Benchmark::ALL
+                .iter()
+                .copied()
+                .find(|b| b.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    let known: Vec<String> =
+                        Benchmark::ALL.iter().map(|b| b.name().to_ascii_lowercase()).collect();
+                    format!("unknown benchmark '{name}' (known: {})", known.join(", "))
+                })?;
+            Ok(bench.generate(&AppParams { ranks: *ranks, iterations: *iterations, seed: *seed }))
+        }
+        DagSpec::Layers(layers) => Ok(pcap_core::build_layered_graph(layers)),
+    }
+}
+
+/// A worker's warm state for one scope: the frontiers and the LP context
+/// (with whatever bases the last grid left behind).
+struct WarmEntry {
+    frontiers: TaskFrontiers,
+    ctx: SweepContext,
+    last_used: u64,
+}
+
+/// Fixed-size pool of solver threads sharing one [`JobQueue`].
+pub struct WorkerPool {
+    queue: Arc<JobQueue>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one). Jobs publish into `cache`
+    /// and record into `metrics`.
+    pub fn start(
+        workers: usize,
+        queue_cap: usize,
+        cache: Arc<ResultCache>,
+        metrics: Arc<Metrics>,
+        opts: SweepOptions,
+    ) -> Self {
+        let queue = Arc::new(JobQueue::new(queue_cap));
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&metrics);
+            let opts = opts.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("pcap-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &cache, &metrics, &opts))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Self { queue, handles }
+    }
+
+    pub fn queue(&self) -> &Arc<JobQueue> {
+        &self.queue
+    }
+
+    /// Closes admission and joins every worker after the queue drains.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue, cache: &ResultCache, metrics: &Metrics, opts: &SweepOptions) {
+    let mut warm: HashMap<u64, WarmEntry> = HashMap::new();
+    let mut tick: u64 = 0;
+    while let Some(job) = queue.pop() {
+        tick += 1;
+        execute_job(job, cache, metrics, opts, &mut warm, tick);
+        if warm.len() > WARM_SCOPES_PER_WORKER {
+            if let Some((&victim, _)) = warm.iter().min_by_key(|(_, e)| e.last_used) {
+                warm.remove(&victim);
+            }
+        }
+    }
+}
+
+fn execute_job(
+    job: Job,
+    cache: &ResultCache,
+    metrics: &Metrics,
+    opts: &SweepOptions,
+    warm: &mut HashMap<u64, WarmEntry>,
+    tick: u64,
+) {
+    let started = Instant::now();
+    let fp = job.fingerprint;
+
+    let result = (|| -> Result<Arc<SweepReply>, ProtoError> {
+        let entry = match warm.entry(job.scope) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let e = e.into_mut();
+                e.last_used = tick;
+                e
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let graph = resolve_graph(&job.instance)
+                    .map_err(|e| ProtoError::new(ErrorCode::BadInstance, e))?;
+                let frontiers = TaskFrontiers::build(&graph, &job.instance.machine);
+                let ctx = SweepContext::new(&graph, &frontiers, opts.clone());
+                v.insert(WarmEntry { frontiers, ctx, last_used: tick })
+            }
+        };
+        let points = entry.ctx.solve_grid(&entry.frontiers, &job.instance.caps_w);
+        let mut feasible = 0;
+        let mut infeasible = 0;
+        let mut solver_errors = 0;
+        for p in &points {
+            match &p.schedule {
+                Ok(_) => feasible += 1,
+                Err(pcap_core::CoreError::Infeasible) => infeasible += 1,
+                Err(_) => solver_errors += 1,
+            }
+        }
+        let lp = total_stats(&points);
+        Ok(Arc::new(SweepReply {
+            fingerprint: fp,
+            scope: job.scope,
+            results: render_results(&points),
+            feasible,
+            infeasible,
+            solver_errors,
+            lp,
+            solve_wall_s: started.elapsed().as_secs_f64(),
+        }))
+    })();
+
+    // Both arms publish into the cache before replying, so coalesced
+    // waiters are never left stranded on an in-flight entry.
+    match result {
+        Ok(reply) => {
+            metrics.record_solve(started.elapsed(), &reply.lp);
+            cache.fulfill(fp, Arc::clone(&reply));
+            let _ = job.done.send(Ok(reply));
+        }
+        Err(err) => {
+            cache.fail(fp, err.clone());
+            let _ = job.done.send(Err(err));
+        }
+    }
+}
+
+/// Fails an admitted-but-unexecutable job (used when the queue rejects a
+/// leader after the cache claim): releases coalesced waiters and notifies
+/// the leader's reply channel.
+pub fn abandon_job(job: Job, cache: &ResultCache, err: ProtoError) {
+    cache.fail(job.fingerprint, err.clone());
+    let _ = job.done.send(Err(err));
+}
+
+/// The error used when a worker disappears without publishing (defensive;
+/// normal paths always publish).
+pub fn lost_leader() -> ProtoError {
+    leader_lost_error()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_machine::MachineSpec;
+
+    fn tiny_instance(cap: f64) -> Instance {
+        Instance {
+            machine: MachineSpec::e5_2670(),
+            dag: DagSpec::Bench { name: "comd".into(), ranks: 2, iterations: 1, seed: 42 },
+            caps_w: vec![cap],
+        }
+    }
+
+    #[test]
+    fn queue_sheds_when_full_and_closes_cleanly() {
+        let q = JobQueue::new(1);
+        let (tx, _rx) = mpsc::channel();
+        let mk = |fp: u64| Job {
+            fingerprint: fp,
+            scope: 0,
+            instance: tiny_instance(60.0),
+            done: tx.clone(),
+        };
+        assert!(q.try_push(mk(1)).is_ok());
+        assert_eq!(q.depth(), 1);
+        match q.try_push(mk(2)) {
+            Err((_, PushError::Full)) => {}
+            other => panic!("expected Full, got ok={}", other.is_ok()),
+        }
+        q.close();
+        match q.try_push(mk(3)) {
+            Err((_, PushError::Closed)) => {}
+            other => panic!("expected Closed, got ok={}", other.is_ok()),
+        }
+        // Drain continues after close.
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_bench_and_accepts_known() {
+        let mut inst = tiny_instance(60.0);
+        assert!(resolve_graph(&inst).is_ok());
+        if let DagSpec::Bench { name, .. } = &mut inst.dag {
+            *name = "nosuch".into();
+        }
+        let err = resolve_graph(&inst).unwrap_err();
+        assert!(err.contains("unknown benchmark"), "{err}");
+        assert!(err.contains("comd"), "{err}");
+    }
+
+    #[test]
+    fn pool_executes_and_publishes_to_cache() {
+        let cache = Arc::new(ResultCache::new(8));
+        let metrics = Arc::new(Metrics::new());
+        let pool = WorkerPool::start(
+            1,
+            4,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            SweepOptions { workers: 1, ..Default::default() },
+        );
+        let inst = tiny_instance(60.0);
+        let fp = inst.fingerprint();
+        let scope = inst.scope_fingerprint();
+        assert!(matches!(cache.claim(fp), crate::cache::Claim::Leader));
+        let (tx, rx) = mpsc::channel();
+        pool.queue()
+            .try_push(Job { fingerprint: fp, scope, instance: inst, done: tx })
+            .unwrap_or_else(|_| panic!("push failed"));
+        let reply = rx.recv().unwrap().expect("solve should succeed");
+        assert_eq!(reply.feasible + reply.infeasible + reply.solver_errors, 1);
+        assert!(reply.results.contains('='));
+        assert!(matches!(cache.claim(fp), crate::cache::Claim::Hit(_)));
+        pool.shutdown();
+        assert_eq!(metrics.solves.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fuzz-ish hardening tests: the protocol parser must never panic on any
+//! byte sequence, and well-formed traffic must round-trip exactly.
+
+use proptest::prelude::*;
+
+use pcap_core::{DagSpec, Instance};
+use pcap_machine::MachineSpec;
+use pcap_serve::{
+    error_response, field, parse_object, parse_request, render_object, sweep_request_line,
+    ErrorCode, ProtoError, Request,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes, lossily decoded the way the server does it: the
+    /// parser returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+        let _ = parse_object(&line);
+    }
+
+    /// JSON-shaped noise: braces, quotes, colons, escapes in adversarial
+    /// orders still parse or fail cleanly.
+    #[test]
+    fn parser_never_panics_on_structured_noise(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("\"".to_string()),
+                Just(":".to_string()),
+                Just(",".to_string()),
+                Just("\\".to_string()),
+                Just("\\u12".to_string()),
+                Just("op".to_string()),
+                Just("sweep".to_string()),
+                Just("true".to_string()),
+                Just("-1e309".to_string()),
+                Just(" ".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let line = parts.concat();
+        let _ = parse_request(&line);
+    }
+
+    /// Anything render_object emits, parse_object reads back verbatim.
+    /// Keys are lowercase identifiers, values arbitrary printable ASCII
+    /// (the vendored proptest has no string strategies, so both are built
+    /// from byte ranges).
+    #[test]
+    fn emitted_objects_round_trip(
+        pairs in proptest::collection::vec(
+            (
+                proptest::collection::vec(b'a'..=b'z', 1..8)
+                    .prop_map(|b| String::from_utf8(b).unwrap()),
+                proptest::collection::vec(b' '..=b'~', 0..24)
+                    .prop_map(|b| String::from_utf8(b).unwrap()),
+            ),
+            1..6,
+        )
+    ) {
+        let rendered = render_object(
+            &pairs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect::<Vec<_>>(),
+        );
+        let parsed = parse_object(&rendered).expect("emitted objects must parse");
+        prop_assert_eq!(parsed.len(), pairs.len());
+        for ((k, v), (pk, pv)) in pairs.iter().zip(parsed.iter()) {
+            prop_assert_eq!(k, pk);
+            prop_assert_eq!(v, pv);
+        }
+    }
+
+    /// A canonical instance survives the full client → wire → server
+    /// parse → canon decode path exactly.
+    #[test]
+    fn sweep_requests_round_trip_instances(
+        seed in any::<u64>(),
+        ranks in 1u32..16,
+        iterations in 1u32..8,
+        caps in proptest::collection::vec(1.0f64..500.0, 1..6),
+    ) {
+        let instance = Instance {
+            machine: MachineSpec::e5_2670(),
+            dag: DagSpec::Bench { name: "lulesh".into(), ranks, iterations, seed },
+            caps_w: caps,
+        };
+        prop_assert!(instance.validate().is_ok());
+        let line = sweep_request_line(&instance);
+        match parse_request(&line) {
+            Ok(Request::Sweep { instance: text }) => {
+                let decoded = Instance::decode(&text).expect("canonical text must decode");
+                prop_assert_eq!(decoded.fingerprint(), instance.fingerprint());
+                prop_assert_eq!(decoded.scope_fingerprint(), instance.scope_fingerprint());
+            }
+            other => prop_assert!(false, "expected sweep request, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn error_responses_always_parse() {
+    for code in [
+        ErrorCode::Parse,
+        ErrorCode::TooLarge,
+        ErrorCode::BadInstance,
+        ErrorCode::Overloaded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+    ] {
+        let err = ProtoError::new(code, "detail with \"quotes\" and\nnewlines\tand \\slashes");
+        let line = error_response(&err);
+        let parsed = parse_object(&line).expect("error responses must parse");
+        assert_eq!(field(&parsed, "ok"), Some("false"));
+        assert_eq!(field(&parsed, "code"), Some(code.as_str()));
+        assert!(field(&parsed, "error").unwrap().contains("quotes"));
+    }
+}

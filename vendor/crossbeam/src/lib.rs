@@ -159,7 +159,7 @@ pub mod channel {
 mod tests {
     #[test]
     fn scoped_threads_share_borrowed_data() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let sum = crate::thread::scope(|scope| {
             let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
