@@ -1,8 +1,17 @@
 //! Criterion benches for the simplex/branch-and-bound substrate: solve-time
-//! scaling on structured LPs of growing size, and small MIPs.
+//! scaling on structured LPs of growing size, small MIPs, and the
+//! sparse-vs-dense linear-algebra engine comparison on paper-shaped
+//! workloads (the figure-9 CoMD cap sweep and an iteration-decomposed
+//! LULESH instance).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcap_lp::{solve, solve_mip, Bound, BranchOptions, LinExpr, Problem, Sense, VarId};
+use pcap_apps::{comd, lulesh, AppParams};
+use pcap_core::{solve_decomposed, solve_sweep, FixedLpOptions, SweepOptions, TaskFrontiers};
+use pcap_lp::{
+    solve, solve_mip, Bound, BranchOptions, LinExpr, LinearAlgebra, Problem, Sense, SolverOptions,
+    VarId,
+};
+use pcap_machine::MachineSpec;
 
 /// A transportation LP with `n x n` variables and `2n` equality rows —
 /// similar row/column density to one scheduling window.
@@ -50,6 +59,65 @@ fn bench_simplex_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Transport LPs under each engine: isolates the linear-algebra cost from
+/// the scheduling-specific structure of the benches below.
+fn bench_engine_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/transport32");
+    let p = transport(32);
+    for (name, la) in [("sparse", LinearAlgebra::Sparse), ("dense", LinearAlgebra::Dense)] {
+        let opts = SolverOptions { linear_algebra: la, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| pcap_lp::solve_with(p, &opts).unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+/// The figure-9 workload: a warm-started 16-cap CoMD sweep (per-socket caps
+/// 25–100 W in 5 W steps) at the experiment's 32-rank scale, once per
+/// engine. This is the acceptance benchmark for the sparse engine: LP solve
+/// time across the sweep, sparse vs dense.
+fn bench_engine_fig09_sweep(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let graph = comd::generate(&AppParams { ranks: 32, iterations: 3, seed: 0x5C15 });
+    let frontiers = TaskFrontiers::build(&graph, &machine);
+    let caps: Vec<f64> = (0..16).map(|k| (25.0 + 5.0 * k as f64) * 32.0).collect();
+    let mut group = c.benchmark_group("engine/fig09-comd-sweep16");
+    group.sample_size(10);
+    for (name, la) in [("sparse", LinearAlgebra::Sparse), ("dense", LinearAlgebra::Dense)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut opts = SweepOptions { workers: 1, warm_start: true, ..Default::default() };
+                opts.fixed.lp.linear_algebra = la;
+                solve_sweep(&graph, &machine, &frontiers, &caps, &opts)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// An iteration-decomposed LULESH instance: the whole-run LP split into
+/// per-iteration windows at the global synchronization points, solved
+/// window-by-window at a mid-range cap, once per engine.
+fn bench_engine_lulesh_decomposed(c: &mut Criterion) {
+    let machine = MachineSpec::e5_2670();
+    let graph = lulesh::generate(&AppParams { ranks: 4, iterations: 4, seed: 0x5C15 });
+    let frontiers = TaskFrontiers::build(&graph, &machine);
+    let cap_w = 50.0 * 4.0;
+    let mut group = c.benchmark_group("engine/lulesh-decomposed");
+    group.sample_size(10);
+    for (name, la) in [("sparse", LinearAlgebra::Sparse), ("dense", LinearAlgebra::Dense)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut opts = FixedLpOptions::default();
+                opts.lp.linear_algebra = la;
+                solve_decomposed(&graph, &machine, &frontiers, cap_w, &opts).unwrap().makespan_s
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_branch_and_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("mip/knapsack");
     for n in [10usize, 16] {
@@ -61,5 +129,12 @@ fn bench_branch_and_bound(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex_scaling, bench_branch_and_bound);
+criterion_group!(
+    benches,
+    bench_simplex_scaling,
+    bench_branch_and_bound,
+    bench_engine_transport,
+    bench_engine_fig09_sweep,
+    bench_engine_lulesh_decomposed
+);
 criterion_main!(benches);

@@ -48,16 +48,26 @@ fn main() {
         }
     }
     if total.solves > 0 {
+        let fill = if total.basis_nnz > 0 {
+            total.factor_nnz as f64 / total.basis_nnz as f64
+        } else {
+            0.0
+        };
         println!(
             "solver telemetry: {} window solves, {} simplex iterations \
              ({} in phase 1), {} refactorizations, {:.3} s total solve wall \
-             time, warm starts used: {}",
+             time, warm starts used: {}, warm rejected: {}, \
+             basis nnz {} -> factor nnz {} (avg fill {:.2}x)",
             total.solves,
             total.iterations,
             total.phase1_iterations,
             total.refactorizations,
             total.wall_time_s,
             if total.warm_started { "yes" } else { "no" },
+            total.warm_rejected,
+            total.basis_nnz,
+            total.factor_nnz,
+            fill,
         );
     }
 }

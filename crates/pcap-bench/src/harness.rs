@@ -3,7 +3,7 @@
 use pcap_apps::{AppParams, Benchmark};
 use pcap_core::{solve_decomposed, solve_sweep, FixedLpOptions, SweepOptions, TaskFrontiers};
 use pcap_dag::{TaskGraph, VertexKind};
-use pcap_lp::SolveStats;
+use pcap_lp::{LinearAlgebra, SolveStats};
 use pcap_machine::MachineSpec;
 use pcap_sched::{Conductor, ConductorOptions, ConfigOnly, StaticPolicy};
 use pcap_sim::{Policy, SimOptions, Simulator};
@@ -93,6 +93,20 @@ pub fn certify_requested() -> bool {
         || std::env::var("PCAP_CERTIFY").is_ok_and(|v| v == "1")
 }
 
+/// Linear-algebra engine for the harness's LP solves: `--lp-engine=dense`
+/// on the command line or `PCAP_LP_ENGINE=dense` in the environment selects
+/// the dense oracle engine (the CI sparse-vs-dense differential runs the
+/// figure pipeline both ways); anything else gets the sparse default.
+pub fn lp_engine_requested() -> LinearAlgebra {
+    let dense = std::env::args().any(|a| a == "--lp-engine=dense")
+        || std::env::var("PCAP_LP_ENGINE").is_ok_and(|v| v.eq_ignore_ascii_case("dense"));
+    if dense {
+        LinearAlgebra::Dense
+    } else {
+        LinearAlgebra::Sparse
+    }
+}
+
 /// Time elapsed between the end of warm-up (the `warmup`-th `MPI_Pcontrol`)
 /// and `MPI_Finalize`, given realized vertex times.
 pub fn measured_region(graph: &TaskGraph, vertex_times: &[f64], warmup: u32) -> f64 {
@@ -125,7 +139,9 @@ pub fn evaluate_at_cap(
 ) -> MethodTimes {
     let job_cap = per_socket_w * cfg.ranks as f64;
 
-    let lp = solve_decomposed(graph, machine, frontiers, job_cap, &FixedLpOptions::default())
+    let mut lp_opts = FixedLpOptions::default();
+    lp_opts.lp.linear_algebra = lp_engine_requested();
+    let lp = solve_decomposed(graph, machine, frontiers, job_cap, &lp_opts)
         .ok()
         .map(|s| measured_region(graph, &s.vertex_times, cfg.warmup_iterations));
 
@@ -191,6 +207,7 @@ pub fn evaluate_benchmark(
 
     let job_caps: Vec<f64> = per_socket_caps.iter().map(|&w| w * cfg.ranks as f64).collect();
     let mut sweep_opts = SweepOptions::default();
+    sweep_opts.fixed.lp.linear_algebra = lp_engine_requested();
     if certify_requested() {
         sweep_opts.certify = true;
         sweep_opts.fixed.lp.certify = true;
@@ -237,10 +254,20 @@ pub fn evaluate_benchmark(
         .zip(&lp_points)
         .map(|(r, pt)| {
             let mut row = r.expect("all caps evaluated");
-            if let Ok(sched) = &pt.schedule {
-                row.times.lp =
-                    Some(measured_region(&graph, &sched.vertex_times, cfg.warmup_iterations));
-                row.lp_stats = sched.stats;
+            match &pt.schedule {
+                Ok(sched) => {
+                    row.times.lp =
+                        Some(measured_region(&graph, &sched.vertex_times, cfg.warmup_iterations));
+                    row.lp_stats = sched.stats;
+                }
+                // Genuine infeasibility at a low cap renders as "-", matching
+                // the paper; anything else (solver failure, certification or
+                // warm-vs-cold mismatch) must be loud, not a silent "-".
+                Err(pcap_core::CoreError::Infeasible) => {}
+                Err(e) => eprintln!(
+                    "[sweep] {bench:?} at {} W/socket: LP bound dropped: {e}",
+                    row.per_socket_w
+                ),
             }
             row
         })
@@ -287,14 +314,21 @@ pub fn cached_sweep(
     cfg: &ExperimentConfig,
     per_socket_caps: &[f64],
 ) -> Vec<(Benchmark, Vec<CapRow>)> {
-    // `v3` adds the machine/DAG content fingerprint to the v2 12-column
-    // format; caches written by earlier versions (or against a since-edited
-    // machine model) mismatch the key and recompute. Warm-up/measured stay
-    // in the key separately because the split (not just the total) shifts
-    // the measured-region boundary.
+    // `v4` extends the v3 format with the linear-algebra engine in the key
+    // (a dense-oracle run must not reuse a sparse cache or vice versa) and
+    // three telemetry columns (warm_rejected, basis_nnz, factor_nnz); caches
+    // written by earlier versions (or against a since-edited machine model)
+    // mismatch the key and recompute. Warm-up/measured stay in the key
+    // separately because the split (not just the total) shifts the
+    // measured-region boundary.
+    let engine = match lp_engine_requested() {
+        LinearAlgebra::Sparse => "sparse",
+        LinearAlgebra::Dense => "dense",
+    };
     let key = format!(
-        "#sweep v3 fp={:016x} ranks={} warmup={} measured={} seed={} caps={:?}",
+        "#sweep v4 fp={:016x} engine={} ranks={} warmup={} measured={} seed={} caps={:?}",
         sweep_fingerprint(machine, cfg, per_socket_caps),
+        engine,
         cfg.ranks,
         cfg.warmup_iterations,
         cfg.measured_iterations,
@@ -321,7 +355,7 @@ pub fn cached_sweep(
             let f = |v: Option<f64>| v.map(|x| format!("{x:.9}")).unwrap_or_else(|| "-".into());
             let s = &r.lp_stats;
             text.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\t{}\t{}\t{}\n",
                 bench.name(),
                 r.per_socket_w,
                 f(r.times.lp),
@@ -334,6 +368,9 @@ pub fn cached_sweep(
                 s.wall_time_s,
                 u64::from(s.warm_started),
                 s.solves,
+                s.warm_rejected,
+                s.basis_nnz,
+                s.factor_nnz,
             ));
         }
         out.push((bench, rows));
@@ -345,7 +382,7 @@ pub fn cached_sweep(
     out
 }
 
-/// Parses a v2 cache body, returning `None` unless it is **complete**: a
+/// Parses a v4 cache body, returning `None` unless it is **complete**: a
 /// file truncated at a line boundary (e.g. a crashed writer) or a row with
 /// mangled telemetry parses cleanly line-by-line, and silently returning
 /// the partial grid would feed the figure binaries short data. Every
@@ -355,7 +392,7 @@ fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<
     let mut map: Vec<(Benchmark, Vec<CapRow>)> = Vec::new();
     for line in text.lines().skip(1) {
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 12 {
+        if cols.len() != 15 {
             return None;
         }
         let bench = Benchmark::ALL.iter().copied().find(|b| b.name() == cols[0])?;
@@ -387,6 +424,9 @@ fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<
                 wall_time_s: cols[9].parse().ok()?,
                 warm_started,
                 solves: cols[11].parse().ok()?,
+                warm_rejected: cols[12].parse().ok()?,
+                basis_nnz: cols[13].parse().ok()?,
+                factor_nnz: cols[14].parse().ok()?,
                 ..Default::default()
             },
         };
@@ -465,6 +505,10 @@ mod tests {
                 assert_eq!(a.lp_stats.refactorizations, b.lp_stats.refactorizations);
                 assert_eq!(a.lp_stats.solves, b.lp_stats.solves);
                 assert_eq!(a.lp_stats.warm_started, b.lp_stats.warm_started);
+                assert_eq!(a.lp_stats.warm_rejected, b.lp_stats.warm_rejected);
+                assert_eq!(a.lp_stats.basis_nnz, b.lp_stats.basis_nnz);
+                assert_eq!(a.lp_stats.factor_nnz, b.lp_stats.factor_nnz);
+                assert!(a.lp_stats.basis_nnz > 0, "nnz telemetry missing");
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -514,7 +558,7 @@ mod tests {
             for bench in Benchmark::ALL {
                 for cap in caps {
                     text.push_str(&format!(
-                        "{}\t{cap}\t1.0\t1.1\t1.2\t-\t10\t4\t1\t0.001000\t{warm}\t2\n",
+                        "{}\t{cap}\t1.0\t1.1\t1.2\t-\t10\t4\t1\t0.001000\t{warm}\t2\t0\t30\t36\n",
                         bench.name(),
                     ));
                 }

@@ -193,16 +193,40 @@ impl WindowLp {
     /// Re-solves this window's LP at `cap_w`, optionally warm-starting from
     /// a previous solve's [`Basis`]. Returns the solution together with the
     /// final basis for chaining into the next cap.
+    ///
+    /// Builds a fresh solver per call; cap sweeps should prefer
+    /// [`WindowLp::solve_at_with`], which reuses a [`pcap_lp::SolverContext`]
+    /// so repeated solves of this window skip matrix construction.
     pub fn solve_at(
         &mut self,
         frontiers: &TaskFrontiers,
         cap_w: f64,
         warm: Option<&Basis>,
     ) -> CoreResult<(WindowSolution, Basis)> {
+        let mut ctx = pcap_lp::SolverContext::default();
+        self.solve_at_with(frontiers, cap_w, warm, &mut ctx)
+    }
+
+    /// [`WindowLp::solve_at`] with a caller-held [`pcap_lp::SolverContext`].
+    ///
+    /// The window's constraint matrix is cap-independent, so every solve of
+    /// this `WindowLp` satisfies the context's same-matrix contract: across
+    /// a cap grid the context keeps the built (scaled, CSC) solver and — when
+    /// the warm basis is the one the cached factorization was computed for —
+    /// the factorization itself, leaving an already-optimal warm solve with
+    /// almost no fixed setup cost. Reuse never changes results (warm/cold
+    /// sweeps stay bit-identical); pass a fresh context to opt out.
+    pub fn solve_at_with(
+        &mut self,
+        frontiers: &TaskFrontiers,
+        cap_w: f64,
+        warm: Option<&Basis>,
+        ctx: &mut pcap_lp::SolverContext,
+    ) -> CoreResult<(WindowSolution, Basis)> {
         for &row in &self.power_rows {
             self.problem.set_constraint_bound(row, Bound::Upper(cap_w));
         }
-        let (sol, basis) = pcap_lp::solve_with_basis(&self.problem, &self.lp_opts, warm)
+        let (sol, basis) = pcap_lp::solve_with_context(&self.problem, &self.lp_opts, warm, ctx)
             .map_err(CoreError::from)?;
 
         let vv = |v: VertexId| self.vvar[v.index()].expect("window vertex has a variable");

@@ -14,6 +14,11 @@
 //!   dual simplex phase walk back to primal feasibility in a few pivots
 //!   instead of re-running both primal phases — the denser the cap grid,
 //!   the closer adjacent optima and the larger the saving;
+//! * the built, scaled LP and its last basis factorization are carried
+//!   across a window's re-solves in a per-window
+//!   [`pcap_lp::SolverContext`], so a re-solve at the next cap skips
+//!   matrix construction and — when the warm basis is unchanged —
+//!   refactorization entirely ([`pcap_lp::SolveStats::factor_reuses`]);
 //! * distinct caps are independent, so the grid is split into contiguous
 //!   chunks solved by **scoped worker threads**, warm-starting within each
 //!   chunk and collecting results in deterministic input order.
@@ -179,6 +184,11 @@ fn sweep_chunk(
 pub struct SweepContext {
     lps: Vec<WindowLp>,
     bases: Vec<Option<Basis>>,
+    /// One [`pcap_lp::SolverContext`] per window: the built (scaled, CSC)
+    /// solver survives across caps, and a warm basis fed back into the
+    /// solver that produced it also reuses the basis factorization. Pure
+    /// cache — results are bit-identical with or without it.
+    solver_ctxs: Vec<pcap_lp::SolverContext>,
     opts: SweepOptions,
     num_vertices: usize,
     num_edges: usize,
@@ -201,7 +211,15 @@ impl SweepContext {
         let lps: Vec<WindowLp> =
             windows.iter().map(|w| WindowLp::build(graph, frontiers, w, &opts.fixed)).collect();
         let bases = vec![None; lps.len()];
-        Self { lps, bases, opts, num_vertices: graph.num_vertices(), num_edges: graph.num_edges() }
+        let solver_ctxs = lps.iter().map(|_| pcap_lp::SolverContext::new()).collect();
+        Self {
+            lps,
+            bases,
+            solver_ctxs,
+            opts,
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+        }
     }
 
     /// Whether any window already carries a warm basis (i.e. this context
@@ -236,7 +254,7 @@ impl SweepContext {
         for (wi, lp) in self.lps.iter_mut().enumerate() {
             let warm = if self.opts.warm_start { self.bases[wi].as_ref() } else { None };
             let warm_used = warm.is_some();
-            match lp.solve_at(frontiers, cap_w, warm) {
+            match lp.solve_at_with(frontiers, cap_w, warm, &mut self.solver_ctxs[wi]) {
                 Ok((ws, basis)) => {
                     if self.opts.certify && warm_used {
                         if let Err(e) = certify_against_cold(lp, frontiers, cap_w, &ws, wi) {
@@ -392,7 +410,9 @@ mod tests {
             let s = point.schedule.as_ref().expect("grid is feasible");
             assert!(s.stats.iterations > 0, "cap {}: zero pivots", point.cap_w);
             assert!(s.stats.wall_time_s > 0.0, "cap {}: zero wall time", point.cap_w);
-            assert!(s.stats.refactorizations > 0);
+            // Every window either factored its basis or reused a cached
+            // factorization that already matched it.
+            assert!(s.stats.refactorizations + s.stats.factor_reuses > 0);
             assert!(s.stats.solves > 0);
             if i == 0 {
                 assert!(!s.stats.warm_started, "first cap must start cold");
@@ -405,6 +425,11 @@ mod tests {
             total.solves,
             sweep.iter().map(|p| p.schedule.as_ref().unwrap().stats.solves).sum::<u64>()
         );
+
+        // Chained warm bases across an ascending grid must hit the
+        // factorization-reuse fast path at least once: the basis left by one
+        // cap is fed straight back to the solver that factored it.
+        assert!(total.factor_reuses > 0, "no factorization was reused across the grid");
 
         // Warm starting reduces total pivots relative to cold solves of the
         // same grid (the whole point of basis reuse).

@@ -5,10 +5,13 @@
 //! (`Bᵀ·x = b`) kernels; between refactorizations the simplex layers
 //! product-form eta updates on top (see [`crate::simplex`]).
 //!
-//! For the instance sizes produced by the scheduling formulations (a few
-//! hundred to a few thousand rows after iteration decomposition) a dense
-//! column-major factorization is both simple and fast; the `O(m³/3)`
-//! factorization cost is amortized over many pivots.
+//! This is the **fallback/oracle** engine
+//! ([`crate::simplex::LinearAlgebra::Dense`]): the default solve path uses
+//! the sparse Markowitz factorization in [`crate::sparse`], and this dense
+//! path is kept as the independent reference that the differential tests
+//! and CI compare it against. Its `O(m³/3)` factorization and `O(m²)`
+//! solves are competitive only on small windows, but the code is simple
+//! enough to audit by eye — exactly what an oracle should be.
 
 /// Column-major dense `n x n` matrix.
 #[derive(Debug, Clone)]

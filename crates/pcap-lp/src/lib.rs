@@ -4,10 +4,12 @@
 //! power-constrained scheduling formulations of Bailey et al. (SC 2015).
 //! The paper relies on a commercial solver; this crate replaces it with:
 //!
-//! * a **bounded-variable revised simplex** method ([`simplex`]) using a
-//!   dense LU-factorized basis with product-form (eta) updates and periodic
-//!   refactorization, a two-pass tolerance ratio test, and Bland's rule as an
-//!   anti-cycling fallback;
+//! * a **bounded-variable revised simplex** method ([`simplex`]) over two
+//!   interchangeable linear-algebra engines — a sparse default ([`sparse`]:
+//!   CSC constraint matrix, Markowitz LU with threshold pivoting,
+//!   hyper-sparse FTRAN/BTRAN) and a dense-LU oracle ([`dense`]), both with
+//!   product-form (eta) updates and periodic refactorization, a two-pass
+//!   tolerance ratio test, and Bland's rule as an anti-cycling fallback;
 //! * a **branch-and-bound** wrapper ([`branch`]) for mixed integer-linear
 //!   programs such as the paper's flow ILP (appendix) and the discrete
 //!   configuration variant of the scheduling LP.
@@ -46,6 +48,7 @@ pub mod presolve;
 pub mod problem;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
 pub use branch::{solve_mip, BranchOptions, MipSolution};
 pub use certificate::{certify, certify_with, Certificate, CertificateError, CertifyOptions};
@@ -53,5 +56,9 @@ pub use error::{LpError, LpResult};
 pub use expr::LinExpr;
 pub use presolve::{presolve, presolve_and_solve, Presolved};
 pub use problem::{Bound, Problem, Sense, VarId, VarKind};
-pub use simplex::{solve, solve_with, solve_with_basis, Basis, SolverOptions};
+pub use simplex::{
+    solve, solve_with, solve_with_basis, solve_with_context, Basis, LinearAlgebra, SolverContext,
+    SolverOptions,
+};
 pub use solution::{Solution, SolveStats, Status};
+pub use sparse::{CscMatrix, SparseLu, SparseLuOptions};

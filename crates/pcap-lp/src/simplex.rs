@@ -19,21 +19,34 @@
 //! then optimizes the true objective with the classic bounded-variable rules
 //! (bound flips included).
 //!
-//! The basis inverse is represented as a dense LU factorization plus a list
-//! of product-form eta updates; the factorization is rebuilt every
+//! The basis inverse is represented as an LU factorization plus a list of
+//! product-form eta updates; the factorization is rebuilt every
 //! [`SolverOptions::refactor_every`] pivots (and on numerical distress),
 //! which also recomputes the basic values from scratch to wash out drift.
+//! Two interchangeable engines provide the factorization, selected by
+//! [`SolverOptions::linear_algebra`]:
+//!
+//! * [`LinearAlgebra::Sparse`] (default) — Markowitz-ordered sparse LU over
+//!   the CSC constraint matrix with hyper-sparse FTRAN/BTRAN and partial
+//!   pricing (see [`crate::sparse`]);
+//! * [`LinearAlgebra::Dense`] — the historical dense LU with full Dantzig
+//!   scans (see [`crate::dense`]), kept bit-for-bit unchanged as the
+//!   correctness oracle the differential tests solve against.
+//!
 //! Dantzig pricing is used until a run of degenerate pivots triggers Bland's
-//! rule, which guarantees termination.
+//! rule (a full lowest-index scan under either engine), which guarantees
+//! termination.
 
 use crate::dense::{DenseMatrix, LuFactors};
 use crate::error::{LpError, LpResult};
 use crate::problem::{Problem, Sense};
 use crate::solution::{Solution, SolveStats, Status};
+use crate::sparse::{nz_indices, CscMatrix, LuScratch, SparseLu, SparseLuOptions, SparseVec};
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// Tunable tolerances and limits for [`solve_with`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
     /// Primal feasibility tolerance on variable bounds.
     pub feas_tol: f64,
@@ -58,6 +71,8 @@ pub struct SolverOptions {
     /// this flag extends the check to release builds (the bench harness's
     /// `--certify` path).
     pub certify: bool,
+    /// Which engine factors the basis and runs FTRAN/BTRAN.
+    pub linear_algebra: LinearAlgebra,
 }
 
 impl Default for SolverOptions {
@@ -71,8 +86,22 @@ impl Default for SolverOptions {
             bland_trigger: 200,
             scale: true,
             certify: false,
+            linear_algebra: LinearAlgebra::default(),
         }
     }
+}
+
+/// Linear-algebra engine for the simplex basis (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinearAlgebra {
+    /// Markowitz-ordered sparse LU with hyper-sparse triangular solves and
+    /// partial pricing. The default: solve cost tracks basis nonzeros.
+    #[default]
+    Sparse,
+    /// Dense LU with full Dantzig scans. Fallback and differential oracle;
+    /// its pivot-for-pivot behavior is unchanged from when it was the only
+    /// engine.
+    Dense,
 }
 
 /// Solves `problem` with default options.
@@ -95,9 +124,9 @@ pub fn solve_with(problem: &Problem, opts: &SolverOptions) -> LpResult<Solution>
 /// nonbasic column, which bound it rests at.
 ///
 /// A warm basis is only a starting point: if it does not match the problem's
-/// dimensions or its basis matrix has become singular, the solver silently
-/// falls back to the cold slack basis, so correctness never depends on the
-/// snapshot being usable.
+/// dimensions or its basis matrix has become singular, the solver falls back
+/// to the cold slack basis (counted in `SolveStats::warm_rejected`), so
+/// correctness never depends on the snapshot being usable.
 #[derive(Debug, Clone)]
 pub struct Basis {
     /// Column index occupying each of the `m` basis slots.
@@ -137,9 +166,81 @@ pub fn solve_with_basis(
     opts: &SolverOptions,
     warm: Option<&Basis>,
 ) -> LpResult<(Solution, Basis)> {
+    let mut ctx = SolverContext::default();
+    solve_with_context(problem, opts, warm, &mut ctx)
+}
+
+/// Reusable solver state for repeated solves over **one constraint matrix**.
+///
+/// Building a [`Simplex`] is not free: the scaled `[A | −I]` matrix, its
+/// CSC/CSR forms and the equilibration scales are all recomputed per call,
+/// and for warm starts whose basis is already optimal that fixed setup (plus
+/// the two basis factorizations it forces) dominates the solve. A
+/// `SolverContext` caches the built solver between calls so
+/// [`solve_with_context`] can *rebind* the new bounds/costs onto the cached
+/// matrix instead of rebuilding it — and, when the warm basis is exactly the
+/// basis the cached factorization was computed for, reuse the factorization
+/// outright (counted in [`SolveStats::factor_reuses`]).
+///
+/// The trust contract mirrors the warm-[`Basis`] one: consecutive problems
+/// handed to the same context must share their constraint-matrix
+/// coefficients and variable layout — only bounds, right-hand sides, costs
+/// and the optimization sense may change (the power-cap sweep rewrites power
+/// rows' RHS only). Dimension or nonzero-count changes, or different
+/// [`SolverOptions`], are detected cheaply and rebuild from scratch; a
+/// *coefficient* change with identical shape is not detected and yields
+/// wrong answers, exactly as feeding a foreign warm basis would.
+///
+/// Reuse changes latency, never bytes: both engines' factorizations are
+/// deterministic functions of the basis column set, so a context hit
+/// produces bit-identical solutions to a cold rebuild (pinned by the sweep
+/// test-suite).
+#[derive(Default)]
+pub struct SolverContext {
+    simplex: Option<Simplex>,
+}
+
+impl std::fmt::Debug for SolverContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverContext").field("primed", &self.simplex.is_some()).finish()
+    }
+}
+
+impl SolverContext {
+    /// An empty context; the first solve through it builds and caches state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a built solver is cached (a compatible solve skips setup).
+    pub fn is_primed(&self) -> bool {
+        self.simplex.is_some()
+    }
+
+    /// Drops the cached solver; the next solve rebuilds from scratch.
+    pub fn clear(&mut self) {
+        self.simplex = None;
+    }
+}
+
+/// [`solve_with_basis`] with a reusable [`SolverContext`]: repeated solves
+/// of same-matrix problems (a cap sweep's window re-solved at every cap)
+/// skip matrix construction/scaling and, when the warm basis still matches
+/// the cached factorization, the factorization itself. See [`SolverContext`]
+/// for the same-matrix trust contract.
+pub fn solve_with_context(
+    problem: &Problem,
+    opts: &SolverOptions,
+    warm: Option<&Basis>,
+    ctx: &mut SolverContext,
+) -> LpResult<(Solution, Basis)> {
     let t0 = Instant::now();
     problem.validate()?;
-    let mut s = Simplex::new(problem, opts.clone());
+    match ctx.simplex.as_mut() {
+        Some(s) if s.can_rebind(problem, opts) => s.rebind(problem),
+        _ => ctx.simplex = Some(Simplex::new(problem, opts.clone())),
+    }
+    let s = ctx.simplex.as_mut().expect("context primed above");
     if let Some(b) = warm {
         s.adopt_basis(b);
     }
@@ -170,16 +271,37 @@ enum VStat {
 /// One product-form update: the pivot column `w = B⁻¹·a_q` at basis slot `pos`.
 struct Eta {
     pos: usize,
-    /// Nonzero entries of `w` excluding the pivot slot.
+    /// Nonzero entries of `w` excluding the pivot slot, slots ascending.
     entries: Vec<(u32, f64)>,
     pivot: f64,
+}
+
+/// The current basis factorization, from whichever engine is selected.
+/// One instance lives per `Simplex`, so the variant size skew is
+/// irrelevant and boxing would only add an indirection to every solve.
+#[allow(clippy::large_enum_variant)]
+enum Factor {
+    /// No factorization yet (or `m == 0`).
+    None,
+    Dense(LuFactors),
+    Sparse(SparseLu),
+}
+
+/// Mutable workspaces shared by the `&self` solve kernels (hence the
+/// `RefCell`): the sparse-LU scratch plus an `ncols`-sized mark array for
+/// nonzero-pattern bookkeeping (eta application, dual-phase pricing).
+/// Invariant between uses: `mark` is all false.
+struct SimplexScratch {
+    lu: LuScratch,
+    mark: Vec<bool>,
 }
 
 struct Simplex {
     m: usize,
     ncols: usize,
-    /// Sparse columns of `[A | −I]`.
-    cols: Vec<Vec<(u32, f64)>>,
+    /// Constraint matrix `[A | −I]` (scaled) in CSC form with a CSR mirror,
+    /// built once per solve; both engines gather basis columns from it.
+    a: CscMatrix,
     lower: Vec<f64>,
     upper: Vec<f64>,
     /// Phase-2 costs in minimization form.
@@ -190,8 +312,13 @@ struct Simplex {
     stat: Vec<VStat>,
     x: Vec<f64>,
 
-    lu: Option<LuFactors>,
+    factor: Factor,
+    /// The basis (slot order included) `factor` was computed for; compared
+    /// against `basis` to reuse a still-valid factorization instead of
+    /// refactoring (context reuse, warm starts with an unchanged basis).
+    factor_basis: Vec<u32>,
     etas: Vec<Eta>,
+    scratch: RefCell<SimplexScratch>,
 
     /// Row scales `r_i` and structural column scales `s_j` (powers of two;
     /// all 1.0 when scaling is disabled). Scaled data: `a'_ij = a_ij r_i s_j`,
@@ -203,16 +330,22 @@ struct Simplex {
     opts: SolverOptions,
     iterations: u64,
     degenerate_run: u32,
+    /// Partial-pricing rotation point (sparse engine, non-Bland pricing).
+    pricing_cursor: usize,
     /// Final duals/reduced costs filled in by `run`.
     duals: Vec<f64>,
     reduced: Vec<f64>,
 
     // Telemetry (surfaced through `Solution::stats`).
     refactorizations: u64,
+    factor_reuses: u64,
     phase1_iterations: u64,
     phase1_time_s: f64,
     phase2_time_s: f64,
     warm_started: bool,
+    warm_rejected: bool,
+    basis_nnz: u64,
+    factor_nnz: u64,
 }
 
 impl Simplex {
@@ -310,10 +443,15 @@ impl Simplex {
             }
         }
 
+        // Freeze the (scaled) columns into the immutable CSC/CSR matrix
+        // both engines gather basis columns from.
+        let a = CscMatrix::from_columns(m, &cols);
+        drop(cols);
+
         let mut s = Self {
             m,
             ncols,
-            cols,
+            a,
             lower,
             upper,
             cost,
@@ -321,23 +459,91 @@ impl Simplex {
             basis: Vec::with_capacity(m),
             stat: vec![VStat::AtLower; ncols],
             x: vec![0.0; ncols],
-            lu: None,
+            factor: Factor::None,
+            factor_basis: Vec::new(),
             etas: Vec::new(),
+            scratch: RefCell::new(SimplexScratch {
+                lu: LuScratch::default(),
+                mark: vec![false; ncols],
+            }),
             row_scale,
             col_scale,
             opts,
             iterations: 0,
             degenerate_run: 0,
+            pricing_cursor: 0,
             duals: vec![0.0; m],
             reduced: Vec::new(),
             refactorizations: 0,
+            factor_reuses: 0,
             phase1_iterations: 0,
             phase1_time_s: 0.0,
             phase2_time_s: 0.0,
             warm_started: false,
+            warm_rejected: false,
+            basis_nnz: 0,
+            factor_nnz: 0,
         };
         s.reset_slack_basis();
         s
+    }
+
+    /// Whether the sparse engine is active.
+    #[inline]
+    fn sparse(&self) -> bool {
+        self.opts.linear_algebra == LinearAlgebra::Sparse
+    }
+
+    /// Whether this built solver can be rebound to `problem` instead of
+    /// rebuilt: same shape (rows, columns, matrix nonzeros) and same
+    /// options. Coefficient equality is the caller's contract (see
+    /// [`SolverContext`]) — checking it would cost as much as rebuilding.
+    fn can_rebind(&self, problem: &Problem, opts: &SolverOptions) -> bool {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+        m == self.m
+            && n + m == self.ncols
+            && problem.cons.iter().map(|c| c.terms.len()).sum::<usize>() + m == self.a.nnz()
+            && self.opts == *opts
+    }
+
+    /// Rebinds a cached solver to a same-matrix `problem`: reapplies the
+    /// cached equilibration scales to the new costs/bounds (replicating the
+    /// arithmetic of [`Simplex::new`] exactly, so a rebound solve is
+    /// bit-identical to a fresh build) and resets all per-solve state. The
+    /// factorization and `factor_basis` survive — if the next warm basis
+    /// matches, `run` skips refactoring entirely.
+    fn rebind(&mut self, problem: &Problem) {
+        let n = self.ncols - self.m;
+        self.sign = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for (j, v) in problem.vars.iter().enumerate() {
+            self.cost[j] = self.sign * v.cost * self.col_scale[j];
+            self.lower[j] = v.lower / self.col_scale[j];
+            self.upper[j] = v.upper / self.col_scale[j];
+        }
+        for (i, c) in problem.cons.iter().enumerate() {
+            let (lo, hi) = c.bound.interval();
+            self.lower[n + i] = lo * self.row_scale[i];
+            self.upper[n + i] = hi * self.row_scale[i];
+        }
+        self.etas.clear();
+        self.iterations = 0;
+        self.degenerate_run = 0;
+        self.pricing_cursor = 0;
+        self.duals.iter_mut().for_each(|d| *d = 0.0);
+        self.reduced.clear();
+        self.refactorizations = 0;
+        self.factor_reuses = 0;
+        self.phase1_iterations = 0;
+        self.phase1_time_s = 0.0;
+        self.phase2_time_s = 0.0;
+        self.warm_rejected = false;
+        self.basis_nnz = 0;
+        self.factor_nnz = 0;
+        self.reset_slack_basis();
     }
 
     /// Installs the cold starting partition: slack basis; structurals at
@@ -372,26 +578,36 @@ impl Simplex {
         self.warm_started = false;
     }
 
+    /// Adopts a warm [`Basis`] snapshot if it is structurally compatible,
+    /// counting a rejected snapshot in `warm_rejected` so basis-chaining
+    /// callers can observe warm-start regressions that would otherwise be
+    /// silent cold restarts.
+    fn adopt_basis(&mut self, warm: &Basis) {
+        if !self.try_adopt(warm) {
+            self.warm_rejected = true;
+        }
+    }
+
     /// Adopts a warm [`Basis`] snapshot if it is structurally compatible
     /// (matching dimensions and a consistent basic set). Nonbasic values are
     /// set from the snapshot's bound statuses; basic values are recomputed by
-    /// the first `refactor`. Returns without effect on any mismatch — the
-    /// solver then proceeds from the cold slack basis.
-    fn adopt_basis(&mut self, warm: &Basis) {
+    /// the first `refactor`. Returns `false` without effect on any mismatch —
+    /// the solver then proceeds from the cold slack basis.
+    fn try_adopt(&mut self, warm: &Basis) -> bool {
         if warm.basis.len() != self.m || warm.stat.len() != self.ncols {
-            return;
+            return false;
         }
         let mut is_basic = vec![false; self.ncols];
         for &j in &warm.basis {
             let j = j as usize;
             if j >= self.ncols || is_basic[j] {
-                return; // out of range or duplicated basis column
+                return false; // out of range or duplicated basis column
             }
             is_basic[j] = true;
         }
         for (j, &st) in warm.stat.iter().enumerate() {
             if (st == VStat::Basic) != is_basic[j] {
-                return; // partition inconsistent with the basis list
+                return false; // partition inconsistent with the basis list
             }
         }
         self.basis.clone_from(&warm.basis);
@@ -412,42 +628,72 @@ impl Simplex {
             }
         }
         self.warm_started = true;
+        true
     }
 
-    /// Gathers the basis columns, factors them, clears etas and recomputes
-    /// the basic values from the nonbasic assignment.
+    /// Gathers the basis columns, factors them with the selected engine,
+    /// clears etas and recomputes the basic values from the nonbasic
+    /// assignment. Telemetry (`basis_nnz`, `factor_nnz`) accumulates here.
     fn refactor(&mut self) -> LpResult<()> {
         if self.m == 0 {
-            self.lu = None;
+            self.factor = Factor::None;
+            self.factor_basis.clear();
             self.etas.clear();
             return Ok(());
         }
-        let mut b = DenseMatrix::zeros(self.m);
-        for (k, &j) in self.basis.iter().enumerate() {
-            let col = b.col_mut(k);
-            for &(r, v) in &self.cols[j as usize] {
-                col[r as usize] = v;
+        let factor = if self.sparse() {
+            let lu = SparseLu::factor(&self.a, &self.basis, &SparseLuOptions::default())
+                .map_err(|_| LpError::SingularBasis)?;
+            self.factor_nnz += lu.factor_nnz() as u64;
+            Factor::Sparse(lu)
+        } else {
+            let mut b = DenseMatrix::zeros(self.m);
+            for (k, &j) in self.basis.iter().enumerate() {
+                let col = b.col_mut(k);
+                for (r, v) in self.a.col(j as usize) {
+                    col[r as usize] = v;
+                }
             }
-        }
-        let lu = LuFactors::factor(b, 1e-11).map_err(|_| LpError::SingularBasis)?;
+            let lu = LuFactors::factor(b, 1e-11).map_err(|_| LpError::SingularBasis)?;
+            self.factor_nnz += (self.m * self.m) as u64;
+            Factor::Dense(lu)
+        };
+        self.basis_nnz +=
+            self.basis.iter().map(|&j| self.a.col_nnz(j as usize) as u64).sum::<u64>();
         self.refactorizations += 1;
         self.etas.clear();
-        // Recompute basic values: B·x_B = −Σ_{nonbasic} a_j x_j.
+        self.factor = factor;
+        self.factor_basis.clone_from(&self.basis);
+        self.recompute_basic_values();
+        Ok(())
+    }
+
+    /// Whether the held factorization already represents the current basis
+    /// — same columns in the same slot order, no eta updates layered on top
+    /// — so a refactorization would reproduce it bit for bit (both engines
+    /// factor deterministically) and can be skipped.
+    fn factor_is_current(&self) -> bool {
+        !matches!(self.factor, Factor::None)
+            && self.etas.is_empty()
+            && self.basis == self.factor_basis
+    }
+
+    /// Recomputes the basic values from the nonbasic assignment against the
+    /// current (eta-free) factorization: `B·x_B = −Σ_{nonbasic} a_j x_j`.
+    fn recompute_basic_values(&mut self) {
         let mut rhs = vec![0.0; self.m];
         for j in 0..self.ncols {
             if self.stat[j] != VStat::Basic && self.x[j] != 0.0 {
                 let xj = self.x[j];
-                for &(r, v) in &self.cols[j] {
+                for (r, v) in self.a.col(j) {
                     rhs[r as usize] -= v * xj;
                 }
             }
         }
-        lu.solve_in_place(&mut rhs);
+        self.factor_solve_dense(&mut rhs);
         for (k, &j) in self.basis.iter().enumerate() {
             self.x[j as usize] = rhs[k];
         }
-        self.lu = Some(lu);
-        Ok(())
     }
 
     /// A couple of steps of iterative refinement on the basic values:
@@ -458,7 +704,7 @@ impl Simplex {
     /// and, at a degenerate optimum, of *which* optimal basis represents
     /// the vertex — rather than carrying ~1-ulp LU noise from either.
     fn refine_basic_values(&mut self) {
-        if self.lu.is_none() {
+        if matches!(self.factor, Factor::None) {
             return;
         }
         for _ in 0..3 {
@@ -466,12 +712,12 @@ impl Simplex {
             for j in 0..self.ncols {
                 let xj = self.x[j];
                 if xj != 0.0 {
-                    for &(row, v) in &self.cols[j] {
+                    for (row, v) in self.a.col(j) {
                         r[row as usize] -= v * xj;
                     }
                 }
             }
-            self.lu.as_ref().unwrap().solve_in_place(&mut r);
+            self.factor_solve_dense(&mut r);
             let mut changed = false;
             for (k, &j) in self.basis.iter().enumerate() {
                 let nx = self.x[j as usize] + r[k];
@@ -486,40 +732,152 @@ impl Simplex {
         }
     }
 
-    /// FTRAN: returns `B⁻¹·a_j` as a dense vector.
-    fn ftran(&self, j: usize) -> Vec<f64> {
-        let mut v = vec![0.0; self.m];
-        for &(r, val) in &self.cols[j] {
-            v[r as usize] = val;
-        }
-        if let Some(lu) = &self.lu {
-            lu.solve_in_place(&mut v);
-        }
-        for eta in &self.etas {
-            let vr = v[eta.pos] / eta.pivot;
-            if vr != 0.0 {
-                for &(i, w) in &eta.entries {
-                    v[i as usize] -= w * vr;
-                }
+    /// Solves `B·x = rhs` against the bare factorization (no etas) for a
+    /// structurally dense right-hand side, in place.
+    fn factor_solve_dense(&self, rhs: &mut [f64]) {
+        match &self.factor {
+            Factor::None => {}
+            Factor::Dense(lu) => lu.solve_in_place(rhs),
+            Factor::Sparse(lu) => {
+                let mut scratch = self.scratch.borrow_mut();
+                lu.ftran_dense(rhs, &mut scratch.lu);
             }
-            v[eta.pos] = vr;
+        }
+    }
+
+    /// FTRAN: returns `w = B⁻¹·a_j`. The sparse engine seeds the
+    /// hyper-sparse solve with the CSC column pattern; the dense engine
+    /// reproduces the historical dense loops exactly (the result is marked
+    /// `dense`, so downstream `nz_indices` walks all slots as before).
+    fn ftran_col(&self, j: usize) -> SparseVec {
+        let mut v;
+        if self.sparse() {
+            v = SparseVec::zeros(self.m);
+            for (r, val) in self.a.col(j) {
+                v.values[r as usize] = val;
+                v.pattern.push(r);
+            }
+            if let Factor::Sparse(lu) = &self.factor {
+                let mut scratch = self.scratch.borrow_mut();
+                lu.ftran(&mut v, &mut scratch.lu);
+            }
+        } else {
+            let mut dense = vec![0.0; self.m];
+            for (r, val) in self.a.col(j) {
+                dense[r as usize] = val;
+            }
+            if let Factor::Dense(lu) = &self.factor {
+                lu.solve_in_place(&mut dense);
+            }
+            v = SparseVec::from_dense(dense);
+        }
+        self.apply_etas_ftran(&mut v);
+        v
+    }
+
+    /// BTRAN: returns `y` with `Bᵀ·y = v` (etas first, then the engine).
+    fn btran_vec(&self, mut v: SparseVec) -> SparseVec {
+        self.apply_etas_btran(&mut v);
+        match &self.factor {
+            Factor::None => {}
+            Factor::Dense(lu) => lu.solve_transpose_in_place(&mut v.values),
+            Factor::Sparse(lu) => {
+                let mut scratch = self.scratch.borrow_mut();
+                lu.btran(&mut v, &mut scratch.lu);
+            }
         }
         v
     }
 
-    /// BTRAN: returns `y` with `Bᵀ·y = cb`.
-    fn btran(&self, mut cb: Vec<f64>) -> Vec<f64> {
-        for eta in self.etas.iter().rev() {
-            let mut s = cb[eta.pos];
-            for &(i, w) in &eta.entries {
-                s -= w * cb[i as usize];
+    /// Applies the product-form etas to an FTRAN result, maintaining the
+    /// nonzero pattern (and abandoning it past the density cutoff).
+    fn apply_etas_ftran(&self, v: &mut SparseVec) {
+        if self.etas.is_empty() {
+            return;
+        }
+        if v.dense {
+            for eta in &self.etas {
+                let vr = v.values[eta.pos] / eta.pivot;
+                if vr != 0.0 {
+                    for &(i, w) in &eta.entries {
+                        v.values[i as usize] -= w * vr;
+                    }
+                }
+                v.values[eta.pos] = vr;
             }
-            cb[eta.pos] = s / eta.pivot;
+            return;
         }
-        if let Some(lu) = &self.lu {
-            lu.solve_transpose_in_place(&mut cb);
+        let mut scratch = self.scratch.borrow_mut();
+        let mark = &mut scratch.mark;
+        for &k in &v.pattern {
+            mark[k as usize] = true;
         }
-        cb
+        for eta in &self.etas {
+            // `vr != 0` implies the pivot slot was already in the pattern
+            // (the pattern is a superset of the nonzeros).
+            let vr = v.values[eta.pos] / eta.pivot;
+            if vr != 0.0 {
+                for &(i, w) in &eta.entries {
+                    v.values[i as usize] -= w * vr;
+                    if !mark[i as usize] {
+                        mark[i as usize] = true;
+                        v.pattern.push(i);
+                    }
+                }
+            }
+            v.values[eta.pos] = vr;
+        }
+        for &k in &v.pattern {
+            mark[k as usize] = false;
+        }
+        v.pattern.sort_unstable();
+        if v.pattern.len() * 4 > self.m {
+            v.dense = true;
+            v.pattern.clear();
+        }
+    }
+
+    /// Applies the etas (in reverse) to a BTRAN input, maintaining the
+    /// nonzero pattern.
+    fn apply_etas_btran(&self, v: &mut SparseVec) {
+        if self.etas.is_empty() {
+            return;
+        }
+        if v.dense {
+            for eta in self.etas.iter().rev() {
+                let mut s = v.values[eta.pos];
+                for &(i, w) in &eta.entries {
+                    s -= w * v.values[i as usize];
+                }
+                v.values[eta.pos] = s / eta.pivot;
+            }
+            return;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let mark = &mut scratch.mark;
+        for &k in &v.pattern {
+            mark[k as usize] = true;
+        }
+        for eta in self.etas.iter().rev() {
+            let mut s = v.values[eta.pos];
+            for &(i, w) in &eta.entries {
+                s -= w * v.values[i as usize];
+            }
+            let s = s / eta.pivot;
+            v.values[eta.pos] = s;
+            if s != 0.0 && !mark[eta.pos] {
+                mark[eta.pos] = true;
+                v.pattern.push(eta.pos as u32);
+            }
+        }
+        for &k in &v.pattern {
+            mark[k as usize] = false;
+        }
+        v.pattern.sort_unstable();
+        if v.pattern.len() * 4 > self.m {
+            v.dense = true;
+            v.pattern.clear();
+        }
     }
 
     /// Phase-1 cost of basic variable at column `j`: ±1 outside bounds.
@@ -549,13 +907,22 @@ impl Simplex {
         if self.m == 0 {
             return self.solve_unconstrained();
         }
-        // A warm basis can have become singular (it was factored against a
-        // different RHS era, or the caller handed over a stale snapshot);
-        // fall back to the always-nonsingular slack basis rather than fail.
-        if let Err(e) = self.refactor() {
+        // A rebound context whose warm basis is exactly the basis the cached
+        // factorization was computed for (the common sweep case: the
+        // previous cap's final basis fed straight back) keeps it — skipping
+        // the one fixed-cost factorization every solve otherwise pays.
+        if self.factor_is_current() {
+            self.factor_reuses += 1;
+            self.recompute_basic_values();
+        } else if let Err(e) = self.refactor() {
+            // A warm basis can have become singular (it was factored against
+            // a different RHS era, or the caller handed over a stale
+            // snapshot); fall back to the always-nonsingular slack basis
+            // rather than fail.
             if !self.warm_started {
                 return Err(e);
             }
+            self.warm_rejected = true;
             self.reset_slack_basis();
             self.refactor()?;
         }
@@ -648,15 +1015,15 @@ impl Simplex {
         let mut d = vec![0.0; self.ncols];
         let refresh_d = |sx: &Simplex, d: &mut Vec<f64>, gate: bool| -> bool {
             let cb: Vec<f64> = sx.basis.iter().map(|&j| sx.cost[j as usize]).collect();
-            let y = sx.btran(cb);
+            let y = sx.btran_vec(SparseVec::from_dense(cb));
             for (j, slot) in d.iter_mut().enumerate().take(sx.ncols) {
                 if sx.stat[j] == VStat::Basic {
                     *slot = 0.0;
                     continue;
                 }
                 let mut dj = sx.cost[j];
-                for &(r, v) in &sx.cols[j] {
-                    dj -= y[r as usize] * v;
+                for (r, v) in sx.a.col(j) {
+                    dj -= y.values[r as usize] * v;
                 }
                 *slot = dj;
                 if gate {
@@ -677,13 +1044,34 @@ impl Simplex {
             return Ok(false); // not dual feasible: primal path
         }
         let mut alpha = vec![0.0; self.ncols];
+        // Dual Devex row pricing (sparse engine only): `devex[k]`
+        // approximates ‖B⁻ᵀ·e_k‖², so violations are compared in the
+        // steepest-edge norm instead of raw magnitude. The weights are
+        // updated from the FTRAN column we compute anyway, so the better
+        // pivot choice costs no extra solves. The dense oracle keeps the
+        // historical largest-violation (Dantzig) rule.
+        let devex_on = self.sparse();
+        let mut devex = vec![1.0f64; if devex_on { self.m } else { 0 }];
+        let bfrt = self.sparse();
+        // Scatter pricing pays off only while the BTRAN pattern touches a
+        // small share of the matrix; `SCATTER_WORK_MULT` is the safety
+        // factor on the estimated row-wise work before falling back to the
+        // full column scan. Calibrated on the fig09 CoMD sweep, where 1, 2
+        // and 4 measure within noise of each other; 2 keeps the most
+        // headroom on both sides.
+        const SCATTER_WORK_MULT: usize = 2;
+        // Per-pivot scratch, hoisted so the hot loop never allocates.
+        let mut bps: Vec<(f64, f64, u32)> = Vec::new(); // (ratio, alpha, col)
+        let mut flips: Vec<u32> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
         loop {
             if self.iterations >= max_iters.min(give_up) {
                 return Ok(false);
             }
 
-            // Leaving variable: largest bound violation among the basics.
-            let mut leave: Option<(usize, f64, f64)> = None; // (slot, target, violation)
+            // Leaving variable: largest bound violation among the basics
+            // (largest viol²/weight under Devex).
+            let mut leave: Option<(usize, f64, f64)> = None; // (slot, target, score)
             for (k, &jb) in self.basis.iter().enumerate() {
                 let jb = jb as usize;
                 let x = self.x[jb];
@@ -695,8 +1083,9 @@ impl Simplex {
                 } else {
                     continue;
                 };
-                if leave.is_none_or(|(_, _, best)| viol > best) {
-                    leave = Some((k, target, viol));
+                let score = if devex_on { viol * viol / devex[k] } else { viol };
+                if leave.is_none_or(|(_, _, best)| score > best) {
+                    leave = Some((k, target, score));
                 }
             }
             let Some((slot, target, _)) = leave else {
@@ -705,31 +1094,39 @@ impl Simplex {
             let jb = self.basis[slot] as usize;
             let need_up = target > self.x[jb];
 
-            // Pivot row of B⁻¹: ρ = B⁻ᵀ·e_slot; α_j = ρ·a_j.
-            let mut e = vec![0.0; self.m];
-            e[slot] = 1.0;
-            let rho = self.btran(e);
+            // Pivot row of B⁻¹: ρ = B⁻ᵀ·e_slot; α_j = ρ·a_j. The sparse
+            // engine seeds the hyper-sparse BTRAN with the single unit entry
+            // and then prices row-wise over the CSR mirror, touching only
+            // the columns that intersect ρ's nonzero rows; the dense engine
+            // keeps its historical full column-dot scan.
+            let rho = if self.sparse() {
+                let mut e = SparseVec::zeros(self.m);
+                e.values[slot] = 1.0;
+                e.pattern.push(slot as u32);
+                self.btran_vec(e)
+            } else {
+                let mut e = vec![0.0; self.m];
+                e[slot] = 1.0;
+                self.btran_vec(SparseVec::from_dense(e))
+            };
 
             // Dual ratio test: among columns whose allowed movement shifts
             // x_B[slot] toward `target` (moving x_j by t changes x_B[slot]
             // by −α_j·t), the smallest |d_j|/|α_j| keeps every reduced cost
             // on its feasible side. Ties prefer the larger pivot.
-            let mut best: Option<(usize, f64, f64)> = None; // (col, alpha, ratio)
-            for j in 0..self.ncols {
-                let st = self.stat[j];
-                if st == VStat::Basic {
-                    alpha[j] = 0.0;
-                    continue;
-                }
-                let mut aj = 0.0;
-                for &(r, v) in &self.cols[j] {
-                    aj += rho[r as usize] * v;
-                }
-                alpha[j] = aj;
-                if self.lower[j] == self.upper[j] || aj.abs() <= self.opts.pivot_tol {
-                    continue;
-                }
-                let eligible = match st {
+            //
+            // The sparse engine extends this with the **bound-flipping
+            // ratio test** (long-step dual): a breakpoint belonging to a
+            // boxed column may be crossed — the column flips to its
+            // opposite bound (its reduced cost changes sign exactly there,
+            // so the other bound becomes dual-feasible) and the walk
+            // continues while the violated row still has infeasibility
+            // left to absorb. One long dual step then does the work of
+            // many short Dantzig steps, which is decisive on this crate's
+            // LPs: the configuration-mixture columns are all boxed. The
+            // dense oracle keeps the historical single-breakpoint rule.
+            let eligible = |st: VStat, aj: f64| -> bool {
+                match st {
                     VStat::AtLower => {
                         if need_up {
                             aj < 0.0
@@ -745,20 +1142,143 @@ impl Simplex {
                         }
                     }
                     VStat::Free => true,
-                    VStat::Basic => unreachable!(),
-                };
-                if !eligible {
-                    continue;
+                    VStat::Basic => false,
                 }
-                let ratio = d[j].abs() / aj.abs();
-                let better = match best {
-                    None => true,
-                    Some((_, ba, br)) => {
-                        ratio < br - 1e-12 || (ratio < br + 1e-12 && aj.abs() > ba.abs())
+            };
+            let mut best: Option<(usize, f64, f64)> = None; // (col, alpha, ratio)
+            bps.clear();
+            flips.clear();
+
+            // α over the columns intersecting ρ. The row-wise scatter only
+            // pays off while the *entries* of ρ's rows are few: rows are far
+            // from uniformly dense here (a per-event power row couples every
+            // active task's configuration columns, a precedence row touches
+            // a handful), so the decision compares the actual scatter work —
+            // Σ row_nnz over ρ's pattern — against the full-scan cost (all
+            // of A once), with a factor for the mark/push/sort bookkeeping
+            // and the second loop. `alpha[j]` is assigned (not accumulated
+            // into) on first touch, so no cross-iteration zeroing is needed;
+            // stale entries are never read because the consumers below only
+            // visit the columns this pivot wrote.
+            let scatter = !rho.dense && {
+                let work: usize = rho.pattern.iter().map(|&r| self.a.row_nnz(r as usize)).sum();
+                work * SCATTER_WORK_MULT <= self.a.nnz()
+            };
+            if scatter {
+                touched.clear();
+                {
+                    let mut scratch = self.scratch.borrow_mut();
+                    let mark = &mut scratch.mark;
+                    for &r in &rho.pattern {
+                        let rv = rho.values[r as usize];
+                        if rv == 0.0 {
+                            continue;
+                        }
+                        for (j, v) in self.a.row(r as usize) {
+                            if mark[j as usize] {
+                                alpha[j as usize] += rv * v;
+                            } else {
+                                mark[j as usize] = true;
+                                touched.push(j);
+                                alpha[j as usize] = rv * v;
+                            }
+                        }
                     }
-                };
-                if better {
-                    best = Some((j, aj, ratio));
+                    for &j in &touched {
+                        mark[j as usize] = false;
+                    }
+                }
+                touched.sort_unstable();
+                for &ju in &touched {
+                    let j = ju as usize;
+                    let st = self.stat[j];
+                    let aj = alpha[j];
+                    if st == VStat::Basic
+                        || self.lower[j] == self.upper[j]
+                        || aj.abs() <= self.opts.pivot_tol
+                        || !eligible(st, aj)
+                    {
+                        continue;
+                    }
+                    bps.push((d[j].abs() / aj.abs(), aj, ju));
+                }
+            } else {
+                for j in 0..self.ncols {
+                    let st = self.stat[j];
+                    if st == VStat::Basic {
+                        continue;
+                    }
+                    let mut aj = 0.0;
+                    for (r, v) in self.a.col(j) {
+                        aj += rho.values[r as usize] * v;
+                    }
+                    alpha[j] = aj;
+                    if self.lower[j] == self.upper[j]
+                        || aj.abs() <= self.opts.pivot_tol
+                        || !eligible(st, aj)
+                    {
+                        continue;
+                    }
+                    let ratio = d[j].abs() / aj.abs();
+                    if bfrt {
+                        bps.push((ratio, aj, j as u32));
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((_, ba, br)) => {
+                            ratio < br - 1e-12 || (ratio < br + 1e-12 && aj.abs() > ba.abs())
+                        }
+                    };
+                    if better {
+                        best = Some((j, aj, ratio));
+                    }
+                }
+            }
+            if bfrt && !bps.is_empty() {
+                // Walk the breakpoints in dual-step order, flipping boxed
+                // columns while the remaining violation exceeds what each
+                // flip absorbs; the breakpoint that would overshoot (or
+                // cannot flip) enters the basis. Extracted by repeated
+                // min-selection rather than a sort: most pivots stop at
+                // the first breakpoint, so the walk costs one scan plus
+                // one more per flip taken. The selection key (ratio, then
+                // larger |α|, then column index) is a total order, so the
+                // result is deterministic regardless of extraction order.
+                let mut slope = (target - self.x[jb]).abs();
+                loop {
+                    let mut imin = 0;
+                    for (i, bp) in bps.iter().enumerate().skip(1) {
+                        let better = match bp.0.total_cmp(&bps[imin].0) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Greater => false,
+                            std::cmp::Ordering::Equal => {
+                                match bp.1.abs().total_cmp(&bps[imin].1.abs()) {
+                                    std::cmp::Ordering::Greater => true,
+                                    std::cmp::Ordering::Less => false,
+                                    std::cmp::Ordering::Equal => bp.2 < bps[imin].2,
+                                }
+                            }
+                        };
+                        if better {
+                            imin = i;
+                        }
+                    }
+                    let bp = bps[imin];
+                    let j = bp.2 as usize;
+                    let range = self.upper[j] - self.lower[j];
+                    let cut = bp.1.abs() * range;
+                    if bps.len() == 1
+                        || self.stat[j] == VStat::Free
+                        || !range.is_finite()
+                        || slope <= cut + feas
+                    {
+                        best = Some((j, bp.1, bp.0));
+                        break;
+                    }
+                    slope -= cut;
+                    flips.push(bp.2);
+                    bps.swap_remove(imin);
                 }
             }
             let Some((q, alpha_q, _)) = best else {
@@ -767,8 +1287,8 @@ impl Simplex {
                 return Err(LpError::Infeasible);
             };
 
-            let w = self.ftran(q);
-            let wk = w[slot];
+            let w = self.ftran_col(q);
+            let wk = w.values[slot];
             if wk.abs() <= self.opts.pivot_tol {
                 // ρ-row and FTRAN disagree: stale etas. Refactor and retry,
                 // or hand over to the primal phases if already fresh.
@@ -792,16 +1312,28 @@ impl Simplex {
                     }
                 }
             };
+            // Long-step flips land first (they move x_B — including the
+            // violated entry — so the pivot step below sees the updated
+            // values and still lands x_B[slot] exactly on `target`).
+            if !flips.is_empty() {
+                self.apply_dual_flips(&flips);
+            }
             // Step that lands x_B[slot] exactly on `target`.
-            let t = (target - self.x[jb]) / (-dir * wk);
+            let mut t = (target - self.x[jb]) / (-dir * wk);
+            if bfrt && t >= -feas {
+                // Flip roundoff can leave a sub-tolerance negative step;
+                // take the degenerate pivot instead of abandoning the dual.
+                t = t.max(0.0);
+            }
             if !t.is_finite() || t < 0.0 {
                 return Ok(false);
             }
 
             self.iterations += 1;
-            for (k, &jbk) in self.basis.iter().enumerate() {
-                if w[k] != 0.0 {
-                    self.x[jbk as usize] -= t * dir * w[k];
+            for k in nz_indices(&w) {
+                let wkv = w.values[k];
+                if wkv != 0.0 {
+                    self.x[self.basis[k] as usize] -= t * dir * wkv;
                 }
             }
             self.x[q] += t * dir;
@@ -810,21 +1342,49 @@ impl Simplex {
             self.basis[slot] = q as u32;
             self.stat[q] = VStat::Basic;
 
-            let mut entries = Vec::new();
-            for (i, &wi) in w.iter().enumerate() {
-                if i != slot && wi != 0.0 {
-                    entries.push((i as u32, wi));
+            self.record_eta(&w, slot, wk);
+
+            // Devex weight update from the FTRAN column: the slot that q
+            // enters gets the reference weight carried through the pivot,
+            // every other slot is bumped to at least its projection through
+            // this pivot. A runaway weight means the reference framework
+            // has degraded; restart it from the current basis.
+            if devex_on {
+                let gr = (devex[slot] / (wk * wk)).max(1.0);
+                if gr > 1e7 {
+                    devex.fill(1.0);
+                } else {
+                    for k in nz_indices(&w) {
+                        if k != slot {
+                            let wv = w.values[k];
+                            let cand = wv * wv * gr;
+                            if cand > devex[k] {
+                                devex[k] = cand;
+                            }
+                        }
+                    }
+                    devex[slot] = gr;
                 }
             }
-            self.etas.push(Eta { pos: slot, entries, pivot: wk });
 
             // Incremental dual update; θ is the new reduced cost of the
             // leaving variable (α of the leaving column in its own pivot
-            // row is exactly 1).
+            // row is exactly 1). Only the columns this pivot priced can
+            // have α ≠ 0 — `touched` under the scatter, every nonbasic
+            // column under the sequential scan.
             let theta = d[q] / alpha_q;
-            for j in 0..self.ncols {
-                if self.stat[j] != VStat::Basic && alpha[j] != 0.0 {
-                    d[j] -= theta * alpha[j];
+            if scatter {
+                for &ju in &touched {
+                    let j = ju as usize;
+                    if self.stat[j] != VStat::Basic && alpha[j] != 0.0 {
+                        d[j] -= theta * alpha[j];
+                    }
+                }
+            } else {
+                for (j, &aj) in alpha.iter().enumerate() {
+                    if aj != 0.0 && self.stat[j] != VStat::Basic {
+                        d[j] -= theta * aj;
+                    }
                 }
             }
             d[q] = 0.0;
@@ -869,49 +1429,16 @@ impl Simplex {
             .iter()
             .map(|&j| if phase1 { self.phase1_cost(j as usize) } else { self.cost[j as usize] })
             .collect();
-        let y = self.btran(cb);
+        let y = self.btran_vec(SparseVec::from_dense(cb));
 
         let bland = self.degenerate_run >= self.opts.bland_trigger;
-        let mut enter: Option<(usize, f64, f64)> = None; // (col, reduced cost, direction)
-        for j in 0..self.ncols {
-            let st = self.stat[j];
-            if st == VStat::Basic {
-                continue;
-            }
-            // Fixed variables can never improve and only cause degenerate
-            // churn; skip them.
-            if self.lower[j] == self.upper[j] {
-                continue;
-            }
-            let cj = if phase1 { 0.0 } else { self.cost[j] };
-            let mut d = cj;
-            for &(r, v) in &self.cols[j] {
-                d -= y[r as usize] * v;
-            }
-            let (eligible, dir) = match st {
-                VStat::AtLower => (d < -self.opts.opt_tol, 1.0),
-                VStat::AtUpper => (d > self.opts.opt_tol, -1.0),
-                VStat::Free => (d.abs() > self.opts.opt_tol, if d > 0.0 { -1.0 } else { 1.0 }),
-                VStat::Basic => unreachable!(),
-            };
-            if !eligible {
-                continue;
-            }
-            if bland {
-                enter = Some((j, d, dir));
-                break;
-            }
-            let score = d.abs();
-            if enter.is_none_or(|(_, best, _)| score > best.abs()) {
-                enter = Some((j, d, dir));
-            }
-        }
+        let enter = self.price(phase1, &y, bland);
 
         let Some((q, _dq, dir)) = enter else {
             return Ok(StepResult::Optimal);
         };
 
-        let w = self.ftran(q);
+        let w = self.ftran_col(q);
 
         // Ratio test: the entering variable moves by `t ≥ 0` in direction
         // `dir`; basic variable at slot k changes at rate `−dir·w[k]`.
@@ -919,12 +1446,12 @@ impl Simplex {
         let mut t_max = f64::INFINITY;
         let mut leave: Option<(usize, f64)> = None; // (basis slot, target bound)
         let mut leave_pivot: f64 = 0.0;
-        for (k, &jb) in self.basis.iter().enumerate() {
-            let wk = w[k];
+        for k in nz_indices(&w) {
+            let wk = w.values[k];
             if wk.abs() <= self.opts.pivot_tol {
                 continue;
             }
-            let jb = jb as usize;
+            let jb = self.basis[k] as usize;
             let delta = -dir * wk;
             let xk = self.x[jb];
             let (lo, hi) = (self.lower[jb], self.upper[jb]);
@@ -976,9 +1503,10 @@ impl Simplex {
             if !t.is_finite() {
                 return Ok(StepResult::Unbounded);
             }
-            for (k, &jb) in self.basis.iter().enumerate() {
-                if w[k] != 0.0 {
-                    self.x[jb as usize] -= t * dir * w[k];
+            for k in nz_indices(&w) {
+                let wkv = w.values[k];
+                if wkv != 0.0 {
+                    self.x[self.basis[k] as usize] -= t * dir * wkv;
                 }
             }
             self.x[q] += t * dir;
@@ -1005,9 +1533,10 @@ impl Simplex {
         }
 
         // Apply the step.
-        for (k, &jb) in self.basis.iter().enumerate() {
-            if w[k] != 0.0 {
-                self.x[jb as usize] -= t * dir * w[k];
+        for k in nz_indices(&w) {
+            let wkv = w.values[k];
+            if wkv != 0.0 {
+                self.x[self.basis[k] as usize] -= t * dir * wkv;
             }
         }
         self.x[q] += t * dir;
@@ -1023,20 +1552,146 @@ impl Simplex {
         self.basis[slot] = q as u32;
         self.stat[q] = VStat::Basic;
 
-        // Record the eta for this pivot.
-        let mut entries = Vec::new();
-        for (i, &wi) in w.iter().enumerate() {
-            if i != slot && wi != 0.0 {
-                entries.push((i as u32, wi));
-            }
-        }
-        self.etas.push(Eta { pos: slot, entries, pivot: w[slot] });
+        let pivot = w.values[slot];
+        self.record_eta(&w, slot, pivot);
         if self.etas.len() >= self.opts.refactor_every {
             self.refactor()?;
         }
 
         self.track_degeneracy(t);
         Ok(StepResult::Pivoted)
+    }
+
+    /// Applies a batch of bound flips chosen by the long-step dual ratio
+    /// test: every column jumps to its opposite bound, and the basic
+    /// values absorb the combined movement through a single FTRAN of the
+    /// aggregated flip column `Δb = Σ a_j·δ_j`.
+    fn apply_dual_flips(&mut self, flips: &[u32]) {
+        let mut delta_b = vec![0.0; self.m];
+        for &ju in flips {
+            let j = ju as usize;
+            let range = self.upper[j] - self.lower[j];
+            let (delta, new_stat, new_x) = match self.stat[j] {
+                VStat::AtLower => (range, VStat::AtUpper, self.upper[j]),
+                _ => (-range, VStat::AtLower, self.lower[j]),
+            };
+            for (r, v) in self.a.col(j) {
+                delta_b[r as usize] += v * delta;
+            }
+            self.x[j] = new_x;
+            self.stat[j] = new_stat;
+        }
+        self.factor_solve_dense(&mut delta_b);
+        let mut v = SparseVec::from_dense(delta_b);
+        self.apply_etas_ftran(&mut v);
+        for (k, &dv) in v.values.iter().enumerate() {
+            if dv != 0.0 {
+                self.x[self.basis[k] as usize] -= dv;
+            }
+        }
+    }
+
+    /// Records the product-form eta for a pivot at basis slot `slot` with
+    /// pivot column `w = B⁻¹·a_q` (entries stored slots-ascending: `w`'s
+    /// pattern is sorted and the dense walk is in index order).
+    fn record_eta(&mut self, w: &SparseVec, slot: usize, pivot: f64) {
+        let mut entries = Vec::new();
+        for k in nz_indices(w) {
+            let wk = w.values[k];
+            if k != slot && wk != 0.0 {
+                entries.push((k as u32, wk));
+            }
+        }
+        self.etas.push(Eta { pos: slot, entries, pivot });
+    }
+
+    /// Computes the (phase-dependent) reduced cost of column `j` against
+    /// dual values `y`.
+    #[inline]
+    fn reduced_cost(&self, phase1: bool, y: &SparseVec, j: usize) -> f64 {
+        let mut d = if phase1 { 0.0 } else { self.cost[j] };
+        for (r, v) in self.a.col(j) {
+            d -= y.values[r as usize] * v;
+        }
+        d
+    }
+
+    /// Prices column `j`: `Some((reduced cost, direction))` when eligible
+    /// to enter, `None` otherwise.
+    #[inline]
+    fn price_one(&self, phase1: bool, y: &SparseVec, j: usize) -> Option<(f64, f64)> {
+        let st = self.stat[j];
+        if st == VStat::Basic {
+            return None;
+        }
+        // Fixed variables can never improve and only cause degenerate
+        // churn; skip them.
+        if self.lower[j] == self.upper[j] {
+            return None;
+        }
+        let d = self.reduced_cost(phase1, y, j);
+        let (eligible, dir) = match st {
+            VStat::AtLower => (d < -self.opts.opt_tol, 1.0),
+            VStat::AtUpper => (d > self.opts.opt_tol, -1.0),
+            VStat::Free => (d.abs() > self.opts.opt_tol, if d > 0.0 { -1.0 } else { 1.0 }),
+            VStat::Basic => unreachable!(),
+        };
+        if eligible {
+            Some((d, dir))
+        } else {
+            None
+        }
+    }
+
+    /// Selects the entering column: `(col, reduced cost, direction)`.
+    ///
+    /// Bland's rule (anti-cycling) and the dense engine use the historical
+    /// full scan — Bland needs the lowest eligible index, and the dense
+    /// engine keeps its Dantzig scan bit-for-bit. The sparse engine uses
+    /// **partial pricing**: columns are scanned in pages rotating from
+    /// `pricing_cursor`, and the best candidate of the first page containing
+    /// one enters. Optimality is only declared after a full wrap finds no
+    /// candidate, so termination guarantees are unchanged.
+    fn price(&mut self, phase1: bool, y: &SparseVec, bland: bool) -> Option<(usize, f64, f64)> {
+        if bland || !self.sparse() {
+            let mut enter: Option<(usize, f64, f64)> = None;
+            for j in 0..self.ncols {
+                let Some((d, dir)) = self.price_one(phase1, y, j) else { continue };
+                if bland {
+                    return Some((j, d, dir));
+                }
+                if enter.is_none_or(|(_, best, _)| d.abs() > best.abs()) {
+                    enter = Some((j, d, dir));
+                }
+            }
+            return enter;
+        }
+        let page = (self.ncols / 8).max(256).min(self.ncols);
+        let mut cursor = if self.pricing_cursor >= self.ncols { 0 } else { self.pricing_cursor };
+        let mut scanned = 0usize;
+        while scanned < self.ncols {
+            let mut enter: Option<(usize, f64, f64)> = None;
+            let mut in_page = 0usize;
+            while in_page < page && scanned < self.ncols {
+                let j = cursor;
+                cursor += 1;
+                if cursor == self.ncols {
+                    cursor = 0;
+                }
+                scanned += 1;
+                in_page += 1;
+                let Some((d, dir)) = self.price_one(phase1, y, j) else { continue };
+                if enter.is_none_or(|(_, best, _)| d.abs() > best.abs()) {
+                    enter = Some((j, d, dir));
+                }
+            }
+            if enter.is_some() {
+                self.pricing_cursor = cursor;
+                return enter;
+            }
+        }
+        self.pricing_cursor = cursor;
+        None
     }
 
     fn track_degeneracy(&mut self, t: f64) {
@@ -1059,18 +1714,29 @@ impl Simplex {
             // return bit-identical results. (Slot order is internal — duals
             // and basic values are recomputed below.)
             self.basis.sort_unstable();
-            let _ = self.refactor();
+            if self.factor_is_current() {
+                // Eta-free solve off a still-current factorization: the
+                // sorted final basis is the factored one, so refactoring
+                // would rebuild the identical factors. The basic values are
+                // still recomputed from the nonbasic assignment (as
+                // `refactor` would) to keep the extracted solution
+                // independent of the pivot/flip path.
+                self.factor_reuses += 1;
+                self.recompute_basic_values();
+            } else {
+                let _ = self.refactor();
+            }
             self.refine_basic_values();
             let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j as usize]).collect();
-            let y = self.btran(cb);
+            let y = self.btran_vec(SparseVec::from_dense(cb));
             self.reduced = (0..n)
                 .map(|j| {
                     if self.stat[j] == VStat::Basic {
                         0.0
                     } else {
                         let mut d = self.cost[j];
-                        for &(r, v) in &self.cols[j] {
-                            d -= y[r as usize] * v;
+                        for (r, v) in self.a.col(j) {
+                            d -= y.values[r as usize] * v;
                         }
                         d
                     }
@@ -1083,7 +1749,7 @@ impl Simplex {
                     if self.stat[j] == VStat::Basic {
                         0.0
                     } else {
-                        y[i]
+                        y.values[i]
                     }
                 })
                 .collect();
@@ -1115,6 +1781,10 @@ impl Simplex {
                 iterations: self.iterations,
                 phase1_iterations: self.phase1_iterations,
                 refactorizations: self.refactorizations,
+                factor_reuses: self.factor_reuses,
+                warm_rejected: self.warm_rejected as u64,
+                basis_nnz: self.basis_nnz,
+                factor_nnz: self.factor_nnz,
                 presolve_rows_dropped: 0,
                 presolve_bounds_tightened: 0,
                 phase1_time_s: self.phase1_time_s,
@@ -1381,6 +2051,52 @@ mod tests {
     }
 
     #[test]
+    fn context_reuse_is_bit_identical_and_reuses_factors() {
+        // Same matrix re-solved at a family of RHS "caps" — the
+        // SolverContext contract. Every contexted solve must return exactly
+        // the bytes a fresh build returns.
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var(0.0, 10.0, 2.0);
+            let y = p.add_var(0.0, 10.0, 3.0);
+            let z = p.add_var(0.0, 10.0, 1.0);
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0), (z, 1.0)]), Bound::Lower(5.0));
+            p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(1.0));
+            p.add_constraint(expr(vec![(y, 2.0), (z, 1.0)]), Bound::Upper(cap));
+            p
+        };
+        let opts = SolverOptions::default();
+        let mut ctx = SolverContext::new();
+        assert!(!ctx.is_primed());
+        let mut basis: Option<Basis> = None;
+        for cap in [8.0, 7.0, 6.0, 6.0] {
+            let p = build(cap);
+            let (fresh, _) = solve_with_basis(&p, &opts, None).unwrap();
+            let (served, b) = solve_with_context(&p, &opts, basis.as_ref(), &mut ctx).unwrap();
+            assert_eq!(served.objective.to_bits(), fresh.objective.to_bits(), "cap {cap}");
+            for (a, f) in served.values.iter().zip(&fresh.values) {
+                assert_eq!(a.to_bits(), f.to_bits(), "cap {cap}");
+            }
+            basis = Some(b);
+        }
+        assert!(ctx.is_primed());
+
+        // Feeding the basis the cached factorization was computed for back
+        // into the same context must skip refactorization entirely.
+        let (sol, _) = solve_with_context(&build(6.0), &opts, basis.as_ref(), &mut ctx).unwrap();
+        assert!(sol.stats.factor_reuses > 0, "cached factorization was not reused");
+
+        // A different problem shape rebuilds instead of rebinding.
+        let mut other = Problem::new(Sense::Minimize);
+        let w = other.add_var(0.0, 1.0, 1.0);
+        other.add_constraint(expr(vec![(w, 1.0)]), Bound::Lower(0.5));
+        let (s2, _) = solve_with_context(&other, &opts, None, &mut ctx).unwrap();
+        assert!((s2.objective - 0.5).abs() < 1e-9);
+        ctx.clear();
+        assert!(!ctx.is_primed());
+    }
+
+    #[test]
     fn warm_start_agrees_with_cold_on_infeasible_tightening() {
         // Tightening the cap row until the LP is infeasible must yield the
         // same verdict from the warm (dual simplex Farkas exit) and cold
@@ -1469,5 +2185,205 @@ mod tests {
         let sol = solve(&p).unwrap();
         assert!(p.max_violation(&sol.values) < 1e-6);
         assert!(sol.duality_gap(&p) < 1e-6);
+    }
+
+    /// A small corpus of structurally diverse LPs used by the engine
+    /// differential tests below.
+    fn differential_corpus() -> Vec<Problem> {
+        let mut corpus = Vec::new();
+
+        // Transportation problem (equalities, phase 1, many columns).
+        let supplies = [20.0, 30.0, 25.0, 15.0, 10.0];
+        let demands = [10.0, 15.0, 20.0, 15.0, 10.0, 20.0, 10.0];
+        let mut p = Problem::new(Sense::Minimize);
+        let mut xs = vec![];
+        for (i, _) in supplies.iter().enumerate() {
+            for (j, _) in demands.iter().enumerate() {
+                let c = ((i * 7 + j * 3) % 11) as f64 + 1.0;
+                xs.push(p.add_var(0.0, f64::INFINITY, c));
+            }
+        }
+        for (i, &s) in supplies.iter().enumerate() {
+            let e = expr((0..demands.len()).map(|j| (xs[i * demands.len() + j], 1.0)).collect());
+            p.add_constraint(e, Bound::Equal(s));
+        }
+        for (j, &d) in demands.iter().enumerate() {
+            let e = expr((0..supplies.len()).map(|i| (xs[i * demands.len() + j], 1.0)).collect());
+            p.add_constraint(e, Bound::Equal(d));
+        }
+        corpus.push(p);
+
+        // Bounded maximization with range rows and fixed variables.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_var(0.0, 4.0, 3.0);
+        let b = p.add_var(0.0, 4.0, 5.0);
+        let c = p.add_var(2.0, 2.0, 1.0);
+        p.add_constraint(expr(vec![(a, 1.0), (b, 2.0)]), Bound::Upper(8.0));
+        p.add_constraint(expr(vec![(a, 3.0), (b, 2.0), (c, 1.0)]), Bound::Upper(14.0));
+        p.add_constraint(expr(vec![(a, 1.0), (b, 1.0)]), Bound::Range(1.0, 7.0));
+        corpus.push(p);
+
+        // Free variables and negative bounds.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let y = p.add_var(-5.0, 5.0, -1.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Lower(-3.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Upper(2.0));
+        corpus.push(p);
+
+        // Degenerate vertex with redundant rows.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 1.0);
+        for _ in 0..6 {
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Upper(1.0));
+            p.add_constraint(expr(vec![(x, 2.0), (y, 2.0)]), Bound::Upper(2.0));
+        }
+        corpus.push(p);
+
+        corpus
+    }
+
+    #[test]
+    fn sparse_and_dense_engines_agree_on_corpus() {
+        for (i, p) in differential_corpus().iter().enumerate() {
+            let sparse = solve_with(
+                p,
+                &SolverOptions { linear_algebra: LinearAlgebra::Sparse, ..Default::default() },
+            )
+            .unwrap();
+            let dense = solve_with(
+                p,
+                &SolverOptions { linear_algebra: LinearAlgebra::Dense, ..Default::default() },
+            )
+            .unwrap();
+            let scale = sparse.objective.abs().max(1.0);
+            assert!(
+                (sparse.objective - dense.objective).abs() / scale < 1e-9,
+                "corpus[{i}]: sparse {} vs dense {}",
+                sparse.objective,
+                dense.objective
+            );
+            // Both engines must produce certifiable optima independently.
+            assert!(sparse.duality_gap(p) < 1e-7, "corpus[{i}] sparse gap");
+            assert!(dense.duality_gap(p) < 1e-7, "corpus[{i}] dense gap");
+            assert!(p.max_violation(&sparse.values) < 1e-6, "corpus[{i}] sparse violation");
+            assert!(p.max_violation(&dense.values) < 1e-6, "corpus[{i}] dense violation");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_infeasible_and_unbounded_verdicts() {
+        let mut inf = Problem::new(Sense::Minimize);
+        let x = inf.add_var(0.0, 1.0, 1.0);
+        inf.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(2.0));
+        let mut unb = Problem::new(Sense::Maximize);
+        let x = unb.add_var(0.0, f64::INFINITY, 1.0);
+        let y = unb.add_var(0.0, f64::INFINITY, 0.0);
+        unb.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Upper(1.0));
+        for la in [LinearAlgebra::Sparse, LinearAlgebra::Dense] {
+            let opts = SolverOptions { linear_algebra: la, ..Default::default() };
+            assert_eq!(solve_with(&inf, &opts).unwrap_err(), LpError::Infeasible, "{la:?}");
+            assert_eq!(solve_with(&unb, &opts).unwrap_err(), LpError::Unbounded, "{la:?}");
+        }
+    }
+
+    #[test]
+    fn warm_basis_transfers_across_engines() {
+        // A basis snapshot records a vertex, not factorization internals, so
+        // a basis produced under one engine must warm-start the other.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 2.0);
+        let y = p.add_var(0.0, 10.0, 3.0);
+        p.add_constraint(expr(vec![(x, 1.0), (y, 1.0)]), Bound::Lower(5.0));
+        p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Upper(1.0));
+        let sparse_opts =
+            SolverOptions { linear_algebra: LinearAlgebra::Sparse, ..Default::default() };
+        let dense_opts =
+            SolverOptions { linear_algebra: LinearAlgebra::Dense, ..Default::default() };
+        let (_, basis) = solve_with_basis(&p, &sparse_opts, None).unwrap();
+        let (warm, _) = solve_with_basis(&p, &dense_opts, Some(&basis)).unwrap();
+        assert!(warm.stats.warm_started);
+        assert_eq!(warm.stats.warm_rejected, 0);
+        let (cold, _) = solve_with_basis(&p, &dense_opts, None).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_rejection_is_counted() {
+        let mut small = Problem::new(Sense::Minimize);
+        let x = small.add_var(0.0, 1.0, 1.0);
+        small.add_constraint(expr(vec![(x, 1.0)]), Bound::Lower(0.5));
+        let (_, small_basis) = solve_with_basis(&small, &SolverOptions::default(), None).unwrap();
+
+        let mut big = Problem::new(Sense::Minimize);
+        let a = big.add_var(0.0, 5.0, 1.0);
+        let b = big.add_var(0.0, 5.0, 2.0);
+        big.add_constraint(expr(vec![(a, 1.0), (b, 1.0)]), Bound::Lower(3.0));
+        let (rejected, _) =
+            solve_with_basis(&big, &SolverOptions::default(), Some(&small_basis)).unwrap();
+        assert_eq!(rejected.stats.warm_rejected, 1, "mismatched basis must be counted");
+        assert!(!rejected.stats.warm_started);
+
+        // A clean cold solve and an accepted warm solve both report zero.
+        let (cold, basis) = solve_with_basis(&big, &SolverOptions::default(), None).unwrap();
+        assert_eq!(cold.stats.warm_rejected, 0);
+        let (warm, _) = solve_with_basis(&big, &SolverOptions::default(), Some(&basis)).unwrap();
+        assert_eq!(warm.stats.warm_rejected, 0);
+        assert!(warm.stats.warm_started);
+    }
+
+    #[test]
+    fn factorization_telemetry_is_populated() {
+        for la in [LinearAlgebra::Sparse, LinearAlgebra::Dense] {
+            let opts = SolverOptions { linear_algebra: la, ..Default::default() };
+            let p = &differential_corpus()[0]; // transport LP, m = 12
+            let sol = solve_with(p, &opts).unwrap();
+            assert!(sol.stats.refactorizations >= 1, "{la:?}");
+            assert!(sol.stats.basis_nnz > 0, "{la:?}");
+            assert!(
+                sol.stats.factor_nnz >= sol.stats.refactorizations * 12,
+                "{la:?}: factors must at least hold the diagonal"
+            );
+            if la == LinearAlgebra::Dense {
+                // Dense factors always store m² entries per refactorization.
+                assert_eq!(sol.stats.factor_nnz, sol.stats.refactorizations * 12 * 12);
+            } else {
+                // The transport basis is sparse; Markowitz must not fill in
+                // anywhere near the dense m² bound.
+                assert!(
+                    sol.stats.factor_nnz < sol.stats.refactorizations * 12 * 12 / 2,
+                    "sparse factor_nnz {} suspiciously dense",
+                    sol.stats.factor_nnz
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_warm_equals_sparse_cold_bitwise() {
+        // The bit-identity invariant must hold within the sparse engine:
+        // warm and cold solves of the same problem land on identical output
+        // after the final refactor + refinement, regardless of pivot path.
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var(0.0, 10.0, 2.0);
+            let y = p.add_var(0.0, 10.0, 3.0);
+            let z = p.add_var(0.0, 10.0, 1.0);
+            p.add_constraint(expr(vec![(x, 1.0), (y, 1.0), (z, 1.0)]), Bound::Lower(5.0));
+            p.add_constraint(expr(vec![(x, 1.0), (y, -1.0)]), Bound::Equal(1.0));
+            p.add_constraint(expr(vec![(y, 2.0), (z, 1.0)]), Bound::Upper(cap));
+            p
+        };
+        let opts = SolverOptions { linear_algebra: LinearAlgebra::Sparse, ..Default::default() };
+        let (_, basis) = solve_with_basis(&build(8.0), &opts, None).unwrap();
+        let mut warm_p = build(8.0);
+        warm_p.set_constraint_bound(2, Bound::Upper(6.0));
+        let (warm, _) = solve_with_basis(&warm_p, &opts, Some(&basis)).unwrap();
+        let (cold, _) = solve_with_basis(&build(6.0), &opts, None).unwrap();
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        for (w, c) in warm.values.iter().zip(&cold.values) {
+            assert_eq!(w.to_bits(), c.to_bits());
+        }
     }
 }

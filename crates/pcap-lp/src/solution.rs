@@ -30,6 +30,26 @@ pub struct SolveStats {
     pub phase1_iterations: u64,
     /// Basis refactorizations (initial factorization included).
     pub refactorizations: u64,
+    /// Refactorizations *skipped* because a cached factorization already
+    /// matched the basis bit for bit — context reuse
+    /// ([`crate::solve_with_context`]) feeding a warm basis straight back
+    /// into the solver that produced it. Each reuse saves one factorization
+    /// relative to `refactorizations + factor_reuses` total factor demands.
+    pub factor_reuses: u64,
+    /// Warm starts that were rejected: a caller-supplied [`crate::Basis`]
+    /// was dropped because its dimensions/partition no longer matched the
+    /// problem or its basis matrix had become singular, and the solve fell
+    /// back to the cold slack basis. Previously this fallback was silent;
+    /// counting it makes warm-start regressions in basis-chaining callers
+    /// (the sweep, the `pcap-serve` worker pool) observable.
+    pub warm_rejected: u64,
+    /// Cumulative nonzeros of the basis matrices handed to the
+    /// factorization engine, summed over all refactorizations.
+    pub basis_nnz: u64,
+    /// Cumulative nonzeros of the factors produced: `nnz(L) + nnz(U)` for
+    /// the sparse engine, `m²` (the dense storage) for the dense engine.
+    /// `factor_nnz / basis_nnz` is the average fill-in ratio.
+    pub factor_nnz: u64,
     /// Rows removed by presolve (0 when the caller bypassed presolve).
     pub presolve_rows_dropped: u64,
     /// Variable bounds tightened by presolve.
@@ -57,6 +77,10 @@ impl SolveStats {
         self.iterations += other.iterations;
         self.phase1_iterations += other.phase1_iterations;
         self.refactorizations += other.refactorizations;
+        self.factor_reuses += other.factor_reuses;
+        self.warm_rejected += other.warm_rejected;
+        self.basis_nnz += other.basis_nnz;
+        self.factor_nnz += other.factor_nnz;
         self.presolve_rows_dropped += other.presolve_rows_dropped;
         self.presolve_bounds_tightened += other.presolve_bounds_tightened;
         self.phase1_time_s += other.phase1_time_s;

@@ -1,0 +1,958 @@
+//! Sparse linear algebra for the revised simplex.
+//!
+//! Three pieces live here:
+//!
+//! * [`CscMatrix`] — the constraint matrix `[A | −I]` in compressed sparse
+//!   column form, built once per solve, with a CSR mirror so the dual
+//!   simplex can price `Aᵀ·ρ` row-wise when `ρ` is sparse.
+//! * [`SparseLu`] — an LU factorization of the basis using **Markowitz**
+//!   pivot selection (minimize `(r−1)(c−1)` fill estimate over count-bucketed
+//!   candidate columns) with **threshold partial pivoting** (a pivot must
+//!   satisfy `|a_ij| ≥ τ·max|a_·j|`), the classic sparsity/stability
+//!   trade-off. Candidate search is deterministic: buckets are scanned in
+//!   increasing column count and ties break on larger magnitude, then lower
+//!   row, then lower column.
+//! * **Hyper-sparse triangular solves** — all four triangular passes (L and
+//!   U, forward and transposed) are written in scatter form over the
+//!   elimination-step dependency graph, so a solve with a sparse right-hand
+//!   side first computes the *reach* of its nonzeros by depth-first search
+//!   (Gilbert–Peierls) and then touches only those steps. Solve cost tracks
+//!   the RHS nonzero count, not the dimension `m`.
+//!
+//! Everything is deterministic: the factorization is a pure function of the
+//! basis matrix, and solves are pure functions of the factorization and the
+//! RHS (values *and* pattern order — callers keep patterns sorted).
+//! Between calls the shared [`LuScratch`] workspace is returned to an
+//! all-zero/all-false state by walking the just-computed reach, so no
+//! `O(m)` clearing cost is paid on the hyper-sparse path.
+
+use crate::dense::Singular;
+
+/// How much denser than `m / HYPER_CUTOFF_DENOM` a right-hand side must be
+/// before the hyper-sparse path falls back to the plain dense-loop solve
+/// (the DFS bookkeeping only pays for itself on genuinely sparse RHS).
+const HYPER_CUTOFF_DENOM: usize = 4;
+
+/// Compressed sparse column matrix with a CSR mirror.
+///
+/// Rows within each column (and columns within each row of the mirror) are
+/// stored in ascending order; construction requires sorted, duplicate-free
+/// input columns, which the simplex produces naturally by scanning
+/// constraints in row order.
+#[derive(Debug, Clone, Default)]
+pub struct CscMatrix {
+    m: usize,
+    n: usize,
+    col_ptr: Vec<u32>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    row_values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds the matrix (and its CSR mirror) from per-column `(row, value)`
+    /// lists. Each column must be sorted by row with no duplicates.
+    pub fn from_columns(m: usize, cols: &[Vec<(u32, f64)>]) -> Self {
+        let n = cols.len();
+        let nnz: usize = cols.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        col_ptr.push(0u32);
+        for col in cols {
+            debug_assert!(
+                col.windows(2).all(|w| w[0].0 < w[1].0),
+                "CSC column rows must be sorted and unique"
+            );
+            for &(r, v) in col {
+                debug_assert!((r as usize) < m);
+                row_idx.push(r);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len() as u32);
+        }
+        // CSR mirror by counting sort; scanning columns in order leaves each
+        // row's column list sorted ascending.
+        let mut row_ptr = vec![0u32; m + 1];
+        for &r in &row_idx {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..m {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0u32; nnz];
+        let mut row_values = vec![0.0; nnz];
+        for j in 0..n {
+            for k in col_ptr[j] as usize..col_ptr[j + 1] as usize {
+                let r = row_idx[k] as usize;
+                let dst = cursor[r] as usize;
+                cursor[r] += 1;
+                col_idx[dst] = j as u32;
+                row_values[dst] = values[k];
+            }
+        }
+        Self { m, n, col_ptr, row_idx, values, row_ptr, col_idx, row_values }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Nonzeros in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        (self.col_ptr[j + 1] - self.col_ptr[j]) as usize
+    }
+
+    /// Nonzeros in row `i` (from the CSR mirror). O(1); used to estimate
+    /// the cost of a row-wise (scatter) pricing pass before committing to
+    /// it — rows are far from uniformly dense in scheduling LPs, so
+    /// counting rows is not a usable proxy for counting their entries.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+    }
+
+    /// `(row, value)` entries of column `j`, rows ascending.
+    #[inline]
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let a = self.col_ptr[j] as usize;
+        let b = self.col_ptr[j + 1] as usize;
+        self.row_idx[a..b].iter().copied().zip(self.values[a..b].iter().copied())
+    }
+
+    /// `(col, value)` entries of row `i` from the CSR mirror, cols ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let a = self.row_ptr[i] as usize;
+        let b = self.row_ptr[i + 1] as usize;
+        self.col_idx[a..b].iter().copied().zip(self.row_values[a..b].iter().copied())
+    }
+}
+
+/// A length-`m` vector with dense value storage and an optional nonzero
+/// pattern. When `dense` is false, `pattern` is a sorted superset of the
+/// indices with nonzero values (entries outside it are exactly `0.0`);
+/// when `dense` is true the pattern is ignored and all entries count.
+#[derive(Debug, Clone)]
+pub struct SparseVec {
+    /// Dense value storage, length `m`.
+    pub values: Vec<f64>,
+    /// Sorted indices of potential nonzeros (unused when `dense`).
+    pub pattern: Vec<u32>,
+    /// Whether pattern tracking has been abandoned for this vector.
+    pub dense: bool,
+}
+
+impl SparseVec {
+    /// An all-zero vector with pattern tracking enabled.
+    pub fn zeros(m: usize) -> Self {
+        Self { values: vec![0.0; m], pattern: Vec::new(), dense: false }
+    }
+
+    /// Wraps an already-dense value vector (no pattern tracking).
+    pub fn from_dense(values: Vec<f64>) -> Self {
+        Self { values, pattern: Vec::new(), dense: true }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Iterates the indices a [`SparseVec`] may be nonzero at, ascending.
+#[inline]
+pub fn nz_indices(v: &SparseVec) -> impl Iterator<Item = usize> + '_ {
+    let dense_range = if v.dense { 0..v.values.len() } else { 0..0 };
+    let pat: &[u32] = if v.dense { &[] } else { &v.pattern };
+    dense_range.chain(pat.iter().map(|&k| k as usize))
+}
+
+/// Reusable workspace for [`SparseLu`] solves. Invariant between calls:
+/// `d` is all zeros and `mark` all false (methods restore this by walking
+/// the reach they computed, never by `O(m)` clears).
+#[derive(Debug, Default)]
+pub struct LuScratch {
+    d: Vec<f64>,
+    mark: Vec<bool>,
+    reach: Vec<u32>,
+    stack: Vec<(u32, u32)>,
+    seeds: Vec<u32>,
+}
+
+impl LuScratch {
+    fn resize(&mut self, m: usize) {
+        if self.d.len() != m {
+            self.d = vec![0.0; m];
+            self.mark = vec![false; m];
+        }
+    }
+}
+
+/// Tunables for the Markowitz factorization.
+#[derive(Debug, Clone)]
+pub struct SparseLuOptions {
+    /// Threshold partial pivoting factor `τ`: an entry qualifies as a pivot
+    /// only if `|a_ij| ≥ τ · max_i |a_ij|` within its column.
+    pub rel_threshold: f64,
+    /// Absolute magnitude below which a column is considered numerically
+    /// empty (matches the dense engine's singularity tolerance).
+    pub abs_tol: f64,
+    /// Markowitz search inspects candidate columns in increasing nonzero
+    /// count and stops after this many columns yielded a candidate (Suhl's
+    /// limited search); a zero-cost pivot stops the search immediately.
+    pub candidate_cols: usize,
+}
+
+impl Default for SparseLuOptions {
+    fn default() -> Self {
+        Self { rel_threshold: 0.1, abs_tol: 1e-11, candidate_cols: 8 }
+    }
+}
+
+/// Sparse LU factorization `B = P⁻¹·L·U·Q⁻¹` of a basis matrix, stored in
+/// *elimination-step space*: step `k` has pivot row `step_row[k]` and pivot
+/// column (basis slot) `step_slot[k]`. `L` is unit lower triangular and `U`
+/// upper triangular in step space; both are kept in column-wise **and**
+/// row-wise compressed form so that every triangular pass — FTRAN's
+/// L-forward/U-backward and BTRAN's Uᵀ-forward/Lᵀ-backward — can run in
+/// scatter form over a DFS reach of the RHS pattern.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    m: usize,
+    lcol_ptr: Vec<u32>,
+    lcol_idx: Vec<u32>,
+    lcol_val: Vec<f64>,
+    lrow_ptr: Vec<u32>,
+    lrow_idx: Vec<u32>,
+    lrow_val: Vec<f64>,
+    ucol_ptr: Vec<u32>,
+    ucol_idx: Vec<u32>,
+    ucol_val: Vec<f64>,
+    urow_ptr: Vec<u32>,
+    urow_idx: Vec<u32>,
+    urow_val: Vec<f64>,
+    udiag: Vec<f64>,
+    row_step: Vec<u32>,
+    step_row: Vec<u32>,
+    slot_step: Vec<u32>,
+    step_slot: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl SparseLu {
+    /// Factors the basis matrix whose `k`-th column is column `basis[k]` of
+    /// `mat`. Deterministic for a given `(mat, basis)`.
+    pub fn factor(
+        mat: &CscMatrix,
+        basis: &[u32],
+        opts: &SparseLuOptions,
+    ) -> Result<Self, Singular> {
+        let m = basis.len();
+        debug_assert_eq!(m, mat.num_rows());
+
+        // Active submatrix: exact per-column entry lists plus, per row, the
+        // list of columns that ever carried an entry in that row (entries
+        // are only removed wholesale with their pivot row/column, so the
+        // only stale items are already-eliminated columns).
+        let mut acol: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+        let mut arow: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (slot, &j) in basis.iter().enumerate() {
+            let col: Vec<(u32, f64)> = mat.col(j as usize).collect();
+            for &(r, _) in &col {
+                arow[r as usize].push(slot as u32);
+            }
+            acol.push(col);
+        }
+        let mut row_count: Vec<u32> = arow.iter().map(|r| r.len() as u32).collect();
+        let mut col_count: Vec<u32> = acol.iter().map(|c| c.len() as u32).collect();
+        let mut row_step = vec![NONE; m];
+        let mut slot_step = vec![NONE; m];
+        let mut step_row = vec![0u32; m];
+        let mut step_slot = vec![0u32; m];
+
+        // Columns bucketed by active count for the Markowitz search; stale
+        // entries (count changed or column eliminated) are dropped lazily.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); m + 1];
+        for slot in 0..m {
+            buckets[col_count[slot] as usize].push(slot as u32);
+        }
+        let mut col_stamp = vec![0u32; m];
+        let mut search_gen = 0u32;
+
+        // L columns / U rows under construction, holding original row /
+        // slot indices (remapped to steps once the elimination order is
+        // complete).
+        let mut lcol_ptr = vec![0u32];
+        let mut lcol_rows: Vec<u32> = Vec::new();
+        let mut lcol_val: Vec<f64> = Vec::new();
+        let mut urow_ptr = vec![0u32];
+        let mut urow_slots: Vec<u32> = Vec::new();
+        let mut urow_val: Vec<f64> = Vec::new();
+        let mut udiag: Vec<f64> = Vec::with_capacity(m);
+        let mut pos = vec![NONE; m];
+
+        for step in 0..m {
+            // Markowitz search: smallest (r−1)(c−1) among threshold-feasible
+            // entries of the lowest-count candidate columns.
+            search_gen += 1;
+            let mut best: Option<(u64, f64, u32, u32)> = None; // (cost, |v|, row, slot)
+            let mut inspected = 0usize;
+            'search: for (count, bucket) in buckets.iter_mut().enumerate().skip(1) {
+                bucket.retain(|&slot| {
+                    let s = slot as usize;
+                    slot_step[s] == NONE && col_count[s] as usize == count
+                });
+                for &slot in bucket.iter() {
+                    let s = slot as usize;
+                    if col_stamp[s] == search_gen {
+                        continue; // duplicate bucket entry
+                    }
+                    col_stamp[s] = search_gen;
+                    let col = &acol[s];
+                    let cmax = col.iter().fold(0.0f64, |a, e| a.max(e.1.abs()));
+                    if cmax <= opts.abs_tol {
+                        continue;
+                    }
+                    let thresh = (opts.rel_threshold * cmax).max(opts.abs_tol);
+                    let mut found = false;
+                    for &(r, v) in col {
+                        let av = v.abs();
+                        if av < thresh {
+                            continue;
+                        }
+                        found = true;
+                        let cost = u64::from(row_count[r as usize] - 1) * (count as u64 - 1);
+                        let better = match best {
+                            None => true,
+                            Some((bc, bv, br, bs)) => {
+                                cost < bc
+                                    || (cost == bc
+                                        && (av > bv
+                                            || (av == bv && (r < br || (r == br && slot < bs)))))
+                            }
+                        };
+                        if better {
+                            best = Some((cost, av, r, slot));
+                        }
+                    }
+                    if found {
+                        inspected += 1;
+                    }
+                    if let Some((bc, ..)) = best {
+                        if bc == 0 || inspected >= opts.candidate_cols {
+                            break 'search;
+                        }
+                    }
+                }
+            }
+            let Some((_, _, prow, pslot)) = best else {
+                return Err(Singular { step });
+            };
+            let (pr, ps) = (prow as usize, pslot as usize);
+            row_step[pr] = step as u32;
+            slot_step[ps] = step as u32;
+            step_row[step] = prow;
+            step_slot[step] = pslot;
+
+            // Pivot column → multipliers for L; the column leaves the
+            // active submatrix.
+            let pcol = std::mem::take(&mut acol[ps]);
+            let mut upiv = 0.0;
+            for &(r, v) in &pcol {
+                if r == prow {
+                    upiv = v;
+                }
+            }
+            let l_begin = lcol_rows.len();
+            for &(r, v) in &pcol {
+                if r != prow {
+                    lcol_rows.push(r);
+                    lcol_val.push(v / upiv);
+                    row_count[r as usize] -= 1;
+                }
+            }
+            udiag.push(upiv);
+
+            // Pivot row → U entries; rank-1 update of every other active
+            // column carrying the pivot row (fill-in lands here).
+            for t in 0..arow[pr].len() {
+                let j = arow[pr][t] as usize;
+                if j == ps || slot_step[j] != NONE {
+                    continue; // stale: column already eliminated
+                }
+                let Some(p) = acol[j].iter().position(|e| e.0 == prow) else {
+                    continue;
+                };
+                let u = acol[j].swap_remove(p).1;
+                col_count[j] -= 1;
+                if u != 0.0 {
+                    urow_slots.push(j as u32);
+                    urow_val.push(u);
+                    if lcol_rows.len() > l_begin {
+                        let col = &mut acol[j];
+                        for (i, e) in col.iter().enumerate() {
+                            pos[e.0 as usize] = i as u32;
+                        }
+                        for li in l_begin..lcol_rows.len() {
+                            let r = lcol_rows[li] as usize;
+                            let delta = lcol_val[li] * u;
+                            if pos[r] != NONE {
+                                col[pos[r] as usize].1 -= delta;
+                            } else {
+                                col.push((r as u32, -delta));
+                                arow[r].push(j as u32);
+                                row_count[r] += 1;
+                                col_count[j] += 1;
+                            }
+                        }
+                        for e in col.iter() {
+                            pos[e.0 as usize] = NONE;
+                        }
+                    }
+                }
+                buckets[col_count[j] as usize].push(j as u32);
+            }
+            arow[pr].clear();
+            urow_ptr.push(urow_slots.len() as u32);
+            lcol_ptr.push(lcol_rows.len() as u32);
+        }
+
+        // Remap L's rows and U's columns into step space and sort each
+        // segment so solves (and their DFS reaches) are deterministic.
+        let mut lcol_idx: Vec<u32> = lcol_rows.iter().map(|&r| row_step[r as usize]).collect();
+        let mut urow_idx: Vec<u32> = urow_slots.iter().map(|&s| slot_step[s as usize]).collect();
+        sort_segments(&lcol_ptr, &mut lcol_idx, &mut lcol_val);
+        sort_segments(&urow_ptr, &mut urow_idx, &mut urow_val);
+        let (lrow_ptr, lrow_idx, lrow_val) = transpose(m, &lcol_ptr, &lcol_idx, &lcol_val);
+        let (ucol_ptr, ucol_idx, ucol_val) = transpose(m, &urow_ptr, &urow_idx, &urow_val);
+
+        Ok(Self {
+            m,
+            lcol_ptr,
+            lcol_idx,
+            lcol_val,
+            lrow_ptr,
+            lrow_idx,
+            lrow_val,
+            ucol_ptr,
+            ucol_idx,
+            ucol_val,
+            urow_ptr,
+            urow_idx,
+            urow_val,
+            udiag,
+            row_step,
+            step_row,
+            slot_step,
+            step_slot,
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.m
+    }
+
+    /// Stored nonzeros in `L` plus `U` (diagonal included): the fill-in
+    /// telemetry surfaced through `SolveStats`.
+    pub fn factor_nnz(&self) -> usize {
+        self.lcol_idx.len() + self.urow_idx.len() + self.m
+    }
+
+    /// FTRAN, dense path: `b` holds the RHS in **row space** on entry and
+    /// the solution in **basis-slot space** on exit.
+    pub fn ftran_dense(&self, b: &mut [f64], ws: &mut LuScratch) {
+        let m = self.m;
+        ws.resize(m);
+        let d = &mut ws.d;
+        for (i, &bi) in b.iter().enumerate() {
+            d[self.row_step[i] as usize] = bi;
+        }
+        for k in 0..m {
+            let v = d[k];
+            if v != 0.0 {
+                for t in self.lcol_ptr[k] as usize..self.lcol_ptr[k + 1] as usize {
+                    d[self.lcol_idx[t] as usize] -= self.lcol_val[t] * v;
+                }
+            }
+        }
+        for k in (0..m).rev() {
+            let v = d[k] / self.udiag[k];
+            d[k] = v;
+            if v != 0.0 {
+                for t in self.ucol_ptr[k] as usize..self.ucol_ptr[k + 1] as usize {
+                    d[self.ucol_idx[t] as usize] -= self.ucol_val[t] * v;
+                }
+            }
+        }
+        for k in 0..m {
+            b[self.step_slot[k] as usize] = d[k];
+            d[k] = 0.0;
+        }
+    }
+
+    /// BTRAN, dense path: `b` holds the RHS in **slot space** on entry and
+    /// the solution in **row space** on exit.
+    pub fn btran_dense(&self, b: &mut [f64], ws: &mut LuScratch) {
+        let m = self.m;
+        ws.resize(m);
+        let d = &mut ws.d;
+        for (s, &bs) in b.iter().enumerate() {
+            d[self.slot_step[s] as usize] = bs;
+        }
+        for k in 0..m {
+            let v = d[k] / self.udiag[k];
+            d[k] = v;
+            if v != 0.0 {
+                for t in self.urow_ptr[k] as usize..self.urow_ptr[k + 1] as usize {
+                    d[self.urow_idx[t] as usize] -= self.urow_val[t] * v;
+                }
+            }
+        }
+        for k in (0..m).rev() {
+            let v = d[k];
+            if v != 0.0 {
+                for t in self.lrow_ptr[k] as usize..self.lrow_ptr[k + 1] as usize {
+                    d[self.lrow_idx[t] as usize] -= self.lrow_val[t] * v;
+                }
+            }
+        }
+        for k in 0..m {
+            b[self.step_row[k] as usize] = d[k];
+            d[k] = 0.0;
+        }
+    }
+
+    /// FTRAN: solves `B·x = v` where `v` enters in row space and exits in
+    /// slot space. Sparse inputs take the hyper-sparse reach path; dense
+    /// ones (or patterns above the cutoff) the plain loops.
+    pub fn ftran(&self, v: &mut SparseVec, ws: &mut LuScratch) {
+        debug_assert_eq!(v.len(), self.m);
+        if v.dense || v.pattern.len() * HYPER_CUTOFF_DENOM > self.m {
+            self.ftran_dense(&mut v.values, ws);
+            v.dense = true;
+            v.pattern.clear();
+            return;
+        }
+        ws.resize(self.m);
+        ws.seeds.clear();
+        for &i in &v.pattern {
+            let k = self.row_step[i as usize];
+            ws.d[k as usize] = v.values[i as usize];
+            v.values[i as usize] = 0.0;
+            ws.seeds.push(k);
+        }
+        ws.seeds.sort_unstable();
+        sparse_pass(&self.lcol_ptr, &self.lcol_idx, &self.lcol_val, None, ws);
+        std::mem::swap(&mut ws.seeds, &mut ws.reach);
+        ws.seeds.sort_unstable();
+        sparse_pass(&self.ucol_ptr, &self.ucol_idx, &self.ucol_val, Some(&self.udiag), ws);
+        v.pattern.clear();
+        for ri in 0..ws.reach.len() {
+            let k = ws.reach[ri] as usize;
+            let val = ws.d[k];
+            ws.d[k] = 0.0;
+            if val != 0.0 {
+                let slot = self.step_slot[k];
+                v.values[slot as usize] = val;
+                v.pattern.push(slot);
+            }
+        }
+        v.pattern.sort_unstable();
+    }
+
+    /// BTRAN: solves `Bᵀ·y = v` where `v` enters in slot space and exits in
+    /// row space. Mirrors [`SparseLu::ftran`]'s sparse/dense dispatch.
+    pub fn btran(&self, v: &mut SparseVec, ws: &mut LuScratch) {
+        debug_assert_eq!(v.len(), self.m);
+        if v.dense || v.pattern.len() * HYPER_CUTOFF_DENOM > self.m {
+            self.btran_dense(&mut v.values, ws);
+            v.dense = true;
+            v.pattern.clear();
+            return;
+        }
+        ws.resize(self.m);
+        ws.seeds.clear();
+        for &s in &v.pattern {
+            let k = self.slot_step[s as usize];
+            ws.d[k as usize] = v.values[s as usize];
+            v.values[s as usize] = 0.0;
+            ws.seeds.push(k);
+        }
+        ws.seeds.sort_unstable();
+        sparse_pass(&self.urow_ptr, &self.urow_idx, &self.urow_val, Some(&self.udiag), ws);
+        std::mem::swap(&mut ws.seeds, &mut ws.reach);
+        ws.seeds.sort_unstable();
+        sparse_pass(&self.lrow_ptr, &self.lrow_idx, &self.lrow_val, None, ws);
+        v.pattern.clear();
+        for ri in 0..ws.reach.len() {
+            let k = ws.reach[ri] as usize;
+            let val = ws.d[k];
+            ws.d[k] = 0.0;
+            if val != 0.0 {
+                let row = self.step_row[k];
+                v.values[row as usize] = val;
+                v.pattern.push(row);
+            }
+        }
+        v.pattern.sort_unstable();
+    }
+}
+
+/// One scatter-form triangular pass restricted to the DFS reach of
+/// `ws.seeds` in the step-dependency graph `(ptr, idx)`. Values live in
+/// `ws.d`; `diag` divides at each step when solving against `U`. On exit
+/// `ws.reach` holds the reach, marks are false again, and `ws.d` has been
+/// updated in a valid topological order (ancestors before dependents).
+fn sparse_pass(ptr: &[u32], idx: &[u32], val: &[f64], diag: Option<&[f64]>, ws: &mut LuScratch) {
+    let LuScratch { d, mark, reach, stack, seeds } = ws;
+    reach.clear();
+    for &s in seeds.iter() {
+        if mark[s as usize] {
+            continue;
+        }
+        mark[s as usize] = true;
+        stack.push((s, ptr[s as usize]));
+        while let Some(top) = stack.last_mut() {
+            let node = top.0 as usize;
+            if top.1 < ptr[node + 1] {
+                let next = idx[top.1 as usize];
+                top.1 += 1;
+                if !mark[next as usize] {
+                    mark[next as usize] = true;
+                    stack.push((next, ptr[next as usize]));
+                }
+            } else {
+                reach.push(top.0);
+                stack.pop();
+            }
+        }
+    }
+    // Reverse post-order is a topological order of the reach.
+    for ri in (0..reach.len()).rev() {
+        let k = reach[ri] as usize;
+        mark[k] = false;
+        let mut v = d[k];
+        if let Some(diag) = diag {
+            v /= diag[k];
+            d[k] = v;
+        }
+        if v != 0.0 {
+            for t in ptr[k] as usize..ptr[k + 1] as usize {
+                d[idx[t] as usize] -= val[t] * v;
+            }
+        }
+    }
+    reach.reverse();
+}
+
+/// Sorts each `ptr`-delimited segment of `(idx, val)` by index.
+fn sort_segments(ptr: &[u32], idx: &mut [u32], val: &mut [f64]) {
+    let mut tmp: Vec<(u32, f64)> = Vec::new();
+    for w in ptr.windows(2) {
+        let (a, b) = (w[0] as usize, w[1] as usize);
+        if b - a > 1 {
+            tmp.clear();
+            tmp.extend(idx[a..b].iter().copied().zip(val[a..b].iter().copied()));
+            tmp.sort_unstable_by_key(|e| e.0);
+            for (k, &(i, v)) in tmp.iter().enumerate() {
+                idx[a + k] = i;
+                val[a + k] = v;
+            }
+        }
+    }
+}
+
+/// Transposes a compressed `m`-segment structure; output segments come out
+/// sorted because input segments are scanned in ascending order.
+fn transpose(m: usize, ptr: &[u32], idx: &[u32], val: &[f64]) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    let nnz = idx.len();
+    let mut out_ptr = vec![0u32; m + 1];
+    for &t in idx {
+        out_ptr[t as usize + 1] += 1;
+    }
+    for i in 0..m {
+        out_ptr[i + 1] += out_ptr[i];
+    }
+    let mut cursor = out_ptr.clone();
+    let mut out_idx = vec![0u32; nnz];
+    let mut out_val = vec![0.0; nnz];
+    for k in 0..m {
+        for t in ptr[k] as usize..ptr[k + 1] as usize {
+            let dst = cursor[idx[t] as usize] as usize;
+            cursor[idx[t] as usize] += 1;
+            out_idx[dst] = k as u32;
+            out_val[dst] = val[t];
+        }
+    }
+    (out_ptr, out_idx, out_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a CscMatrix from dense row-major data.
+    fn csc_from_dense(rows: &[&[f64]]) -> CscMatrix {
+        let m = rows.len();
+        let n = rows[0].len();
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    cols[j].push((i as u32, v));
+                }
+            }
+        }
+        CscMatrix::from_columns(m, &cols)
+    }
+
+    fn matvec(rows: &[&[f64]], basis: &[u32], x: &[f64]) -> Vec<f64> {
+        let m = rows.len();
+        let mut y = vec![0.0; m];
+        for (slot, &j) in basis.iter().enumerate() {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi += rows[i][j as usize] * x[slot];
+            }
+        }
+        y
+    }
+
+    fn matvec_t(rows: &[&[f64]], basis: &[u32], y: &[f64]) -> Vec<f64> {
+        let m = rows.len();
+        let mut c = vec![0.0; m];
+        for (slot, &j) in basis.iter().enumerate() {
+            for (i, &yi) in y.iter().enumerate().take(m) {
+                c[slot] += rows[i][j as usize] * yi;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let rows: &[&[f64]] = &[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]];
+        let mat = csc_from_dense(rows);
+        let lu = SparseLu::factor(&mat, &[0, 1, 2], &SparseLuOptions::default()).unwrap();
+        let mut ws = LuScratch::default();
+        let mut b = vec![1.0, 2.0, 3.0];
+        lu.ftran_dense(&mut b, &mut ws);
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+        lu.btran_dense(&mut b, &mut ws);
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn general_system_matches_direct_solution() {
+        let rows: &[&[f64]] = &[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]];
+        let mat = csc_from_dense(rows);
+        let basis = [0u32, 1, 2];
+        let lu = SparseLu::factor(&mat, &basis, &SparseLuOptions::default()).unwrap();
+        let mut ws = LuScratch::default();
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = matvec(rows, &basis, &x_true);
+        lu.ftran_dense(&mut b, &mut ws);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{b:?}");
+        }
+        let y_true = [0.5, 2.0, -1.5];
+        let mut c = matvec_t(rows, &basis, &y_true);
+        lu.btran_dense(&mut c, &mut ws);
+        for (yi, ti) in c.iter().zip(&y_true) {
+            assert!((yi - ti).abs() < 1e-10, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn permuted_basis_columns_are_handled() {
+        // Basis picks matrix columns out of order; slot space ≠ column space.
+        let rows: &[&[f64]] =
+            &[&[0.0, 3.0, 1.0, 9.0], &[2.0, 0.0, -1.0, 0.0], &[1.0, 1.0, 4.0, -2.0]];
+        let mat = csc_from_dense(rows);
+        let basis = [3u32, 0, 2];
+        let lu = SparseLu::factor(&mat, &basis, &SparseLuOptions::default()).unwrap();
+        let mut ws = LuScratch::default();
+        let x_true = [2.0, -1.0, 0.5];
+        let mut b = matvec(rows, &basis, &x_true);
+        lu.ftran_dense(&mut b, &mut ws);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_detected() {
+        let rows: &[&[f64]] = &[&[1.0, 2.0], &[2.0, 4.0]];
+        let mat = csc_from_dense(rows);
+        assert!(SparseLu::factor(&mat, &[0, 1], &SparseLuOptions::default()).is_err());
+        // Structurally empty column.
+        let rows2: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 0.0]];
+        let mat2 = csc_from_dense(rows2);
+        assert!(SparseLu::factor(&mat2, &[0, 1], &SparseLuOptions::default()).is_err());
+    }
+
+    #[test]
+    fn factorization_is_deterministic() {
+        let rows: &[&[f64]] = &[
+            &[4.0, 1.0, 0.0, 0.0],
+            &[1.0, 3.0, 1.0, 0.0],
+            &[0.0, 1.0, 2.0, 1.0],
+            &[0.0, 0.0, 1.0, 5.0],
+        ];
+        let mat = csc_from_dense(rows);
+        let basis = [0u32, 1, 2, 3];
+        let a = SparseLu::factor(&mat, &basis, &SparseLuOptions::default()).unwrap();
+        let b = SparseLu::factor(&mat, &basis, &SparseLuOptions::default()).unwrap();
+        assert_eq!(a.step_row, b.step_row);
+        assert_eq!(a.step_slot, b.step_slot);
+        assert_eq!(a.lcol_val, b.lcol_val);
+        assert_eq!(a.urow_val, b.urow_val);
+        assert_eq!(a.udiag, b.udiag);
+    }
+
+    /// Deterministic pseudo-random sparse test matrix with a strengthened
+    /// diagonal (comfortably nonsingular).
+    fn random_sparse(m: usize, fill: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows = vec![vec![0.0; m]; m];
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i == j {
+                    *slot = next() + 2.0;
+                } else if next() < fill {
+                    *slot = next() - 0.5;
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn random_sparse_roundtrip_and_fill_telemetry() {
+        for (m, fill, seed) in [(25usize, 0.08, 1u64), (60, 0.05, 2), (120, 0.03, 3)] {
+            let rows = random_sparse(m, fill, seed);
+            let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let mat = csc_from_dense(&row_refs);
+            let basis: Vec<u32> = (0..m as u32).collect();
+            let lu = SparseLu::factor(&mat, &basis, &SparseLuOptions::default()).unwrap();
+            assert!(lu.factor_nnz() >= mat.nnz().min(m * m));
+            let mut ws = LuScratch::default();
+            let x_true: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).sin()).collect();
+            let mut b = matvec(&row_refs, &basis, &x_true);
+            lu.ftran_dense(&mut b, &mut ws);
+            for (xi, ti) in b.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-8, "m={m}");
+            }
+            let mut c = matvec_t(&row_refs, &basis, &x_true);
+            lu.btran_dense(&mut c, &mut ws);
+            for (yi, ti) in c.iter().zip(&x_true) {
+                assert!((yi - ti).abs() < 1e-8, "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn hyper_sparse_solves_match_dense_path() {
+        let m = 80;
+        let rows = random_sparse(m, 0.04, 7);
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mat = csc_from_dense(&row_refs);
+        let basis: Vec<u32> = (0..m as u32).collect();
+        let lu = SparseLu::factor(&mat, &basis, &SparseLuOptions::default()).unwrap();
+        let mut ws = LuScratch::default();
+        for seed_idx in [0usize, 13, 41, 79] {
+            // FTRAN of a single-nonzero RHS via both paths.
+            let mut sv = SparseVec::zeros(m);
+            sv.values[seed_idx] = 1.5;
+            sv.pattern.push(seed_idx as u32);
+            lu.ftran(&mut sv, &mut ws);
+            let mut dense = vec![0.0; m];
+            dense[seed_idx] = 1.5;
+            lu.ftran_dense(&mut dense, &mut ws);
+            for (k, &dv) in dense.iter().enumerate() {
+                assert!(
+                    (sv.values[k] - dv).abs() <= 1e-12 * dv.abs().max(1.0),
+                    "ftran mismatch at {k}"
+                );
+                if sv.values[k] != 0.0 {
+                    assert!(sv.pattern.contains(&(k as u32)), "pattern misses {k}");
+                }
+            }
+            // BTRAN of e_k via both paths.
+            let mut sv = SparseVec::zeros(m);
+            sv.values[seed_idx] = -2.25;
+            sv.pattern.push(seed_idx as u32);
+            lu.btran(&mut sv, &mut ws);
+            let mut dense = vec![0.0; m];
+            dense[seed_idx] = -2.25;
+            lu.btran_dense(&mut dense, &mut ws);
+            for (k, &dv) in dense.iter().enumerate() {
+                assert!(
+                    (sv.values[k] - dv).abs() <= 1e-12 * dv.abs().max(1.0),
+                    "btran mismatch at {k}"
+                );
+                if sv.values[k] != 0.0 {
+                    assert!(sv.pattern.contains(&(k as u32)), "pattern misses {k}");
+                }
+            }
+        }
+        // Scratch invariant: all-zero / all-false after use.
+        assert!(ws.d.iter().all(|&v| v == 0.0));
+        assert!(ws.mark.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn csr_mirror_agrees_with_columns() {
+        let rows: &[&[f64]] = &[&[1.0, 0.0, 3.0], &[0.0, 2.0, 0.0], &[4.0, 5.0, 6.0]];
+        let mat = csc_from_dense(rows);
+        assert_eq!(mat.nnz(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            let got: Vec<(u32, f64)> = mat.row(i).collect();
+            let want: Vec<(u32, f64)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, &v)| (j as u32, v))
+                .collect();
+            assert_eq!(got, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_vec_nz_indices_iterates_pattern_or_all() {
+        let mut v = SparseVec::zeros(4);
+        v.values[2] = 5.0;
+        v.pattern.push(2);
+        assert_eq!(nz_indices(&v).collect::<Vec<_>>(), vec![2]);
+        let d = SparseVec::from_dense(vec![1.0, 0.0, 2.0]);
+        assert_eq!(nz_indices(&d).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

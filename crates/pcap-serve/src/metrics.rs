@@ -148,6 +148,10 @@ impl Metrics {
             ("lp_iterations", inner.lp.iterations.to_string()),
             ("lp_phase1_iterations", inner.lp.phase1_iterations.to_string()),
             ("lp_refactorizations", inner.lp.refactorizations.to_string()),
+            ("lp_factor_reuses", inner.lp.factor_reuses.to_string()),
+            ("lp_warm_rejected", inner.lp.warm_rejected.to_string()),
+            ("lp_basis_nnz", inner.lp.basis_nnz.to_string()),
+            ("lp_factor_nnz", inner.lp.factor_nnz.to_string()),
             ("lp_wall_s", format!("{:.6}", inner.lp.wall_time_s)),
             ("p50_ms", format!("{:.3}", inner.latency.quantile_ms(0.50))),
             ("p99_ms", format!("{:.3}", inner.latency.quantile_ms(0.99))),
@@ -193,7 +197,14 @@ mod tests {
         m.requests.fetch_add(3, Ordering::Relaxed);
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         m.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let lp = SolveStats { solves: 4, certified: 2, ..SolveStats::default() };
+        let lp = SolveStats {
+            solves: 4,
+            certified: 2,
+            warm_rejected: 1,
+            basis_nnz: 120,
+            factor_nnz: 150,
+            ..SolveStats::default()
+        };
         m.record_solve(Duration::from_millis(3), &lp);
         let snap = m.snapshot(5, 7);
         let get = |k: &str| {
@@ -204,6 +215,9 @@ mod tests {
         assert_eq!(get("solves"), "1");
         assert_eq!(get("lp_solves"), "4");
         assert_eq!(get("lp_certified"), "2");
+        assert_eq!(get("lp_warm_rejected"), "1");
+        assert_eq!(get("lp_basis_nnz"), "120");
+        assert_eq!(get("lp_factor_nnz"), "150");
         assert_eq!(get("cache_hit_rate"), "0.5000");
         assert!(get("p50_ms").parse::<f64>().unwrap() > 0.0);
         assert!(get("p99_ms").parse::<f64>().unwrap() > 0.0);

@@ -112,6 +112,66 @@ fn committed_seeds_replay_clean() {
     assert!(failures.is_empty(), "committed seeds failed:\n{}", failures.join("\n"));
 }
 
+/// Every committed seed must produce the same fixed-order LP verdict and
+/// (when feasible) the same makespan — to certificate tolerance — under
+/// both linear-algebra engines, with certification forced on so the sparse
+/// engine's solutions pass the independent LP duality check on every seed.
+/// This is the engine-differential half of the oracle: the dense engine is
+/// the trusted reference, the sparse engine is the default.
+#[test]
+fn committed_seeds_agree_across_lp_engines() {
+    use pcap_core::{solve_fixed_order, FixedLpOptions, TaskFrontiers};
+    use pcap_lp::LinearAlgebra;
+
+    let seeds = load_seeds(&seeds_dir()).expect("tests/seeds must be readable");
+    assert!(!seeds.is_empty(), "the committed seed corpus must not be empty");
+    let engine_opts = |la: LinearAlgebra| {
+        let mut o = FixedLpOptions::default();
+        o.lp.linear_algebra = la;
+        o.lp.certify = true;
+        o
+    };
+    let mut failures = Vec::new();
+    for (path, inst) in &seeds {
+        let graph = inst.build_graph();
+        let machine = inst.machine();
+        let frontiers = TaskFrontiers::build(&graph, &machine);
+        let solve = |la| {
+            feasible_makespan(solve_fixed_order(
+                &graph,
+                &machine,
+                &frontiers,
+                inst.cap_w(),
+                &engine_opts(la),
+            ))
+        };
+        match (solve(LinearAlgebra::Sparse), solve(LinearAlgebra::Dense)) {
+            (Ok(Some(s)), Ok(Some(d))) => {
+                // Certificate gap tolerance is 1e-6 relative; two certified
+                // optima can differ by at most twice that.
+                let tol = 2e-6 * s.abs().max(1.0);
+                if (s - d).abs() > tol {
+                    failures.push(format!(
+                        "{}: sparse makespan {s} vs dense {d} (tol {tol})",
+                        path.display()
+                    ));
+                }
+            }
+            (Ok(None), Ok(None)) => {} // both infeasible: verdicts agree
+            (Ok(a), Ok(b)) => failures.push(format!(
+                "{}: feasibility verdicts diverge (sparse {:?}, dense {:?})",
+                path.display(),
+                a,
+                b
+            )),
+            (Err(e), _) | (_, Err(e)) => {
+                failures.push(format!("{}: solver failure: {e}", path.display()))
+            }
+        }
+    }
+    assert!(failures.is_empty(), "engine differential failed:\n{}", failures.join("\n"));
+}
+
 /// Makespan of a feasible solve, `None` when the cap is infeasible, error
 /// text on genuine solver failure.
 fn feasible_makespan(
