@@ -1,0 +1,151 @@
+//! Cheap degraded-mode bounds: the discrete floor the serving layer falls
+//! back to when the real LP solve faults or blows its deadline.
+//!
+//! The floor is the power-unconstrained critical path — every task at the
+//! fastest point of its Pareto frontier, message edges at their model time —
+//! evaluated by one ASAP pass. Because the fixed-order LP can never beat a
+//! schedule in which every task runs as fast as the hardware allows, this is
+//! a valid **lower bound** on the LP optimum at *any* cap, computable in
+//! O(V+E) with no simplex iterations at all.
+//!
+//! Infeasibility is probed the same way the LP discovers it: the event order
+//! is frozen from the fastest-point ASAP schedule (exactly the order the LP
+//! itself freezes), and a cap below the cheapest-point power sum of any
+//! activity set can never be satisfied — each task's `min_power` already is
+//! the least it can draw. Caps that pass the probe are reported with the
+//! critical-path floor; callers must mark such answers `degraded` because
+//! they are bounds, not optima.
+
+use crate::frontiers::TaskFrontiers;
+use crate::{CoreError, CoreResult};
+use pcap_dag::{activity_sets, asap_schedule, EdgeId, EdgeKind, TaskGraph};
+
+/// Event-time tie tolerance for the activity-set probe (matches the LP's
+/// default `tie_tol`).
+const TIE_TOL: f64 = 1e-9;
+
+/// One cap's degraded answer: the critical-path floor, or why the cap has
+/// no schedule at all.
+#[derive(Debug)]
+pub struct DegradedPoint {
+    /// The job-level cap this floor was evaluated at.
+    pub cap_w: f64,
+    /// Lower bound on the makespan, or [`CoreError::Infeasible`].
+    pub makespan_floor_s: CoreResult<f64>,
+}
+
+/// Evaluates the degraded floor at one cap. Returns
+/// [`CoreError::Infeasible`] when some activity set of the fastest-point
+/// event order needs more than `cap_w` even with every task at its
+/// cheapest frontier point.
+pub fn degraded_floor(graph: &TaskGraph, frontiers: &TaskFrontiers, cap_w: f64) -> CoreResult<f64> {
+    let dur_fast = |e: EdgeId| -> f64 {
+        match &graph.edge(e).kind {
+            EdgeKind::Task { .. } => frontiers.get(e).map(|f| f.max_power().time_s).unwrap_or(0.0),
+            EdgeKind::Message { bytes, .. } => graph.comm().message_time(*bytes),
+        }
+    };
+    let init = asap_schedule(graph, dur_fast);
+    for acts in activity_sets(graph, &init, TIE_TOL) {
+        if frontiers.min_simultaneous_power(&acts) > cap_w {
+            return Err(CoreError::Infeasible);
+        }
+    }
+    Ok(init.makespan(graph))
+}
+
+/// The degraded floor over a whole cap grid, in input order. The ASAP pass
+/// and activity sets are cap-independent, so the grid costs one pass plus a
+/// per-cap power comparison.
+pub fn degraded_sweep(
+    graph: &TaskGraph,
+    frontiers: &TaskFrontiers,
+    caps_w: &[f64],
+) -> Vec<DegradedPoint> {
+    let dur_fast = |e: EdgeId| -> f64 {
+        match &graph.edge(e).kind {
+            EdgeKind::Task { .. } => frontiers.get(e).map(|f| f.max_power().time_s).unwrap_or(0.0),
+            EdgeKind::Message { bytes, .. } => graph.comm().message_time(*bytes),
+        }
+    };
+    let init = asap_schedule(graph, dur_fast);
+    let makespan = init.makespan(graph);
+    let peak_min_power_w = activity_sets(graph, &init, TIE_TOL)
+        .iter()
+        .map(|acts| frontiers.min_simultaneous_power(acts))
+        .fold(0.0_f64, f64::max);
+    caps_w
+        .iter()
+        .map(|&cap_w| DegradedPoint {
+            cap_w,
+            makespan_floor_s: if peak_min_power_w > cap_w {
+                Err(CoreError::Infeasible)
+            } else {
+                Ok(makespan)
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::solve_decomposed;
+    use crate::fixed_lp::FixedLpOptions;
+    use pcap_apps::{comd, AppParams};
+    use pcap_machine::MachineSpec;
+
+    fn setup() -> (TaskGraph, MachineSpec, TaskFrontiers) {
+        let m = MachineSpec::e5_2670();
+        let g = comd::generate(&AppParams { ranks: 4, iterations: 2, seed: 0xDE6 });
+        let fr = TaskFrontiers::build(&g, &m);
+        (g, m, fr)
+    }
+
+    #[test]
+    fn floor_never_exceeds_the_lp_optimum() {
+        let (g, m, fr) = setup();
+        for cap in [140.0, 180.0, 240.0, 320.0] {
+            let lp = solve_decomposed(&g, &m, &fr, cap, &FixedLpOptions::default());
+            let floor = degraded_floor(&g, &fr, cap);
+            match (lp, floor) {
+                (Ok(s), Ok(f)) => {
+                    assert!(
+                        f <= s.makespan_s + 1e-12,
+                        "cap {cap}: floor {f} above LP optimum {}",
+                        s.makespan_s
+                    );
+                    assert!(f > 0.0);
+                }
+                // The probe may call a cap feasible that the LP (with its
+                // richer constraints) rejects, but never the reverse: an
+                // LP-feasible cap must pass the cheapest-point probe.
+                (Ok(_), Err(e)) => panic!("cap {cap}: LP feasible but floor says {e}"),
+                (Err(_), _) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn floor_flags_hopeless_caps_infeasible() {
+        let (g, _, fr) = setup();
+        // Far below the summed cheapest-point power of any activity set.
+        assert!(matches!(degraded_floor(&g, &fr, 1.0), Err(CoreError::Infeasible)));
+    }
+
+    #[test]
+    fn sweep_matches_per_cap_floor_and_keeps_order() {
+        let (g, _, fr) = setup();
+        let caps = [1.0, 150.0, 260.0, 80.0];
+        let sweep = degraded_sweep(&g, &fr, &caps);
+        assert_eq!(sweep.len(), caps.len());
+        for (p, &cap) in sweep.iter().zip(&caps) {
+            assert_eq!(p.cap_w, cap);
+            match (&p.makespan_floor_s, degraded_floor(&g, &fr, cap)) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => {}
+                (a, b) => panic!("cap {cap}: sweep {a:?} vs single {b:?}"),
+            }
+        }
+    }
+}

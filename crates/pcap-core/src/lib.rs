@@ -32,6 +32,7 @@
 
 pub mod canon;
 pub mod decompose;
+pub mod degraded;
 pub mod discrete;
 pub mod fixed_lp;
 pub mod flow_ilp;
@@ -43,6 +44,7 @@ pub mod verify;
 
 pub use canon::{build_layered_graph, CanonError, DagSpec, Instance};
 pub use decompose::solve_decomposed;
+pub use degraded::{degraded_floor, degraded_sweep, DegradedPoint};
 pub use discrete::{solve_fixed_order_discrete, DiscreteOptions};
 pub use fixed_lp::{
     solve_fixed_order, solve_window, FixedLpOptions, Window, WindowLp, WindowSolution,

@@ -7,19 +7,32 @@
 //! pcap-client shutdown [--addr A]
 //! pcap-client sweep    [--addr A] [--bench comd] [--ranks 8] [--iterations 4]
 //!                      [--seed 42] [--machine e5_2670] [--caps 30,40,50,60,70,80]
+//!                      [--deadline-ms N] [--retries N]
 //! pcap-client flood    [--addr A] [--requests 16] [--threads 4] (sweep args)
 //! ```
 //!
 //! `sweep` prints one line per cap: the cap, the makespan bound (or
-//! `infeasible`), and whether the daemon served it from cache. `flood`
-//! submits the same sweep from many threads — watch `stats` afterwards to
-//! see single-flight coalescing at work.
+//! `infeasible`), and whether the daemon served it from cache. Transport
+//! failures and `overloaded` responses are retried with exponential
+//! backoff (`--retries`, honoring the server's `retry_after_ms` hint);
+//! `--deadline-ms` asks the server for the degraded floor instead of
+//! blowing the latency budget. `flood` submits the same sweep from many
+//! threads — watch `stats` afterwards to see single-flight coalescing.
+//!
+//! Exit status (scriptable resilience outcomes):
+//!
+//! * `0` — exact answer
+//! * `1` — other errors (transport after retries, bad instance, internal)
+//! * `2` — usage
+//! * `3` — degraded answer (valid lower bound, not the LP optimum)
+//! * `4` — still `overloaded` after all retries
+//! * `5` — server `shutting_down`
 
 use std::collections::BTreeMap;
 
 use pcap_core::{DagSpec, Instance};
 use pcap_machine::MachineSpec;
-use pcap_serve::{decode_result_entry, field, Client};
+use pcap_serve::{decode_result_entry, field, sweep_with_retry, Client, RetryPolicy};
 
 struct Options {
     addr: String,
@@ -31,6 +44,8 @@ struct Options {
     caps: Vec<f64>,
     requests: usize,
     threads: usize,
+    deadline_ms: Option<u64>,
+    retries: u32,
 }
 
 impl Default for Options {
@@ -45,6 +60,8 @@ impl Default for Options {
             caps: vec![30.0, 40.0, 50.0, 60.0, 70.0, 80.0],
             requests: 16,
             threads: 4,
+            deadline_ms: None,
+            retries: 4,
         }
     }
 }
@@ -71,9 +88,13 @@ fn main() {
             usage_and_exit();
         }
     };
-    if let Err(e) = outcome {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match outcome {
+        Ok(0) => {}
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -82,7 +103,9 @@ fn usage_and_exit() -> ! {
         "usage: pcap-client <ping|stats|shutdown|sweep|flood> [--addr A]\n\
          sweep/flood: [--bench comd|lulesh|sp|bt] [--ranks N] [--iterations N] [--seed N]\n\
          \x20            [--machine e5_2670|e5_2650l] [--caps W,W,...]\n\
-         flood:       [--requests N] [--threads N]"
+         \x20            [--deadline-ms N] [--retries N]\n\
+         flood:       [--requests N] [--threads N]\n\
+         exit: 0 exact, 1 error, 2 usage, 3 degraded, 4 overloaded, 5 shutting down"
     );
     std::process::exit(2);
 }
@@ -118,6 +141,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--requests" => opts.requests = parse_num(&value("--requests"), "--requests"),
             "--threads" => opts.threads = parse_num(&value("--threads"), "--threads"),
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(parse_num(&value("--deadline-ms"), "--deadline-ms"))
+            }
+            "--retries" => opts.retries = parse_num(&value("--retries"), "--retries"),
             other => {
                 eprintln!("error: unknown argument '{other}'");
                 std::process::exit(2);
@@ -154,6 +181,10 @@ fn build_instance(opts: &Options) -> Result<Instance, String> {
     Ok(instance)
 }
 
+fn retry_policy(opts: &Options) -> RetryPolicy {
+    RetryPolicy { attempts: opts.retries.max(1), ..RetryPolicy::default() }
+}
+
 fn expect_ok(resp: &pcap_serve::Response) -> Result<(), String> {
     if field(resp, "ok") == Some("true") {
         Ok(())
@@ -166,15 +197,15 @@ fn expect_ok(resp: &pcap_serve::Response) -> Result<(), String> {
     }
 }
 
-fn cmd_simple(opts: &Options, line: &str) -> Result<(), String> {
+fn cmd_simple(opts: &Options, line: &str) -> Result<i32, String> {
     let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
     let resp = client.request(line).map_err(|e| e.to_string())?;
     expect_ok(&resp)?;
     println!("ok ({})", field(&resp, "op").unwrap_or("?"));
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_stats(opts: &Options) -> Result<(), String> {
+fn cmd_stats(opts: &Options) -> Result<i32, String> {
     let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
     let resp = client.stats().map_err(|e| e.to_string())?;
     expect_ok(&resp)?;
@@ -184,19 +215,29 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
         }
         println!("{k:24} {v}");
     }
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_sweep(opts: &Options) -> Result<(), String> {
+fn cmd_sweep(opts: &Options) -> Result<i32, String> {
     let instance = build_instance(opts)?;
-    let mut client = Client::connect(&opts.addr).map_err(|e| e.to_string())?;
-    let resp = client.sweep(&instance).map_err(|e| e.to_string())?;
-    expect_ok(&resp)?;
+    let resp = sweep_with_retry(&opts.addr, &instance, opts.deadline_ms, &retry_policy(opts))
+        .map_err(|e| e.to_string())?;
+    if field(&resp, "ok") != Some("true") {
+        let code = field(&resp, "code").unwrap_or("unknown");
+        eprintln!("error: {code}: {}", field(&resp, "error").unwrap_or("no detail"));
+        return Ok(match code {
+            "overloaded" => 4,
+            "shutting_down" => 5,
+            _ => 1,
+        });
+    }
+    let degraded = field(&resp, "degraded") == Some("true");
     println!(
-        "instance {} ({}) — {} [{} ms]",
+        "instance {} ({}) — {}{} [{} ms]",
         field(&resp, "fingerprint").unwrap_or("?"),
         opts.bench,
         field(&resp, "cached").unwrap_or("?"),
+        if degraded { ", DEGRADED (discrete lower bound, not the LP optimum)" } else { "" },
         field(&resp, "solve_ms").unwrap_or("?"),
     );
     for entry in field(&resp, "results").unwrap_or("").split(',').filter(|e| !e.is_empty()) {
@@ -206,12 +247,11 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
             None => println!("  unparseable entry '{entry}'"),
         }
     }
-    Ok(())
+    Ok(if degraded { 3 } else { 0 })
 }
 
-fn cmd_flood(opts: &Options) -> Result<(), String> {
+fn cmd_flood(opts: &Options) -> Result<i32, String> {
     let instance = build_instance(opts)?;
-    let line = pcap_serve::sweep_request_line(&instance);
     let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -219,15 +259,21 @@ fn cmd_flood(opts: &Options) -> Result<(), String> {
             let share = opts.requests / opts.threads.max(1)
                 + usize::from(t < opts.requests % opts.threads.max(1));
             let addr = opts.addr.clone();
-            let line = line.clone();
+            let instance = instance.clone();
+            let mut policy = retry_policy(opts);
+            policy.jitter_seed = t as u64 + 1; // de-correlate the fleet
             handles.push(scope.spawn(move || {
                 let mut local: BTreeMap<String, usize> = BTreeMap::new();
                 for _ in 0..share {
-                    let outcome = Client::connect(&addr)
-                        .and_then(|mut c| c.request(&line))
+                    let outcome = sweep_with_retry(&addr, &instance, opts.deadline_ms, &policy)
                         .map(|resp| {
                             if field(&resp, "ok") == Some("true") {
-                                format!("ok/{}", field(&resp, "cached").unwrap_or("?"))
+                                let kind = if field(&resp, "degraded") == Some("true") {
+                                    "degraded"
+                                } else {
+                                    "ok"
+                                };
+                                format!("{kind}/{}", field(&resp, "cached").unwrap_or("?"))
                             } else {
                                 format!("err/{}", field(&resp, "code").unwrap_or("?"))
                             }
@@ -250,5 +296,5 @@ fn cmd_flood(opts: &Options) -> Result<(), String> {
     for (outcome, count) in &outcomes {
         println!("  {outcome:16} {count}");
     }
-    Ok(())
+    Ok(0)
 }

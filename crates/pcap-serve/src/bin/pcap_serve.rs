@@ -3,7 +3,14 @@
 //! ```text
 //! pcap-serve [--addr 127.0.0.1:7199] [--workers 2] [--queue 64]
 //!            [--cache 256] [--max-line 65536] [--certify]
+//!            [--store DIR] [--drain-deadline-ms 10000]
+//!            [--quarantine-strikes 2] [--fault-plan PLAN]
 //! ```
+//!
+//! `--store DIR` enables the crash-safe persistent result store (recovered
+//! and scrubbed at startup). `--fault-plan` (or the `PCAP_FAULT_PLAN`
+//! environment variable) arms deterministic fault injection — chaos drills
+//! only, never production.
 //!
 //! Prints `pcap-serve listening on ADDR` once ready (scripts and CI wait
 //! for this line), then blocks until a client sends `{"op":"shutdown"}`,
@@ -28,10 +35,21 @@ fn main() {
             "--cache" => cfg.cache_cap = parse_num(&value("--cache"), "--cache"),
             "--max-line" => cfg.max_line_bytes = parse_num(&value("--max-line"), "--max-line"),
             "--certify" => cfg.certify = true,
+            "--store" => cfg.store_path = Some(value("--store").into()),
+            "--drain-deadline-ms" => {
+                cfg.drain_deadline_ms =
+                    parse_num(&value("--drain-deadline-ms"), "--drain-deadline-ms") as u64
+            }
+            "--quarantine-strikes" => {
+                cfg.quarantine_strikes =
+                    parse_num(&value("--quarantine-strikes"), "--quarantine-strikes") as u32
+            }
+            "--fault-plan" => cfg.fault_plan = Some(value("--fault-plan")),
             "--help" | "-h" => {
                 println!(
                     "usage: pcap-serve [--addr A] [--workers N] [--queue N] [--cache N] \
-                     [--max-line BYTES] [--certify]"
+                     [--max-line BYTES] [--certify] [--store DIR] [--drain-deadline-ms MS] \
+                     [--quarantine-strikes N] [--fault-plan PLAN]"
                 );
                 return;
             }
@@ -49,6 +67,16 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(store) = server.store() {
+        let report = store.recovery();
+        println!(
+            "pcap-serve store: {} entries recovered, {} quarantined",
+            report.recovered, report.quarantined
+        );
+    }
+    if server.injector().is_armed() {
+        println!("pcap-serve FAULT INJECTION ARMED (chaos drill, not production)");
+    }
     println!("pcap-serve listening on {}", server.addr());
     // Line-buffered stdout may sit on the message when piped; scripts wait
     // for it, so push it out now.

@@ -43,9 +43,10 @@ enum Entry {
     InFlight { waiters: usize },
     /// A published result, with its LRU tick.
     Ready { reply: Arc<SweepReply>, last_used: u64 },
-    /// A published failure, kept only until the last already-registered
-    /// waiter has observed it.
-    Tombstone { err: ProtoError, remaining: usize },
+    /// A published failure **or** a non-retained reply (e.g. a degraded
+    /// answer that must not masquerade as the exact result), kept only
+    /// until the last already-registered waiter has observed it.
+    Transient { result: Result<Arc<SweepReply>, ProtoError>, remaining: usize },
 }
 
 struct Inner {
@@ -91,7 +92,8 @@ impl ResultCache {
                     *waiters += 1;
                     // Block until this fingerprint leaves the in-flight
                     // state, then re-inspect: Ready → coalesced success,
-                    // Tombstone → coalesced failure (and drain our ticket).
+                    // Transient → coalesced failure or one-shot reply (and
+                    // drain our ticket).
                     loop {
                         inner = self.cond.wait(inner).unwrap();
                         inner.tick += 1;
@@ -102,25 +104,25 @@ impl ResultCache {
                                 *last_used = tick;
                                 return Claim::Coalesced(Ok(Arc::clone(reply)));
                             }
-                            Some(Entry::Tombstone { err, remaining }) => {
-                                let err = err.clone();
+                            Some(Entry::Transient { result, remaining }) => {
+                                let result = result.clone();
                                 *remaining -= 1;
                                 if *remaining == 0 {
                                     inner.map.remove(&fp);
                                 }
-                                return Claim::Coalesced(Err(err));
+                                return Claim::Coalesced(result);
                             }
-                            // Entry vanished (tombstone fully drained by
+                            // Entry vanished (transient fully drained by
                             // others before we woke — can't happen for our
                             // own ticket, but be safe): retry from scratch.
                             None => break,
                         }
                     }
                 }
-                Some(Entry::Tombstone { .. }) => {
-                    // A failure is being drained by its waiters; new
-                    // claimants don't join it — wait for the key to free
-                    // up, then become a fresh leader.
+                Some(Entry::Transient { .. }) => {
+                    // A transient publication is being drained by its
+                    // waiters; new claimants don't join it — wait for the
+                    // key to free up, then become a fresh leader.
                     inner = self.cond.wait(inner).unwrap();
                 }
             }
@@ -143,6 +145,19 @@ impl ResultCache {
     /// the error once; the entry is gone after the last of them (or
     /// immediately when there are none).
     pub fn fail(&self, fp: u64, err: ProtoError) {
+        self.publish_transient(fp, Err(err));
+    }
+
+    /// Leader publishes a reply **without retaining it**: already-waiting
+    /// followers receive it, the next claimant becomes a fresh leader. This
+    /// is how degraded answers travel — they satisfy the connections stuck
+    /// behind a faulted solve, but never shadow the exact result a healthy
+    /// re-solve would produce.
+    pub fn fulfill_transient(&self, fp: u64, reply: Arc<SweepReply>) {
+        self.publish_transient(fp, Ok(reply));
+    }
+
+    fn publish_transient(&self, fp: u64, result: Result<Arc<SweepReply>, ProtoError>) {
         let mut inner = self.inner.lock().unwrap();
         let waiters = match inner.map.get(&fp) {
             Some(Entry::InFlight { waiters }) => *waiters,
@@ -151,7 +166,7 @@ impl ResultCache {
         if waiters == 0 {
             inner.map.remove(&fp);
         } else {
-            inner.map.insert(fp, Entry::Tombstone { err, remaining: waiters });
+            inner.map.insert(fp, Entry::Transient { result, remaining: waiters });
         }
         drop(inner);
         self.cond.notify_all();
@@ -214,6 +229,8 @@ mod tests {
             solver_errors: 0,
             lp: Default::default(),
             solve_wall_s: 0.0,
+            degraded: false,
+            from_disk: false,
         })
     }
 
@@ -277,6 +294,30 @@ mod tests {
         c.fail(2, ProtoError::new(ErrorCode::Internal, "boom"));
         assert!(matches!(c.claim(2), Claim::Leader));
         c.fulfill(2, dummy_reply(2));
+    }
+
+    #[test]
+    fn transient_reply_reaches_waiters_but_is_not_retained() {
+        let c = Arc::new(ResultCache::new(4));
+        assert!(matches!(c.claim(9), Claim::Leader));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || match c.claim(9) {
+                Claim::Coalesced(Ok(r)) => r.results.clone(),
+                _ => panic!("expected coalesced reply"),
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        c.fulfill_transient(9, dummy_reply(9));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "r9");
+        }
+        // Nothing was retained: the next claimant is a fresh leader.
+        assert_eq!(c.len(), 0);
+        assert!(matches!(c.claim(9), Claim::Leader));
+        c.fulfill(9, dummy_reply(9));
+        assert!(matches!(c.claim(9), Claim::Hit(_)));
     }
 
     #[test]

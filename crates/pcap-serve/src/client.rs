@@ -3,9 +3,18 @@
 //! One TCP connection, one request line out, one response line back. The
 //! response is returned as the flat key/value pairs of
 //! [`crate::protocol::parse_object`].
+//!
+//! [`sweep_with_retry`] adds the resilience loop a fleet client needs: a
+//! fresh connection per attempt (the failure being retried may well be a
+//! dead connection), exponential backoff with deterministic jitter, and
+//! the server's `retry_after_ms` hint honored as a floor. Only transport
+//! errors and `overloaded` are retried — every other response, including
+//! `shutting_down` and degraded answers, is returned to the caller to
+//! decide.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use pcap_core::Instance;
 
@@ -23,6 +32,17 @@ pub fn field<'a>(resp: &'a Response, key: &str) -> Option<&'a str> {
 /// Builds the one-line request for a sweep over `instance`.
 pub fn sweep_request_line(instance: &Instance) -> String {
     format!("{{\"op\":\"sweep\",\"instance\":\"{}\"}}", json_escape(&instance.encode()))
+}
+
+/// [`sweep_request_line`] with an end-to-end latency budget attached.
+pub fn sweep_request_line_with_deadline(instance: &Instance, deadline_ms: Option<u64>) -> String {
+    match deadline_ms {
+        Some(ms) => format!(
+            "{{\"op\":\"sweep\",\"deadline_ms\":{ms},\"instance\":\"{}\"}}",
+            json_escape(&instance.encode())
+        ),
+        None => sweep_request_line(instance),
+    }
 }
 
 /// Decodes one `cap=value` results entry into `(cap, makespan)`;
@@ -66,6 +86,15 @@ impl Client {
                 "server closed the connection",
             ));
         }
+        // `read_line` returns whatever arrived before EOF even without a
+        // terminator; a frame missing its '\n' is a truncated response
+        // (server died mid-write), not a short-but-valid one.
+        if !response.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response (truncated frame)",
+            ));
+        }
         Ok(response.trim_end().to_string())
     }
 
@@ -89,5 +118,135 @@ impl Client {
 
     pub fn sweep(&mut self, instance: &Instance) -> std::io::Result<Response> {
         self.request(&sweep_request_line(instance))
+    }
+
+    /// Sweep with a latency budget; the server answers the degraded floor
+    /// (`degraded:true`) rather than blowing the budget.
+    pub fn sweep_with_deadline(
+        &mut self,
+        instance: &Instance,
+        deadline_ms: u64,
+    ) -> std::io::Result<Response> {
+        self.request(&sweep_request_line_with_deadline(instance, Some(deadline_ms)))
+    }
+}
+
+/// Backoff schedule for [`sweep_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (at least 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt, milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic jitter (vary per client to de-correlate
+    /// a fleet; keep fixed in tests for reproducibility).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { attempts: 4, base_backoff_ms: 50, max_backoff_ms: 2_000, jitter_seed: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (1-based): exponential
+    /// backoff plus up to +50% deterministic jitter, floored by the
+    /// server's `retry_after_ms` hint when one was given.
+    fn wait_ms(&self, attempt: u32, server_hint_ms: u64) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .min(self.max_backoff_ms);
+        let jittered = exp
+            + (exp / 2).min((jitter_fraction(self.jitter_seed, attempt) * exp as f64 / 2.0) as u64);
+        jittered.max(server_hint_ms)
+    }
+}
+
+/// SplitMix64-derived fraction in [0,1): deterministic per (seed, attempt),
+/// so a seeded fleet's backoff schedule is reproducible.
+fn jitter_fraction(seed: u64, attempt: u32) -> f64 {
+    let mut z = seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Submits a sweep with reconnect-per-attempt retry. Retries transport
+/// errors (dead/dropped connections, truncated frames) and `overloaded`
+/// responses; anything else — success, degraded answers, `shutting_down`,
+/// instance errors — is final and returned as-is. After the attempts are
+/// exhausted, the last `overloaded` response (or transport error) is
+/// what the caller sees.
+pub fn sweep_with_retry<A: ToSocketAddrs>(
+    addr: A,
+    instance: &Instance,
+    deadline_ms: Option<u64>,
+    policy: &RetryPolicy,
+) -> std::io::Result<Response> {
+    let line = sweep_request_line_with_deadline(instance, deadline_ms);
+    let attempts = policy.attempts.max(1);
+    let mut last_io: Option<std::io::Error> = None;
+    for attempt in 1..=attempts {
+        match Client::connect(&addr).and_then(|mut c| c.request(&line)) {
+            Ok(resp) => {
+                let overloaded = field(&resp, "ok") == Some("false")
+                    && field(&resp, "code") == Some("overloaded");
+                if !overloaded || attempt == attempts {
+                    return Ok(resp);
+                }
+                let hint = field(&resp, "retry_after_ms").and_then(|v| v.parse().ok()).unwrap_or(0);
+                std::thread::sleep(Duration::from_millis(policy.wait_ms(attempt, hint)));
+            }
+            Err(e) => {
+                if attempt == attempts {
+                    return Err(e);
+                }
+                last_io = Some(e);
+                std::thread::sleep(Duration::from_millis(policy.wait_ms(attempt, 0)));
+            }
+        }
+    }
+    Err(last_io.unwrap_or_else(|| std::io::Error::other("retries exhausted")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_embedded_in_the_request_line() {
+        let inst = Instance {
+            machine: pcap_machine::MachineSpec::e5_2670(),
+            dag: pcap_core::DagSpec::Bench {
+                name: "comd".into(),
+                ranks: 2,
+                iterations: 1,
+                seed: 1,
+            },
+            caps_w: vec![60.0],
+        };
+        let line = sweep_request_line_with_deadline(&inst, Some(750));
+        assert!(line.contains("\"deadline_ms\":750"), "{line}");
+        assert_eq!(sweep_request_line_with_deadline(&inst, None), sweep_request_line(&inst));
+    }
+
+    #[test]
+    fn backoff_grows_honors_hint_and_is_deterministic() {
+        let p =
+            RetryPolicy { attempts: 5, base_backoff_ms: 50, max_backoff_ms: 400, jitter_seed: 7 };
+        let w1 = p.wait_ms(1, 0);
+        let w2 = p.wait_ms(2, 0);
+        let w3 = p.wait_ms(3, 0);
+        assert!((50..=75).contains(&w1), "w1={w1}");
+        assert!((100..=150).contains(&w2), "w2={w2}");
+        assert!(w2 > w1 && w3 > w2, "{w1} {w2} {w3}");
+        assert!(p.wait_ms(4, 0) <= 600, "capped at max + 50% jitter");
+        assert_eq!(p.wait_ms(2, 5000), 5000, "server hint is a floor");
+        assert_eq!(p.wait_ms(3, 0), p.wait_ms(3, 0), "jitter is deterministic");
     }
 }

@@ -1,0 +1,355 @@
+//! Deterministic fault injection: named failure points driven by a seeded,
+//! reproducible plan.
+//!
+//! Every place the daemon can plausibly fail in production is a **named
+//! injection point** ([`FaultPoint`]): the solver panicking mid-job, a
+//! solve running pathologically slow, the on-disk store failing or
+//! corrupting bytes, the network dropping a connection. A [`FaultPlan`]
+//! arms a subset of those points with a fire probability, an optional
+//! parameter (sleep milliseconds for [`FaultPoint::SlowSolve`]) and an
+//! optional fire budget; the decision at each arrival is a pure function of
+//! `(seed, point, arrival index)`, so a plan string replays the *same*
+//! fault schedule on every run — which is what lets the chaos test commit
+//! its plan and assert exact recovery behaviour.
+//!
+//! The injector is compiled into every build but **inert by default**: the
+//! daemon only arms it when `PCAP_FAULT_PLAN` is set (or a plan is passed
+//! via `ServerConfig::fault_plan`), and a disarmed [`FaultInjector::fire`]
+//! is one `Option` check. Plan grammar, `;`-separated:
+//!
+//! ```text
+//! seed=42;solver_panic=0.5#4;slow_solve=0.25/300#8;io_read=0.1;corrupt=1#1
+//! POINT = solver_panic | slow_solve | io_read | io_write | corrupt | drop_conn
+//! ARM   = POINT '=' PROB [ '/' PARAM_MS ] [ '#' MAX_FIRES ]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Named injection points. The wire/plan spelling is [`FaultPoint::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Panic inside the worker's solve path (exercises `catch_unwind`,
+    /// respawn and quarantine).
+    SolverPanic,
+    /// Sleep before solving (exercises deadlines and degraded answers).
+    SlowSolve,
+    /// I/O error reading a store entry.
+    IoRead,
+    /// I/O error writing a store entry.
+    IoWrite,
+    /// Flip a byte of a store entry's payload after checksumming (exercises
+    /// the recovery scan's corruption quarantine).
+    Corrupt,
+    /// Drop the TCP connection after reading a request (exercises client
+    /// retry).
+    DropConn,
+}
+
+/// All points, in plan order.
+pub const ALL_POINTS: [FaultPoint; 6] = [
+    FaultPoint::SolverPanic,
+    FaultPoint::SlowSolve,
+    FaultPoint::IoRead,
+    FaultPoint::IoWrite,
+    FaultPoint::Corrupt,
+    FaultPoint::DropConn,
+];
+
+impl FaultPoint {
+    /// The plan-grammar spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::SolverPanic => "solver_panic",
+            FaultPoint::SlowSolve => "slow_solve",
+            FaultPoint::IoRead => "io_read",
+            FaultPoint::IoWrite => "io_write",
+            FaultPoint::Corrupt => "corrupt",
+            FaultPoint::DropConn => "drop_conn",
+        }
+    }
+
+    fn index(self) -> usize {
+        ALL_POINTS.iter().position(|&p| p == self).unwrap()
+    }
+}
+
+/// What a fired point asks the call site to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with an "injected" message.
+    Panic,
+    /// Sleep this many milliseconds, then proceed normally.
+    SleepMs(u64),
+    /// Fail the operation with a synthetic I/O error.
+    IoError,
+    /// Corrupt the bytes in flight.
+    CorruptBytes,
+    /// Close the connection without replying.
+    Disconnect,
+}
+
+/// One armed point's static configuration.
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    /// Fire probability per arrival, in [0, 1].
+    prob: f64,
+    /// Point parameter (sleep ms for `slow_solve`; unused elsewhere).
+    param_ms: u64,
+    /// Fire budget; `u64::MAX` = unbounded.
+    max_fires: u64,
+}
+
+/// A parsed, seeded fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    arms: [Option<Arm>; ALL_POINTS.len()],
+}
+
+impl FaultPlan {
+    /// Parses the plan grammar (see the module docs). Unknown points,
+    /// malformed probabilities and junk fields are hard errors: a chaos
+    /// plan that silently half-applies is worse than none.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut arms: [Option<Arm>; ALL_POINTS.len()] = [None; ALL_POINTS.len()];
+        for field in text.split(';').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) =
+                field.split_once('=').ok_or_else(|| format!("field '{field}' missing '='"))?;
+            if key == "seed" {
+                seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?;
+                continue;
+            }
+            let point = ALL_POINTS
+                .iter()
+                .copied()
+                .find(|p| p.name() == key)
+                .ok_or_else(|| format!("unknown fault point '{key}'"))?;
+            let (value, max_fires) = match value.split_once('#') {
+                Some((v, m)) => {
+                    (v, m.parse().map_err(|_| format!("bad fire budget '{m}' for {key}"))?)
+                }
+                None => (value, u64::MAX),
+            };
+            let (prob_text, param_ms) = match value.split_once('/') {
+                Some((p, ms)) => {
+                    (p, ms.parse().map_err(|_| format!("bad parameter '{ms}' for {key}"))?)
+                }
+                None => (value, 100),
+            };
+            let prob: f64 = prob_text
+                .parse()
+                .map_err(|_| format!("bad probability '{prob_text}' for {key}"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability {prob} for {key} outside [0, 1]"));
+            }
+            arms[point.index()] = Some(Arm { prob, param_ms, max_fires });
+        }
+        Ok(FaultPlan { seed, arms })
+    }
+}
+
+/// Per-point live counters.
+#[derive(Debug, Default)]
+struct PointState {
+    arrivals: AtomicU64,
+    fires: AtomicU64,
+}
+
+/// The armed (or inert) injector shared by server, pool and store.
+///
+/// Thread-safe and lock-free: each arrival takes a unique index via
+/// `fetch_add`, and the fire decision hashes `(seed, point, index)` — two
+/// threads racing through the same point consume distinct indices, so the
+/// total fire schedule is reproducible even though the *assignment* of
+/// fires to threads is not.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: Option<FaultPlan>,
+    state: [PointState; ALL_POINTS.len()],
+}
+
+impl FaultInjector {
+    /// The inert injector: every [`FaultInjector::fire`] returns `None`.
+    pub fn disabled() -> Self {
+        Self { plan: None, state: Default::default() }
+    }
+
+    /// An injector armed with `plan`.
+    pub fn armed(plan: FaultPlan) -> Self {
+        Self { plan: Some(plan), state: Default::default() }
+    }
+
+    /// Parses and arms `text`, or stays inert for `None`.
+    pub fn from_plan_text(text: Option<&str>) -> Result<Self, String> {
+        match text {
+            Some(t) => Ok(Self::armed(FaultPlan::parse(t)?)),
+            None => Ok(Self::disabled()),
+        }
+    }
+
+    /// Whether any point is armed.
+    pub fn is_armed(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// One arrival at `point`: decides deterministically whether the fault
+    /// fires, and returns the action to perform if it does.
+    pub fn fire(&self, point: FaultPoint) -> Option<FaultAction> {
+        let plan = self.plan.as_ref()?;
+        let arm = plan.arms[point.index()]?;
+        let state = &self.state[point.index()];
+        let n = state.arrivals.fetch_add(1, Ordering::Relaxed);
+        if splitmix_fraction(plan.seed, point.index() as u64, n) >= arm.prob {
+            return None;
+        }
+        // Respect the fire budget; competing arrivals race for the last
+        // slots through the CAS loop, never overshooting.
+        loop {
+            let fired = state.fires.load(Ordering::Relaxed);
+            if fired >= arm.max_fires {
+                return None;
+            }
+            if state
+                .fires
+                .compare_exchange(fired, fired + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        Some(match point {
+            FaultPoint::SolverPanic => FaultAction::Panic,
+            FaultPoint::SlowSolve => FaultAction::SleepMs(arm.param_ms),
+            FaultPoint::IoRead | FaultPoint::IoWrite => FaultAction::IoError,
+            FaultPoint::Corrupt => FaultAction::CorruptBytes,
+            FaultPoint::DropConn => FaultAction::Disconnect,
+        })
+    }
+
+    /// Times `point` has fired so far.
+    pub fn fires(&self, point: FaultPoint) -> u64 {
+        self.state[point.index()].fires.load(Ordering::Relaxed)
+    }
+
+    /// True once every armed point with a finite budget has spent it — the
+    /// "plan drained" condition chaos tests wait for before asserting full
+    /// recovery. Unbounded arms never drain; plans meant to drain give
+    /// every point a `#budget`.
+    pub fn drained(&self) -> bool {
+        let Some(plan) = &self.plan else { return true };
+        ALL_POINTS.iter().all(|&p| match plan.arms[p.index()] {
+            None => true,
+            Some(arm) => {
+                arm.max_fires != u64::MAX
+                    && self.state[p.index()].fires.load(Ordering::Relaxed) >= arm.max_fires
+            }
+        })
+    }
+}
+
+/// SplitMix64 over the (seed, point, arrival) triple, mapped to [0, 1).
+fn splitmix_fraction(seed: u64, point: u64, arrival: u64) -> f64 {
+    let mut z = seed
+        ^ point.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ arrival.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The synthetic error used by [`FaultAction::IoError`] call sites.
+pub fn injected_io_error(op: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {op}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=42; solver_panic=0.5#4 ;slow_solve=0.25/300#8;io_read=0.1;io_write=1;corrupt=1#1;drop_conn=0",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        let panic_arm = plan.arms[FaultPoint::SolverPanic.index()].unwrap();
+        assert_eq!(panic_arm.prob, 0.5);
+        assert_eq!(panic_arm.max_fires, 4);
+        let slow = plan.arms[FaultPoint::SlowSolve.index()].unwrap();
+        assert_eq!(slow.param_ms, 300);
+        assert_eq!(slow.max_fires, 8);
+        assert_eq!(plan.arms[FaultPoint::IoRead.index()].unwrap().max_fires, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in [
+            "solver_panic",
+            "warp_core=0.5",
+            "solver_panic=nan.q",
+            "solver_panic=1.5",
+            "solver_panic=-0.1",
+            "seed=twelve",
+            "slow_solve=0.5/fast",
+            "solver_panic=0.5#many",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_and_disabled_injector_never_fire() {
+        let inert = FaultInjector::disabled();
+        assert!(!inert.is_armed());
+        assert!(inert.drained());
+        for p in ALL_POINTS {
+            assert_eq!(inert.fire(p), None);
+        }
+        let empty = FaultInjector::armed(FaultPlan::parse("seed=1").unwrap());
+        for p in ALL_POINTS {
+            assert_eq!(empty.fire(p), None);
+        }
+        assert!(empty.drained());
+    }
+
+    #[test]
+    fn fire_schedule_is_reproducible_and_budgeted() {
+        let run = || {
+            let inj = FaultInjector::armed(FaultPlan::parse("seed=7;solver_panic=0.5#3").unwrap());
+            let fired: Vec<bool> =
+                (0..32).map(|_| inj.fire(FaultPoint::SolverPanic).is_some()).collect();
+            (fired, inj.fires(FaultPoint::SolverPanic), inj.drained())
+        };
+        let (a, fires_a, drained_a) = run();
+        let (b, fires_b, _) = run();
+        assert_eq!(a, b, "same plan must replay the same schedule");
+        assert_eq!(fires_a, 3, "budget of 3 must be spent over 32 p=0.5 arrivals");
+        assert_eq!(fires_a, fires_b);
+        assert!(drained_a, "spent budget must report drained");
+    }
+
+    #[test]
+    fn probabilities_land_in_the_right_ballpark() {
+        let inj = FaultInjector::armed(FaultPlan::parse("seed=99;drop_conn=0.25").unwrap());
+        let fired = (0..4000).filter(|_| inj.fire(FaultPoint::DropConn).is_some()).count();
+        assert!((700..=1300).contains(&fired), "p=0.25 over 4000: {fired}");
+        assert!(!inj.drained(), "unbounded arm never drains");
+    }
+
+    #[test]
+    fn actions_match_points() {
+        let inj = FaultInjector::armed(
+            FaultPlan::parse("slow_solve=1/250;io_read=1;corrupt=1;drop_conn=1;solver_panic=1")
+                .unwrap(),
+        );
+        assert_eq!(inj.fire(FaultPoint::SlowSolve), Some(FaultAction::SleepMs(250)));
+        assert_eq!(inj.fire(FaultPoint::IoRead), Some(FaultAction::IoError));
+        assert_eq!(inj.fire(FaultPoint::Corrupt), Some(FaultAction::CorruptBytes));
+        assert_eq!(inj.fire(FaultPoint::DropConn), Some(FaultAction::Disconnect));
+        assert_eq!(inj.fire(FaultPoint::SolverPanic), Some(FaultAction::Panic));
+    }
+}

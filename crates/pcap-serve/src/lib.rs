@@ -27,17 +27,27 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use cache::{Claim, ResultCache};
-pub use client::{decode_result_entry, field, sweep_request_line, Client, Response};
+pub use client::{
+    decode_result_entry, field, sweep_request_line, sweep_request_line_with_deadline,
+    sweep_with_retry, Client, Response, RetryPolicy,
+};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultPoint};
 pub use metrics::Metrics;
-pub use pool::{resolve_graph, Job, JobQueue, PushError, SweepReply, WorkerPool};
+pub use pool::{
+    degraded_reply, resolve_graph, Job, JobQueue, PushError, Quarantine, SweepReply, WorkerEnv,
+    WorkerPool,
+};
 pub use protocol::{
     error_response, json_escape, parse_object, parse_request, render_object, render_results,
     ErrorCode, ProtoError, Request, MAX_LINE_BYTES,
 };
 pub use server::{Server, ServerConfig, SHED_RETRY_MS};
+pub use store::{RecoveryReport, Store};

@@ -84,6 +84,32 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     /// Jobs executed by the worker pool (== leaders that reached a worker).
     pub solves: AtomicU64,
+    /// Solver panics caught by a worker's `catch_unwind` guard.
+    pub worker_panics: AtomicU64,
+    /// Replacement workers spawned after a panic poisoned one.
+    pub worker_respawns: AtomicU64,
+    /// Fingerprints tombstoned after repeatedly panicking workers.
+    pub quarantined_fingerprints: AtomicU64,
+    /// Requests refused because their fingerprint is quarantined.
+    pub quarantine_rejected: AtomicU64,
+    /// Responses answered with the degraded discrete floor instead of the
+    /// LP optimum (panics, deadline misses).
+    pub degraded: AtomicU64,
+    /// Queued jobs whose deadline had already passed when a worker popped
+    /// them (skipped the solve, answered degraded).
+    pub deadline_drops: AtomicU64,
+    /// Sweep requests answered from the on-disk store.
+    pub store_hits: AtomicU64,
+    /// Replies persisted to the on-disk store.
+    pub store_writes: AtomicU64,
+    /// Store writes that failed (flaky disk / injected faults).
+    pub store_write_errors: AtomicU64,
+    /// Entries validated by the startup recovery scan.
+    pub store_recovered: AtomicU64,
+    /// Corrupt entries quarantined (at startup or on read).
+    pub store_quarantined: AtomicU64,
+    /// Connections deliberately dropped by the fault injector.
+    pub injected_disconnects: AtomicU64,
     start: Instant,
     inner: Mutex<MetricsInner>,
 }
@@ -101,6 +127,18 @@ impl Metrics {
             shed: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             solves: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            quarantined_fingerprints: AtomicU64::new(0),
+            quarantine_rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            deadline_drops: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_write_errors: AtomicU64::new(0),
+            store_recovered: AtomicU64::new(0),
+            store_quarantined: AtomicU64::new(0),
+            injected_disconnects: AtomicU64::new(0),
             start: Instant::now(),
             inner: Mutex::new(MetricsInner::default()),
         }
@@ -143,6 +181,18 @@ impl Metrics {
             ("queue_depth", queue_depth.to_string()),
             ("cache_entries", cache_entries.to_string()),
             ("solves", load(&self.solves).to_string()),
+            ("worker_panics", load(&self.worker_panics).to_string()),
+            ("worker_respawns", load(&self.worker_respawns).to_string()),
+            ("quarantined_fingerprints", load(&self.quarantined_fingerprints).to_string()),
+            ("quarantine_rejected", load(&self.quarantine_rejected).to_string()),
+            ("degraded", load(&self.degraded).to_string()),
+            ("deadline_drops", load(&self.deadline_drops).to_string()),
+            ("store_hits", load(&self.store_hits).to_string()),
+            ("store_writes", load(&self.store_writes).to_string()),
+            ("store_write_errors", load(&self.store_write_errors).to_string()),
+            ("store_recovered", load(&self.store_recovered).to_string()),
+            ("store_quarantined", load(&self.store_quarantined).to_string()),
+            ("injected_disconnects", load(&self.injected_disconnects).to_string()),
             ("lp_solves", inner.lp.solves.to_string()),
             ("lp_certified", inner.lp.certified.to_string()),
             ("lp_iterations", inner.lp.iterations.to_string()),

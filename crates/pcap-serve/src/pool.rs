@@ -1,4 +1,4 @@
-//! Bounded admission queue and warm-pooled worker threads.
+//! Bounded admission queue and panic-isolated, warm-pooled worker threads.
 //!
 //! Each worker owns a small LRU of [`SweepContext`]s keyed by **scope
 //! fingerprint** (machine + DAG, caps excluded): two jobs for the same
@@ -14,21 +14,39 @@
 //! [`JobQueue::close`], pushes fail with [`PushError::Closed`] but workers
 //! keep draining what was admitted — graceful shutdown never drops an
 //! accepted job.
+//!
+//! **Panic isolation.** A solver panic is caught by a `catch_unwind` guard
+//! around the job; the waiting connection receives the degraded discrete
+//! floor ([`degraded_reply`]) instead of a dead socket, and the worker
+//! thread exits — its warm contexts might be poisoned mid-pivot — while a
+//! supervisor thread spawns a fresh replacement, so pool capacity never
+//! decays. A fingerprint whose jobs keep killing workers is **quarantined**
+//! after [`Quarantine`]'s strike limit: further requests for it answer
+//! `internal` immediately rather than burning a worker per retry.
+//!
+//! **Deadlines.** Jobs carry the client's latency budget; queued work whose
+//! budget already lapsed skips the solve entirely and answers degraded —
+//! under overload the queue sheds stale work instead of solving for nobody.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use pcap_apps::{AppParams, Benchmark};
-use pcap_core::{total_stats, DagSpec, Instance, SweepContext, SweepOptions, TaskFrontiers};
+use pcap_core::{
+    degraded_sweep, total_stats, DagSpec, Instance, SweepContext, SweepOptions, TaskFrontiers,
+};
 use pcap_dag::TaskGraph;
 use pcap_lp::SolveStats;
 
 use crate::cache::{leader_lost_error, ResultCache};
+use crate::fault::{FaultAction, FaultInjector, FaultPoint};
 use crate::metrics::Metrics;
 use crate::protocol::{render_results, ErrorCode, ProtoError};
+use crate::store::Store;
 
 /// Warm contexts kept per worker before the least-recently-used one is
 /// dropped. Small on purpose: each context holds factored per-window LPs.
@@ -53,6 +71,12 @@ pub struct SweepReply {
     pub lp: SolveStats,
     /// End-to-end job execution time on the worker, seconds.
     pub solve_wall_s: f64,
+    /// True for a degraded answer: `results` carries the cheap discrete
+    /// floor (a valid lower bound), not the LP optimum. Degraded replies
+    /// are never cached or persisted.
+    pub degraded: bool,
+    /// True when loaded from the persistent store (LP telemetry absent).
+    pub from_disk: bool,
 }
 
 /// One admitted unit of work: solve `instance`, publish into the cache,
@@ -61,6 +85,8 @@ pub struct Job {
     pub fingerprint: u64,
     pub scope: u64,
     pub instance: Instance,
+    /// Absolute latency budget; `None` = no deadline.
+    pub deadline: Option<Instant>,
     pub done: mpsc::Sender<Result<Arc<SweepReply>, ProtoError>>,
 }
 
@@ -142,6 +168,54 @@ impl JobQueue {
     }
 }
 
+/// Poisoned-request tracker: a fingerprint accumulates a strike every time
+/// it panics a worker; at the limit it is tombstoned and answered
+/// `internal` without ever reaching a worker again.
+pub struct Quarantine {
+    strikes: Mutex<HashMap<u64, u32>>,
+    limit: u32,
+}
+
+impl Quarantine {
+    /// `limit` panics quarantine a fingerprint (at least 1).
+    pub fn new(limit: u32) -> Self {
+        Self { strikes: Mutex::new(HashMap::new()), limit: limit.max(1) }
+    }
+
+    /// Records one panic against `fp`; returns `true` when this strike
+    /// crossed the limit (the caller counts the new tombstone exactly once).
+    pub fn strike(&self, fp: u64) -> bool {
+        let mut strikes = self.strikes.lock().unwrap();
+        let count = strikes.entry(fp).or_insert(0);
+        *count += 1;
+        *count == self.limit
+    }
+
+    /// Whether `fp` is tombstoned.
+    pub fn is_quarantined(&self, fp: u64) -> bool {
+        self.strikes.lock().unwrap().get(&fp).is_some_and(|&c| c >= self.limit)
+    }
+
+    /// The response for a tombstoned fingerprint.
+    pub fn rejection(&self) -> ProtoError {
+        ProtoError::new(
+            ErrorCode::Internal,
+            format!("fingerprint quarantined after {} solver panics", self.limit),
+        )
+    }
+}
+
+/// Everything a worker needs besides the queue; shared with the server.
+#[derive(Clone)]
+pub struct WorkerEnv {
+    pub cache: Arc<ResultCache>,
+    pub metrics: Arc<Metrics>,
+    pub opts: SweepOptions,
+    pub injector: Arc<FaultInjector>,
+    pub quarantine: Arc<Quarantine>,
+    pub store: Option<Arc<Store>>,
+}
+
 /// Resolves an instance's DAG spec to a concrete task graph. `Bench` names
 /// are matched case-insensitively against [`Benchmark::name`].
 pub fn resolve_graph(instance: &Instance) -> Result<TaskGraph, String> {
@@ -162,6 +236,48 @@ pub fn resolve_graph(instance: &Instance) -> Result<TaskGraph, String> {
     }
 }
 
+/// Computes the degraded discrete-floor answer for `instance`: the
+/// power-unconstrained critical path per cap (`pcap_core::degraded_sweep`),
+/// no LP involved. This is what a faulted or deadline-blown request gets —
+/// a correct *bound*, clearly marked `degraded`, instead of an error.
+pub fn degraded_reply(
+    instance: &Instance,
+    fp: u64,
+    scope: u64,
+) -> Result<Arc<SweepReply>, ProtoError> {
+    let started = Instant::now();
+    let graph = resolve_graph(instance).map_err(|e| ProtoError::new(ErrorCode::BadInstance, e))?;
+    let frontiers = TaskFrontiers::build(&graph, &instance.machine);
+    let points = degraded_sweep(&graph, &frontiers, &instance.caps_w);
+    let mut feasible = 0u64;
+    let mut infeasible = 0u64;
+    let mut parts = Vec::with_capacity(points.len());
+    for p in &points {
+        match &p.makespan_floor_s {
+            Ok(t) => {
+                feasible += 1;
+                parts.push(format!("{}={:016x}", p.cap_w, t.to_bits()));
+            }
+            Err(_) => {
+                infeasible += 1;
+                parts.push(format!("{}=inf", p.cap_w));
+            }
+        }
+    }
+    Ok(Arc::new(SweepReply {
+        fingerprint: fp,
+        scope,
+        results: parts.join(","),
+        feasible,
+        infeasible,
+        solver_errors: 0,
+        lp: SolveStats::default(),
+        solve_wall_s: started.elapsed().as_secs_f64(),
+        degraded: true,
+        from_disk: false,
+    }))
+}
+
 /// A worker's warm state for one scope: the frontiers and the LP context
 /// (with whatever bases the last grid left behind).
 struct WarmEntry {
@@ -170,126 +286,256 @@ struct WarmEntry {
     last_used: u64,
 }
 
-/// Fixed-size pool of solver threads sharing one [`JobQueue`].
+/// How a worker thread ended.
+enum WorkerExit {
+    /// Queue closed and drained — normal shutdown.
+    Drained,
+    /// A job panicked; the thread discarded its (possibly poisoned) warm
+    /// state and exited so the supervisor replaces it.
+    Poisoned,
+}
+
+/// Fixed-size pool of solver threads sharing one [`JobQueue`], kept at full
+/// strength by a supervisor that respawns panicked workers.
 pub struct WorkerPool {
     queue: Arc<JobQueue>,
-    handles: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (at least one). Jobs publish into `cache`
-    /// and record into `metrics`.
-    pub fn start(
-        workers: usize,
-        queue_cap: usize,
-        cache: Arc<ResultCache>,
-        metrics: Arc<Metrics>,
-        opts: SweepOptions,
-    ) -> Self {
+    /// Spawns `workers` threads (at least one) plus the supervisor.
+    pub fn start(workers: usize, queue_cap: usize, env: WorkerEnv) -> Self {
         let queue = Arc::new(JobQueue::new(queue_cap));
+        let workers = workers.max(1);
+        let (exit_tx, exit_rx) = mpsc::channel::<WorkerExit>();
         let mut handles = Vec::new();
-        for i in 0..workers.max(1) {
-            let queue = Arc::clone(&queue);
-            let cache = Arc::clone(&cache);
-            let metrics = Arc::clone(&metrics);
-            let opts = opts.clone();
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("pcap-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &cache, &metrics, &opts))
-                    .expect("spawn worker thread"),
-            );
+        for i in 0..workers {
+            handles.push(spawn_worker(i, &queue, &env, &exit_tx));
         }
-        Self { queue, handles }
+        let supervisor = {
+            let queue = Arc::clone(&queue);
+            let env = env.clone();
+            thread::Builder::new()
+                .name("pcap-supervisor".into())
+                .spawn(move || {
+                    let mut live = handles.len();
+                    let mut next_id = live;
+                    while live > 0 {
+                        match exit_rx.recv() {
+                            Ok(WorkerExit::Drained) => live -= 1,
+                            Ok(WorkerExit::Poisoned) => {
+                                env.metrics
+                                    .worker_respawns
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                handles.push(spawn_worker(next_id, &queue, &env, &exit_tx));
+                                next_id += 1;
+                            }
+                            // All senders gone: every worker exited without
+                            // reporting (can't happen — the wrapper always
+                            // sends — but don't hang on it).
+                            Err(_) => break,
+                        }
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                })
+                .expect("spawn supervisor thread")
+        };
+        Self { queue, supervisor: Some(supervisor) }
     }
 
     pub fn queue(&self) -> &Arc<JobQueue> {
         &self.queue
     }
 
-    /// Closes admission and joins every worker after the queue drains.
-    pub fn shutdown(self) {
+    /// Closes admission and joins the supervisor (which joins every worker
+    /// after the queue drains).
+    pub fn shutdown(mut self) {
         self.queue.close();
-        for h in self.handles {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(queue: &JobQueue, cache: &ResultCache, metrics: &Metrics, opts: &SweepOptions) {
+fn spawn_worker(
+    id: usize,
+    queue: &Arc<JobQueue>,
+    env: &WorkerEnv,
+    exit_tx: &mpsc::Sender<WorkerExit>,
+) -> JoinHandle<()> {
+    let queue = Arc::clone(queue);
+    let env = env.clone();
+    let exit_tx = exit_tx.clone();
+    thread::Builder::new()
+        .name(format!("pcap-worker-{id}"))
+        .spawn(move || {
+            let exit = worker_loop(&queue, &env);
+            let _ = exit_tx.send(exit);
+        })
+        .expect("spawn worker thread")
+}
+
+fn worker_loop(queue: &JobQueue, env: &WorkerEnv) -> WorkerExit {
     let mut warm: HashMap<u64, WarmEntry> = HashMap::new();
     let mut tick: u64 = 0;
     while let Some(job) = queue.pop() {
         tick += 1;
-        execute_job(job, cache, metrics, opts, &mut warm, tick);
+        if execute_job(job, env, &mut warm, tick) {
+            return WorkerExit::Poisoned;
+        }
         if warm.len() > WARM_SCOPES_PER_WORKER {
             if let Some((&victim, _)) = warm.iter().min_by_key(|(_, e)| e.last_used) {
                 warm.remove(&victim);
             }
         }
     }
+    WorkerExit::Drained
 }
 
-fn execute_job(
-    job: Job,
-    cache: &ResultCache,
-    metrics: &Metrics,
-    opts: &SweepOptions,
-    warm: &mut HashMap<u64, WarmEntry>,
-    tick: u64,
-) {
+/// Runs one job; returns `true` when the solve panicked and the caller's
+/// warm state must be considered poisoned.
+fn execute_job(job: Job, env: &WorkerEnv, warm: &mut HashMap<u64, WarmEntry>, tick: u64) -> bool {
     let started = Instant::now();
     let fp = job.fingerprint;
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
 
-    let result = (|| -> Result<Arc<SweepReply>, ProtoError> {
-        let entry = match warm.entry(job.scope) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                let e = e.into_mut();
-                e.last_used = tick;
-                e
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                let graph = resolve_graph(&job.instance)
-                    .map_err(|e| ProtoError::new(ErrorCode::BadInstance, e))?;
-                let frontiers = TaskFrontiers::build(&graph, &job.instance.machine);
-                let ctx = SweepContext::new(&graph, &frontiers, opts.clone());
-                v.insert(WarmEntry { frontiers, ctx, last_used: tick })
-            }
-        };
-        let points = entry.ctx.solve_grid(&entry.frontiers, &job.instance.caps_w);
-        let mut feasible = 0;
-        let mut infeasible = 0;
-        let mut solver_errors = 0;
-        for p in &points {
-            match &p.schedule {
-                Ok(_) => feasible += 1,
-                Err(pcap_core::CoreError::Infeasible) => infeasible += 1,
-                Err(_) => solver_errors += 1,
-            }
-        }
-        let lp = total_stats(&points);
-        Ok(Arc::new(SweepReply {
-            fingerprint: fp,
-            scope: job.scope,
-            results: render_results(&points),
-            feasible,
-            infeasible,
-            solver_errors,
-            lp,
-            solve_wall_s: started.elapsed().as_secs_f64(),
-        }))
-    })();
+    // A fingerprint can be quarantined between admission and execution
+    // (another worker just took its final strike) — re-check here.
+    if env.quarantine.is_quarantined(fp) {
+        env.metrics.quarantine_rejected.fetch_add(1, relaxed);
+        let err = env.quarantine.rejection();
+        env.cache.fail(fp, err.clone());
+        let _ = job.done.send(Err(err));
+        return false;
+    }
 
-    // Both arms publish into the cache before replying, so coalesced
-    // waiters are never left stranded on an in-flight entry.
+    // Queued past its deadline: don't burn a solve nobody is waiting for —
+    // answer the cheap floor so leader and followers still get *something*.
+    if job.deadline.is_some_and(|dl| Instant::now() >= dl) {
+        env.metrics.deadline_drops.fetch_add(1, relaxed);
+        publish_degraded(&job, env);
+        return false;
+    }
+
+    let result = catch_unwind(AssertUnwindSafe(|| run_solve(&job, env, warm, tick, started)));
+
     match result {
-        Ok(reply) => {
-            metrics.record_solve(started.elapsed(), &reply.lp);
-            cache.fulfill(fp, Arc::clone(&reply));
+        Ok(Ok(reply)) => {
+            env.metrics.record_solve(started.elapsed(), &reply.lp);
+            // Publish into the cache before replying, so coalesced waiters
+            // are never left stranded on an in-flight entry; then persist.
+            env.cache.fulfill(fp, Arc::clone(&reply));
+            if let Some(store) = &env.store {
+                match store.put(&reply) {
+                    Ok(()) => env.metrics.store_writes.fetch_add(1, relaxed),
+                    Err(_) => env.metrics.store_write_errors.fetch_add(1, relaxed),
+                };
+            }
+            let _ = job.done.send(Ok(reply));
+            false
+        }
+        Ok(Err(err)) => {
+            env.cache.fail(fp, err.clone());
+            let _ = job.done.send(Err(err));
+            false
+        }
+        Err(_panic) => {
+            env.metrics.worker_panics.fetch_add(1, relaxed);
+            if env.quarantine.strike(fp) {
+                env.metrics.quarantined_fingerprints.fetch_add(1, relaxed);
+            }
+            if env.quarantine.is_quarantined(fp) {
+                let err = env.quarantine.rejection();
+                env.cache.fail(fp, err.clone());
+                let _ = job.done.send(Err(err));
+            } else {
+                publish_degraded(&job, env);
+            }
+            true
+        }
+    }
+}
+
+/// The real solve, running inside the `catch_unwind` guard. Fault points
+/// `slow_solve` and `solver_panic` hook here — exactly where a pathological
+/// LP or a solver bug would bite in production.
+fn run_solve(
+    job: &Job,
+    env: &WorkerEnv,
+    warm: &mut HashMap<u64, WarmEntry>,
+    tick: u64,
+    started: Instant,
+) -> Result<Arc<SweepReply>, ProtoError> {
+    if let Some(FaultAction::SleepMs(ms)) = env.injector.fire(FaultPoint::SlowSolve) {
+        thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if env.injector.fire(FaultPoint::SolverPanic).is_some() {
+        panic!("injected fault: solver panic");
+    }
+    let entry = match warm.entry(job.scope) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            let e = e.into_mut();
+            e.last_used = tick;
+            e
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let graph = resolve_graph(&job.instance)
+                .map_err(|e| ProtoError::new(ErrorCode::BadInstance, e))?;
+            let frontiers = TaskFrontiers::build(&graph, &job.instance.machine);
+            let ctx = SweepContext::new(&graph, &frontiers, env.opts.clone());
+            v.insert(WarmEntry { frontiers, ctx, last_used: tick })
+        }
+    };
+    let points = entry.ctx.solve_grid(&entry.frontiers, &job.instance.caps_w);
+    let mut feasible = 0;
+    let mut infeasible = 0;
+    let mut solver_errors = 0;
+    for p in &points {
+        match &p.schedule {
+            Ok(_) => feasible += 1,
+            Err(pcap_core::CoreError::Infeasible) => infeasible += 1,
+            Err(_) => solver_errors += 1,
+        }
+    }
+    let lp = total_stats(&points);
+    Ok(Arc::new(SweepReply {
+        fingerprint: job.fingerprint,
+        scope: job.scope,
+        results: render_results(&points),
+        feasible,
+        infeasible,
+        solver_errors,
+        lp,
+        solve_wall_s: started.elapsed().as_secs_f64(),
+        degraded: false,
+        from_disk: false,
+    }))
+}
+
+/// Publishes the degraded floor for `job` — transiently, so the degraded
+/// bytes satisfy everyone currently waiting but never shadow the exact
+/// result a later healthy solve would cache. Falls back to `internal` if
+/// even the floor cannot be computed (it runs under its own panic guard).
+fn publish_degraded(job: &Job, env: &WorkerEnv) {
+    let fallback = catch_unwind(AssertUnwindSafe(|| {
+        degraded_reply(&job.instance, job.fingerprint, job.scope)
+    }));
+    match fallback {
+        Ok(Ok(reply)) => {
+            env.metrics.degraded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            env.cache.fulfill_transient(job.fingerprint, Arc::clone(&reply));
             let _ = job.done.send(Ok(reply));
         }
-        Err(err) => {
-            cache.fail(fp, err.clone());
+        Ok(Err(err)) => {
+            env.cache.fail(job.fingerprint, err.clone());
+            let _ = job.done.send(Err(err));
+        }
+        Err(_panic) => {
+            let err =
+                ProtoError::new(ErrorCode::Internal, "degraded fallback panicked after a fault");
+            env.cache.fail(job.fingerprint, err.clone());
             let _ = job.done.send(Err(err));
         }
     }
@@ -312,7 +558,9 @@ pub fn lost_leader() -> ProtoError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use pcap_machine::MachineSpec;
+    use std::sync::atomic::Ordering;
 
     fn tiny_instance(cap: f64) -> Instance {
         Instance {
@@ -320,6 +568,32 @@ mod tests {
             dag: DagSpec::Bench { name: "comd".into(), ranks: 2, iterations: 1, seed: 42 },
             caps_w: vec![cap],
         }
+    }
+
+    fn test_env(injector: FaultInjector, strikes: u32) -> WorkerEnv {
+        WorkerEnv {
+            cache: Arc::new(ResultCache::new(8)),
+            metrics: Arc::new(Metrics::new()),
+            opts: SweepOptions { workers: 1, ..Default::default() },
+            injector: Arc::new(injector),
+            quarantine: Arc::new(Quarantine::new(strikes)),
+            store: None,
+        }
+    }
+
+    fn push_and_wait(
+        pool: &WorkerPool,
+        env: &WorkerEnv,
+        inst: Instance,
+    ) -> Result<Arc<SweepReply>, ProtoError> {
+        let fp = inst.fingerprint();
+        let scope = inst.scope_fingerprint();
+        assert!(matches!(env.cache.claim(fp), crate::cache::Claim::Leader));
+        let (tx, rx) = mpsc::channel();
+        pool.queue()
+            .try_push(Job { fingerprint: fp, scope, instance: inst, deadline: None, done: tx })
+            .unwrap_or_else(|_| panic!("push failed"));
+        rx.recv().unwrap()
     }
 
     #[test]
@@ -330,6 +604,7 @@ mod tests {
             fingerprint: fp,
             scope: 0,
             instance: tiny_instance(60.0),
+            deadline: None,
             done: tx.clone(),
         };
         assert!(q.try_push(mk(1)).is_ok());
@@ -362,28 +637,123 @@ mod tests {
 
     #[test]
     fn pool_executes_and_publishes_to_cache() {
-        let cache = Arc::new(ResultCache::new(8));
-        let metrics = Arc::new(Metrics::new());
-        let pool = WorkerPool::start(
-            1,
-            4,
-            Arc::clone(&cache),
-            Arc::clone(&metrics),
-            SweepOptions { workers: 1, ..Default::default() },
-        );
+        let env = test_env(FaultInjector::disabled(), 2);
+        let pool = WorkerPool::start(1, 4, env.clone());
+        let inst = tiny_instance(60.0);
+        let fp = inst.fingerprint();
+        let reply = push_and_wait(&pool, &env, inst).expect("solve should succeed");
+        assert_eq!(reply.feasible + reply.infeasible + reply.solver_errors, 1);
+        assert!(reply.results.contains('='));
+        assert!(!reply.degraded);
+        assert!(matches!(env.cache.claim(fp), crate::cache::Claim::Hit(_)));
+        pool.shutdown();
+        assert_eq!(env.metrics.solves.load(Ordering::Relaxed), 1);
+    }
+
+    /// The acceptance-criteria panic test: an injected solver panic must be
+    /// answered (degraded), the worker must be respawned, the process must
+    /// survive, and the next job must solve normally.
+    #[test]
+    fn worker_panic_respawns_and_answers_degraded() {
+        let env = test_env(FaultInjector::armed(FaultPlan::parse("solver_panic=1#1").unwrap()), 2);
+        let pool = WorkerPool::start(1, 4, env.clone());
+
+        let inst = tiny_instance(60.0);
+        let fp = inst.fingerprint();
+        let reply = push_and_wait(&pool, &env, inst).expect("panic must yield a degraded answer");
+        assert!(reply.degraded, "panicked solve answers with the floor");
+        assert!(reply.results.contains('='));
+        assert_eq!(env.metrics.worker_panics.load(Ordering::Relaxed), 1);
+
+        // Degraded answers are transient: the fingerprint is claimable again.
+        assert!(matches!(env.cache.claim(fp), crate::cache::Claim::Leader));
+        env.cache.fail(fp, ProtoError::new(ErrorCode::Internal, "test cleanup"));
+
+        // The pool still serves — the replacement worker handles this one
+        // (the fault budget is spent, so it solves for real).
+        let reply = push_and_wait(&pool, &env, tiny_instance(70.0)).expect("pool must survive");
+        assert!(!reply.degraded);
+        assert_eq!(env.metrics.worker_respawns.load(Ordering::Relaxed), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_the_fingerprint() {
+        let env = test_env(FaultInjector::armed(FaultPlan::parse("solver_panic=1#2").unwrap()), 2);
+        let pool = WorkerPool::start(1, 4, env.clone());
+        let inst = tiny_instance(60.0);
+        let fp = inst.fingerprint();
+
+        // Strike one: degraded answer.
+        let r1 = push_and_wait(&pool, &env, inst.clone()).expect("first panic degrades");
+        assert!(r1.degraded);
+        // Strike two: crosses the limit — internal.
+        let r2 = push_and_wait(&pool, &env, inst.clone()).unwrap_err();
+        assert_eq!(r2.code, ErrorCode::Internal);
+        assert!(r2.detail.contains("quarantined"), "{}", r2.detail);
+        assert_eq!(env.metrics.quarantined_fingerprints.load(Ordering::Relaxed), 1);
+        assert!(env.quarantine.is_quarantined(fp));
+
+        // Tombstoned: answered internal by the worker-side re-check even
+        // though the fault budget is spent (no more panics would occur).
+        let r3 = push_and_wait(&pool, &env, inst).unwrap_err();
+        assert_eq!(r3.code, ErrorCode::Internal);
+        assert_eq!(env.metrics.quarantine_rejected.load(Ordering::Relaxed), 1);
+
+        // Other fingerprints are unaffected.
+        let ok = push_and_wait(&pool, &env, tiny_instance(75.0)).expect("others solve");
+        assert!(!ok.degraded);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_solve_and_degrades() {
+        let env = test_env(FaultInjector::disabled(), 2);
+        let pool = WorkerPool::start(1, 4, env.clone());
         let inst = tiny_instance(60.0);
         let fp = inst.fingerprint();
         let scope = inst.scope_fingerprint();
-        assert!(matches!(cache.claim(fp), crate::cache::Claim::Leader));
+        assert!(matches!(env.cache.claim(fp), crate::cache::Claim::Leader));
         let (tx, rx) = mpsc::channel();
         pool.queue()
-            .try_push(Job { fingerprint: fp, scope, instance: inst, done: tx })
+            .try_push(Job {
+                fingerprint: fp,
+                scope,
+                instance: inst,
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                done: tx,
+            })
             .unwrap_or_else(|_| panic!("push failed"));
-        let reply = rx.recv().unwrap().expect("solve should succeed");
-        assert_eq!(reply.feasible + reply.infeasible + reply.solver_errors, 1);
-        assert!(reply.results.contains('='));
-        assert!(matches!(cache.claim(fp), crate::cache::Claim::Hit(_)));
+        let reply = rx.recv().unwrap().expect("expired job still gets an answer");
+        assert!(reply.degraded);
+        assert_eq!(env.metrics.deadline_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(env.metrics.solves.load(Ordering::Relaxed), 0, "no LP was run");
         pool.shutdown();
-        assert_eq!(metrics.solves.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn degraded_reply_floor_is_a_lower_bound_on_the_exact_result() {
+        let inst = tiny_instance(60.0);
+        let fp = inst.fingerprint();
+        let scope = inst.scope_fingerprint();
+        let floor = degraded_reply(&inst, fp, scope).expect("floor computes");
+        assert!(floor.degraded);
+
+        let env = test_env(FaultInjector::disabled(), 2);
+        let pool = WorkerPool::start(1, 4, env.clone());
+        let exact = push_and_wait(&pool, &env, inst).expect("exact solves");
+        pool.shutdown();
+
+        let parse = |results: &str| -> f64 {
+            let entry = results.split(',').next().unwrap();
+            let bits = entry.split_once('=').unwrap().1;
+            f64::from_bits(u64::from_str_radix(bits, 16).unwrap())
+        };
+        let floor_s = parse(&floor.results);
+        let exact_s = parse(&exact.results);
+        assert!(
+            floor_s <= exact_s + 1e-12,
+            "degraded floor {floor_s} must not exceed the LP optimum {exact_s}"
+        );
     }
 }

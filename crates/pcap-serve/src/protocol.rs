@@ -99,6 +99,11 @@ pub enum Request {
     Sweep {
         /// The `pcapc1;…` canonical encoding, decoded by the server.
         instance: String,
+        /// End-to-end latency budget, milliseconds from receipt. When the
+        /// budget expires before a solve finishes, the server answers with
+        /// the degraded discrete floor instead of blocking; queued work
+        /// whose budget already lapsed is dropped without solving.
+        deadline_ms: Option<u64>,
     },
     /// Return the server metrics snapshot.
     Stats,
@@ -118,7 +123,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             let instance = get("instance").ok_or_else(|| {
                 ProtoError::new(ErrorCode::Parse, "sweep request missing 'instance'")
             })?;
-            Ok(Request::Sweep { instance: instance.to_string() })
+            let deadline_ms = match get("deadline_ms") {
+                None => None,
+                Some(raw) => Some(raw.parse::<u64>().map_err(|_| {
+                    ProtoError::new(
+                        ErrorCode::Parse,
+                        format!("deadline_ms must be a non-negative integer, got '{raw}'"),
+                    )
+                })?),
+            };
+            Ok(Request::Sweep { instance: instance.to_string(), deadline_ms })
         }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
@@ -344,11 +358,33 @@ mod tests {
     fn parses_the_four_ops() {
         assert_eq!(
             parse_request("{\"op\":\"sweep\",\"instance\":\"pcapc1;x\"}").unwrap(),
-            Request::Sweep { instance: "pcapc1;x".into() }
+            Request::Sweep { instance: "pcapc1;x".into(), deadline_ms: None }
         );
         assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
         assert_eq!(parse_request(" {\"op\" : \"ping\"} ").unwrap(), Request::Ping);
         assert_eq!(parse_request("{\"op\":\"shutdown\"}").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn sweep_deadlines_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_request("{\"op\":\"sweep\",\"instance\":\"pcapc1;x\",\"deadline_ms\":250}")
+                .unwrap(),
+            Request::Sweep { instance: "pcapc1;x".into(), deadline_ms: Some(250) }
+        );
+        // String spelling is accepted too (all scalars travel as text).
+        assert_eq!(
+            parse_request("{\"op\":\"sweep\",\"instance\":\"pcapc1;x\",\"deadline_ms\":\"90\"}")
+                .unwrap(),
+            Request::Sweep { instance: "pcapc1;x".into(), deadline_ms: Some(90) }
+        );
+        for bad in [
+            "{\"op\":\"sweep\",\"instance\":\"x\",\"deadline_ms\":-5}",
+            "{\"op\":\"sweep\",\"instance\":\"x\",\"deadline_ms\":1.5}",
+            "{\"op\":\"sweep\",\"instance\":\"x\",\"deadline_ms\":\"soon\"}",
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, ErrorCode::Parse, "input: {bad}");
+        }
     }
 
     #[test]

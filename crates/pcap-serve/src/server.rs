@@ -4,23 +4,35 @@
 //! Request lifecycle for `sweep`:
 //!
 //! ```text
-//! decode canonical instance ──► fingerprint ──► cache claim
+//! decode canonical instance ──► fingerprint ──► quarantine check
+//!     quarantined → `internal` (poisoned fingerprint, never re-solved)
+//! ──► cache claim
 //!     Hit        → answer from cache, no solve
 //!     Coalesced  → block on the in-flight leader's publication
-//!     Leader     → admit to the bounded queue
+//!     Leader     → persistent store lookup (hit → answer + warm the cache)
+//!                  else admit to the bounded queue
 //!                    Full   → shed: `overloaded` + retry_after_ms
 //!                    Closed → `shutting_down`
 //!                    Ok     → worker solves (warm ctx per scope), publishes
+//!                             deadline blown mid-solve → answer the
+//!                             degraded floor now; the worker still
+//!                             fulfills the cache for everyone else
 //! ```
 //!
 //! Shutdown (`shutdown` op or [`Server::shutdown`]): the accept loop stops,
 //! new sweeps are refused with `shutting_down`, the queue closes, and the
 //! workers drain every admitted job — leaders and their coalesced followers
 //! all receive real responses before the process exits. No accepted job is
-//! dropped.
+//! dropped. The post-drain wait for connection threads is bounded by
+//! [`ServerConfig::drain_deadline_ms`].
+//!
+//! Fault injection: [`ServerConfig::fault_plan`] (or the `PCAP_FAULT_PLAN`
+//! environment variable) arms the process-wide [`FaultInjector`] that the
+//! solve path, the store, and the connection handler consult.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
@@ -29,11 +41,16 @@ use std::time::{Duration, Instant};
 use pcap_core::{Instance, SweepOptions};
 
 use crate::cache::{Claim, ResultCache};
+use crate::fault::{FaultInjector, FaultPoint};
 use crate::metrics::Metrics;
-use crate::pool::{abandon_job, Job, JobQueue, PushError, SweepReply, WorkerPool};
+use crate::pool::{
+    abandon_job, degraded_reply, Job, JobQueue, PushError, Quarantine, SweepReply, WorkerEnv,
+    WorkerPool,
+};
 use crate::protocol::{
     error_response, parse_request, render_object, ErrorCode, ProtoError, Request, MAX_LINE_BYTES,
 };
+use crate::store::Store;
 
 /// Fixed retry hint carried by `overloaded` responses, milliseconds.
 pub const SHED_RETRY_MS: u64 = 250;
@@ -53,6 +70,16 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Certify every warm-started solve against a cold re-solve.
     pub certify: bool,
+    /// Bound on the post-drain wait for connection threads during
+    /// [`Server::wait`], milliseconds.
+    pub drain_deadline_ms: u64,
+    /// Solver panics from one fingerprint before it is quarantined.
+    pub quarantine_strikes: u32,
+    /// Root of the persistent result store; `None` disables persistence.
+    pub store_path: Option<PathBuf>,
+    /// Fault plan text; `None` falls back to `PCAP_FAULT_PLAN` (unset ⇒
+    /// injection disabled, the production default).
+    pub fault_plan: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +91,10 @@ impl Default for ServerConfig {
             cache_cap: 256,
             max_line_bytes: MAX_LINE_BYTES,
             certify: false,
+            drain_deadline_ms: 10_000,
+            quarantine_strikes: 2,
+            store_path: None,
+            fault_plan: None,
         }
     }
 }
@@ -74,6 +105,9 @@ struct Shared {
     cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
     queue: Arc<JobQueue>,
+    injector: Arc<FaultInjector>,
+    quarantine: Arc<Quarantine>,
+    store: Option<Arc<Store>>,
     active_conns: AtomicUsize,
     local_addr: SocketAddr,
 }
@@ -88,30 +122,52 @@ pub struct Server {
 
 impl Server {
     /// Binds, spawns the worker pool and accept loop, and returns
-    /// immediately.
+    /// immediately. Fails on an unparseable fault plan or an unusable
+    /// store path.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let plan_text = cfg.fault_plan.clone().or_else(|| std::env::var("PCAP_FAULT_PLAN").ok());
+        let injector =
+            FaultInjector::from_plan_text(plan_text.as_deref()).map(Arc::new).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("fault plan: {e}"))
+            })?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = Arc::new(ResultCache::new(cfg.cache_cap));
         let metrics = Arc::new(Metrics::new());
+        let quarantine = Arc::new(Quarantine::new(cfg.quarantine_strikes));
+        let store = match &cfg.store_path {
+            Some(path) => {
+                let store = Store::open(path.clone(), Arc::clone(&injector))?;
+                let report = store.recovery();
+                metrics.store_recovered.store(report.recovered, Ordering::Relaxed);
+                metrics.store_quarantined.store(report.quarantined, Ordering::Relaxed);
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
         let sweep_opts = SweepOptions {
             workers: 1, // each pool worker solves its grid sequentially
             certify: cfg.certify,
             ..SweepOptions::default()
         };
-        let pool = WorkerPool::start(
-            cfg.workers,
-            cfg.queue_cap,
-            Arc::clone(&cache),
-            Arc::clone(&metrics),
-            sweep_opts,
-        );
+        let env = WorkerEnv {
+            cache: Arc::clone(&cache),
+            metrics: Arc::clone(&metrics),
+            opts: sweep_opts,
+            injector: Arc::clone(&injector),
+            quarantine: Arc::clone(&quarantine),
+            store: store.clone(),
+        };
+        let pool = WorkerPool::start(cfg.workers, cfg.queue_cap, env);
         let shared = Arc::new(Shared {
             cfg,
             shutting_down: AtomicBool::new(false),
             cache,
             metrics,
             queue: Arc::clone(pool.queue()),
+            injector,
+            quarantine,
+            store,
             active_conns: AtomicUsize::new(0),
             local_addr,
         });
@@ -134,6 +190,16 @@ impl Server {
         &self.shared.metrics
     }
 
+    /// The process-wide fault injector (tests assert plan drain).
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.shared.injector
+    }
+
+    /// The persistent store, when configured.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.shared.store.as_ref()
+    }
+
     /// Triggers graceful shutdown; idempotent, returns immediately.
     /// [`Server::wait`] performs the actual drain.
     pub fn shutdown(&self) {
@@ -153,7 +219,7 @@ impl Server {
         // Connection threads exit on their next read-timeout tick (or as
         // soon as their drained reply is written); give them a bounded
         // window rather than joining detached handles.
-        let deadline = Instant::now() + Duration::from_secs(10);
+        let deadline = Instant::now() + Duration::from_millis(self.shared.cfg.drain_deadline_ms);
         while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             thread::sleep(Duration::from_millis(10));
         }
@@ -291,6 +357,13 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
                 if line.trim().is_empty() {
                     continue;
                 }
+                // Injected connection drop: close without a response, the
+                // exact failure a crashed peer or flaky network produces.
+                // Clients must survive it via retry.
+                if shared.injector.fire(FaultPoint::DropConn).is_some() {
+                    shared.metrics.injected_disconnects.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 let (response, shutdown_after) = handle_line(shared, &line);
                 if write_line(&mut writer, &response).is_err() {
@@ -337,6 +410,11 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
     match request {
         Request::Ping => (render_object(&[("ok", "true".into()), ("op", "ping".into())]), false),
         Request::Stats => {
+            // Store quarantines can happen on any read; refresh the gauge
+            // from the store's own lifetime counter.
+            if let Some(store) = &shared.store {
+                shared.metrics.store_quarantined.store(store.quarantines(), Ordering::Relaxed);
+            }
             let mut pairs: Vec<(&'static str, String)> =
                 vec![("ok", "true".into()), ("op", "stats".into())];
             pairs.extend(shared.metrics.snapshot(shared.queue.depth(), shared.cache.len()));
@@ -350,14 +428,17 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
             ]),
             true,
         ),
-        Request::Sweep { instance } => {
-            let response = handle_sweep(shared, &instance);
+        Request::Sweep { instance, deadline_ms } => {
+            let response = handle_sweep(shared, &instance, deadline_ms);
             (response, false)
         }
     }
 }
 
-fn handle_sweep(shared: &Shared, instance_text: &str) -> String {
+fn handle_sweep(shared: &Shared, instance_text: &str, deadline_ms: Option<u64>) -> String {
+    // Clamp the deadline clock to arrival: queueing and solving both count
+    // against the client's budget.
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     if shared.shutting_down.load(Ordering::SeqCst) {
         let err = ProtoError::new(ErrorCode::ShuttingDown, "server is draining");
         record_error(shared, &err);
@@ -373,6 +454,12 @@ fn handle_sweep(shared: &Shared, instance_text: &str) -> String {
     };
     let fp = instance.fingerprint();
     let scope = instance.scope_fingerprint();
+
+    // Poisoned fingerprints never reach the solver again.
+    if shared.quarantine.is_quarantined(fp) {
+        shared.metrics.quarantine_rejected.fetch_add(1, Ordering::Relaxed);
+        return error_response(&shared.quarantine.rejection());
+    }
 
     match shared.cache.claim(fp) {
         Claim::Hit(reply) => {
@@ -390,23 +477,21 @@ fn handle_sweep(shared: &Shared, instance_text: &str) -> String {
         }
         Claim::Leader => {
             shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            // The persistent store extends the in-memory cache across
+            // restarts. Read errors (flaky disk, injected faults) degrade
+            // to a plain miss — persistence never blocks a request.
+            if let Some(store) = &shared.store {
+                if let Ok(Some(reply)) = store.get(fp) {
+                    shared.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+                    shared.cache.fulfill(fp, Arc::clone(&reply));
+                    return sweep_ok_response(&reply, "disk");
+                }
+            }
+            let fallback = instance.clone();
             let (tx, rx) = mpsc::channel();
-            let job = Job { fingerprint: fp, scope, instance, done: tx };
+            let job = Job { fingerprint: fp, scope, instance, deadline, done: tx };
             match shared.queue.try_push(job) {
-                Ok(()) => match rx.recv() {
-                    Ok(Ok(reply)) => sweep_ok_response(&reply, "miss"),
-                    Ok(Err(err)) => {
-                        record_error(shared, &err);
-                        error_response(&err)
-                    }
-                    Err(_) => {
-                        // Worker vanished without publishing; release any
-                        // coalesced waiters before answering.
-                        let err = crate::pool::lost_leader();
-                        shared.cache.fail(fp, err.clone());
-                        error_response(&err)
-                    }
-                },
+                Ok(()) => wait_for_leader(shared, &rx, deadline, &fallback, fp, scope),
                 Err((job, PushError::Full)) => {
                     let err = ProtoError::overloaded(
                         format!("admission queue full ({} jobs)", shared.cfg.queue_cap),
@@ -427,6 +512,54 @@ fn handle_sweep(shared: &Shared, instance_text: &str) -> String {
     }
 }
 
+/// Blocks on the admitted leader job's reply, bounded by the client's
+/// deadline. On timeout the connection answers the degraded floor
+/// immediately — without touching the cache entry, because the worker is
+/// still solving and will publish the exact result for coalesced waiters
+/// and future hits.
+fn wait_for_leader(
+    shared: &Shared,
+    rx: &mpsc::Receiver<Result<Arc<SweepReply>, ProtoError>>,
+    deadline: Option<Instant>,
+    instance: &Instance,
+    fp: u64,
+    scope: u64,
+) -> String {
+    let received = match deadline {
+        None => rx.recv().ok(),
+        Some(dl) => match rx.recv_timeout(dl.saturating_duration_since(Instant::now())) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return match degraded_reply(instance, fp, scope) {
+                    Ok(reply) => {
+                        shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                        sweep_ok_response(&reply, "degraded")
+                    }
+                    Err(err) => {
+                        record_error(shared, &err);
+                        error_response(&err)
+                    }
+                };
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        },
+    };
+    match received {
+        Some(Ok(reply)) => sweep_ok_response(&reply, "miss"),
+        Some(Err(err)) => {
+            record_error(shared, &err);
+            error_response(&err)
+        }
+        None => {
+            // Worker vanished without publishing; release any coalesced
+            // waiters before answering.
+            let err = crate::pool::lost_leader();
+            shared.cache.fail(fp, err.clone());
+            error_response(&err)
+        }
+    }
+}
+
 fn sweep_ok_response(reply: &SweepReply, cached: &str) -> String {
     render_object(&[
         ("ok", "true".into()),
@@ -434,6 +567,7 @@ fn sweep_ok_response(reply: &SweepReply, cached: &str) -> String {
         ("fingerprint", format!("{:016x}", reply.fingerprint)),
         ("scope", format!("{:016x}", reply.scope)),
         ("cached", cached.into()),
+        ("degraded", reply.degraded.to_string()),
         ("feasible", reply.feasible.to_string()),
         ("infeasible", reply.infeasible.to_string()),
         ("solver_errors", reply.solver_errors.to_string()),

@@ -1,0 +1,391 @@
+//! Crash-safe on-disk content-addressed result store.
+//!
+//! The canonical fingerprints make sweep results immutable: a fingerprint
+//! names exactly one instance, and the solver's determinism invariant means
+//! that instance has exactly one correct result-bytes string. That turns
+//! persistence into a pure content-addressed store — no invalidation, no
+//! versioning, safe to share across restarts and replicas.
+//!
+//! Crash safety is the classic recipe:
+//!
+//! * **checksummed entries** — each file is a one-line header
+//!   (`pcaps1;len=N;crc=HEX`) followed by the payload; the CRC is FNV-1a
+//!   over the payload bytes, the repo's standard content hash;
+//! * **write-to-temp + atomic rename** — payloads are fully written and
+//!   fsynced under `.tmp/`, then renamed into place, so a crash mid-write
+//!   leaves either the old entry or a stray temp file, never a torn entry;
+//! * **startup recovery scan** — [`Store::open`] validates every entry and
+//!   moves corrupt ones to `quarantine/` (kept for forensics, never served),
+//!   reporting counts for the metrics endpoint.
+//!
+//! Fault points [`FaultPoint::IoRead`], [`FaultPoint::IoWrite`] and
+//! [`FaultPoint::Corrupt`] hook the read, write and checksum paths so the
+//! chaos suite can prove a flaky disk degrades service instead of lying to
+//! clients.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pcap_core::canon::fnv1a;
+
+use crate::fault::{injected_io_error, FaultAction, FaultInjector, FaultPoint};
+use crate::pool::SweepReply;
+
+/// Leading tag of every store entry; bump on format changes.
+const ENTRY_TAG: &str = "pcaps1";
+
+/// Outcome of the startup recovery scan.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Entries that validated and are servable.
+    pub recovered: u64,
+    /// Corrupt entries moved to `quarantine/`.
+    pub quarantined: u64,
+}
+
+/// A content-addressed store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    injector: Arc<FaultInjector>,
+    /// Nonce for unique temp names when several workers write at once.
+    write_nonce: AtomicU64,
+    /// Cumulative quarantines: startup scan plus read-time detections.
+    quarantines: AtomicU64,
+    report: RecoveryReport,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `root` and runs the recovery
+    /// scan: every `*.entry` is validated and corrupt ones are quarantined.
+    pub fn open(root: impl Into<PathBuf>, injector: Arc<FaultInjector>) -> std::io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join(".tmp"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        let mut store = Store {
+            root,
+            injector,
+            write_nonce: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            report: RecoveryReport::default(),
+        };
+        store.report = store.recovery_scan()?;
+        Ok(store)
+    }
+
+    /// The recovery report of the scan [`Store::open`] ran.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.report
+    }
+
+    /// Total entries quarantined over this store's lifetime (startup scan
+    /// plus read-time detections); feeds the `store_quarantined` metric.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, fp: u64) -> PathBuf {
+        self.root.join(format!("{fp:016x}.entry"))
+    }
+
+    /// Looks up `fp`. `Ok(None)` for absent entries; corrupt entries are
+    /// quarantined on sight and reported as absent (with the `corrupt`
+    /// flag so the caller can count them). Injected read errors surface as
+    /// `Err`, which callers treat as a miss — a flaky disk degrades the
+    /// cache, it never blocks a request.
+    pub fn get(&self, fp: u64) -> std::io::Result<Option<Arc<SweepReply>>> {
+        if let Some(FaultAction::IoError) = self.injector.fire(FaultPoint::IoRead) {
+            return Err(injected_io_error("store read"));
+        }
+        let path = self.entry_path(fp);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match parse_entry(&bytes).and_then(|payload| decode_reply(fp, payload)) {
+            Ok(reply) => Ok(Some(Arc::new(reply))),
+            Err(_) => {
+                self.quarantine_entry(fp, &path);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Persists `reply` (write-to-temp, fsync, atomic rename). Degraded
+    /// replies must never reach the store; callers enforce that, and the
+    /// encoder double-checks it.
+    pub fn put(&self, reply: &SweepReply) -> std::io::Result<()> {
+        assert!(!reply.degraded, "degraded replies are not durable results");
+        if let Some(FaultAction::IoError) = self.injector.fire(FaultPoint::IoWrite) {
+            return Err(injected_io_error("store write"));
+        }
+        let mut payload = encode_reply(reply).into_bytes();
+        let header = format!("{ENTRY_TAG};len={};crc={:016x}\n", payload.len(), fnv1a(&payload));
+        // The corruption point flips a payload byte *after* the checksum is
+        // taken — the model is bit rot on disk, which the read path and the
+        // recovery scan must catch, not a checksum of garbage.
+        if let Some(FaultAction::CorruptBytes) = self.injector.fire(FaultPoint::Corrupt) {
+            if let Some(b) = payload.last_mut() {
+                *b ^= 0x55;
+            }
+        }
+        let nonce = self.write_nonce.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(".tmp").join(format!("{:016x}.{nonce}.tmp", reply.fingerprint));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(&payload)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.entry_path(reply.fingerprint))
+    }
+
+    /// Validates every entry on disk, quarantining the corrupt ones.
+    fn recovery_scan(&self) -> std::io::Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        for dirent in fs::read_dir(&self.root)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(hex) = name.strip_suffix(".entry") else { continue };
+            let Ok(fp) = u64::from_str_radix(hex, 16) else {
+                report.quarantined += 1;
+                self.quarantine_entry(0, &path);
+                continue;
+            };
+            let valid = fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| parse_entry(&bytes).map(|p| p.to_vec()))
+                .and_then(|payload| decode_reply(fp, &payload).map(|_| ()));
+            match valid {
+                Ok(()) => report.recovered += 1,
+                Err(_) => {
+                    report.quarantined += 1;
+                    self.quarantine_entry(fp, &path);
+                }
+            }
+        }
+        // Stray temp files are leftovers of crashed writes: delete them.
+        for dirent in fs::read_dir(self.root.join(".tmp"))? {
+            let _ = fs::remove_file(dirent?.path());
+        }
+        Ok(report)
+    }
+
+    /// Moves a bad entry out of the serving namespace, keeping the bytes
+    /// for forensics. Removal failures are ignored: worst case the next
+    /// scan quarantines it again.
+    fn quarantine_entry(&self, fp: u64, path: &Path) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        let dest = self.root.join("quarantine").join(format!("{fp:016x}.corrupt"));
+        let _ = fs::rename(path, dest);
+    }
+}
+
+/// Validates the header framing + checksum, returning the payload slice.
+fn parse_entry(bytes: &[u8]) -> Result<&[u8], String> {
+    let nl = bytes.iter().position(|&b| b == b'\n').ok_or("missing header line")?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| "non-UTF-8 header")?;
+    let payload = &bytes[nl + 1..];
+    let mut fields = header.split(';');
+    if fields.next() != Some(ENTRY_TAG) {
+        return Err("bad entry tag".into());
+    }
+    let mut len: Option<usize> = None;
+    let mut crc: Option<u64> = None;
+    for field in fields {
+        match field.split_once('=') {
+            Some(("len", v)) => len = v.parse().ok(),
+            Some(("crc", v)) => crc = u64::from_str_radix(v, 16).ok(),
+            _ => return Err(format!("unknown header field '{field}'")),
+        }
+    }
+    let (len, crc) = (len.ok_or("missing len")?, crc.ok_or("missing crc")?);
+    if payload.len() != len {
+        return Err(format!("length mismatch: header {len}, payload {}", payload.len()));
+    }
+    if fnv1a(payload) != crc {
+        return Err("checksum mismatch".into());
+    }
+    Ok(payload)
+}
+
+/// Payload codec: the flat `k=v` fields of a reply, `results` last so it
+/// can be read to end-of-payload without escaping.
+fn encode_reply(reply: &SweepReply) -> String {
+    format!(
+        "fp={:016x};scope={:016x};feasible={};infeasible={};solver_errors={};results={}",
+        reply.fingerprint,
+        reply.scope,
+        reply.feasible,
+        reply.infeasible,
+        reply.solver_errors,
+        reply.results
+    )
+}
+
+fn decode_reply(expect_fp: u64, payload: &[u8]) -> Result<SweepReply, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "non-UTF-8 payload")?;
+    let mut reply = SweepReply { from_disk: true, ..SweepReply::default() };
+    let mut rest = text;
+    loop {
+        let (field, tail) = match rest.split_once(';') {
+            Some((f, t)) => (f, Some(t)),
+            None => (rest, None),
+        };
+        let (key, value) = field.split_once('=').ok_or_else(|| format!("bad field '{field}'"))?;
+        match key {
+            "fp" => {
+                reply.fingerprint = u64::from_str_radix(value, 16).map_err(|e| e.to_string())?
+            }
+            "scope" => reply.scope = u64::from_str_radix(value, 16).map_err(|e| e.to_string())?,
+            "feasible" => reply.feasible = value.parse().map_err(|_| "bad feasible")?,
+            "infeasible" => reply.infeasible = value.parse().map_err(|_| "bad infeasible")?,
+            "solver_errors" => {
+                reply.solver_errors = value.parse().map_err(|_| "bad solver_errors")?
+            }
+            "results" => {
+                // `results` is the final field; everything after the '=' to
+                // the end of the payload is the value, ';' included.
+                let start = text.len() - rest.len() + key.len() + 1;
+                reply.results = text[start..].to_string();
+                rest = "";
+                break;
+            }
+            other => return Err(format!("unknown payload field '{other}'")),
+        }
+        match tail {
+            Some(t) => rest = t,
+            None => break,
+        }
+    }
+    let _ = rest;
+    if reply.fingerprint != expect_fp {
+        return Err(format!(
+            "fingerprint mismatch: entry {:016x}, file name {expect_fp:016x}",
+            reply.fingerprint
+        ));
+    }
+    if reply.results.is_empty() {
+        return Err("missing results".into());
+    }
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn reply(fp: u64) -> SweepReply {
+        SweepReply {
+            fingerprint: fp,
+            scope: fp ^ 0xabcd,
+            results: "120=3fe4000000000000,200=inf".into(),
+            feasible: 1,
+            infeasible: 1,
+            solver_errors: 0,
+            ..SweepReply::default()
+        }
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pcap-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_entries_across_reopen() {
+        let root = tmp_root("roundtrip");
+        let store = Store::open(&root, Arc::new(FaultInjector::disabled())).unwrap();
+        store.put(&reply(0x1234)).unwrap();
+        let got = store.get(0x1234).unwrap().expect("present");
+        assert_eq!(got.results, reply(0x1234).results);
+        assert_eq!(got.scope, reply(0x1234).scope);
+        assert!(got.from_disk);
+        assert_eq!(store.get(0x9999).unwrap().map(|_| ()), None);
+
+        // Simulated restart: a fresh Store over the same directory recovers
+        // the entry through the scan.
+        let reopened = Store::open(&root, Arc::new(FaultInjector::disabled())).unwrap();
+        assert_eq!(reopened.recovery().recovered, 1);
+        assert_eq!(reopened.recovery().quarantined, 0);
+        assert!(reopened.get(0x1234).unwrap().is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovery_scan_quarantines_corrupt_entries() {
+        let root = tmp_root("recovery");
+        let store = Store::open(&root, Arc::new(FaultInjector::disabled())).unwrap();
+        store.put(&reply(0xAAAA)).unwrap();
+        store.put(&reply(0xBBBB)).unwrap();
+        // Deliberately rot one entry's payload on disk.
+        let victim = root.join(format!("{:016x}.entry", 0xAAAAu64));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&victim, &bytes).unwrap();
+        // And drop a stray temp file from a "crashed" write.
+        fs::write(root.join(".tmp").join("deadbeef.0.tmp"), b"partial").unwrap();
+
+        let reopened = Store::open(&root, Arc::new(FaultInjector::disabled())).unwrap();
+        assert_eq!(reopened.recovery().recovered, 1);
+        assert_eq!(reopened.recovery().quarantined, 1);
+        assert!(reopened.get(0xBBBB).unwrap().is_some(), "good entry survives");
+        assert!(reopened.get(0xAAAA).unwrap().is_none(), "corrupt entry is gone");
+        assert!(
+            root.join("quarantine").join(format!("{:016x}.corrupt", 0xAAAAu64)).exists(),
+            "corrupt bytes kept for forensics"
+        );
+        assert!(!root.join(".tmp").join("deadbeef.0.tmp").exists(), "stray temp cleaned");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn read_time_corruption_is_quarantined_on_sight() {
+        let root = tmp_root("readcorrupt");
+        let store = Store::open(&root, Arc::new(FaultInjector::disabled())).unwrap();
+        store.put(&reply(0xCCCC)).unwrap();
+        let victim = root.join(format!("{:016x}.entry", 0xCCCCu64));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&victim, &bytes).unwrap();
+        assert!(store.get(0xCCCC).unwrap().is_none(), "corrupt read reports absent");
+        assert!(!victim.exists(), "entry moved out of the serving namespace");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_write_corruption_is_caught_by_the_next_open() {
+        let root = tmp_root("faultwrite");
+        let injector = Arc::new(FaultInjector::armed(FaultPlan::parse("corrupt=1#1").unwrap()));
+        let store = Store::open(&root, Arc::clone(&injector)).unwrap();
+        store.put(&reply(0xD1)).unwrap(); // corrupted in flight
+        store.put(&reply(0xD2)).unwrap(); // budget spent: clean
+        let reopened = Store::open(&root, Arc::new(FaultInjector::disabled())).unwrap();
+        assert_eq!(reopened.recovery().quarantined, 1);
+        assert_eq!(reopened.recovery().recovered, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_io_errors_surface_as_errors() {
+        let root = tmp_root("faultio");
+        let injector =
+            Arc::new(FaultInjector::armed(FaultPlan::parse("io_read=1#1;io_write=1#1").unwrap()));
+        let store = Store::open(&root, injector).unwrap();
+        assert!(store.put(&reply(0xE1)).is_err(), "first write fails");
+        store.put(&reply(0xE1)).unwrap();
+        assert!(store.get(0xE1).is_err(), "first read fails");
+        assert!(store.get(0xE1).unwrap().is_some(), "then recovers");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,161 @@
+//! Client-side protocol edge cases: truncated frames, `retry_after_ms`
+//! round-tripping through the retry loop, oversized request lines, and the
+//! deadline → degraded → exact-on-refetch lifecycle against a real server.
+//!
+//! The scripted fake server sends exactly the bytes a test specifies —
+//! including deliberately torn frames a real daemon would never produce.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pcap_core::{DagSpec, Instance};
+use pcap_machine::MachineSpec;
+use pcap_serve::{
+    field, sweep_request_line, sweep_with_retry, Client, Response, RetryPolicy, Server,
+    ServerConfig,
+};
+
+fn bench_instance(seed: u64) -> Instance {
+    Instance {
+        machine: MachineSpec::e5_2670(),
+        dag: DagSpec::Bench { name: "comd".into(), ranks: 4, iterations: 2, seed },
+        caps_w: vec![50.0, 70.0],
+    }
+}
+
+fn get(resp: &Response, key: &str) -> String {
+    field(resp, key).unwrap_or_else(|| panic!("missing '{key}' in {resp:?}")).to_string()
+}
+
+/// Serves one connection per script entry: read one request line, write
+/// the scripted bytes verbatim, close. A torn frame is just a script entry
+/// with no trailing newline.
+fn scripted_server(scripts: Vec<&'static str>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap().to_string();
+    thread::spawn(move || {
+        for script in scripts {
+            let Ok((stream, _)) = listener.accept() else { return };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            let mut writer = stream;
+            let _ = writer.write_all(script.as_bytes());
+            let _ = writer.flush();
+            // Dropping the stream closes the connection — mid-frame if the
+            // script had no newline.
+        }
+    });
+    addr
+}
+
+#[test]
+fn truncated_frame_mid_response_is_an_error_not_a_short_read() {
+    let addr = scripted_server(vec!["{\"ok\":true,\"op\":\"swe"]);
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client.request("{\"op\":\"ping\"}").expect_err("torn frame must not parse");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(err.to_string().contains("truncated"), "{err}");
+}
+
+#[test]
+fn retry_reconnects_through_torn_frames_to_a_good_answer() {
+    let addr = scripted_server(vec![
+        "{\"ok\":true,\"op\":\"swe", // torn mid-response
+        "",                          // closed before any response byte
+        "{\"ok\":true,\"op\":\"sweep\",\"cached\":\"hit\",\"degraded\":false,\
+         \"results\":\"50=4014000000000000\"}\n",
+    ]);
+    let policy =
+        RetryPolicy { attempts: 4, base_backoff_ms: 5, max_backoff_ms: 20, jitter_seed: 3 };
+    let resp = sweep_with_retry(&addr, &bench_instance(1), None, &policy)
+        .expect("third attempt reaches the good response");
+    assert_eq!(get(&resp, "ok"), "true");
+    assert_eq!(get(&resp, "results"), "50=4014000000000000");
+}
+
+#[test]
+fn retry_after_ms_round_trips_and_floors_the_backoff() {
+    let addr = scripted_server(vec![
+        "{\"ok\":false,\"code\":\"overloaded\",\"error\":\"queue full\",\
+         \"retry_after_ms\":150}\n",
+        "{\"ok\":true,\"op\":\"sweep\",\"cached\":\"miss\",\"degraded\":false,\
+         \"results\":\"50=4014000000000000\"}\n",
+    ]);
+    // Tiny client backoff: any wait ≥ the hint proves the server's floor won.
+    let policy = RetryPolicy { attempts: 3, base_backoff_ms: 1, max_backoff_ms: 2, jitter_seed: 9 };
+    let started = Instant::now();
+    let resp = sweep_with_retry(&addr, &bench_instance(2), None, &policy).expect("retried to ok");
+    let elapsed = started.elapsed();
+    assert_eq!(get(&resp, "ok"), "true");
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "client must wait at least the server's retry_after_ms hint, waited {elapsed:?}"
+    );
+}
+
+#[test]
+fn exhausted_retries_surface_the_final_overloaded_response() {
+    let overloaded: &str = "{\"ok\":false,\"code\":\"overloaded\",\"error\":\"queue full\",\
+                            \"retry_after_ms\":5}\n";
+    let addr = scripted_server(vec![overloaded, overloaded, overloaded]);
+    let policy = RetryPolicy { attempts: 3, base_backoff_ms: 1, max_backoff_ms: 5, jitter_seed: 4 };
+    let resp = sweep_with_retry(&addr, &bench_instance(3), None, &policy)
+        .expect("a terminal overloaded answer is a response, not an IO error");
+    assert_eq!(get(&resp, "ok"), "false");
+    assert_eq!(get(&resp, "code"), "overloaded");
+    assert_eq!(get(&resp, "retry_after_ms"), "5");
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_the_connection_survives() {
+    let server = Server::start(ServerConfig { max_line_bytes: 4096, ..ServerConfig::default() })
+        .expect("server start");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let huge = format!("{{\"op\":\"sweep\",\"instance\":\"{}\"}}", "x".repeat(64 * 1024));
+    let resp = client.request(&huge).expect("too-large response");
+    assert_eq!(get(&resp, "ok"), "false");
+    assert_eq!(get(&resp, "code"), "too_large");
+    let resp = client.ping().expect("connection still usable");
+    assert_eq!(get(&resp, "ok"), "true");
+    server.stop();
+}
+
+/// The deadline lifecycle end to end: a solve slower than the budget is
+/// answered with the degraded floor immediately, while the worker's exact
+/// result still lands in the cache for the next request.
+#[test]
+fn blown_deadline_degrades_now_and_the_exact_answer_lands_later() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        fault_plan: Some("slow_solve=1/600#1".into()),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr().to_string();
+    let instance = bench_instance(6000);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let started = Instant::now();
+    let resp = client.sweep_with_deadline(&instance, 150).expect("degraded answer");
+    assert!(started.elapsed() < Duration::from_millis(550), "deadline must cut the wait");
+    assert_eq!(get(&resp, "ok"), "true");
+    assert_eq!(get(&resp, "degraded"), "true");
+    assert_eq!(get(&resp, "cached"), "degraded");
+    assert!(get(&resp, "results").contains('='));
+
+    // Let the slow worker finish and publish the exact result.
+    thread::sleep(Duration::from_millis(700));
+    let resp = client.request(&sweep_request_line(&instance)).expect("exact answer");
+    assert_eq!(get(&resp, "ok"), "true");
+    assert_eq!(get(&resp, "degraded"), "false");
+    assert_eq!(get(&resp, "cached"), "hit", "the leader's solve fulfilled the cache");
+
+    // The degraded floor never exceeds the exact makespan at any cap.
+    let stats = client.stats().expect("stats");
+    assert!(get(&stats, "degraded").parse::<u64>().unwrap() >= 1);
+    server.stop();
+}

@@ -92,7 +92,7 @@ proptest! {
         prop_assert!(instance.validate().is_ok());
         let line = sweep_request_line(&instance);
         match parse_request(&line) {
-            Ok(Request::Sweep { instance: text }) => {
+            Ok(Request::Sweep { instance: text, deadline_ms: None }) => {
                 let decoded = Instance::decode(&text).expect("canonical text must decode");
                 prop_assert_eq!(decoded.fingerprint(), instance.fingerprint());
                 prop_assert_eq!(decoded.scope_fingerprint(), instance.scope_fingerprint());

@@ -1,0 +1,271 @@
+//! Resilience integration tests: the chaos drill (a client fleet against a
+//! seeded fault schedule), kill-and-restart store recovery, and graceful
+//! shutdown under load with a configured drain deadline.
+//!
+//! The chaos invariants, per ISSUE/DESIGN:
+//!
+//! * **no hangs** — every request terminates (retries bounded, deadlines
+//!   honored, the test itself would time out otherwise);
+//! * **no malformed responses** — every line parses as a flat object with
+//!   an `ok` field (the client's parser enforces this);
+//! * **no wrong answers** — a non-degraded success carries exactly the
+//!   bytes an in-process solve produces; faulted paths must answer
+//!   `degraded:true`, never silently wrong;
+//! * **full recovery** — once the fault budget drains, fresh requests get
+//!   exact answers and the pool is at full strength.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pcap_core::{solve_sweep, DagSpec, Instance, SweepOptions, TaskFrontiers};
+use pcap_machine::MachineSpec;
+use pcap_serve::{
+    field, render_results, resolve_graph, sweep_request_line, sweep_with_retry, Client, Response,
+    RetryPolicy, Server, ServerConfig,
+};
+
+fn bench_instance(seed: u64, caps: &[f64]) -> Instance {
+    Instance {
+        machine: MachineSpec::e5_2670(),
+        dag: DagSpec::Bench { name: "comd".into(), ranks: 4, iterations: 2, seed },
+        caps_w: caps.to_vec(),
+    }
+}
+
+fn get(resp: &Response, key: &str) -> String {
+    field(resp, key).unwrap_or_else(|| panic!("missing '{key}' in {resp:?}")).to_string()
+}
+
+/// The bytes an honest server must return for `instance` — the in-process
+/// solve with the server's options (the determinism invariant).
+fn expected_results(instance: &Instance) -> String {
+    let graph = resolve_graph(instance).expect("resolve");
+    let frontiers = TaskFrontiers::build(&graph, &instance.machine);
+    let opts = SweepOptions { workers: 1, ..SweepOptions::default() };
+    render_results(&solve_sweep(&graph, &instance.machine, &frontiers, &instance.caps_w, &opts))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pcap-resilience-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The capstone chaos drill: every fault point armed with probability 1 and
+/// a finite budget, a retrying client fleet, and the four invariants above
+/// asserted over every response.
+#[test]
+fn chaos_fleet_survives_the_seeded_fault_schedule_and_recovers() {
+    let store_dir = tmp_dir("chaos");
+    // Probability 1 spends each budget on the first arrivals, so the drill
+    // is reproducible and provably drains. Budgets are small enough that
+    // the fleet outlives every fault.
+    let plan = "seed=42;solver_panic=1#2;slow_solve=1/100#2;io_read=1#2;io_write=1#2;\
+                corrupt=1#1;drop_conn=1#2";
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_cap: 8,
+        // Strikes above the panic budget: the drill exercises degraded
+        // answers and respawn, not quarantine (that has its own unit test).
+        quarantine_strikes: 3,
+        store_path: Some(store_dir.clone()),
+        fault_plan: Some(plan.into()),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr().to_string();
+
+    let instances: Vec<Instance> =
+        (0..4).map(|i| bench_instance(9000 + i, &[45.0, 70.0])).collect();
+    let expected: Vec<String> = instances.iter().map(expected_results).collect();
+
+    // 4 clients × 6 requests, cycling the instances, all with retry and a
+    // generous deadline. Every request must terminate in a parsed response.
+    let barrier = Arc::new(Barrier::new(4));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let barrier = Arc::clone(&barrier);
+        let addr = addr.clone();
+        let instances = instances.clone();
+        handles.push(thread::spawn(move || {
+            let policy = RetryPolicy {
+                attempts: 6,
+                base_backoff_ms: 20,
+                max_backoff_ms: 200,
+                jitter_seed: t + 1,
+            };
+            barrier.wait();
+            let mut responses = Vec::new();
+            for r in 0..6u64 {
+                let instance = &instances[((t + r) % 4) as usize];
+                let resp = sweep_with_retry(&addr, instance, Some(5_000), &policy)
+                    .expect("every request must terminate in a response");
+                responses.push((((t + r) % 4) as usize, resp));
+            }
+            responses
+        }));
+    }
+
+    let mut degraded_seen = 0u64;
+    for h in handles {
+        for (idx, resp) in h.join().expect("no client hangs or panics") {
+            assert_eq!(get(&resp, "ok"), "true", "chaos answer must be a success: {resp:?}");
+            if get(&resp, "degraded") == "true" {
+                degraded_seen += 1;
+            } else {
+                // The no-wrong-answers invariant: a non-degraded success is
+                // byte-identical to the in-process solve.
+                assert_eq!(
+                    get(&resp, "results"),
+                    expected[idx],
+                    "non-degraded chaos answer must be exact"
+                );
+            }
+        }
+    }
+    assert!(degraded_seen >= 2, "two injected panics must surface as degraded answers");
+    assert!(server.injector().drained(), "every fault budget must be spent by the fleet");
+
+    // Full recovery: with the plan drained, every instance answers exact.
+    let mut client = Client::connect(&addr).expect("connect");
+    for (idx, instance) in instances.iter().enumerate() {
+        let resp = client.request(&sweep_request_line(instance)).expect("post-chaos sweep");
+        assert_eq!(get(&resp, "ok"), "true");
+        assert_eq!(get(&resp, "degraded"), "false", "post-drain answers are exact");
+        assert_eq!(get(&resp, "results"), expected[idx]);
+    }
+
+    // The scoreboard shows the drill happened: panics isolated, workers
+    // respawned, degraded answers counted, disconnects injected.
+    let stats = client.stats().expect("stats");
+    assert_eq!(get(&stats, "worker_panics"), "2");
+    assert_eq!(get(&stats, "worker_respawns"), "2");
+    assert!(get(&stats, "degraded").parse::<u64>().unwrap() >= 2);
+    assert_eq!(get(&stats, "injected_disconnects"), "2");
+    assert!(get(&stats, "store_writes").parse::<u64>().unwrap() >= 1);
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// The acceptance-criteria restart test: stop a server with a persistent
+/// store, rot one entry on disk, restart over the same directory — the
+/// good entry is served from disk byte-identically, the corrupt one is
+/// quarantined and transparently re-solved.
+#[test]
+fn restart_recovers_good_entries_and_quarantines_the_corrupted_one() {
+    let store_dir = tmp_dir("restart");
+    let instance_a = bench_instance(4000, &[40.0, 60.0]);
+    let instance_b = bench_instance(4001, &[40.0, 60.0]);
+
+    let first = Server::start(ServerConfig {
+        workers: 1,
+        store_path: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("first server");
+    let addr = first.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let resp_a = client.request(&sweep_request_line(&instance_a)).expect("solve A");
+    let resp_b = client.request(&sweep_request_line(&instance_b)).expect("solve B");
+    assert_eq!(get(&resp_a, "ok"), "true");
+    assert_eq!(get(&resp_b, "ok"), "true");
+    let results_a = get(&resp_a, "results");
+    let results_b = get(&resp_b, "results");
+    first.stop();
+
+    // Bit-rot B's entry and leave a stray temp file from a "crashed" write.
+    let entry_b = store_dir.join(format!("{:016x}.entry", instance_b.fingerprint()));
+    let mut bytes = std::fs::read(&entry_b).expect("entry B on disk");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&entry_b, &bytes).unwrap();
+    std::fs::write(store_dir.join(".tmp").join("feedface.0.tmp"), b"torn write").unwrap();
+
+    let second = Server::start(ServerConfig {
+        workers: 1,
+        store_path: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("second server");
+    let report = second.store().expect("store configured").recovery();
+    assert_eq!(report.recovered, 1, "entry A survives the restart");
+    assert_eq!(report.quarantined, 1, "entry B is quarantined, not served");
+    assert!(
+        store_dir
+            .join("quarantine")
+            .join(format!("{:016x}.corrupt", instance_b.fingerprint()))
+            .exists(),
+        "corrupt bytes kept for forensics"
+    );
+
+    let addr = second.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    // A: served from disk without a solve, byte-identical to pre-restart.
+    let resp = client.request(&sweep_request_line(&instance_a)).expect("A after restart");
+    assert_eq!(get(&resp, "ok"), "true");
+    assert_eq!(get(&resp, "cached"), "disk");
+    assert_eq!(get(&resp, "results"), results_a);
+    // B: transparently re-solved to the same exact bytes.
+    let resp = client.request(&sweep_request_line(&instance_b)).expect("B after restart");
+    assert_eq!(get(&resp, "ok"), "true");
+    assert_eq!(get(&resp, "cached"), "miss");
+    assert_eq!(get(&resp, "degraded"), "false");
+    assert_eq!(get(&resp, "results"), results_b);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(get(&stats, "store_recovered"), "1");
+    assert_eq!(get(&stats, "store_quarantined"), "1");
+    assert_eq!(get(&stats, "store_hits"), "1");
+    assert_eq!(get(&stats, "solves"), "1", "only B was re-solved");
+
+    second.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// Satellite: the drain deadline is configuration, and shutdown under load
+/// still answers every admitted job before the window closes.
+#[test]
+fn shutdown_under_load_respects_the_configured_drain_deadline() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        drain_deadline_ms: 2_000,
+        // Slow every solve down so shutdown genuinely races in-flight work.
+        fault_plan: Some("slow_solve=1/200#8".into()),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(4));
+    let mut handles = Vec::new();
+    for i in 0..4u64 {
+        let barrier = Arc::clone(&barrier);
+        let addr = addr.clone();
+        handles.push(thread::spawn(move || {
+            let instance = bench_instance(5000 + i, &[50.0]);
+            let mut client = Client::connect(&addr).expect("connect");
+            barrier.wait();
+            client.request(&sweep_request_line(&instance)).expect("drained response")
+        }));
+    }
+    thread::sleep(Duration::from_millis(250));
+    server.shutdown();
+    let waited = Instant::now();
+    server.wait();
+    let wait_s = waited.elapsed().as_secs_f64();
+
+    // Every admitted slow job still got a real answer.
+    for h in handles {
+        let resp = h.join().unwrap();
+        assert_eq!(get(&resp, "ok"), "true", "admitted job dropped during drain: {resp:?}");
+        assert!(get(&resp, "results").contains('='));
+    }
+    // The post-drain connection wait is bounded by the configured deadline
+    // (plus the drain itself: 4 jobs × 200 ms sleep and change).
+    assert!(wait_s < 5.0, "drain took {wait_s}s, deadline config not honored");
+    assert!(std::net::TcpStream::connect(&addr).is_err(), "listener closed after drain");
+}
