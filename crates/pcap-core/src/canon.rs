@@ -23,7 +23,7 @@
 //! The grammar (one line, `;`-separated top-level fields, strict order):
 //!
 //! ```text
-//! pcapc1;machine=freqs:F,F,…|threads:U|fref:F|pidle:F|pcore:F|kappa:F
+//! pcapc2;machine=freqs:F,F,…|threads:U|fref:F|pidle:F|pcore:F|kappa:F
 //!        |vbase:F|vslope:F|slack:F;dag=DAG;caps=F,F,…
 //! DAG  = bench:NAME:RANKS:ITERATIONS:SEEDHEX
 //!      | layers:CELL,CELL,…/CELL,CELL,…          (one group per layer)
@@ -39,8 +39,12 @@ use crate::oracle::TaskSpec;
 use pcap_dag::{GraphBuilder, TaskGraph, VertexKind};
 use pcap_machine::{MachineSpec, PowerParams, TaskModel};
 
-/// Leading tag of every canonical encoding; bump on grammar changes.
-pub const FORMAT_TAG: &str = "pcapc1";
+/// Leading tag of every canonical encoding; bump on grammar changes, or
+/// whenever the meaning of a cached result changes. `pcapc1` → `pcapc2`:
+/// solves now return the canonical optimum (lexicographically minimal
+/// vertex), so bounds cached under `pcapc1` may sit on a different
+/// alternate optimum and must not be served as canonical.
+pub const FORMAT_TAG: &str = "pcapc2";
 
 /// How the application DAG of an [`Instance`] is described.
 #[derive(Debug, Clone, PartialEq)]
@@ -517,12 +521,15 @@ mod tests {
         for bad in [
             "",
             "pcapc0;machine=;dag=;caps=",
-            "pcapc1",
-            "pcapc1;machine=threads:8;dag=bench:comd:4:3:0;caps=100",
-            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:0;caps=100;extra=1",
-            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=rings:3;caps=100",
-            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:zz;caps=100",
-            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=layers:1:0,nan:0;caps=100",
+            // Pre-canonicalization encodings: well-formed pcapc1 text must be
+            // rejected on tag alone so stale cached bounds are never decoded.
+            "pcapc1;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:0;caps=100",
+            "pcapc2",
+            "pcapc2;machine=threads:8;dag=bench:comd:4:3:0;caps=100",
+            "pcapc2;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:0;caps=100;extra=1",
+            "pcapc2;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=rings:3;caps=100",
+            "pcapc2;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=bench:comd:4:3:zz;caps=100",
+            "pcapc2;machine=freqs:1.2|threads:8|fref:2.6|pidle:1|pcore:1|kappa:1|vbase:1|vslope:1|slack:0.5;dag=layers:1:0,nan:0;caps=100",
         ] {
             assert!(Instance::decode(bad).is_err(), "must reject: {bad}");
         }
@@ -558,7 +565,7 @@ mod tests {
         let fp = bench_instance().fingerprint();
         assert_eq!(fp, fnv1a(bench_instance().encode().as_bytes()));
         let text = bench_instance().encode();
-        assert!(text.starts_with("pcapc1;machine=freqs:1.2,"), "{text}");
+        assert!(text.starts_with("pcapc2;machine=freqs:1.2,"), "{text}");
         assert!(text.ends_with(";caps=120,160,200"), "{text}");
     }
 

@@ -252,6 +252,31 @@ impl WindowLp {
         let ws = WindowSolution { times, choices, makespan_s: makespan, stats: sol.stats };
         Ok((ws, basis))
     }
+
+    /// Independent cold re-solve at `cap_w` with the LP-level duality
+    /// certificate forced on (release builds included): the *hard gate* of
+    /// the sweep-level two-tier certification. Uses a fresh solver context
+    /// and no warm basis so nothing from the solve being checked can leak
+    /// into the check.
+    pub fn certified_cold_solve(
+        &mut self,
+        frontiers: &TaskFrontiers,
+        cap_w: f64,
+    ) -> CoreResult<(WindowSolution, Basis)> {
+        let saved = self.lp_opts.certify;
+        self.lp_opts.certify = true;
+        let result = self.solve_at(frontiers, cap_w, None);
+        self.lp_opts.certify = saved;
+        result
+    }
+
+    /// Whether `basis` is structurally valid for this window's LP — the
+    /// dimensions a warm start would actually adopt. Cheap (no solve);
+    /// used by the sweep certifier to reject corrupted basis snapshots
+    /// before they poison the next cap's warm start.
+    pub fn basis_is_valid(&self, basis: &Basis) -> bool {
+        basis.compatible_with(&self.problem)
+    }
 }
 
 /// Builds the window LP: initial schedule, event order, activity sets, and

@@ -21,6 +21,16 @@
 //! to a minimal reproducer committed under `tests/seeds/` so it becomes a
 //! permanent regression test.
 //!
+//! On top of the bound ordering, the oracle enforces **canonical-vertex
+//! equality**: both LP-based formulations (the flow-ILP relaxation chain
+//! inside branch-and-bound and the fixed-order LP) are re-solved under the
+//! dense linear-algebra engine, and the resulting schedules — makespan and
+//! every vertex time — must match the sparse-engine solve *bit for bit*.
+//! Since the canonical-optimum phase (`pcap_lp::canonical`) pins the
+//! lexicographically minimal optimal vertex, any bit divergence means a
+//! solve stopped being a pure function of the problem, the invariant the
+//! content-addressed store in `pcap-serve` is built on.
+//!
 //! Instances are kept deliberately tiny (≤ 3 ranks × ≤ 2 layers) because the
 //! flow ILP is only tractable below a few dozen DAG edges (paper appendix).
 
@@ -32,6 +42,7 @@ use crate::schedule::LpSchedule;
 use crate::verify::{replay_schedule, verify_schedule, ReplayMode};
 use crate::CoreError;
 use pcap_dag::TaskGraph;
+use pcap_lp::LinearAlgebra;
 use pcap_machine::MachineSpec;
 use pcap_sim::SimOptions;
 use std::path::{Path, PathBuf};
@@ -262,6 +273,20 @@ pub fn check_instance(inst: &OracleInstance) -> Result<OracleReport, String> {
         }
     }
 
+    // Canonical-vertex equality: re-solve both LP-based formulations under
+    // the dense engine and demand bitwise agreement with the (default)
+    // sparse solves above — verdict, makespan, and every vertex time.
+    let mut dense_fixed = FixedLpOptions::default();
+    dense_fixed.lp.linear_algebra = LinearAlgebra::Dense;
+    let fixed_d = feasibility(solve_fixed_order(&graph, &machine, &frontiers, cap, &dense_fixed))
+        .map_err(|e| format!("fixed LP (dense) solver failure: {e}"))?;
+    canonical_vertex_equality("fixed-order LP", &fixed, &fixed_d)?;
+    let mut dense_flow = FlowOptions::default();
+    dense_flow.bb.lp.linear_algebra = LinearAlgebra::Dense;
+    let flow_d = feasibility(solve_flow(&graph, &machine, &frontiers, cap, &dense_flow))
+        .map_err(|e| format!("flow ILP (dense) solver failure: {e}"))?;
+    canonical_vertex_equality("flow ILP relaxation", &flow, &flow_d)?;
+
     // Replay cross-checks on the fixed-order schedule (tentpole 3): the cap
     // holds at every event of the schedule's own timeline and at every step
     // of the simulated power trace, and no replay finishes before the bound.
@@ -347,6 +372,37 @@ fn feasibility(r: Result<LpSchedule, CoreError>) -> Result<Option<LpSchedule>, C
         Ok(s) => Ok(Some(s)),
         Err(CoreError::Infeasible) => Ok(None),
         Err(e) => Err(e),
+    }
+}
+
+/// Bitwise canonical-vertex comparison between two solves of the same
+/// formulation (sparse vs dense engine). Tolerances are deliberately absent:
+/// the canonical-optimum phase makes the solution a pure function of the
+/// problem, so any divergence — including in the feasibility verdict — is a
+/// determinism bug, not numeric noise.
+fn canonical_vertex_equality(
+    what: &str,
+    a: &Option<LpSchedule>,
+    b: &Option<LpSchedule>,
+) -> Result<(), String> {
+    match (a, b) {
+        (None, None) => Ok(()),
+        (Some(x), Some(y)) => {
+            match crate::verify::canonical_vertex_divergence(
+                x.makespan_s,
+                y.makespan_s,
+                &x.vertex_times,
+                &y.vertex_times,
+            ) {
+                None => Ok(()),
+                Some(divergence) => Err(format!("{what}: sparse vs dense: {divergence}")),
+            }
+        }
+        _ => Err(format!(
+            "{what}: engines disagree on feasibility (sparse {} vs dense {})",
+            if a.is_some() { "feasible" } else { "infeasible" },
+            if b.is_some() { "feasible" } else { "infeasible" },
+        )),
     }
 }
 

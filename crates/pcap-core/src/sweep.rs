@@ -24,11 +24,15 @@
 //!   chunk and collecting results in deterministic input order.
 //!
 //! The results are identical to the sequential cold-start loop: warm and
-//! cold solves may terminate at *different* optimal bases of the same
-//! vertex, but the solver canonicalizes the final basis and iteratively
-//! refines the extracted values to the correctly rounded solution, making
-//! the output independent of the pivot path — which the test-suite checks
-//! down to the bit pattern of the makespans.
+//! cold solves may terminate at different optimal bases — or, at a
+//! degenerate optimum, at different alternate optima entirely — but the
+//! solver's canonical-optimum phase ([`pcap_lp::SolverOptions::canonicalize`])
+//! walks every solve to the lexicographically minimal optimal vertex and
+//! iteratively refines the extracted values to the correctly rounded
+//! solution, making the output independent of the pivot path, the warm
+//! basis, and the linear-algebra engine — which the test-suite (and the
+//! [`SweepOptions::certify`] two-tier gate) checks down to the bit pattern
+//! of every vertex time.
 
 use crate::decompose::windows_at_syncs;
 use crate::fixed_lp::{FixedLpOptions, Window, WindowLp};
@@ -50,9 +54,12 @@ pub struct SweepOptions {
     /// Seed each solve with the basis of the previous cap in its chunk.
     /// Disable to force cold starts (diagnostics / baseline timing).
     pub warm_start: bool,
-    /// Certify every warm-started window solve bit-for-bit against an
-    /// independent cold re-solve of the same window at the same cap, failing
-    /// the sweep point with [`CoreError::Verification`] on any mismatch.
+    /// Certify every warm-started window solve against an independent cold
+    /// re-solve of the same window at the same cap with the **two-tier**
+    /// check (see `certify_against_cold`): the hard gate demands a valid
+    /// basis, a duality-certified cold optimum and objective agreement; the
+    /// strict gate demands canonical-vertex equality bit for bit. Any
+    /// failure fails the sweep point with [`CoreError::Verification`].
     /// The cold solves are checks, not measurements: their telemetry is not
     /// folded into the point's [`SolveStats`]. Combine with
     /// [`pcap_lp::SolverOptions::certify`] (via `fixed.lp.certify`) to also
@@ -257,7 +264,8 @@ impl SweepContext {
             match lp.solve_at_with(frontiers, cap_w, warm, &mut self.solver_ctxs[wi]) {
                 Ok((ws, basis)) => {
                     if self.opts.certify && warm_used {
-                        if let Err(e) = certify_against_cold(lp, frontiers, cap_w, &ws, wi) {
+                        if let Err(e) = certify_against_cold(lp, frontiers, cap_w, &ws, &basis, wi)
+                        {
                             failure = Some(e);
                             break;
                         }
@@ -291,61 +299,83 @@ impl SweepContext {
     }
 }
 
-/// Largest warm-vs-cold divergence accepted by [`certify_against_cold`].
+/// Hard-gate relative tolerance on warm-vs-cold *objective* agreement.
 ///
-/// The solver canonicalizes the final basis *slot order*, so two solves
-/// that stop at the same basis set extract bit-identical values. Warm and
-/// cold pivot paths, however, may legitimately stop at *different* algebraic
-/// bases of the same degenerate optimal vertex; each basis' values are then
-/// refined to the correctly rounded solution of its own basic system, and
-/// the two roundings can disagree in the last few ulps. Anything beyond
-/// this ulp budget is a real warm-start bug (wrong basis restoration, a
-/// different vertex, drift), not degeneracy noise.
-const CERTIFY_MAX_ULPS: u64 = 8;
+/// Matched to the duality-gap tolerance of the LP-level certificate
+/// ([`pcap_lp::CertifyOptions`]): two independently certified optima of the
+/// same LP cannot have objectives further apart than their certified gaps.
+/// A violation means one of the solves is simply wrong — as opposed to the
+/// strict gate below, whose failures mean "right value, wrong vertex".
+const CERTIFY_OBJ_REL_TOL: f64 = 1e-6;
 
-/// ULP distance between two finite same-sign floats; `u64::MAX` for any
-/// pair (sign mismatch, non-finite) that can never be "close".
-fn ulp_distance(a: f64, b: f64) -> u64 {
-    if a == b {
-        return 0; // covers +0 vs -0
-    }
-    if !a.is_finite() || !b.is_finite() || a.is_sign_negative() != b.is_sign_negative() {
-        return u64::MAX;
-    }
-    a.to_bits().abs_diff(b.to_bits())
-}
-
-/// Re-solves a window cold at the same cap and demands agreement with the
-/// warm-started solution `ws` — the sweep-level half of the verification
+/// Re-solves a window cold at the same cap and checks the warm-started
+/// solution `ws` against it — the sweep-level half of the verification
 /// subsystem (the LP-level half is the per-solve certificate in `pcap-lp`).
-/// Agreement is bitwise except at degenerate alternate optima, where up to
-/// [`CERTIFY_MAX_ULPS`] of divergence is accepted (see its doc comment).
+///
+/// The comparison is **two-tier**:
+///
+/// * **Hard gate** — the warm solve's basis snapshot is structurally valid,
+///   the independent cold re-solve succeeds *with the LP duality
+///   certificate forced on* ([`WindowLp::certified_cold_solve`]), and the
+///   two makespans agree to [`CERTIFY_OBJ_REL_TOL`]. A failure here means
+///   a solve returned a non-optimum: the bound itself is untrustworthy.
+/// * **Strict gate** — the two solutions are the *same vertex, bit for
+///   bit*: equal makespan bits and equal bits for every vertex time. The
+///   solver's canonical-optimum phase ([`pcap_lp::SolverOptions::canonicalize`],
+///   on by default) guarantees this even at degenerate optima, where warm
+///   and cold pivot paths would otherwise stop at different alternate
+///   optima. A failure here means the canonical layer regressed: results
+///   are still valid bounds but are no longer a pure function of the
+///   problem, which poisons content-addressed caches and dual-price
+///   consumers.
+///
+/// Both tiers fail the sweep point with [`CoreError::Verification`]; the
+/// message names the tier so a regression is immediately attributable.
 fn certify_against_cold(
     lp: &mut WindowLp,
     frontiers: &TaskFrontiers,
     cap_w: f64,
     ws: &crate::fixed_lp::WindowSolution,
+    warm_basis: &Basis,
     window_index: usize,
 ) -> CoreResult<()> {
-    let (cold, _) = lp.solve_at(frontiers, cap_w, None).map_err(|e| {
+    // Hard gate: basis validity.
+    if !lp.basis_is_valid(warm_basis) {
+        return Err(CoreError::Verification(format!(
+            "window {window_index} at cap {cap_w} W: hard gate: warm solve returned a basis \
+             snapshot incompatible with the window LP ({:?})",
+            warm_basis.dims()
+        )));
+    }
+    // Hard gate: independent certified cold re-solve.
+    let (cold, _) = lp.certified_cold_solve(frontiers, cap_w).map_err(|e| {
         CoreError::Verification(format!(
-            "window {window_index} at cap {cap_w} W: warm solve succeeded but cold re-solve \
-             failed: {e}"
+            "window {window_index} at cap {cap_w} W: hard gate: warm solve succeeded but the \
+             certified cold re-solve failed: {e}"
         ))
     })?;
-    if ulp_distance(cold.makespan_s, ws.makespan_s) > CERTIFY_MAX_ULPS {
+    // Hard gate: objective agreement.
+    let rel = (ws.makespan_s - cold.makespan_s).abs() / cold.makespan_s.abs().max(1.0);
+    if rel > CERTIFY_OBJ_REL_TOL || rel.is_nan() {
         return Err(CoreError::Verification(format!(
-            "window {window_index} at cap {cap_w} W: warm makespan {} != cold makespan {}",
+            "window {window_index} at cap {cap_w} W: hard gate: warm makespan {} vs cold \
+             makespan {} (relative error {rel:.3e})",
             ws.makespan_s, cold.makespan_s
         )));
     }
-    for ((v, warm_t), (_, cold_t)) in ws.times.iter().zip(&cold.times) {
-        if ulp_distance(*warm_t, *cold_t) > CERTIFY_MAX_ULPS {
-            return Err(CoreError::Verification(format!(
-                "window {window_index} at cap {cap_w} W: vertex {} time {warm_t} != cold {cold_t}",
-                v.index()
-            )));
-        }
+    // Strict gate: canonical-vertex equality, bit for bit.
+    let warm_times: Vec<f64> = ws.times.iter().map(|&(_, t)| t).collect();
+    let cold_times: Vec<f64> = cold.times.iter().map(|&(_, t)| t).collect();
+    if let Some(divergence) = crate::verify::canonical_vertex_divergence(
+        ws.makespan_s,
+        cold.makespan_s,
+        &warm_times,
+        &cold_times,
+    ) {
+        return Err(CoreError::Verification(format!(
+            "window {window_index} at cap {cap_w} W: strict gate: warm vs cold: {divergence} — \
+             warm and cold landed on different alternate optima",
+        )));
     }
     Ok(())
 }
@@ -574,16 +604,23 @@ mod tests {
         assert!(feasible >= 12, "most of the 25–100 W grid should be feasible");
     }
 
+    /// The strict gate is only sound because every solve is canonicalized;
+    /// pin that the sweep path actually reports it, so switching
+    /// canonicalization off (or a silent bail-out in the secondary phase)
+    /// cannot masquerade as "certified".
     #[test]
-    fn ulp_distance_counts_representable_steps() {
-        assert_eq!(ulp_distance(1.0, 1.0), 0);
-        assert_eq!(ulp_distance(0.0, -0.0), 0);
-        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 3)), 3);
-        // The observed degenerate-optimum divergence: last-digit neighbours.
-        assert_eq!(ulp_distance(0.15189151263002257, 0.15189151263002254), 1);
-        assert_eq!(ulp_distance(1.0, -1.0), u64::MAX);
-        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
-        assert!(ulp_distance(1.0, 1.0 + 1e-9) > CERTIFY_MAX_ULPS);
+    fn sweep_solves_are_canonicalized() {
+        let (g, m, fr) = setup();
+        let caps: Vec<f64> = [40.0, 50.0, 60.0].iter().map(|c| c * 4.0).collect();
+        let sweep = solve_sweep(&g, &m, &fr, &caps, &SweepOptions::default());
+        for p in &sweep {
+            let s = p.schedule.as_ref().expect("grid is feasible");
+            assert_eq!(
+                s.stats.canonicalized, s.stats.solves,
+                "cap {}: {} of {} solves canonicalized",
+                p.cap_w, s.stats.canonicalized, s.stats.solves
+            );
+        }
     }
 
     /// The serving pool's reuse pattern: one long-lived context answering

@@ -72,6 +72,40 @@ pub fn verify_schedule(graph: &TaskGraph, schedule: &LpSchedule) -> Verification
     }
 }
 
+/// Bitwise comparison of two solves' canonical vertices: the makespans and
+/// every vertex time must match exactly. Returns a description of the first
+/// divergence, or `None` when the two agree bit for bit.
+///
+/// This is the strict-gate primitive shared by the sweep certifier
+/// (`certify_against_cold`) and the differential oracle's cross-engine
+/// check. There is deliberately no tolerance parameter: canonical-optimum
+/// selection (`pcap_lp::canonical`) makes every solve of the same problem
+/// land on the lexicographically minimal optimal vertex, so any bit
+/// divergence means a solve stopped being a pure function of the problem —
+/// the invariant content-addressed caching rests on — and must fail loudly
+/// rather than be absorbed into an ulp allowance.
+pub fn canonical_vertex_divergence(
+    a_makespan_s: f64,
+    b_makespan_s: f64,
+    a_times: &[f64],
+    b_times: &[f64],
+) -> Option<String> {
+    if a_makespan_s.to_bits() != b_makespan_s.to_bits() {
+        return Some(format!(
+            "makespan {a_makespan_s} != {b_makespan_s} bitwise (canonical-vertex divergence)"
+        ));
+    }
+    if a_times.len() != b_times.len() {
+        return Some(format!("vertex count differs: {} vs {}", a_times.len(), b_times.len()));
+    }
+    for (i, (a, b)) in a_times.iter().zip(b_times).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Some(format!("vertex {i} time {a} != {b} bitwise"));
+        }
+    }
+    None
+}
+
 /// How a schedule is realized during replay (see
 /// [`LpSchedule::to_config_schedule`] / [`LpSchedule::to_rapl_schedule`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -28,6 +28,16 @@
 //! [`certify`] runs automatically on every successful solve in debug/test
 //! builds, and in release builds when [`crate::SolverOptions::certify`] is
 //! set (the bench harness's `--certify` flag).
+//!
+//! The certificate is the *hard gate* of the sweep certifier's two-tier
+//! scheme: it proves the returned vertex is optimal, with tolerances,
+//! while canonical-optimum selection ([`crate::canonical`]) makes the
+//! choice *among* alternate optima deterministic, without tolerances.
+//! The division of labour is deliberate — residuals here are relative
+//! and tolerance-based because floating-point optimality cannot be
+//! exact, whereas the strict gate's bitwise equality can be exact
+//! because it compares two solves of the same problem, not a solve
+//! against mathematical truth.
 
 use crate::problem::{Problem, Sense};
 use crate::solution::{Solution, Status};

@@ -40,6 +40,7 @@
 //! which the test-suite property checks drive to ~1e-7.
 
 pub mod branch;
+pub mod canonical;
 pub mod certificate;
 pub mod dense;
 pub mod error;

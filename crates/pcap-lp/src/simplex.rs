@@ -71,6 +71,14 @@ pub struct SolverOptions {
     /// this flag extends the check to release builds (the bench harness's
     /// `--certify` path).
     pub certify: bool,
+    /// Run the canonical-optimum secondary phase ([`crate::canonical`])
+    /// after primal optimality: a lexicographic clean-up restricted to the
+    /// optimal face so every solve of the same problem — warm or cold,
+    /// sparse or dense — returns the *same* optimal vertex bit for bit.
+    /// Costs one extra pricing pass on non-degenerate problems and a few
+    /// bounded mini-phases on degenerate ones. On by default; turn off only
+    /// for throwaway solves where any alternate optimum is acceptable.
+    pub canonicalize: bool,
     /// Which engine factors the basis and runs FTRAN/BTRAN.
     pub linear_algebra: LinearAlgebra,
 }
@@ -86,6 +94,7 @@ impl Default for SolverOptions {
             bland_trigger: 200,
             scale: true,
             certify: false,
+            canonicalize: true,
             linear_algebra: LinearAlgebra::default(),
         }
     }
@@ -245,7 +254,13 @@ pub fn solve_with_context(
         s.adopt_basis(b);
     }
     s.run()?;
+    // Canonical-optimum selection: at a degenerate optimum the primal
+    // phases stop at whichever optimal vertex the pivot path reached; the
+    // secondary phase walks to the lexicographically minimal one so the
+    // extracted solution is a function of the problem alone.
+    let canonical = if opts.canonicalize { s.canonicalize()? } else { false };
     let mut sol = s.extract(problem);
+    sol.stats.canonicalized = canonical as u64;
     // Every solve is re-verified by the independent certificate checker in
     // debug/test builds; `opts.certify` extends that to release builds.
     if opts.certify || cfg!(debug_assertions) {
@@ -260,7 +275,7 @@ pub fn solve_with_context(
 
 /// Column status in the current basis partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VStat {
+pub(crate) enum VStat {
     Basic,
     AtLower,
     AtUpper,
@@ -296,21 +311,21 @@ struct SimplexScratch {
     mark: Vec<bool>,
 }
 
-struct Simplex {
-    m: usize,
-    ncols: usize,
+pub(crate) struct Simplex {
+    pub(crate) m: usize,
+    pub(crate) ncols: usize,
     /// Constraint matrix `[A | −I]` (scaled) in CSC form with a CSR mirror,
     /// built once per solve; both engines gather basis columns from it.
     a: CscMatrix,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
     /// Phase-2 costs in minimization form.
-    cost: Vec<f64>,
+    pub(crate) cost: Vec<f64>,
     sign: f64,
 
-    basis: Vec<u32>,
-    stat: Vec<VStat>,
-    x: Vec<f64>,
+    pub(crate) basis: Vec<u32>,
+    pub(crate) stat: Vec<VStat>,
+    pub(crate) x: Vec<f64>,
 
     factor: Factor,
     /// The basis (slot order included) `factor` was computed for; compared
@@ -327,11 +342,11 @@ struct Simplex {
     row_scale: Vec<f64>,
     col_scale: Vec<f64>,
 
-    opts: SolverOptions,
-    iterations: u64,
-    degenerate_run: u32,
+    pub(crate) opts: SolverOptions,
+    pub(crate) iterations: u64,
+    pub(crate) degenerate_run: u32,
     /// Partial-pricing rotation point (sparse engine, non-Bland pricing).
-    pricing_cursor: usize,
+    pub(crate) pricing_cursor: usize,
     /// Final duals/reduced costs filled in by `run`.
     duals: Vec<f64>,
     reduced: Vec<f64>,
@@ -634,7 +649,7 @@ impl Simplex {
     /// Gathers the basis columns, factors them with the selected engine,
     /// clears etas and recomputes the basic values from the nonbasic
     /// assignment. Telemetry (`basis_nnz`, `factor_nnz`) accumulates here.
-    fn refactor(&mut self) -> LpResult<()> {
+    pub(crate) fn refactor(&mut self) -> LpResult<()> {
         if self.m == 0 {
             self.factor = Factor::None;
             self.factor_basis.clear();
@@ -672,7 +687,7 @@ impl Simplex {
     /// — same columns in the same slot order, no eta updates layered on top
     /// — so a refactorization would reproduce it bit for bit (both engines
     /// factor deterministically) and can be skipped.
-    fn factor_is_current(&self) -> bool {
+    pub(crate) fn factor_is_current(&self) -> bool {
         !matches!(self.factor, Factor::None)
             && self.etas.is_empty()
             && self.basis == self.factor_basis
@@ -696,37 +711,64 @@ impl Simplex {
         }
     }
 
-    /// A couple of steps of iterative refinement on the basic values:
-    /// `r = −A·x`, `x_B += B⁻¹·r`, stopping early at a fixed point. Run
-    /// against a fresh factorization (no etas), this drives the basic
-    /// values to the correctly rounded solution of the final basic system,
-    /// which makes the extracted solution independent of the pivot path —
-    /// and, at a degenerate optimum, of *which* optimal basis represents
-    /// the vertex — rather than carrying ~1-ulp LU noise from either.
-    fn refine_basic_values(&mut self) {
+    /// Iterative refinement on the basic values in double-double precision:
+    /// each basic value is carried as an unevaluated `hi + lo` pair, the
+    /// residual `r = −A·(hi + lo)` feeds a correction `B⁻¹·r`, and the pair
+    /// is renormalized after every round so `hi` is always the correctly
+    /// rounded sum. Run against a fresh factorization (no etas), this
+    /// drives `hi` to the *correctly rounded* solution of the basic system
+    /// — not merely to within ~1 ulp of it, which is the property that
+    /// matters: at a degenerate optimum the same canonical vertex can be
+    /// represented by different bases, whose single-precision-refined
+    /// values legitimately land on adjacent floats. The exact solutions of
+    /// those bases' systems all equal the vertex, so rounding the
+    /// double-double fixpoint makes the extracted values a function of the
+    /// vertex alone, independent of pivot path, warm basis, and basis
+    /// representation.
+    ///
+    /// The residual is accumulated with Neumaier compensation in fixed CSR
+    /// order ([`CscMatrix::residual_neg_ax`]); without it, rows mixing
+    /// large cancelling activities stall refinement around ~1e-5 relative
+    /// residuals on ill-scaled windows, which is precisely where cold
+    /// re-solve duality certificates used to fail before canonicalization.
+    pub(crate) fn refine_basic_values(&mut self) {
         if matches!(self.factor, Factor::None) {
             return;
         }
-        for _ in 0..3 {
-            let mut r = vec![0.0; self.m];
-            for j in 0..self.ncols {
-                let xj = self.x[j];
-                if xj != 0.0 {
-                    for (row, v) in self.a.col(j) {
-                        r[row as usize] -= v * xj;
+        // Error-free sum: `a + b = s + e` exactly (Knuth two-sum).
+        fn two_sum(a: f64, b: f64) -> (f64, f64) {
+            let s = a + b;
+            let bb = s - a;
+            let e = (a - (s - bb)) + (b - bb);
+            (s, e)
+        }
+        let mut r = vec![0.0; self.m];
+        let mut lo = vec![0.0; self.m]; // per-slot tail of the basic value
+        for round in 0..8 {
+            self.a.residual_neg_ax(&self.x, &mut r);
+            // Fold the tails into the residual: r -= A·lo (basic columns).
+            for (k, &j) in self.basis.iter().enumerate() {
+                if lo[k] != 0.0 {
+                    for (row, v) in self.a.col(j as usize) {
+                        r[row as usize] -= v * lo[k];
                     }
                 }
             }
             self.factor_solve_dense(&mut r);
-            let mut changed = false;
+            let mut hi_changed = false;
             for (k, &j) in self.basis.iter().enumerate() {
-                let nx = self.x[j as usize] + r[k];
-                if nx != self.x[j as usize] {
-                    self.x[j as usize] = nx;
-                    changed = true;
+                let j = j as usize;
+                // (hi, lo) += correction, then renormalize so the new hi
+                // is the rounded value of the full double-double sum.
+                let (s, e) = two_sum(self.x[j], r[k]);
+                let (hi, tail) = two_sum(s, lo[k] + e);
+                if hi != self.x[j] {
+                    self.x[j] = hi;
+                    hi_changed = true;
                 }
+                lo[k] = tail;
             }
-            if !changed {
+            if !hi_changed && round > 0 {
                 break;
             }
         }
@@ -749,7 +791,7 @@ impl Simplex {
     /// hyper-sparse solve with the CSC column pattern; the dense engine
     /// reproduces the historical dense loops exactly (the result is marked
     /// `dense`, so downstream `nz_indices` walks all slots as before).
-    fn ftran_col(&self, j: usize) -> SparseVec {
+    pub(crate) fn ftran_col(&self, j: usize) -> SparseVec {
         let mut v;
         if self.sparse() {
             v = SparseVec::zeros(self.m);
@@ -776,7 +818,7 @@ impl Simplex {
     }
 
     /// BTRAN: returns `y` with `Bᵀ·y = v` (etas first, then the engine).
-    fn btran_vec(&self, mut v: SparseVec) -> SparseVec {
+    pub(crate) fn btran_vec(&self, mut v: SparseVec) -> SparseVec {
         self.apply_etas_btran(&mut v);
         match &self.factor {
             Factor::None => {}
@@ -892,15 +934,22 @@ impl Simplex {
         }
     }
 
-    /// Sum of primal bound violations over basic variables.
+    /// Largest primal bound violation over basic variables. Phase 1
+    /// terminates on this *max*, matching [`Self::phase1_cost`]'s
+    /// per-variable test: an aggregate (sum) budget scaled by the row count
+    /// lets a single tiny-RHS row hoard the whole allowance — on
+    /// production-size windows a cold solve could then stop with one
+    /// precedence row violated by its entire (microsecond-scale) bound,
+    /// yielding a super-optimal infeasible vertex that warm solves, which
+    /// skip phase 1, never reproduce.
     fn infeasibility(&self) -> f64 {
         self.basis
             .iter()
             .map(|&j| {
                 let j = j as usize;
-                (self.lower[j] - self.x[j]).max(0.0) + (self.x[j] - self.upper[j]).max(0.0)
+                (self.lower[j] - self.x[j]).max(self.x[j] - self.upper[j]).max(0.0)
             })
-            .sum()
+            .fold(0.0, f64::max)
     }
 
     fn run(&mut self) -> LpResult<()> {
@@ -939,7 +988,7 @@ impl Simplex {
         let dual_restored = if self.warm_started { self.dual_phase(max_iters)? } else { false };
         if !dual_restored {
             loop {
-                if self.infeasibility() <= self.opts.feas_tol * (1 + self.m) as f64 {
+                if self.infeasibility() <= self.opts.feas_tol {
                     break;
                 }
                 if self.iterations >= max_iters {
@@ -950,7 +999,7 @@ impl Simplex {
                     StepResult::Optimal => {
                         // Phase-1 optimum with residual infeasibility: no
                         // feasible point exists.
-                        if self.infeasibility() > self.opts.feas_tol * (1 + self.m) as f64 {
+                        if self.infeasibility() > self.opts.feas_tol {
                             return Err(LpError::Infeasible);
                         }
                         break;
@@ -1422,7 +1471,7 @@ impl Simplex {
 
     /// One pricing + ratio-test + update step. `phase1` selects the
     /// composite infeasibility objective.
-    fn iterate(&mut self, phase1: bool) -> LpResult<StepResult> {
+    pub(crate) fn iterate(&mut self, phase1: bool) -> LpResult<StepResult> {
         // Duals for the current (phase-dependent) basic costs.
         let cb: Vec<f64> = self
             .basis
@@ -1594,7 +1643,7 @@ impl Simplex {
     /// Records the product-form eta for a pivot at basis slot `slot` with
     /// pivot column `w = B⁻¹·a_q` (entries stored slots-ascending: `w`'s
     /// pattern is sorted and the dense walk is in index order).
-    fn record_eta(&mut self, w: &SparseVec, slot: usize, pivot: f64) {
+    pub(crate) fn record_eta(&mut self, w: &SparseVec, slot: usize, pivot: f64) {
         let mut entries = Vec::new();
         for k in nz_indices(w) {
             let wk = w.values[k];
@@ -1605,10 +1654,15 @@ impl Simplex {
         self.etas.push(Eta { pos: slot, entries, pivot });
     }
 
+    /// Number of product-form etas stacked on the current factorization.
+    pub(crate) fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
     /// Computes the (phase-dependent) reduced cost of column `j` against
     /// dual values `y`.
     #[inline]
-    fn reduced_cost(&self, phase1: bool, y: &SparseVec, j: usize) -> f64 {
+    pub(crate) fn reduced_cost(&self, phase1: bool, y: &SparseVec, j: usize) -> f64 {
         let mut d = if phase1 { 0.0 } else { self.cost[j] };
         for (r, v) in self.a.col(j) {
             d -= y.values[r as usize] * v;
@@ -1726,7 +1780,29 @@ impl Simplex {
             } else {
                 let _ = self.refactor();
             }
-            self.refine_basic_values();
+            if self.sparse() {
+                self.refine_basic_values();
+            } else {
+                // Engine-independent vertex coordinates: on ill-conditioned
+                // bases (near-duplicate columns at degenerate vertices) the
+                // refinement fixpoint inherits the factorization's roundoff,
+                // so the dense engine re-derives its final basic values
+                // against the same sparse kernel the default engine uses.
+                // Pivoting, pricing and duals stay on the dense path — only
+                // the extracted vertex is computed through shared arithmetic,
+                // which is what makes sparse and dense solves bit-identical.
+                // The dense engine is the differential oracle, so the extra
+                // factorization is off the performance-critical path.
+                match SparseLu::factor(&self.a, &self.basis, &SparseLuOptions::default()) {
+                    Ok(lu) => {
+                        let dense_factor = std::mem::replace(&mut self.factor, Factor::Sparse(lu));
+                        self.recompute_basic_values();
+                        self.refine_basic_values();
+                        self.factor = dense_factor;
+                    }
+                    Err(_) => self.refine_basic_values(),
+                }
+            }
             let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j as usize]).collect();
             let y = self.btran_vec(SparseVec::from_dense(cb));
             self.reduced = (0..n)
@@ -1763,16 +1839,19 @@ impl Simplex {
         }
 
         // Undo the equilibration: x_j = s_j x'_j, y_i = r_i y'_i,
-        // d_j = d'_j / s_j (see the scaling derivation in `new`).
-        let values: Vec<f64> = (0..n).map(|j| self.x[j] * self.col_scale[j]).collect();
+        // d_j = d'_j / s_j (see the scaling derivation in `new`). The
+        // `+ 0.0` normalizes -0.0 to +0.0 (exact for every other value):
+        // the two engines can produce differently signed zeros, and the
+        // determinism contract is *bitwise*.
+        let values: Vec<f64> = (0..n).map(|j| self.x[j] * self.col_scale[j] + 0.0).collect();
         let duals: Vec<f64> =
-            self.duals.iter().enumerate().map(|(i, &y)| y * self.row_scale[i]).collect();
+            self.duals.iter().enumerate().map(|(i, &y)| y * self.row_scale[i] + 0.0).collect();
         let reduced: Vec<f64> =
-            self.reduced.iter().enumerate().map(|(j, &d)| d / self.col_scale[j]).collect();
+            self.reduced.iter().enumerate().map(|(j, &d)| d / self.col_scale[j] + 0.0).collect();
         let internal_obj: f64 = (0..n).map(|j| self.cost[j] * self.x[j]).sum();
         Solution {
             status: Status::Optimal,
-            objective: self.sign * internal_obj,
+            objective: self.sign * internal_obj + 0.0,
             values,
             duals,
             reduced_costs: reduced,
@@ -1792,13 +1871,14 @@ impl Simplex {
                 wall_time_s: 0.0, // stamped by solve_with_basis
                 warm_started: self.warm_started,
                 solves: 1,
-                certified: 0, // stamped by solve_with_basis after the check
+                certified: 0,     // stamped by solve_with_basis after the check
+                canonicalized: 0, // stamped by solve_with_context after the phase
             },
         }
     }
 }
 
-enum StepResult {
+pub(crate) enum StepResult {
     Pivoted,
     BoundFlip,
     Optimal,

@@ -68,6 +68,14 @@ pub struct SolveStats {
     /// ([`crate::certificate`]) — equal to `solves` in debug/test builds
     /// and under [`crate::SolverOptions::certify`], 0 otherwise.
     pub certified: u64,
+    /// Solves whose answer was driven to the canonical (lexicographically
+    /// minimal) optimal vertex by the secondary phase
+    /// ([`crate::canonical`]). Equal to `solves` under the default
+    /// [`crate::SolverOptions::canonicalize`]; a shortfall means some
+    /// solve bailed out of canonicalization (iteration budget, free
+    /// coordinate) and returned a merely-optimal vertex, which downstream
+    /// bitwise comparisons must not assume is unique.
+    pub canonicalized: u64,
 }
 
 impl SolveStats {
@@ -89,6 +97,7 @@ impl SolveStats {
         self.warm_started |= other.warm_started;
         self.solves += other.solves;
         self.certified += other.certified;
+        self.canonicalized += other.canonicalized;
     }
 }
 

@@ -142,6 +142,33 @@ impl CscMatrix {
         let b = self.row_ptr[i + 1] as usize;
         self.col_idx[a..b].iter().copied().zip(self.row_values[a..b].iter().copied())
     }
+
+    /// Writes `r = −A·x` with per-row Neumaier-compensated accumulation
+    /// (CSR order, cols ascending, so the summation order is a function of
+    /// the matrix alone — never of the caller's iteration order).
+    ///
+    /// This is the residual kernel for iterative refinement of the basic
+    /// values: the plain column-major sum loses up to `O(nnz_row)·ulp` on
+    /// rows mixing large cancelling terms, which is exactly the ~1e-5
+    /// primal-residual regime where cold re-solve certificates used to
+    /// fail. Compensation recovers the correctly rounded row sums at one
+    /// extra flop per nonzero. `r.len()` must equal `num_rows()`.
+    pub fn residual_neg_ax(&self, x: &[f64], r: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.m);
+        for (i, slot) in r.iter_mut().enumerate() {
+            let a = self.row_ptr[i] as usize;
+            let b = self.row_ptr[i + 1] as usize;
+            let mut sum = 0.0_f64;
+            let mut comp = 0.0_f64;
+            for k in a..b {
+                let term = -self.row_values[k] * x[self.col_idx[k] as usize];
+                let t = sum + term;
+                comp += if sum.abs() >= term.abs() { (sum - t) + term } else { (term - t) + sum };
+                sum = t;
+            }
+            *slot = sum + comp;
+        }
+    }
 }
 
 /// A length-`m` vector with dense value storage and an optional nonzero

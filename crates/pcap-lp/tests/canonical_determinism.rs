@@ -1,0 +1,263 @@
+//! Tie-break determinism of the canonical-optimum phase.
+//!
+//! The solver's contract since canonical-optimum selection landed: the
+//! returned solution is a pure function of the *problem*, not of the pivot
+//! path that reached it. These tests attack exactly the structures that
+//! used to break that — **duplicated columns** (twin variables with
+//! identical cost and coefficients, so optimal mass can split arbitrarily
+//! along an edge of alternate optima) and **duplicated rows** (repeated
+//! constraints, so vertices are primal degenerate and many bases represent
+//! the same point).
+//!
+//! For every instance the oracle demands bitwise agreement across:
+//!
+//! * sparse vs dense linear-algebra engines, both cold;
+//! * a repeated cold solve (trivial determinism);
+//! * cross-engine warm starts (the dense optimal basis fed to a sparse
+//!   solve and vice versa — a different starting vertex than either cold
+//!   path);
+//! * a warm start from the optimum of a *relaxed* variant of the problem
+//!   (same matrix, loosened row bounds — the sweep's adjacent-cap shape),
+//!   which lands the solver on a genuinely different initial basis.
+//!
+//! Random instances come from proptest; the curated corner cases live in
+//! `tests/seeds/canonical-*.lpseed` and are replayed on every run, same
+//! contract as the differential-oracle seed corpus.
+
+use pcap_lp::{
+    solve_with_basis, Bound, LinExpr, LinearAlgebra, LpError, Problem, Sense, SolverOptions, VarId,
+};
+use proptest::prelude::*;
+
+/// Row kinds a degenerate instance may carry. Equality rows are excluded so
+/// the relaxed variant (bounds loosened by a slack) stays meaningful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RowKind {
+    Upper,
+    Lower,
+    Range,
+}
+
+/// A degeneracy-prone LP: a small base problem plus explicit column and
+/// row duplications. Costs, bounds and coefficients are small integers so
+/// ties between pivot candidates are the norm, not the exception.
+#[derive(Debug, Clone)]
+struct DegenLp {
+    costs: Vec<f64>,
+    ubs: Vec<f64>,
+    /// `(kind, rhs magnitude, dense coefficients over the base columns)`.
+    rows: Vec<(RowKind, f64, Vec<f64>)>,
+    /// Base-column indices appended again as identical twins.
+    dup_cols: Vec<usize>,
+    /// Row indices repeated verbatim.
+    dup_rows: Vec<usize>,
+}
+
+impl DegenLp {
+    /// Builds the instance; `slack > 0` loosens every row bound by that
+    /// much (same matrix, different bounds — the warm-start-compatible
+    /// relaxation used to manufacture a different optimal basis).
+    fn build(&self, slack: f64) -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let mut vars: Vec<VarId> =
+            (0..self.costs.len()).map(|j| p.add_var(0.0, self.ubs[j], self.costs[j])).collect();
+        for &j in &self.dup_cols {
+            vars.push(p.add_var(0.0, self.ubs[j], self.costs[j]));
+        }
+        let mut rows: Vec<(RowKind, f64, Vec<f64>)> = self.rows.clone();
+        for &r in &self.dup_rows {
+            rows.push(self.rows[r].clone());
+        }
+        for (kind, rhs, coeffs) in &rows {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for (j, &c) in coeffs.iter().enumerate() {
+                if c != 0.0 {
+                    terms.push((vars[j], c));
+                }
+            }
+            // Twins carry their original column's coefficient in every row.
+            for (t, &j) in self.dup_cols.iter().enumerate() {
+                if coeffs[j] != 0.0 {
+                    terms.push((vars[self.costs.len() + t], coeffs[j]));
+                }
+            }
+            let bound = match kind {
+                RowKind::Upper => Bound::Upper(rhs + slack),
+                RowKind::Lower => Bound::Lower(rhs - slack),
+                RowKind::Range => Bound::Range(-rhs - slack, rhs + slack),
+            };
+            p.add_constraint(LinExpr::from(terms), bound);
+        }
+        p
+    }
+}
+
+fn assert_bits_equal(tag: &str, a: &pcap_lp::Solution, b: &pcap_lp::Solution) {
+    assert_eq!(
+        a.objective.to_bits(),
+        b.objective.to_bits(),
+        "{tag}: objective {} != {}",
+        a.objective,
+        b.objective
+    );
+    assert_eq!(a.values.len(), b.values.len(), "{tag}: value count");
+    for (j, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{tag}: value {j}: {x} != {y}");
+    }
+}
+
+/// The determinism oracle: every solve path must land on the same bits.
+fn assert_canonical_determinism(lp: &DegenLp) {
+    let p = lp.build(0.0);
+    let sparse =
+        SolverOptions { linear_algebra: LinearAlgebra::Sparse, ..SolverOptions::default() };
+    let dense = SolverOptions { linear_algebra: LinearAlgebra::Dense, ..SolverOptions::default() };
+
+    let cold_sparse = solve_with_basis(&p, &sparse, None);
+    let cold_dense = solve_with_basis(&p, &dense, None);
+    match (cold_sparse, cold_dense) {
+        (Ok((a, basis_a)), Ok((b, basis_b))) => {
+            assert_bits_equal("sparse-cold vs dense-cold", &a, &b);
+            assert_eq!(a.stats.canonicalized, 1, "sparse solve must canonicalize");
+            assert_eq!(b.stats.canonicalized, 1, "dense solve must canonicalize");
+
+            let (again, _) = solve_with_basis(&p, &sparse, None).expect("repeat solve");
+            assert_bits_equal("sparse-cold repeat", &a, &again);
+
+            // Cross-engine warm starts: each engine resumes from the other
+            // engine's optimal basis, a different entry point than its own
+            // cold path.
+            let (w, _) = solve_with_basis(&p, &sparse, Some(&basis_b)).expect("sparse warm");
+            assert_bits_equal("sparse warm from dense basis", &a, &w);
+            let (w, _) = solve_with_basis(&p, &dense, Some(&basis_a)).expect("dense warm");
+            assert_bits_equal("dense warm from sparse basis", &a, &w);
+
+            // Warm start from the relaxed problem's optimum: same matrix,
+            // loosened bounds, so its basis is trust-compatible but sits at
+            // a different vertex of the original feasible region.
+            if let Ok((_, relaxed_basis)) = solve_with_basis(&lp.build(0.5), &sparse, None) {
+                let (w, _) =
+                    solve_with_basis(&p, &sparse, Some(&relaxed_basis)).expect("relaxed warm");
+                assert_bits_equal("sparse warm from relaxed basis", &a, &w);
+            }
+        }
+        (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+        (a, b) => panic!(
+            "engines disagree on the verdict: sparse {:?} vs dense {:?}",
+            a.map(|(s, _)| s.status),
+            b.map(|(s, _)| s.status)
+        ),
+    }
+}
+
+/// Strategy: small integral LPs with at least one duplicated column and
+/// one duplicated row, so every generated instance is degeneracy-prone.
+fn degen_lp() -> impl Strategy<Value = DegenLp> {
+    (2usize..5, 1usize..4).prop_flat_map(|(ncols, nrows)| {
+        let costs = proptest::collection::vec((-2i32..=2).prop_map(f64::from), ncols);
+        let ubs = proptest::collection::vec((1i32..=2).prop_map(f64::from), ncols);
+        let row = (
+            prop_oneof![Just(RowKind::Upper), Just(RowKind::Lower), Just(RowKind::Range)],
+            (1i32..=5).prop_map(f64::from),
+            proptest::collection::vec((0i32..=2).prop_map(f64::from), ncols),
+        );
+        let rows = proptest::collection::vec(row, nrows);
+        let dup_cols = proptest::collection::vec(0..ncols, 1..=ncols.min(2));
+        let dup_rows = proptest::collection::vec(0..nrows, 1..=2);
+        (costs, ubs, rows, dup_cols, dup_rows).prop_map(|(costs, ubs, rows, dup_cols, dup_rows)| {
+            DegenLp { costs, ubs, rows, dup_cols, dup_rows }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random degenerate LPs: every pivot order lands on the same bits.
+    #[test]
+    fn degenerate_lps_have_one_canonical_answer(lp in degen_lp()) {
+        assert_canonical_determinism(&lp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Committed seed corpus: tests/seeds/canonical-*.lpseed
+// ---------------------------------------------------------------------------
+
+/// Parses the line format documented in `tests/seeds/README.md`:
+///
+/// ```text
+/// cost=1,1
+/// ub=2,2
+/// row=L:2:1,1          # KIND:RHS:coeff,coeff,…   KIND ∈ {U, L, R}
+/// dup_col=0            # optional, comma-separated base-column indices
+/// dup_row=0            # optional, comma-separated row indices
+/// ```
+fn parse_lpseed(text: &str) -> DegenLp {
+    let mut lp = DegenLp {
+        costs: Vec::new(),
+        ubs: Vec::new(),
+        rows: Vec::new(),
+        dup_cols: Vec::new(),
+        dup_rows: Vec::new(),
+    };
+    let floats =
+        |v: &str| -> Vec<f64> { v.split(',').map(|t| t.trim().parse().expect("number")).collect() };
+    let indices = |v: &str| -> Vec<usize> {
+        v.split(',').map(|t| t.trim().parse().expect("index")).collect()
+    };
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=').expect("key=value line");
+        match key.trim() {
+            "cost" => lp.costs = floats(value),
+            "ub" => lp.ubs = floats(value),
+            "row" => {
+                let mut parts = value.splitn(3, ':');
+                let kind = match parts.next().expect("row kind").trim() {
+                    "U" => RowKind::Upper,
+                    "L" => RowKind::Lower,
+                    "R" => RowKind::Range,
+                    k => panic!("unknown row kind '{k}'"),
+                };
+                let rhs: f64 = parts.next().expect("row rhs").trim().parse().expect("rhs");
+                let coeffs = floats(parts.next().expect("row coeffs"));
+                lp.rows.push((kind, rhs, coeffs));
+            }
+            "dup_col" => lp.dup_cols = indices(value),
+            "dup_row" => lp.dup_rows = indices(value),
+            k => panic!("unknown key '{k}'"),
+        }
+    }
+    assert_eq!(lp.costs.len(), lp.ubs.len(), "cost/ub length mismatch");
+    for (_, _, coeffs) in &lp.rows {
+        assert_eq!(coeffs.len(), lp.costs.len(), "row width mismatch");
+    }
+    lp
+}
+
+/// Replays every committed `canonical-*.lpseed` through the determinism
+/// oracle. New counterexamples found by the proptest above should be
+/// minimized into this format and committed alongside the fix.
+#[test]
+fn committed_canonical_seeds_stay_deterministic() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/seeds");
+    let mut replayed = 0;
+    let mut entries: Vec<_> =
+        std::fs::read_dir(dir).expect("tests/seeds").map(|e| e.expect("dirent").path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("canonical-") || !name.ends_with(".lpseed") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("seed readable");
+        let lp = parse_lpseed(&text);
+        assert_canonical_determinism(&lp);
+        replayed += 1;
+    }
+    assert!(replayed >= 4, "canonical seed corpus went missing: {replayed} files");
+}

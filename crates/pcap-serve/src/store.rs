@@ -9,7 +9,7 @@
 //! Crash safety is the classic recipe:
 //!
 //! * **checksummed entries** — each file is a one-line header
-//!   (`pcaps1;len=N;crc=HEX`) followed by the payload; the CRC is FNV-1a
+//!   (`pcaps2;len=N;crc=HEX`) followed by the payload; the CRC is FNV-1a
 //!   over the payload bytes, the repo's standard content hash;
 //! * **write-to-temp + atomic rename** — payloads are fully written and
 //!   fsynced under `.tmp/`, then renamed into place, so a crash mid-write
@@ -34,8 +34,12 @@ use pcap_core::canon::fnv1a;
 use crate::fault::{injected_io_error, FaultAction, FaultInjector, FaultPoint};
 use crate::pool::SweepReply;
 
-/// Leading tag of every store entry; bump on format changes.
-const ENTRY_TAG: &str = "pcaps1";
+/// Leading tag of every store entry; bump on format changes or whenever the
+/// solver's result contract changes. `pcaps1` → `pcaps2`: entries written
+/// before canonical-optimum selection may hold a different alternate optimum
+/// than a fresh solve would, so the recovery scan quarantines them instead of
+/// serving stale vertices under the determinism contract.
+const ENTRY_TAG: &str = "pcaps2";
 
 /// Outcome of the startup recovery scan.
 #[derive(Debug, Default, Clone, Copy)]

@@ -225,6 +225,74 @@ fn restart_recovers_good_entries_and_quarantines_the_corrupted_one() {
     let _ = std::fs::remove_dir_all(&store_dir);
 }
 
+/// Store migration across the canonical-optimum change: an entry carrying
+/// the pre-canonicalization `pcaps1` tag is otherwise self-consistent (its
+/// length and checksum verify), but the payload may hold a non-canonical
+/// alternate optimum, so the restart recovery scan must quarantine it —
+/// never serve it — and the request must be transparently re-solved under
+/// the new contract.
+#[test]
+fn restart_quarantines_pre_canonicalization_entries() {
+    let store_dir = tmp_dir("migrate");
+    let instance = bench_instance(4100, &[40.0, 60.0]);
+
+    let first = Server::start(ServerConfig {
+        workers: 1,
+        store_path: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("first server");
+    let mut client = Client::connect(first.addr().to_string()).expect("connect");
+    let resp = client.request(&sweep_request_line(&instance)).expect("solve");
+    assert_eq!(get(&resp, "ok"), "true");
+    let results = get(&resp, "results");
+    first.stop();
+
+    // Downgrade the entry's tag to the pre-canon format. Length and CRC
+    // still verify — the *only* thing wrong with this entry is its vintage,
+    // which is exactly what a store written before the bump looks like.
+    let entry = store_dir.join(format!("{:016x}.entry", instance.fingerprint()));
+    let bytes = std::fs::read(&entry).expect("entry on disk");
+    assert!(bytes.starts_with(b"pcaps2;"), "test assumes the current tag");
+    let mut old = b"pcaps1;".to_vec();
+    old.extend_from_slice(&bytes[b"pcaps2;".len()..]);
+    std::fs::write(&entry, &old).unwrap();
+
+    let second = Server::start(ServerConfig {
+        workers: 1,
+        store_path: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("second server");
+    let report = second.store().expect("store configured").recovery();
+    assert_eq!(report.recovered, 0, "pre-canon entries must not be servable");
+    assert_eq!(report.quarantined, 1, "pre-canon entry quarantined on restart");
+    assert!(
+        store_dir
+            .join("quarantine")
+            .join(format!("{:016x}.corrupt", instance.fingerprint()))
+            .exists(),
+        "old-format bytes kept for forensics"
+    );
+
+    // The re-solve happens under the canonical contract and matches the
+    // fresh answer byte for byte.
+    let mut client = Client::connect(second.addr().to_string()).expect("connect");
+    let resp = client.request(&sweep_request_line(&instance)).expect("after restart");
+    assert_eq!(get(&resp, "ok"), "true");
+    assert_eq!(get(&resp, "cached"), "miss", "stale entry must not be a hit");
+    assert_eq!(get(&resp, "degraded"), "false");
+    assert_eq!(get(&resp, "results"), results);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(get(&stats, "store_quarantined"), "1");
+    assert_eq!(get(&stats, "store_hits"), "0");
+    assert_eq!(get(&stats, "solves"), "1", "the request was re-solved, not served stale");
+
+    second.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
 /// Satellite: the drain deadline is configuration, and shutdown under load
 /// still answers every admitted job before the window closes.
 #[test]
