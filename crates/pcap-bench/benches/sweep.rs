@@ -1,14 +1,16 @@
-//! Criterion benches for the power-cap sweep subsystem: the warm-started
-//! parallel [`pcap_core::solve_sweep`] against the naive sequential
-//! cold-start loop it replaces (one `solve_decomposed` per cap, each
-//! rebuilding every window LP from scratch). The sweep API is required to
-//! return bitwise-identical makespans (asserted in the pcap-core and
-//! pcap-bench test suites) at ≥ 2× the throughput — this bench measures the
-//! speedup.
+//! Criterion benches for the power-cap sweep subsystem: the parametric-ramp
+//! and warm-started per-cap [`pcap_core::solve_sweep`] engines against the
+//! naive sequential cold-start loop they replace (one `solve_decomposed`
+//! per cap, each rebuilding every window LP from scratch). All variants are
+//! required to return bitwise-identical makespans (asserted in the
+//! pcap-core and pcap-bench test suites) — these benches measure the
+//! speedups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pcap_apps::{AppParams, Benchmark};
-use pcap_core::{solve_decomposed, solve_sweep, FixedLpOptions, SweepOptions, TaskFrontiers};
+use pcap_core::{
+    solve_decomposed, solve_sweep, FixedLpOptions, SweepMode, SweepOptions, TaskFrontiers,
+};
 use pcap_machine::MachineSpec;
 
 /// The shared fixture: CoMD at a mid-size configuration with the paper's
@@ -41,9 +43,12 @@ fn bench_sweep_vs_cold_loop(c: &mut Criterion) {
                 .sum::<f64>()
         })
     });
+    // Pinned to per-cap mode: these two measure warm-start machinery (one
+    // dual-simplex solve per cap), the differential baseline for the ramp.
     group.bench_function("warm_parallel_sweep", |b| {
         b.iter(|| {
-            solve_sweep(&g, &machine, &frontiers, &caps, &SweepOptions::default())
+            let opts = SweepOptions { mode: SweepMode::PerCap, ..Default::default() };
+            solve_sweep(&g, &machine, &frontiers, &caps, &opts)
                 .iter()
                 .filter_map(|p| p.makespan_s())
                 .sum::<f64>()
@@ -53,8 +58,27 @@ fn bench_sweep_vs_cold_loop(c: &mut Criterion) {
     // same single worker as the cold loop, bases chained across caps.
     group.bench_function("warm_sequential_sweep", |b| {
         b.iter(|| {
+            let opts = SweepOptions { workers: 1, mode: SweepMode::PerCap, ..Default::default() };
+            solve_sweep(&g, &machine, &frontiers, &caps, &opts)
+                .iter()
+                .filter_map(|p| p.makespan_s())
+                .sum::<f64>()
+        })
+    });
+    // The parametric ramp: one basis walk over the whole grid per window,
+    // grid caps answered at breakpoint-crossing cost instead of solve cost.
+    group.bench_function("ramp_sequential_sweep", |b| {
+        b.iter(|| {
             let opts = SweepOptions { workers: 1, ..Default::default() };
             solve_sweep(&g, &machine, &frontiers, &caps, &opts)
+                .iter()
+                .filter_map(|p| p.makespan_s())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("ramp_parallel_sweep", |b| {
+        b.iter(|| {
+            solve_sweep(&g, &machine, &frontiers, &caps, &SweepOptions::default())
                 .iter()
                 .filter_map(|p| p.makespan_s())
                 .sum::<f64>()

@@ -1,0 +1,239 @@
+//! Measures the parametric cap ramp ([`pcap_core::SweepMode::Ramp`])
+//! against warm-started per-cap solves (`SweepMode::PerCap`) and writes
+//! `results/BENCH-ramp.json`.
+//!
+//! Two workloads:
+//!
+//! 1. the 16-cap CoMD sweep (ranks=32, 25–100 W/socket in 5 W steps) — the
+//!    same fixture as `results/BENCH-lp-engines.json`, modes interleaved
+//!    per repetition, per-cap minima compared;
+//! 2. the full four-benchmark Figure 9 grid (LP bound only, simulator
+//!    policies excluded) — one measured pass per mode after a warm-up.
+//!
+//! Run with `cargo run --release -p pcap-bench --bin bench_ramp`. The two
+//! modes are asserted bitwise-identical on every feasible cap before any
+//! number is reported — a disagreement aborts the bench.
+
+use std::time::Instant;
+
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::{
+    solve_sweep_exact, total_stats, SweepMode, SweepOptions, SweepResult, TaskFrontiers,
+};
+use pcap_dag::TaskGraph;
+use pcap_lp::SolveStats;
+use pcap_machine::MachineSpec;
+
+fn opts(mode: SweepMode) -> SweepOptions {
+    SweepOptions { workers: 1, mode, ..Default::default() }
+}
+
+/// One timed sweep: external wall + the result.
+fn timed(
+    g: &TaskGraph,
+    m: &MachineSpec,
+    fr: &TaskFrontiers,
+    caps: &[f64],
+    mode: SweepMode,
+) -> (f64, SweepResult) {
+    let t0 = Instant::now();
+    let r = solve_sweep_exact(g, m, fr, caps, &opts(mode));
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// Sum of per-point LP wall time (the solver-side cost, excluding window
+/// construction — which both modes share and pay once per sweep).
+fn lp_wall_s(r: &SweepResult) -> f64 {
+    total_stats(&r.points).wall_time_s
+}
+
+fn assert_bitwise(a: &SweepResult, b: &SweepResult, what: &str) {
+    for (x, y) in a.points.iter().zip(&b.points) {
+        match (x.makespan_s(), y.makespan_s()) {
+            (Some(p), Some(q)) => assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{what}: ramp vs per-cap diverge at cap {} ({p} vs {q})",
+                x.cap_w
+            ),
+            (None, None) => {}
+            _ => panic!("{what}: feasibility mismatch at cap {}", x.cap_w),
+        }
+    }
+}
+
+fn main() {
+    let machine = MachineSpec::e5_2670();
+
+    // Workload 1: 16-cap CoMD, modes interleaved per repetition.
+    let ranks = 32u32;
+    let g = Benchmark::CoMD.generate(&AppParams { ranks, iterations: 3, seed: 0x5C15 });
+    let fr = TaskFrontiers::build(&g, &machine);
+    let caps: Vec<f64> = (0..16).map(|k| (25.0 + 5.0 * k as f64) * ranks as f64).collect();
+
+    let reps = 11usize; // first is warm-up, discarded
+    let n = caps.len();
+    let mut percap_cap_min = vec![f64::INFINITY; n];
+    let mut ramp_cap_min = vec![f64::INFINITY; n];
+    let mut percap_total_min = f64::INFINITY;
+    let mut ramp_total_min = f64::INFINITY;
+    let mut percap_ext_min = f64::INFINITY;
+    let mut ramp_ext_min = f64::INFINITY;
+    let mut percap_stats = SolveStats::default();
+    let mut ramp_stats = SolveStats::default();
+    let mut breakpoints: Vec<f64> = Vec::new();
+    for rep in 0..reps {
+        let (pc_ext, pc) = timed(&g, &machine, &fr, &caps, SweepMode::PerCap);
+        let (rp_ext, rp) = timed(&g, &machine, &fr, &caps, SweepMode::Ramp);
+        assert_bitwise(&rp, &pc, "comd16");
+        if rep == 0 {
+            continue;
+        }
+        for (i, (p, r)) in pc.points.iter().zip(&rp.points).enumerate() {
+            if let Ok(s) = &p.schedule {
+                percap_cap_min[i] = percap_cap_min[i].min(s.stats.wall_time_s);
+            }
+            if let Ok(s) = &r.schedule {
+                ramp_cap_min[i] = ramp_cap_min[i].min(s.stats.wall_time_s);
+            }
+        }
+        percap_total_min = percap_total_min.min(lp_wall_s(&pc));
+        ramp_total_min = ramp_total_min.min(lp_wall_s(&rp));
+        percap_ext_min = percap_ext_min.min(pc_ext);
+        ramp_ext_min = ramp_ext_min.min(rp_ext);
+        percap_stats = total_stats(&pc.points);
+        ramp_stats = total_stats(&rp.points);
+        breakpoints = rp.breakpoints;
+    }
+
+    let mut per_cap_json = String::new();
+    for (i, &cap) in caps.iter().enumerate() {
+        let (p, r) = (percap_cap_min[i], ramp_cap_min[i]);
+        if !p.is_finite() || !r.is_finite() {
+            continue; // infeasible cap
+        }
+        per_cap_json.push_str(&format!(
+            "    {{ \"cap_w\": {cap}, \"percap_ms\": {:.3}, \"ramp_ms\": {:.3}, \
+             \"speedup\": {:.2} }},\n",
+            p * 1e3,
+            r * 1e3,
+            p / r
+        ));
+    }
+    let per_cap_json = per_cap_json.trim_end().trim_end_matches(',').to_string();
+
+    // Workload 2: full fig09 grid, LP bound only, one measured pass per
+    // mode after a shared warm-up on CoMD.
+    let cfg_iters = 15u32; // warmup 3 + measured 12, the fig09 configuration
+    let fig_caps: Vec<f64> =
+        [30.0, 40.0, 50.0, 60.0, 70.0, 80.0].iter().map(|w| w * ranks as f64).collect();
+    let mut fig_percap_s = 0.0;
+    let mut fig_ramp_s = 0.0;
+    let mut fig_percap_iters = 0u64;
+    let mut fig_ramp_iters = 0u64;
+    let mut fig_bps = 0usize;
+    let mut fig_interp = 0u64;
+    for bench in Benchmark::ALL {
+        let g = bench.generate(&AppParams { ranks, iterations: cfg_iters, seed: 0x5C15 });
+        let fr = TaskFrontiers::build(&g, &machine);
+        let (_, warm) = timed(&g, &machine, &fr, &fig_caps, SweepMode::PerCap); // warm-up
+        let (_, pc) = timed(&g, &machine, &fr, &fig_caps, SweepMode::PerCap);
+        let (_, rp) = timed(&g, &machine, &fr, &fig_caps, SweepMode::Ramp);
+        assert_bitwise(&rp, &pc, bench.name());
+        assert_bitwise(&pc, &warm, bench.name());
+        let (ps, rs) = (total_stats(&pc.points), total_stats(&rp.points));
+        fig_percap_s += ps.wall_time_s;
+        fig_ramp_s += rs.wall_time_s;
+        fig_percap_iters += ps.iterations;
+        fig_ramp_iters += rs.iterations;
+        fig_bps += rp.breakpoints.len();
+        fig_interp += rs.caps_interpolated;
+        eprintln!(
+            "[bench-ramp] {}: percap {:.2}s vs ramp {:.2}s ({:.2}x), {} breakpoints",
+            bench.name(),
+            ps.wall_time_s,
+            rs.wall_time_s,
+            ps.wall_time_s / rs.wall_time_s,
+            rp.breakpoints.len()
+        );
+    }
+
+    let date = std::env::var("PCAP_BENCH_DATE").unwrap_or_else(|_| "unknown".into());
+    let json = format!(
+        r#"{{
+  "bench": "parametric cap ramp vs warm per-cap solves, LP sweep wall time",
+  "date": "{date}",
+  "workload": {{
+    "app": "CoMD",
+    "ranks": {ranks},
+    "iterations": 3,
+    "seed": "0x5C15",
+    "caps_w": "per-socket 25-100 W in 5 W steps, scaled by {ranks} ranks (800-3200 W)",
+    "sweep": "workers=1, warm_start=true, per-window context reuse; modes interleaved per repetition ({measured} measured reps, first discarded), per-cap minimum of stats.wall_time_s compared"
+  }},
+  "bitwise": "every rep asserted ramp == per-cap bit for bit on all feasible caps before timing was recorded",
+  "per_cap": [
+{per_cap_json}
+  ],
+  "summary": {{
+    "total_lp_wall_ms": {{ "percap": {pc_total:.1}, "ramp": {rp_total:.1} }},
+    "total_speedup": {total_speedup:.2},
+    "end_to_end_sweep_ms": {{ "percap": {pc_ext:.1}, "ramp": {rp_ext:.1} }},
+    "end_to_end_speedup": {ext_speedup:.2},
+    "percap_iterations": {pc_iters},
+    "ramp_iterations": {rp_iters},
+    "ramp_breakpoints": {bp_count},
+    "ramp_pivots": {rp_steps},
+    "caps_interpolated": {rp_interp},
+    "percap_interval_skips": {pc_skips}
+  }},
+  "full_figure_sweep": {{
+    "workload": "fig09 grid: BT/CoMD/LULESH/SP x 6 caps (30-80 W/socket), ranks={ranks}, warmup=3, measured=12 iterations, LP bound only",
+    "lp_wall_s": {{ "percap": {fig_pc:.1}, "ramp": {fig_rp:.1} }},
+    "lp_speedup": {fig_speedup:.2},
+    "simplex_iterations": {{ "percap": {fig_pc_iters}, "ramp": {fig_rp_iters} }},
+    "breakpoints": {fig_bps},
+    "caps_interpolated": {fig_interp}
+  }},
+  "notes": [
+    "The ramp holds one optimal basis per window and walks it up the cap grid: grid caps inside a linearity interval cost one FTRAN (direction) plus canonicalize/extract, never a dual-simplex solve; basis changes happen exactly at the reported breakpoints via zero-length dual-ratio-test pivots with incrementally maintained reduced costs (refreshed at refactorizations).",
+    "Per-cap mode here already includes the basis-interval skip (a warm basis re-certifying optimal at the next cap answers with one BTRAN) and adaptive Devex/Dantzig pricing, so the baseline is the strongest per-cap configuration.",
+    "Both modes share window construction, the canonical-optimum phase and extraction per emitted cap; the ramp's win is the eliminated per-cap solve machinery (rebind/validate/restore/price), its cost is walking every breakpoint between grid caps.",
+    "Regime summary: the ramp wins where grid jumps are large relative to breakpoint density (the coarse fig09 grid, where dual restoration wanders far past the minimal pivot path) and roughly ties on the dense 5 W grid, where a warm dual restoration crosses a cap step in fewer pivots than the number of exact breakpoints inside it. The exact breakpoint list is what per-cap mode cannot produce at any price."
+  ]
+}}
+"#,
+        measured = reps - 1,
+        pc_total = percap_total_min * 1e3,
+        rp_total = ramp_total_min * 1e3,
+        total_speedup = percap_total_min / ramp_total_min,
+        pc_ext = percap_ext_min * 1e3,
+        rp_ext = ramp_ext_min * 1e3,
+        ext_speedup = percap_ext_min / ramp_ext_min,
+        pc_iters = percap_stats.iterations,
+        rp_iters = ramp_stats.iterations,
+        bp_count = breakpoints.len(),
+        rp_steps = ramp_stats.ramp_steps,
+        rp_interp = ramp_stats.caps_interpolated,
+        pc_skips = percap_stats.basis_interval_skips,
+        fig_pc = fig_percap_s,
+        fig_rp = fig_ramp_s,
+        fig_speedup = fig_percap_s / fig_ramp_s,
+        fig_pc_iters = fig_percap_iters,
+        fig_rp_iters = fig_ramp_iters,
+    );
+
+    let out = match std::env::var("PCAP_RESULTS_DIR") {
+        Ok(dir) if !dir.is_empty() => std::path::PathBuf::from(dir).join("BENCH-ramp.json"),
+        _ => {
+            let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+            manifest.ancestors().nth(2).unwrap().join("results").join("BENCH-ramp.json")
+        }
+    };
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, &json).expect("write BENCH-ramp.json");
+    println!("{json}");
+    eprintln!("[bench-ramp] wrote {}", out.display());
+}

@@ -1,7 +1,9 @@
 //! Shared measurement machinery for the figure/table binaries.
 
 use pcap_apps::{AppParams, Benchmark};
-use pcap_core::{solve_decomposed, solve_sweep, FixedLpOptions, SweepOptions, TaskFrontiers};
+use pcap_core::{
+    solve_decomposed, solve_sweep_exact, FixedLpOptions, SweepMode, SweepOptions, TaskFrontiers,
+};
 use pcap_dag::{TaskGraph, VertexKind};
 use pcap_lp::{LinearAlgebra, SolveStats};
 use pcap_machine::MachineSpec;
@@ -107,6 +109,21 @@ pub fn lp_engine_requested() -> LinearAlgebra {
     }
 }
 
+/// Sweep engine for the harness's LP solves: `--sweep-mode=percap` on the
+/// command line or `PCAP_SWEEP_MODE=percap` in the environment selects one
+/// warm-started solve per cap (the differential oracle for the ramp; the CI
+/// ramp-vs-percap differential runs the figure pipeline both ways);
+/// anything else gets the parametric-ramp default.
+pub fn sweep_mode_requested() -> SweepMode {
+    let percap = std::env::args().any(|a| a == "--sweep-mode=percap")
+        || std::env::var("PCAP_SWEEP_MODE").is_ok_and(|v| v.eq_ignore_ascii_case("percap"));
+    if percap {
+        SweepMode::PerCap
+    } else {
+        SweepMode::Ramp
+    }
+}
+
 /// Time elapsed between the end of warm-up (the `warmup`-th `MPI_Pcontrol`)
 /// and `MPI_Finalize`, given realized vertex times.
 pub fn measured_region(graph: &TaskGraph, vertex_times: &[f64], warmup: u32) -> f64 {
@@ -202,17 +219,32 @@ pub fn evaluate_benchmark(
     per_socket_caps: &[f64],
     with_config_only: bool,
 ) -> Vec<CapRow> {
+    evaluate_benchmark_exact(bench, machine, cfg, per_socket_caps, with_config_only).0
+}
+
+/// [`evaluate_benchmark`], additionally returning the exact frontier
+/// breakpoints (job-level W, ascending) the parametric ramp crossed while
+/// sweeping the grid — empty under `--sweep-mode=percap`.
+pub fn evaluate_benchmark_exact(
+    bench: Benchmark,
+    machine: &MachineSpec,
+    cfg: &ExperimentConfig,
+    per_socket_caps: &[f64],
+    with_config_only: bool,
+) -> (Vec<CapRow>, Vec<f64>) {
     let graph = cfg.generate(bench);
     let frontiers = TaskFrontiers::build(&graph, machine);
 
     let job_caps: Vec<f64> = per_socket_caps.iter().map(|&w| w * cfg.ranks as f64).collect();
     let mut sweep_opts = SweepOptions::default();
     sweep_opts.fixed.lp.linear_algebra = lp_engine_requested();
+    sweep_opts.mode = sweep_mode_requested();
     if certify_requested() {
         sweep_opts.certify = true;
         sweep_opts.fixed.lp.certify = true;
     }
-    let lp_points = solve_sweep(&graph, machine, &frontiers, &job_caps, &sweep_opts);
+    let sweep = solve_sweep_exact(&graph, machine, &frontiers, &job_caps, &sweep_opts);
+    let lp_points = sweep.points;
 
     let n = per_socket_caps.len();
     let mut rows: Vec<Option<CapRow>> = vec![None; n];
@@ -250,7 +282,8 @@ pub fn evaluate_benchmark(
     })
     .expect("sweep workers do not panic");
 
-    rows.into_iter()
+    let rows = rows
+        .into_iter()
         .zip(&lp_points)
         .map(|(r, pt)| {
             let mut row = r.expect("all caps evaluated");
@@ -274,7 +307,8 @@ pub fn evaluate_benchmark(
             }
             row
         })
-        .collect()
+        .collect();
+    (rows, sweep.breakpoints)
 }
 
 /// Canonical content fingerprint of everything the LP side of a sweep
@@ -308,6 +342,43 @@ pub fn sweep_fingerprint(
     pcap_core::canon::fnv1a(text.as_bytes())
 }
 
+/// One benchmark's sweep: the cap rows plus the exact frontier breakpoints
+/// (job-level W, ascending) the parametric ramp crossed. The breakpoints
+/// are the caps where the makespan-vs-cap curve kinks — between them the
+/// frontier is affine. Empty under `--sweep-mode=percap`.
+///
+/// At production scale the union over every window's frontier runs to tens
+/// of thousands of kinks per benchmark, so the cache (and this struct, when
+/// it came from the cache or [`cached_sweep_exact`]) carries a bounded,
+/// evenly-index-sampled subset of at most [`MAX_CACHED_BREAKPOINTS`]
+/// (endpoints always included) alongside the true total; the full list is
+/// available in-memory from [`pcap_core::solve_sweep_exact`].
+#[derive(Debug, Clone)]
+pub struct BenchSweep {
+    pub bench: Benchmark,
+    pub rows: Vec<CapRow>,
+    /// Sampled breakpoint caps, ascending, `len() <= MAX_CACHED_BREAKPOINTS`.
+    pub breakpoints: Vec<f64>,
+    /// How many breakpoints the ramp actually crossed across the grid.
+    pub breakpoints_total: usize,
+}
+
+/// Cap on breakpoints persisted per benchmark in the sweep cache (and
+/// printed by the figure binaries): full lists reach ~57k entries on the
+/// fig09 BT workload, which would dwarf the rest of the committed cache.
+pub const MAX_CACHED_BREAKPOINTS: usize = 64;
+
+/// Deterministic even-index downsample to [`MAX_CACHED_BREAKPOINTS`],
+/// keeping the first and last kink. Strictly increasing input stays
+/// strictly increasing (indices are strictly monotone).
+fn sample_breakpoints(full: &[f64]) -> Vec<f64> {
+    let k = MAX_CACHED_BREAKPOINTS;
+    if full.len() <= k {
+        return full.to_vec();
+    }
+    (0..k).map(|i| full[i * (full.len() - 1) / (k - 1)]).collect()
+}
+
 /// The standard four-benchmark sweep feeding Figures 9–15, cached on disk so
 /// the figure binaries share one expensive computation. The cache key (first
 /// line) encodes the experiment parameters; a mismatch recomputes.
@@ -317,21 +388,43 @@ pub fn cached_sweep(
     cfg: &ExperimentConfig,
     per_socket_caps: &[f64],
 ) -> Vec<(Benchmark, Vec<CapRow>)> {
-    // `v4` extends the v3 format with the linear-algebra engine in the key
-    // (a dense-oracle run must not reuse a sparse cache or vice versa) and
-    // three telemetry columns (warm_rejected, basis_nnz, factor_nnz); caches
-    // written by earlier versions (or against a since-edited machine model)
-    // mismatch the key and recompute. Warm-up/measured stay in the key
-    // separately because the split (not just the total) shifts the
-    // measured-region boundary.
+    cached_sweep_exact(path, machine, cfg, per_socket_caps)
+        .into_iter()
+        .map(|b| (b.bench, b.rows))
+        .collect()
+}
+
+/// [`cached_sweep`], full fidelity: rows plus per-benchmark frontier
+/// breakpoints.
+pub fn cached_sweep_exact(
+    path: &std::path::Path,
+    machine: &MachineSpec,
+    cfg: &ExperimentConfig,
+    per_socket_caps: &[f64],
+) -> Vec<BenchSweep> {
+    // `v5` extends the v4 format with the sweep engine: the mode is in the
+    // key (a per-cap differential run must not reuse a ramp cache or vice
+    // versa) *and* an explicit per-row column — v4 rows were silently
+    // mode-less, so a stale cache could masquerade as either engine's
+    // output. Three ramp telemetry columns (ramp_breakpoints, ramp_steps,
+    // caps_interpolated) and one `#breakpoints` line per benchmark complete
+    // the format; caches written by earlier versions (or against a
+    // since-edited machine model) mismatch the key and recompute. Warm-up/
+    // measured stay in the key separately because the split (not just the
+    // total) shifts the measured-region boundary.
     let engine = match lp_engine_requested() {
         LinearAlgebra::Sparse => "sparse",
         LinearAlgebra::Dense => "dense",
     };
+    let mode = match sweep_mode_requested() {
+        SweepMode::Ramp => "ramp",
+        SweepMode::PerCap => "percap",
+    };
     let key = format!(
-        "#sweep v4 fp={:016x} engine={} ranks={} warmup={} measured={} seed={} caps={:?}",
+        "#sweep v5 fp={:016x} engine={} mode={} ranks={} warmup={} measured={} seed={} caps={:?}",
         sweep_fingerprint(machine, cfg, per_socket_caps),
         engine,
+        mode,
         cfg.ranks,
         cfg.warmup_iterations,
         cfg.measured_iterations,
@@ -346,6 +439,11 @@ pub fn cached_sweep(
             // A matching key with an unparsable body means the cache was
             // truncated or corrupted mid-write: fall through and re-solve.
             eprintln!("[sweep] cache at {} is incomplete or corrupt; recomputing", path.display());
+        } else if text.starts_with("#sweep ") {
+            eprintln!(
+                "[sweep] cache at {} is stale (old format or parameters); recomputing",
+                path.display()
+            );
         }
     }
     let mut out = Vec::new();
@@ -353,12 +451,13 @@ pub fn cached_sweep(
     text.push('\n');
     for bench in Benchmark::ALL {
         eprintln!("[sweep] running {} ...", bench.name());
-        let rows = evaluate_benchmark(bench, machine, cfg, per_socket_caps, true);
+        let (rows, breakpoints) =
+            evaluate_benchmark_exact(bench, machine, cfg, per_socket_caps, true);
         for r in &rows {
             let f = |v: Option<f64>| v.map(|x| format!("{x:.9}")).unwrap_or_else(|| "-".into());
             let s = &r.lp_stats;
             text.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 bench.name(),
                 r.per_socket_w,
                 f(r.times.lp),
@@ -374,9 +473,23 @@ pub fn cached_sweep(
                 s.warm_rejected,
                 s.basis_nnz,
                 s.factor_nnz,
+                mode,
+                s.ramp_breakpoints,
+                s.ramp_steps,
+                s.caps_interpolated,
             ));
         }
-        out.push((bench, rows));
+        // `{}` is Rust's shortest-round-trip float formatting: the parsed
+        // breakpoints are bit-identical to the computed ones. The line
+        // carries the true total first, then the bounded sample.
+        let breakpoints_total = breakpoints.len();
+        let sample = sample_breakpoints(&breakpoints);
+        text.push_str(&format!("#breakpoints\t{}\t{breakpoints_total}", bench.name()));
+        for b in &sample {
+            text.push_str(&format!("\t{b}"));
+        }
+        text.push('\n');
+        out.push(BenchSweep { bench, rows, breakpoints: sample, breakpoints_total });
     }
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
@@ -385,17 +498,39 @@ pub fn cached_sweep(
     out
 }
 
-/// Parses a v4 cache body, returning `None` unless it is **complete**: a
+/// Parses a v5 cache body, returning `None` unless it is **complete**: a
 /// file truncated at a line boundary (e.g. a crashed writer) or a row with
 /// mangled telemetry parses cleanly line-by-line, and silently returning
 /// the partial grid would feed the figure binaries short data. Every
 /// benchmark must therefore appear with exactly the requested cap grid, in
-/// order, and every telemetry field must parse strictly.
-fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<CapRow>)>> {
-    let mut map: Vec<(Benchmark, Vec<CapRow>)> = Vec::new();
+/// order, carry its `#breakpoints` line, and every telemetry field —
+/// including the explicit sweep-mode column — must parse strictly.
+fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<BenchSweep>> {
+    let mut map: Vec<BenchSweep> = Vec::new();
+    let mut bps: Vec<(Benchmark, usize, Vec<f64>)> = Vec::new();
     for line in text.lines().skip(1) {
+        if let Some(rest) = line.strip_prefix("#breakpoints\t") {
+            let mut cols = rest.split('\t');
+            let name = cols.next()?;
+            let bench = Benchmark::ALL.iter().copied().find(|b| b.name() == name)?;
+            let total = cols.next()?.parse::<usize>().ok()?;
+            let mut list = Vec::new();
+            for c in cols {
+                list.push(c.parse::<f64>().ok()?);
+            }
+            // Totals at or under the sampling cap must list every value;
+            // larger totals list exactly the cap-sized sample.
+            if list.len() != total.min(MAX_CACHED_BREAKPOINTS) {
+                return None;
+            }
+            if bps.iter().any(|(b, _, _)| *b == bench) {
+                return None; // duplicate breakpoint line
+            }
+            bps.push((bench, total, list));
+            continue;
+        }
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 15 {
+        if cols.len() != 19 {
             return None;
         }
         let bench = Benchmark::ALL.iter().copied().find(|b| b.name() == cols[0])?;
@@ -412,6 +547,11 @@ fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<
             "0" => false,
             _ => return None, // anything else is corruption, not "cold"
         };
+        // The mode column must name a real engine; v4 rows (no such
+        // column) already failed the width check above.
+        if cols[15] != "ramp" && cols[15] != "percap" {
+            return None;
+        }
         let row = CapRow {
             per_socket_w: cap,
             times: MethodTimes {
@@ -430,25 +570,37 @@ fn parse_sweep(text: &str, expected_caps: &[f64]) -> Option<Vec<(Benchmark, Vec<
                 warm_rejected: cols[12].parse().ok()?,
                 basis_nnz: cols[13].parse().ok()?,
                 factor_nnz: cols[14].parse().ok()?,
+                ramp_breakpoints: cols[16].parse().ok()?,
+                ramp_steps: cols[17].parse().ok()?,
+                caps_interpolated: cols[18].parse().ok()?,
                 ..Default::default()
             },
         };
-        match map.iter_mut().find(|(b, _)| *b == bench) {
-            Some((_, rows)) => rows.push(row),
-            None => map.push((bench, vec![row])),
+        match map.iter_mut().find(|b| b.bench == bench) {
+            Some(b) => b.rows.push(row),
+            None => map.push(BenchSweep {
+                bench,
+                rows: vec![row],
+                breakpoints: Vec::new(),
+                breakpoints_total: 0,
+            }),
         }
     }
     // Completeness: all four benchmarks, each with the full requested cap
-    // grid in writing order (caps round-trip exactly through `{}`).
-    if map.len() != Benchmark::ALL.len() {
+    // grid in writing order (caps round-trip exactly through `{}`) and its
+    // breakpoint line.
+    if map.len() != Benchmark::ALL.len() || bps.len() != Benchmark::ALL.len() {
         return None;
     }
-    for (_, rows) in &map {
-        if rows.len() != expected_caps.len()
-            || rows.iter().zip(expected_caps).any(|(r, &c)| r.per_socket_w != c)
+    for b in &mut map {
+        if b.rows.len() != expected_caps.len()
+            || b.rows.iter().zip(expected_caps).any(|(r, &c)| r.per_socket_w != c)
         {
             return None;
         }
+        let (_, total, list) = bps.iter().find(|(bench, _, _)| *bench == b.bench)?;
+        b.breakpoints_total = *total;
+        b.breakpoints = list.clone();
     }
     Some(map)
 }
@@ -479,6 +631,7 @@ pub const SWEEP_CAPS: [f64; 6] = [30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcap_core::solve_sweep;
 
     #[test]
     fn cached_sweep_roundtrips() {
@@ -511,6 +664,9 @@ mod tests {
                 assert_eq!(a.lp_stats.warm_rejected, b.lp_stats.warm_rejected);
                 assert_eq!(a.lp_stats.basis_nnz, b.lp_stats.basis_nnz);
                 assert_eq!(a.lp_stats.factor_nnz, b.lp_stats.factor_nnz);
+                assert_eq!(a.lp_stats.ramp_breakpoints, b.lp_stats.ramp_breakpoints);
+                assert_eq!(a.lp_stats.ramp_steps, b.lp_stats.ramp_steps);
+                assert_eq!(a.lp_stats.caps_interpolated, b.lp_stats.caps_interpolated);
                 assert!(a.lp_stats.basis_nnz > 0, "nnz telemetry missing");
             }
         }
@@ -552,31 +708,105 @@ mod tests {
     }
 
     /// Garbage in the `warm_started` column used to parse as `false`; it
-    /// must reject the cache instead.
+    /// must reject the cache instead. Same for a bogus sweep-mode column.
     #[test]
     fn mangled_telemetry_is_rejected() {
         let caps = [50.0, 80.0];
-        let f = |warm: &str| {
+        let f = |warm: &str, mode: &str| {
             let mut text = String::from("#key\n");
             for bench in Benchmark::ALL {
                 for cap in caps {
                     text.push_str(&format!(
-                        "{}\t{cap}\t1.0\t1.1\t1.2\t-\t10\t4\t1\t0.001000\t{warm}\t2\t0\t30\t36\n",
+                        "{}\t{cap}\t1.0\t1.1\t1.2\t-\t10\t4\t1\t0.001000\t{warm}\t2\t0\t30\t36\t{mode}\t1\t2\t0\n",
                         bench.name(),
                     ));
                 }
+                text.push_str(&format!("#breakpoints\t{}\t1\t205.5\n", bench.name()));
             }
             text
         };
-        assert!(parse_sweep(&f("1"), &caps).is_some(), "well-formed cache must parse");
-        assert!(parse_sweep(&f("x"), &caps).is_none(), "garbage warm_started must reject");
-        assert!(parse_sweep(&f(""), &caps).is_none(), "empty warm_started must reject");
+        let parsed = parse_sweep(&f("1", "ramp"), &caps).expect("well-formed cache must parse");
+        assert!(parsed.iter().all(|b| b.breakpoints == [205.5] && b.breakpoints_total == 1));
+        assert!(parsed.iter().all(|b| b.rows[0].lp_stats.ramp_breakpoints == 1));
+        // A breakpoint line whose count disagrees with its values is
+        // corruption, not a short list.
+        let miscounted = f("1", "ramp").replace("\t1\t205.5", "\t2\t205.5");
+        assert!(parse_sweep(&miscounted, &caps).is_none(), "bad breakpoint count must reject");
+        assert!(parse_sweep(&f("1", "percap"), &caps).is_some(), "percap mode must parse");
+        assert!(parse_sweep(&f("x", "ramp"), &caps).is_none(), "garbage warm_started must reject");
+        assert!(parse_sweep(&f("", "ramp"), &caps).is_none(), "empty warm_started must reject");
+        assert!(parse_sweep(&f("1", "turbo"), &caps).is_none(), "unknown mode must reject");
+        assert!(parse_sweep(&f("1", ""), &caps).is_none(), "empty mode must reject");
         // A cap grid disagreeing with the request is also a stale cache.
-        assert!(parse_sweep(&f("0"), &[50.0]).is_none(), "extra caps must reject");
-        assert!(parse_sweep(&f("0"), &[50.0, 80.0, 90.0]).is_none(), "missing caps must reject");
+        assert!(parse_sweep(&f("0", "ramp"), &[50.0]).is_none(), "extra caps must reject");
+        assert!(
+            parse_sweep(&f("0", "ramp"), &[50.0, 80.0, 90.0]).is_none(),
+            "missing caps must reject"
+        );
     }
 
-    /// The v3 cache key must react to the machine model, not just the grid
+    /// Migration: a v4-era cache — old key line, 15-column mode-less rows,
+    /// no breakpoint lines — must be rejected by the parser and regenerated
+    /// (not silently accepted) by `cached_sweep_exact`. This is the same
+    /// contract the store's `pcaps1`→`pcaps2` migration pins.
+    #[test]
+    fn v4_cache_is_rejected_and_regenerated() {
+        let caps = [50.0, 80.0];
+        // v4 body: no mode column, no ramp counters, no breakpoint lines.
+        let mut v4 = String::from(
+            "#sweep v4 fp=0123456789abcdef engine=sparse ranks=2 warmup=1 measured=1 \
+             seed=23573 caps=[50.0, 80.0]\n",
+        );
+        for bench in Benchmark::ALL {
+            for cap in caps {
+                v4.push_str(&format!(
+                    "{}\t{cap}\t1.0\t1.1\t1.2\t-\t10\t4\t1\t0.001000\t1\t2\t0\t30\t36\n",
+                    bench.name(),
+                ));
+            }
+        }
+        assert!(parse_sweep(&v4, &caps).is_none(), "v4 rows must not parse as v5");
+
+        let dir = std::env::temp_dir().join(format!("pcap-sweep-v4mig-{}", std::process::id()));
+        let path = dir.join("sweep.tsv");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, &v4).unwrap();
+        let cfg = ExperimentConfig {
+            ranks: 2,
+            warmup_iterations: 1,
+            measured_iterations: 1,
+            ..Default::default()
+        };
+        let m = MachineSpec::e5_2670();
+        let out = cached_sweep_exact(&path, &m, &cfg, &caps);
+        assert_eq!(out.len(), Benchmark::ALL.len());
+        for b in &out {
+            assert_eq!(b.rows.len(), caps.len());
+        }
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        let first = rewritten.lines().next().unwrap();
+        assert!(first.starts_with("#sweep v5 "), "cache must be rewritten as v5: {first}");
+        assert!(first.contains(" mode="), "v5 key must carry the sweep mode: {first}");
+        assert!(
+            rewritten.lines().filter(|l| l.starts_with("#breakpoints\t")).count()
+                == Benchmark::ALL.len(),
+            "v5 cache must carry one breakpoint line per benchmark"
+        );
+        // And the rewritten cache round-trips, breakpoints included.
+        let again = cached_sweep_exact(&path, &m, &cfg, &caps);
+        for (a, b) in out.iter().zip(&again) {
+            assert_eq!(a.bench, b.bench);
+            assert_eq!(a.breakpoints_total, b.breakpoints_total);
+            assert_eq!(a.breakpoints.len(), b.breakpoints.len());
+            assert!(a.breakpoints.len() <= MAX_CACHED_BREAKPOINTS);
+            for (x, y) in a.breakpoints.iter().zip(&b.breakpoints) {
+                assert_eq!(x.to_bits(), y.to_bits(), "breakpoints must round-trip bitwise");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The cache key must react to the machine model, not just the grid
     /// header: editing pcap-machine parameters has to invalidate a stale
     /// `results/sweep.tsv`.
     #[test]

@@ -17,6 +17,7 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    cached_sweep, default_sweep_path, evaluate_at_cap, evaluate_benchmark, improvement_pct,
-    measured_region, CapRow, ExperimentConfig, MethodTimes, SWEEP_CAPS,
+    cached_sweep, cached_sweep_exact, default_sweep_path, evaluate_at_cap, evaluate_benchmark,
+    evaluate_benchmark_exact, improvement_pct, measured_region, sweep_mode_requested, BenchSweep,
+    CapRow, ExperimentConfig, MethodTimes, MAX_CACHED_BREAKPOINTS, SWEEP_CAPS,
 };

@@ -114,6 +114,22 @@ pub fn solve_fixed_order(
     })
 }
 
+/// Result of [`WindowLp::solve_grid_ramp`]: one window solved over a whole
+/// cap grid by a single parametric ramp.
+#[derive(Debug)]
+pub struct RampGrid {
+    /// One entry per requested cap, input order: the window solution and
+    /// chaining basis, or the per-cap error (`Infeasible` below the
+    /// feasibility threshold, exactly as per-cap solves report).
+    pub points: Vec<CoreResult<(WindowSolution, Basis)>>,
+    /// Exact caps where this window's optimal basis changes, ascending.
+    /// Between consecutive breakpoints the window makespan is affine in
+    /// the cap.
+    pub breakpoints: Vec<f64>,
+    /// Caps answered by per-cap fallback instead of the ramp.
+    pub fallback_caps: u64,
+}
+
 /// The result of solving one window at one power cap.
 #[derive(Debug, Clone)]
 pub struct WindowSolution {
@@ -228,7 +244,19 @@ impl WindowLp {
         }
         let (sol, basis) = pcap_lp::solve_with_context(&self.problem, &self.lp_opts, warm, ctx)
             .map_err(CoreError::from)?;
+        Ok((self.window_solution(frontiers, &sol), basis))
+    }
 
+    /// Maps an LP [`pcap_lp::Solution`] of this window's problem back to the
+    /// scheduling domain: vertex times, per-task configuration mixes and the
+    /// window makespan. Shared by the per-cap path and the parametric ramp
+    /// so both produce byte-identical [`WindowSolution`]s from identical LP
+    /// solutions.
+    fn window_solution(
+        &self,
+        frontiers: &TaskFrontiers,
+        sol: &pcap_lp::Solution,
+    ) -> WindowSolution {
         let vv = |v: VertexId| self.vvar[v.index()].expect("window vertex has a variable");
         let times: Vec<(VertexId, f64)> =
             self.vertices.iter().map(|&v| (v, sol.value(vv(v)))).collect();
@@ -249,8 +277,40 @@ impl WindowLp {
             choices[e.index()] = Some(TaskChoice { mix, duration_s: dur, power_w: pow });
         }
         let makespan = sol.value(vv(self.sink));
-        let ws = WindowSolution { times, choices, makespan_s: makespan, stats: sol.stats };
-        Ok((ws, basis))
+        WindowSolution { times, choices, makespan_s: makespan, stats: sol.stats }
+    }
+
+    /// Solves this window at every cap in `caps_w` with one parametric-RHS
+    /// ramp ([`pcap_lp::solve_cap_ramp`]): the optimal basis is walked up
+    /// the cap axis, grid caps inside a linearity interval are answered by
+    /// interpolation (one basic-value recompute, no pivots), and the exact
+    /// basis-change breakpoints come back alongside the points. Individual
+    /// caps the ramp cannot serve (numerical guards) silently fall back to
+    /// warm per-cap solves, counted in [`RampGrid::fallback_caps`].
+    pub fn solve_grid_ramp(
+        &mut self,
+        frontiers: &TaskFrontiers,
+        caps_w: &[f64],
+        warm: Option<&Basis>,
+        ctx: &mut pcap_lp::SolverContext,
+    ) -> RampGrid {
+        let out = pcap_lp::solve_cap_ramp(
+            &mut self.problem,
+            &self.power_rows,
+            caps_w,
+            &self.lp_opts,
+            warm,
+            ctx,
+        );
+        let points = out
+            .points
+            .into_iter()
+            .map(|r| match r {
+                Ok((sol, basis)) => Ok((self.window_solution(frontiers, &sol), basis)),
+                Err(e) => Err(CoreError::from(e)),
+            })
+            .collect();
+        RampGrid { points, breakpoints: out.breakpoints, fallback_caps: out.fallback_caps }
     }
 
     /// Independent cold re-solve at `cap_w` with the LP-level duality

@@ -47,7 +47,7 @@ pub use decompose::solve_decomposed;
 pub use degraded::{degraded_floor, degraded_sweep, DegradedPoint};
 pub use discrete::{solve_fixed_order_discrete, DiscreteOptions};
 pub use fixed_lp::{
-    solve_fixed_order, solve_window, FixedLpOptions, Window, WindowLp, WindowSolution,
+    solve_fixed_order, solve_window, FixedLpOptions, RampGrid, Window, WindowLp, WindowSolution,
 };
 pub use flow_ilp::{solve_flow, FlowOptions};
 pub use frontiers::TaskFrontiers;
@@ -56,7 +56,10 @@ pub use oracle::{
     TaskSpec,
 };
 pub use schedule::{LpSchedule, TaskChoice};
-pub use sweep::{solve_sweep, total_stats, SweepContext, SweepOptions, SweepPoint};
+pub use sweep::{
+    solve_sweep, solve_sweep_exact, total_stats, SweepContext, SweepMode, SweepOptions, SweepPoint,
+    SweepResult,
+};
 pub use verify::{replay_schedule, verify_schedule, ReplayMode, Verification};
 
 /// Errors from the scheduling formulations.

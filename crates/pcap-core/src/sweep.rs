@@ -43,6 +43,29 @@ use pcap_dag::TaskGraph;
 use pcap_lp::{Basis, SolveStats};
 use pcap_machine::MachineSpec;
 
+/// How a sweep turns a cap grid into solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Parametric cap ramp ([`pcap_lp::solve_cap_ramp`]): each window's LP
+    /// is solved once at the chunk's lowest feasible cap, then the optimal
+    /// basis is *walked* up the grid — the dual ratio test finds the exact
+    /// caps where the basis changes (breakpoints), and grid caps between
+    /// breakpoints are answered by interpolation along the affine optimum,
+    /// one FTRAN each, no solve. Results are bit-identical to [`Self::PerCap`]
+    /// (every emission passes the same canonical-vertex pipeline), and the
+    /// exact breakpoint caps are reported in [`SweepResult::breakpoints`].
+    /// Requires [`SweepOptions::warm_start`] and an ascending cap grid to
+    /// engage; otherwise individual caps silently fall back to per-cap
+    /// solves (counted in [`pcap_lp::SolveStats`] via zero
+    /// `caps_interpolated`).
+    #[default]
+    Ramp,
+    /// One warm-started dual-simplex solve per cap — the differential
+    /// oracle for `Ramp` and the right mode for telemetry that must reflect
+    /// full per-cap solves.
+    PerCap,
+}
+
 /// Options for [`solve_sweep`].
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
@@ -52,25 +75,37 @@ pub struct SweepOptions {
     /// parallelism. The grid is split into at most `caps.len()` chunks.
     pub workers: usize,
     /// Seed each solve with the basis of the previous cap in its chunk.
-    /// Disable to force cold starts (diagnostics / baseline timing).
+    /// Disable to force cold starts (diagnostics / baseline timing); this
+    /// also disables the ramp — a cold baseline means per-cap solves.
     pub warm_start: bool,
-    /// Certify every warm-started window solve against an independent cold
-    /// re-solve of the same window at the same cap with the **two-tier**
-    /// check (see `certify_against_cold`): the hard gate demands a valid
-    /// basis, a duality-certified cold optimum and objective agreement; the
-    /// strict gate demands canonical-vertex equality bit for bit. Any
-    /// failure fails the sweep point with [`CoreError::Verification`].
-    /// The cold solves are checks, not measurements: their telemetry is not
-    /// folded into the point's [`SolveStats`]. Combine with
-    /// [`pcap_lp::SolverOptions::certify`] (via `fixed.lp.certify`) to also
-    /// run the LP-level certificate on every solve in release builds — the
-    /// bench harness's `--certify` flag sets both.
+    /// Certify window solves against an independent cold re-solve of the
+    /// same window at the same cap with the **two-tier** check (see
+    /// `certify_against_cold`): the hard gate demands a valid basis, a
+    /// duality-certified cold optimum and objective agreement; the strict
+    /// gate demands canonical-vertex equality bit for bit. Any failure
+    /// fails the sweep point with [`CoreError::Verification`]. In
+    /// [`SweepMode::PerCap`] this covers every warm-started solve; in
+    /// [`SweepMode::Ramp`] it covers **every** ramp-produced point,
+    /// anchors included. The cold solves are checks, not measurements:
+    /// their telemetry is not folded into the point's [`SolveStats`].
+    /// Combine with [`pcap_lp::SolverOptions::certify`] (via
+    /// `fixed.lp.certify`) to also run the LP-level certificate on every
+    /// solve in release builds — the bench harness's `--certify` flag sets
+    /// both.
     pub certify: bool,
+    /// Sweep engine: the parametric ramp (default) or one solve per cap.
+    pub mode: SweepMode,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        Self { fixed: FixedLpOptions::default(), workers: 0, warm_start: true, certify: false }
+        Self {
+            fixed: FixedLpOptions::default(),
+            workers: 0,
+            warm_start: true,
+            certify: false,
+            mode: SweepMode::Ramp,
+        }
     }
 }
 
@@ -103,6 +138,21 @@ pub fn total_stats(points: &[SweepPoint]) -> SolveStats {
     total
 }
 
+/// A sweep's points plus the exact piecewise-linear structure the parametric
+/// ramp discovered along the way.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// One entry per requested cap, in input order.
+    pub points: Vec<SweepPoint>,
+    /// Exact job-level caps (W) where some window's optimal basis changed,
+    /// ascending and deduplicated across windows and worker chunks. Between
+    /// consecutive breakpoints the makespan-vs-cap frontier is affine, so
+    /// these are precisely the kinks of the exact frontier within the swept
+    /// range. Empty in [`SweepMode::PerCap`] and for caps answered by
+    /// per-cap fallback.
+    pub breakpoints: Vec<f64>,
+}
+
 /// Evaluates the decomposed LP bound at every cap in `caps_w` (one
 /// [`SweepPoint`] per cap, in input order).
 ///
@@ -119,10 +169,23 @@ pub fn solve_sweep(
     caps_w: &[f64],
     opts: &SweepOptions,
 ) -> Vec<SweepPoint> {
+    solve_sweep_exact(graph, machine, frontiers, caps_w, opts).points
+}
+
+/// [`solve_sweep`], but also returning the exact frontier breakpoints the
+/// parametric ramp crossed (see [`SweepResult::breakpoints`]). This is the
+/// full-fidelity entry point; `solve_sweep` simply drops the breakpoints.
+pub fn solve_sweep_exact(
+    graph: &TaskGraph,
+    machine: &MachineSpec,
+    frontiers: &TaskFrontiers,
+    caps_w: &[f64],
+    opts: &SweepOptions,
+) -> SweepResult {
     let _ = machine; // durations/powers come pre-baked in the frontiers
     let n = caps_w.len();
     if n == 0 {
-        return Vec::new();
+        return SweepResult { points: Vec::new(), breakpoints: Vec::new() };
     }
     let windows = windows_at_syncs(graph);
 
@@ -137,7 +200,7 @@ pub fn solve_sweep(
         return sweep_chunk(graph, frontiers, &windows, caps_w, 0..n, opts);
     }
 
-    // Contiguous chunks keep warm-start locality (adjacent caps share a
+    // Contiguous chunks keep warm-start/ramp locality (adjacent caps share a
     // worker) and make ordered collection trivial: chunk k of the output is
     // exactly chunk k of the input grid, whatever the thread timing.
     let chunk = n.div_ceil(workers);
@@ -150,11 +213,16 @@ pub fn solve_sweep(
                 scope.spawn(move |_| sweep_chunk(graph, frontiers, windows, caps_w, lo..hi, opts))
             })
             .collect();
-        let mut out = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+        let mut breakpoints = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("sweep worker panicked"));
+            let r = h.join().expect("sweep worker panicked");
+            points.extend(r.points);
+            breakpoints.extend(r.breakpoints);
         }
-        out
+        breakpoints.sort_by(f64::total_cmp);
+        breakpoints.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        SweepResult { points, breakpoints }
     })
     .expect("sweep scope")
 }
@@ -168,9 +236,9 @@ fn sweep_chunk(
     caps_w: &[f64],
     range: std::ops::Range<usize>,
     opts: &SweepOptions,
-) -> Vec<SweepPoint> {
+) -> SweepResult {
     let mut ctx = SweepContext::from_windows(graph, frontiers, windows, opts.clone());
-    range.map(|i| ctx.solve_one(frontiers, caps_w[i])).collect()
+    ctx.solve_grid_exact(frontiers, &caps_w[range])
 }
 
 /// Reusable sweep state: every window's LP built once, plus the chain of
@@ -246,7 +314,100 @@ impl SweepContext {
     /// Solves every cap in `caps_w` in order on the calling thread,
     /// chaining warm bases (including any left by previous calls).
     pub fn solve_grid(&mut self, frontiers: &TaskFrontiers, caps_w: &[f64]) -> Vec<SweepPoint> {
-        caps_w.iter().map(|&c| self.solve_one(frontiers, c)).collect()
+        self.solve_grid_exact(frontiers, caps_w).points
+    }
+
+    /// [`SweepContext::solve_grid`] plus the exact frontier breakpoints.
+    ///
+    /// In [`SweepMode::Ramp`] (with warm starts on and more than one cap)
+    /// each window LP ramps the whole grid in one parametric walk; per-cap
+    /// results are then reassembled in grid order exactly as
+    /// [`SweepContext::solve_one`] would. Any other configuration degrades
+    /// to the per-cap loop with an empty breakpoint list.
+    pub fn solve_grid_exact(&mut self, frontiers: &TaskFrontiers, caps_w: &[f64]) -> SweepResult {
+        let ncaps = caps_w.len();
+        if self.opts.mode == SweepMode::PerCap || !self.opts.warm_start || ncaps <= 1 {
+            let points = caps_w.iter().map(|&c| self.solve_one(frontiers, c)).collect();
+            return SweepResult { points, breakpoints: Vec::new() };
+        }
+
+        // Ramp mode: each window walks the whole cap grid once. Windows are
+        // independent, so a per-window pass (rather than per-cap) keeps each
+        // walk contiguous; results are re-bucketed by cap below.
+        let mut per_window = Vec::with_capacity(self.lps.len());
+        let mut breakpoints: Vec<f64> = Vec::new();
+        for (wi, lp) in self.lps.iter_mut().enumerate() {
+            let grid = lp.solve_grid_ramp(
+                frontiers,
+                caps_w,
+                self.bases[wi].as_ref(),
+                &mut self.solver_ctxs[wi],
+            );
+            let mut points = grid.points;
+            if self.opts.certify {
+                for (ci, p) in points.iter_mut().enumerate() {
+                    let certified = match p {
+                        Ok((ws, basis)) => {
+                            certify_against_cold(lp, frontiers, caps_w[ci], ws, basis, wi)
+                        }
+                        Err(_) => Ok(()),
+                    };
+                    if let Err(e) = certified {
+                        *p = Err(e);
+                    }
+                }
+            }
+            // Chain the last good basis into subsequent grids/solves, exactly
+            // as the per-cap loop would leave it.
+            if let Some(basis) =
+                points.iter().rev().find_map(|p| p.as_ref().ok().map(|(_, b)| b.clone()))
+            {
+                self.bases[wi] = Some(basis);
+            }
+            breakpoints.extend(grid.breakpoints);
+            per_window.push(points.into_iter().map(Some).collect::<Vec<_>>());
+        }
+
+        // Re-bucket: assemble each cap across windows exactly like
+        // `solve_one` (offset chaining, stats folding, first window error
+        // wins).
+        let mut points = Vec::with_capacity(ncaps);
+        for (ci, &cap_w) in caps_w.iter().enumerate() {
+            let mut vertex_times = vec![0.0_f64; self.num_vertices];
+            let mut choices = vec![None; self.num_edges];
+            let mut offset = 0.0;
+            let mut stats = SolveStats::default();
+            let mut failure = None;
+            for window in per_window.iter_mut() {
+                match window[ci].take().expect("each (window, cap) cell is consumed once") {
+                    Ok((ws, _)) => {
+                        for (v, t) in ws.times {
+                            vertex_times[v.index()] = offset + t;
+                        }
+                        for (e, c) in ws.choices.into_iter().enumerate() {
+                            if let Some(c) = c {
+                                choices[e] = Some(c);
+                            }
+                        }
+                        offset += ws.makespan_s;
+                        stats.absorb(&ws.stats);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            let schedule = match failure {
+                Some(e) => Err(e),
+                None => Ok(LpSchedule { makespan_s: offset, vertex_times, choices, cap_w, stats }),
+            };
+            points.push(SweepPoint { cap_w, schedule });
+        }
+
+        breakpoints.sort_by(f64::total_cmp);
+        breakpoints.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        SweepResult { points, breakpoints }
     }
 
     /// Solves the full decomposed schedule at one cap, reusing this
@@ -434,7 +595,14 @@ mod tests {
     fn warm_start_engages_and_stats_are_populated() {
         let (g, m, fr) = setup();
         let caps: Vec<f64> = [40.0, 45.0, 50.0, 55.0, 60.0].iter().map(|c| c * 4.0).collect();
-        let opts = SweepOptions { workers: 1, warm_start: true, ..Default::default() };
+        // This test pins *per-cap* warm-start machinery (pivot counts,
+        // factor reuse), so it opts out of the ramp.
+        let opts = SweepOptions {
+            workers: 1,
+            warm_start: true,
+            mode: SweepMode::PerCap,
+            ..Default::default()
+        };
         let sweep = solve_sweep(&g, &m, &fr, &caps, &opts);
         for (i, point) in sweep.iter().enumerate() {
             let s = point.schedule.as_ref().expect("grid is feasible");
@@ -671,5 +839,125 @@ mod tests {
     fn empty_grid_returns_empty() {
         let (g, m, fr) = setup();
         assert!(solve_sweep(&g, &m, &fr, &[], &SweepOptions::default()).is_empty());
+    }
+
+    /// The tentpole invariant: the parametric ramp answers the whole grid
+    /// bit-identically to independent per-cap solves, and surfaces the
+    /// exact caps where the optimal basis changes.
+    #[test]
+    fn ramp_matches_percap_bitwise_and_reports_breakpoints() {
+        let (g, m, fr) = setup();
+        let caps: Vec<f64> = (0..16).map(|k| (25.0 + 5.0 * k as f64) * 4.0).collect();
+        let ramp = solve_sweep_exact(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 1, ..Default::default() },
+        );
+        let percap = solve_sweep_exact(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 1, mode: SweepMode::PerCap, ..Default::default() },
+        );
+        assert_eq!(ramp.points.len(), caps.len());
+        for (a, b) in ramp.points.iter().zip(&percap.points) {
+            match (&a.schedule, &b.schedule) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(
+                        x.makespan_s.to_bits(),
+                        y.makespan_s.to_bits(),
+                        "cap {}: ramp {} vs per-cap {}",
+                        a.cap_w,
+                        x.makespan_s,
+                        y.makespan_s
+                    );
+                    for (u, v) in x.vertex_times.iter().zip(&y.vertex_times) {
+                        assert_eq!(u.to_bits(), v.to_bits(), "cap {}", a.cap_w);
+                    }
+                }
+                (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => {}
+                (x, y) => panic!("cap {}: ramp {x:?} vs per-cap {y:?}", a.cap_w),
+            }
+        }
+
+        // The CoMD frontier kinks inside 100–400 W: the walk must cross
+        // basis changes, and they come out sorted, deduped, in range.
+        assert!(!ramp.breakpoints.is_empty(), "no breakpoints on a binding grid");
+        assert!(ramp.breakpoints.windows(2).all(|w| w[0] < w[1]), "breakpoints not ascending");
+        for &b in &ramp.breakpoints {
+            assert!(
+                b >= caps[0] && b <= caps[caps.len() - 1],
+                "breakpoint {b} outside swept range"
+            );
+        }
+        assert!(percap.breakpoints.is_empty(), "per-cap mode must not report breakpoints");
+
+        // Ramp telemetry flows into the per-point stats: most grid caps land
+        // inside a linearity interval and are answered by interpolation.
+        let total = total_stats(&ramp.points);
+        assert!(total.caps_interpolated > 0, "no cap was answered by interpolation");
+        assert!(
+            total.ramp_breakpoints as usize >= ramp.breakpoints.len(),
+            "per-point breakpoint counters disagree with the reported list"
+        );
+        let percap_total = total_stats(&percap.points);
+        assert_eq!(percap_total.caps_interpolated, 0);
+        assert_eq!(percap_total.ramp_steps, 0);
+    }
+
+    /// A descending grid cannot be ramped (the homotopy walks upward); the
+    /// mode must degrade to warm-chained per-cap solves with identical
+    /// results and no breakpoints.
+    #[test]
+    fn ramp_mode_on_descending_grid_falls_back_bitwise() {
+        let (g, m, fr) = setup();
+        let caps: Vec<f64> = [60.0, 50.0, 45.0, 40.0].iter().map(|c| c * 4.0).collect();
+        let ramp = solve_sweep_exact(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 1, ..Default::default() },
+        );
+        let percap = solve_sweep_exact(
+            &g,
+            &m,
+            &fr,
+            &caps,
+            &SweepOptions { workers: 1, mode: SweepMode::PerCap, ..Default::default() },
+        );
+        assert!(ramp.breakpoints.is_empty());
+        for (a, b) in ramp.points.iter().zip(&percap.points) {
+            assert_eq!(
+                a.makespan_s().unwrap().to_bits(),
+                b.makespan_s().unwrap().to_bits(),
+                "cap {}",
+                a.cap_w
+            );
+        }
+    }
+
+    /// Certification in ramp mode covers every ramp-produced point — a
+    /// certified 16-cap ramp sweep must stamp `certified == solves` on each
+    /// feasible point, like the per-cap path does.
+    #[test]
+    fn ramp_sweep_certifies_every_point() {
+        let (g, m, fr) = setup();
+        let caps: Vec<f64> = (0..8).map(|k| (40.0 + 5.0 * k as f64) * 4.0).collect();
+        let mut opts =
+            SweepOptions { workers: 2, warm_start: true, certify: true, ..Default::default() };
+        opts.fixed.lp.certify = true;
+        let sweep = solve_sweep_exact(&g, &m, &fr, &caps, &opts);
+        for p in &sweep.points {
+            let s = p.schedule.as_ref().expect("grid is feasible");
+            assert_eq!(
+                s.stats.certified, s.stats.solves,
+                "cap {}: {} of {} solves certified",
+                p.cap_w, s.stats.certified, s.stats.solves
+            );
+        }
     }
 }

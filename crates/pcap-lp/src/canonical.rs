@@ -107,7 +107,8 @@ impl Simplex {
         let budget = self.iterations + 2_000 + 20 * (self.m as u64 + self.ncols as u64);
 
         // Step 1: freeze the optimal face of the *original* objective.
-        if self.freeze_off_face(face_tol) == 0 {
+        let mut movable = self.freeze_off_face(face_tol);
+        if movable == 0 {
             return Ok(true);
         }
 
@@ -120,6 +121,22 @@ impl Simplex {
                 // No finite coordinate minimum is guaranteed; skipping is
                 // deterministic (bounds are problem data), but the vertex
                 // is then only canonical in the remaining coordinates.
+                continue;
+            }
+            if self.stat[j] == VStat::AtLower {
+                // Pricing `e_j` with `j` nonbasic gives `y = 0` and reduced
+                // costs `d_k = δ_kj`: `x_j` already sits at its coordinate
+                // minimum (d_j = +1 at the lower bound is optimal with zero
+                // pivots) and the face-freeze would pin exactly `j`. Do that
+                // directly — it skips a BTRAN and two full column scans for
+                // what is, on these LPs, the vast majority of columns.
+                let xj = self.x[j];
+                self.lower[j] = xj;
+                self.upper[j] = xj;
+                movable -= 1;
+                if movable == 0 {
+                    return Ok(true);
+                }
                 continue;
             }
             self.cost.iter_mut().for_each(|c| *c = 0.0);
@@ -137,7 +154,8 @@ impl Simplex {
                     StepResult::Unbounded => return Ok(false),
                 }
             }
-            if self.freeze_off_face(face_tol) == 0 {
+            movable = self.freeze_off_face(face_tol);
+            if movable == 0 {
                 return Ok(true);
             }
         }

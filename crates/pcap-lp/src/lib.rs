@@ -45,6 +45,7 @@ pub mod certificate;
 pub mod dense;
 pub mod error;
 pub mod expr;
+pub mod parametric;
 pub mod presolve;
 pub mod problem;
 pub mod simplex;
@@ -55,6 +56,7 @@ pub use branch::{solve_mip, BranchOptions, MipSolution};
 pub use certificate::{certify, certify_with, Certificate, CertificateError, CertifyOptions};
 pub use error::{LpError, LpResult};
 pub use expr::LinExpr;
+pub use parametric::{solve_cap_ramp, RampOutcome};
 pub use presolve::{presolve, presolve_and_solve, Presolved};
 pub use problem::{Bound, Problem, Sense, VarId, VarKind};
 pub use simplex::{

@@ -230,6 +230,12 @@ impl SolverContext {
     pub fn clear(&mut self) {
         self.simplex = None;
     }
+
+    /// The cached solver, if primed (the parametric ramp continues a solve
+    /// in place instead of going back through [`solve_with_context`]).
+    pub(crate) fn simplex_mut(&mut self) -> Option<&mut Simplex> {
+        self.simplex.as_mut()
+    }
 }
 
 /// [`solve_with_basis`] with a reusable [`SolverContext`]: repeated solves
@@ -253,12 +259,33 @@ pub fn solve_with_context(
     if let Some(b) = warm {
         s.adopt_basis(b);
     }
-    s.run()?;
     // Canonical-optimum selection: at a degenerate optimum the primal
     // phases stop at whichever optimal vertex the pivot path reached; the
     // secondary phase walks to the lexicographically minimal one so the
     // extracted solution is a function of the problem alone.
-    let canonical = if opts.canonicalize { s.canonicalize()? } else { false };
+    let run_and_canonicalize = |s: &mut Simplex| -> LpResult<bool> {
+        s.run()?;
+        if opts.canonicalize {
+            s.canonicalize()
+        } else {
+            Ok(false)
+        }
+    };
+    // A warm basis can steer the pivot path into numerical trouble a cold
+    // start avoids — a mid-solve refactorization finding the basis singular,
+    // or an iteration stall. Warm starting must never change conclusions
+    // (the contract the sweep is built on), so such failures retry once
+    // from the slack basis; canonicalization makes the retried answer
+    // bit-identical to a plain cold solve. Infeasible/Unbounded are genuine
+    // conclusions, not path accidents, and propagate as before.
+    let canonical = match run_and_canonicalize(s) {
+        Err(LpError::SingularBasis | LpError::IterationLimit { .. }) if s.warm_started => {
+            s.warm_rejected = true;
+            s.reset_slack_basis();
+            run_and_canonicalize(s)?
+        }
+        r => r?,
+    };
     let mut sol = s.extract(problem);
     sol.stats.canonicalized = canonical as u64;
     // Every solve is re-verified by the independent certificate checker in
@@ -361,6 +388,13 @@ pub(crate) struct Simplex {
     warm_rejected: bool,
     basis_nnz: u64,
     factor_nnz: u64,
+    /// Whether the last dual restoration priced rows with the plain
+    /// largest-violation (Dantzig) rule instead of dual Devex — the
+    /// per-shape pricing choice of [`Simplex::prefer_dual_devex`].
+    dual_pricing_dantzig: bool,
+    /// Warm solves answered by the one-BTRAN optimality re-check without
+    /// entering either simplex phase (basis-interval skipping).
+    interval_skips: u64,
 }
 
 impl Simplex {
@@ -498,6 +532,8 @@ impl Simplex {
             warm_rejected: false,
             basis_nnz: 0,
             factor_nnz: 0,
+            dual_pricing_dantzig: false,
+            interval_skips: 0,
         };
         s.reset_slack_basis();
         s
@@ -507,6 +543,26 @@ impl Simplex {
     #[inline]
     fn sparse(&self) -> bool {
         self.opts.linear_algebra == LinearAlgebra::Sparse
+    }
+
+    /// Shape heuristic for the dual restoration's row-pricing rule (sparse
+    /// engine only; the dense oracle always uses Dantzig).
+    ///
+    /// Dual Devex pays for its weight maintenance when restorations are long
+    /// relative to the basis — tall windows whose power rows couple many
+    /// tasks. On short-and-wide windows (configuration-mixture columns
+    /// dominating the rows) restorations after a cap step are a handful of
+    /// pivots, the steepest-edge norm picks the same rows raw magnitude
+    /// would, and the per-pivot weight update over the FTRAN pattern is pure
+    /// overhead — the 0.75–0.98x band sparse-vs-dense used to show at
+    /// generous caps. Raw largest-violation wins there. Pricing affects the
+    /// pivot path only; the canonical-optimum phase pins the returned vertex
+    /// either way, so the choice is invisible bitwise.
+    #[inline]
+    fn prefer_dual_devex(&self) -> bool {
+        // Rows at least a quarter of the columns, and an average column
+        // dense enough that a restoration walks a nontrivial basis.
+        4 * self.m >= self.ncols && self.a.nnz() >= 3 * self.ncols
     }
 
     /// Whether this built solver can be rebound to `problem` instead of
@@ -558,6 +614,8 @@ impl Simplex {
         self.warm_rejected = false;
         self.basis_nnz = 0;
         self.factor_nnz = 0;
+        self.dual_pricing_dantzig = false;
+        self.interval_skips = 0;
         self.reset_slack_basis();
     }
 
@@ -695,7 +753,7 @@ impl Simplex {
 
     /// Recomputes the basic values from the nonbasic assignment against the
     /// current (eta-free) factorization: `B·x_B = −Σ_{nonbasic} a_j x_j`.
-    fn recompute_basic_values(&mut self) {
+    pub(crate) fn recompute_basic_values(&mut self) {
         let mut rhs = vec![0.0; self.m];
         for j in 0..self.ncols {
             if self.stat[j] != VStat::Basic && self.x[j] != 0.0 {
@@ -815,6 +873,63 @@ impl Simplex {
         }
         self.apply_etas_ftran(&mut v);
         v
+    }
+
+    /// FTRAN for an arbitrary right-hand side already expressed in row
+    /// space: returns `B⁻¹·v` — the general-vector counterpart of
+    /// [`Self::ftran_col`], used by the parametric ramp for the basic-value
+    /// direction `dx_B/dC`.
+    pub(crate) fn ftran_vec(&self, mut v: SparseVec) -> SparseVec {
+        match &self.factor {
+            Factor::None => {}
+            Factor::Dense(lu) => {
+                if !v.dense {
+                    v.dense = true;
+                    v.pattern.clear();
+                }
+                lu.solve_in_place(&mut v.values);
+            }
+            Factor::Sparse(lu) => {
+                let mut scratch = self.scratch.borrow_mut();
+                if v.dense {
+                    lu.ftran_dense(&mut v.values, &mut scratch.lu);
+                } else {
+                    lu.ftran(&mut v, &mut scratch.lu);
+                }
+            }
+        }
+        self.apply_etas_ftran(&mut v);
+        v
+    }
+
+    /// Dot product of a row-space vector with column `j` of the (scaled)
+    /// constraint matrix: `y·a_j`.
+    #[inline]
+    pub(crate) fn col_dot(&self, y: &SparseVec, j: usize) -> f64 {
+        let mut s = 0.0;
+        for (r, v) in self.a.col(j) {
+            s += y.values[r as usize] * v;
+        }
+        s
+    }
+
+    /// The equilibration scale of row `i` (1.0 when scaling is off). The
+    /// parametric ramp needs it because the internal slack bounds carry the
+    /// row scale: `upper[n+i] = cap · r_i`.
+    #[inline]
+    pub(crate) fn row_scale_at(&self, i: usize) -> f64 {
+        self.row_scale[i]
+    }
+
+    /// Snapshot of the current basis partition for chaining.
+    pub(crate) fn snapshot_basis(&self) -> Basis {
+        Basis { basis: self.basis.clone(), stat: self.stat.clone() }
+    }
+
+    /// Marks the solver warm (ramp continuations report `warm_started` just
+    /// as warm per-cap solves do).
+    pub(crate) fn mark_warm(&mut self) {
+        self.warm_started = true;
     }
 
     /// BTRAN: returns `y` with `Bᵀ·y = v` (etas first, then the engine).
@@ -942,7 +1057,7 @@ impl Simplex {
     /// precedence row violated by its entire (microsecond-scale) bound,
     /// yielding a super-optimal infeasible vertex that warm solves, which
     /// skip phase 1, never reproduce.
-    fn infeasibility(&self) -> f64 {
+    pub(crate) fn infeasibility(&self) -> f64 {
         self.basis
             .iter()
             .map(|&j| {
@@ -950,6 +1065,33 @@ impl Simplex {
                 (self.lower[j] - self.x[j]).max(self.x[j] - self.upper[j]).max(0.0)
             })
             .fold(0.0, f64::max)
+    }
+
+    /// Whether the current (primal-feasible) basis is already optimal: one
+    /// BTRAN of the basic costs and a reduced-cost pass with the *strict*
+    /// phase-2 gates ([`Self::price_one`]'s `opt_tol` tests). When this
+    /// holds, `dual_phase` would find no violated row and phase-2 pricing
+    /// would return no candidate, so skipping both phases leaves the exact
+    /// basis the full path would have ended with.
+    fn optimal_already(&self) -> bool {
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j as usize]).collect();
+        let y = self.btran_vec(SparseVec::from_dense(cb));
+        for j in 0..self.ncols {
+            if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let d = self.reduced_cost(false, &y, j);
+            let violated = match self.stat[j] {
+                VStat::AtLower => d < -self.opts.opt_tol,
+                VStat::AtUpper => d > self.opts.opt_tol,
+                VStat::Free => d.abs() > self.opts.opt_tol,
+                VStat::Basic => unreachable!(),
+            };
+            if violated {
+                return false;
+            }
+        }
+        true
     }
 
     fn run(&mut self) -> LpResult<()> {
@@ -985,6 +1127,21 @@ impl Simplex {
         // immediately. `dual_phase` declining (false) is always safe: any
         // pivots it made leave a valid basis for the primal phases.
         let phase1_start = Instant::now();
+        // Basis-interval skipping: a warm basis chained across a cap sweep
+        // is often still optimal at the next cap (the caps sit inside one
+        // parametric-ramp breakpoint interval). One BTRAN plus a strict
+        // reduced-cost pass certifies that, answering without entering
+        // either phase. The gates are exactly the ones `dual_phase` +
+        // phase-2 pricing would apply, so the final basis — and therefore
+        // the canonicalized, extracted solution — is unchanged bitwise.
+        if self.warm_started && self.infeasibility() <= self.opts.feas_tol && self.optimal_already()
+        {
+            self.interval_skips += 1;
+            self.phase1_iterations = self.iterations;
+            self.phase1_time_s = phase1_start.elapsed().as_secs_f64();
+            self.phase2_time_s = 0.0;
+            return Ok(());
+        }
         let dual_restored = if self.warm_started { self.dual_phase(max_iters)? } else { false };
         if !dual_restored {
             loop {
@@ -1099,7 +1256,8 @@ impl Simplex {
         // updated from the FTRAN column we compute anyway, so the better
         // pivot choice costs no extra solves. The dense oracle keeps the
         // historical largest-violation (Dantzig) rule.
-        let devex_on = self.sparse();
+        let devex_on = self.sparse() && self.prefer_dual_devex();
+        self.dual_pricing_dantzig = !devex_on;
         let mut devex = vec![1.0f64; if devex_on { self.m } else { 0 }];
         let bfrt = self.sparse();
         // Scatter pricing pays off only while the BTRAN pattern touches a
@@ -1758,7 +1916,7 @@ impl Simplex {
 
     /// Builds the public [`Solution`] (final duals/reduced costs are
     /// recomputed against a fresh factorization for accuracy).
-    fn extract(&mut self, problem: &Problem) -> Solution {
+    pub(crate) fn extract(&mut self, problem: &Problem) -> Solution {
         let n = problem.num_vars();
         if self.m > 0 {
             // Canonicalize the basis slot order before the final
@@ -1871,8 +2029,13 @@ impl Simplex {
                 wall_time_s: 0.0, // stamped by solve_with_basis
                 warm_started: self.warm_started,
                 solves: 1,
-                certified: 0,     // stamped by solve_with_basis after the check
-                canonicalized: 0, // stamped by solve_with_context after the phase
+                certified: 0,         // stamped by solve_with_basis after the check
+                canonicalized: 0,     // stamped by solve_with_context after the phase
+                ramp_breakpoints: 0,  // stamped by the parametric ramp
+                ramp_steps: 0,        // stamped by the parametric ramp
+                caps_interpolated: 0, // stamped by the parametric ramp
+                pricing_dantzig: self.dual_pricing_dantzig as u64,
+                basis_interval_skips: self.interval_skips,
             },
         }
     }

@@ -76,6 +76,26 @@ pub struct SolveStats {
     /// coordinate) and returned a merely-optimal vertex, which downstream
     /// bitwise comparisons must not assume is unique.
     pub canonicalized: u64,
+    /// Basis-change breakpoints crossed by the parametric cap ramp
+    /// ([`crate::parametric`]) while producing this solve's answer. Zero for
+    /// ordinary per-cap solves and for ramp emissions inside a single
+    /// linearity interval.
+    pub ramp_breakpoints: u64,
+    /// Ramp pivots (zero-step dual-ratio-test basis exchanges) performed by
+    /// the parametric ramp for this solve. Unlike `iterations` these never
+    /// include phase-1/phase-2 work — they are pure homotopy steps.
+    pub ramp_steps: u64,
+    /// Grid caps the ramp answered by interpolation alone: the warm basis
+    /// stayed optimal across the interval, so the emission cost one
+    /// basic-value recompute and no pivots.
+    pub caps_interpolated: u64,
+    /// Solves whose dual restoration priced with the Dantzig rule instead of
+    /// Devex — the adaptive pricing switch picks per window by shape.
+    pub pricing_dantzig: u64,
+    /// Warm solves answered by the basis-interval skip: the inherited basis
+    /// re-certified primal feasible and dual optimal at the new cap, so the
+    /// solve returned after one BTRAN with zero pivots.
+    pub basis_interval_skips: u64,
 }
 
 impl SolveStats {
@@ -98,6 +118,11 @@ impl SolveStats {
         self.solves += other.solves;
         self.certified += other.certified;
         self.canonicalized += other.canonicalized;
+        self.ramp_breakpoints += other.ramp_breakpoints;
+        self.ramp_steps += other.ramp_steps;
+        self.caps_interpolated += other.caps_interpolated;
+        self.pricing_dantzig += other.pricing_dantzig;
+        self.basis_interval_skips += other.basis_interval_skips;
     }
 }
 

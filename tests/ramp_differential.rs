@@ -1,0 +1,282 @@
+//! Ramp-vs-per-cap differential suite: the parametric cap ramp
+//! ([`pcap_core::SweepMode::Ramp`], the default sweep engine) must be a
+//! pure reformulation of the warm-started per-cap sweep — bitwise-identical
+//! makespans and vertex times at every cap, identical feasibility verdicts,
+//! and a fully certified trail (`certified == solves`, both tiers forced
+//! on) — while additionally reporting the exact breakpoint caps of the
+//! piecewise-linear frontier.
+//!
+//! Three layers, mirroring the engine-differential oracle:
+//!
+//! * one benchmark × grid cell per paper benchmark (the `*_ramp_certified`
+//!   tests), dense enough that the ramp both interpolates inside linearity
+//!   intervals and crosses breakpoints;
+//! * random small DAG instances (`random_instances_*`), shrunk and
+//!   persisted into `tests/seeds/` on failure so divergences become
+//!   permanent regression tests, plus a replay of the committed corpus;
+//! * an `#[ignore]`d 1 W/socket fine-grid pass for the scheduled
+//!   deep-verification job (`.github/workflows/deep-verify.yml`), which
+//!   drives the ramp through every breakpoint the paper grid skips over.
+
+use pcap_apps::{AppParams, Benchmark};
+use pcap_core::oracle::{load_seeds, persist_seed, shrink_instance};
+use pcap_core::{
+    solve_sweep_exact, CoreError, OracleInstance, SweepMode, SweepOptions, SweepResult,
+    TaskFrontiers,
+};
+use pcap_dag::TaskGraph;
+use pcap_machine::MachineSpec;
+use proptest::test_runner::TestRng;
+use std::path::PathBuf;
+
+/// The committed regression corpus, shared with `differential_oracle.rs`
+/// (the test runs from the pcap-bench crate directory).
+fn seeds_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds")
+}
+
+/// Ramp sweep with both certification tiers forced on: the sweep-level
+/// certifier re-solves every ramp-produced point cold and checks the
+/// canonical vertex bit for bit, and every LP solve carries a duality
+/// certificate.
+fn ramp_certified(g: &TaskGraph, m: &MachineSpec, fr: &TaskFrontiers, caps: &[f64]) -> SweepResult {
+    let mut opts = SweepOptions { workers: 2, certify: true, ..Default::default() };
+    opts.fixed.lp.certify = true;
+    solve_sweep_exact(g, m, fr, caps, &opts)
+}
+
+/// The independent baseline: cold per-cap solves (no warm starts, no ramp),
+/// LP duality certificates on.
+fn percap_cold(g: &TaskGraph, m: &MachineSpec, fr: &TaskFrontiers, caps: &[f64]) -> SweepResult {
+    let mut opts = SweepOptions {
+        workers: 1,
+        warm_start: false,
+        mode: SweepMode::PerCap,
+        ..Default::default()
+    };
+    opts.fixed.lp.certify = true;
+    solve_sweep_exact(g, m, fr, caps, &opts)
+}
+
+/// Bitwise comparison of two sweeps over the same cap grid. Returns the
+/// number of feasible caps, or an error string naming the first divergence.
+fn diff_sweeps(ramp: &SweepResult, cold: &SweepResult, what: &str) -> Result<usize, String> {
+    if ramp.points.len() != cold.points.len() {
+        return Err(format!("{what}: point count {} vs {}", ramp.points.len(), cold.points.len()));
+    }
+    let mut feasible = 0;
+    for (r, c) in ramp.points.iter().zip(&cold.points) {
+        match (&r.schedule, &c.schedule) {
+            (Ok(rs), Ok(cs)) => {
+                feasible += 1;
+                if rs.makespan_s.to_bits() != cs.makespan_s.to_bits() {
+                    return Err(format!(
+                        "{what} cap {} W: ramp makespan {} != cold {}",
+                        r.cap_w, rs.makespan_s, cs.makespan_s
+                    ));
+                }
+                for (i, (a, b)) in rs.vertex_times.iter().zip(&cs.vertex_times).enumerate() {
+                    if a.to_bits() != b.to_bits() {
+                        return Err(format!(
+                            "{what} cap {} W: vertex {i} time {a} != cold {b}",
+                            r.cap_w
+                        ));
+                    }
+                }
+                if rs.stats.certified != rs.stats.solves {
+                    return Err(format!(
+                        "{what} cap {} W: only {}/{} ramp solves certified",
+                        r.cap_w, rs.stats.certified, rs.stats.solves
+                    ));
+                }
+            }
+            (Err(CoreError::Infeasible), Err(CoreError::Infeasible)) => {}
+            // Any other error — in particular CoreError::Verification from
+            // either certification tier — is a divergence.
+            (a, b) => return Err(format!("{what} cap {} W: ramp {a:?} vs cold {b:?}", r.cap_w)),
+        }
+    }
+    // The breakpoint list is part of the contract: strictly inside the
+    // swept range, sorted, deduplicated.
+    let (lo, hi) = (ramp.points[0].cap_w, ramp.points[ramp.points.len() - 1].cap_w);
+    for w in ramp.breakpoints.windows(2) {
+        if w[0] >= w[1] {
+            return Err(format!("{what}: breakpoints not strictly ascending: {w:?}"));
+        }
+    }
+    if let (Some(&first), Some(&last)) = (ramp.breakpoints.first(), ramp.breakpoints.last()) {
+        if first < lo || last > hi {
+            return Err(format!(
+                "{what}: breakpoints [{first}, {last}] escape swept range [{lo}, {hi}]"
+            ));
+        }
+    }
+    Ok(feasible)
+}
+
+/// Per-benchmark cell: a grid dense enough (8 caps over 30–80 W/socket)
+/// that the ramp exercises both interpolation and breakpoint crossings.
+fn ramp_cell(bench: Benchmark) {
+    const RANKS: u32 = 4;
+    let machine = MachineSpec::e5_2670();
+    let g = bench.generate(&AppParams { ranks: RANKS, iterations: 3, seed: 0x5C15 });
+    let fr = TaskFrontiers::build(&g, &machine);
+    let caps: Vec<f64> = [30.0, 35.0, 40.0, 45.0, 50.0, 60.0, 70.0, 80.0]
+        .iter()
+        .map(|&w| w * RANKS as f64)
+        .collect();
+
+    let ramp = ramp_certified(&g, &machine, &fr, &caps);
+    let cold = percap_cold(&g, &machine, &fr, &caps);
+    let feasible = diff_sweeps(&ramp, &cold, bench.name()).unwrap_or_else(|e| panic!("{e}"));
+    assert!(feasible >= 2, "{}: only {feasible} caps feasible", bench.name());
+    assert!(
+        cold.breakpoints.is_empty(),
+        "{}: per-cap mode must not report breakpoints",
+        bench.name()
+    );
+}
+
+#[test]
+fn bt_mz_ramp_certified() {
+    ramp_cell(Benchmark::BtMz);
+}
+
+#[test]
+fn comd_ramp_certified() {
+    ramp_cell(Benchmark::CoMD);
+}
+
+#[test]
+fn lulesh_ramp_certified() {
+    ramp_cell(Benchmark::Lulesh);
+}
+
+#[test]
+fn sp_mz_ramp_certified() {
+    ramp_cell(Benchmark::SpMz);
+}
+
+/// Cap grid for an oracle instance: six caps bracketing the instance's own
+/// cap, spanning infeasible-through-loose so the ramp meets anchors that
+/// fail, breakpoints, and long linearity tails.
+fn oracle_caps(inst: &OracleInstance) -> Vec<f64> {
+    [0.6, 0.8, 1.0, 1.2, 1.5, 1.8].iter().map(|m| m * inst.cap_w()).collect()
+}
+
+/// The differential check for one instance: ramp vs independent cold
+/// per-cap over the instance's cap grid.
+fn check_ramp(inst: &OracleInstance) -> Result<(), String> {
+    let g = inst.build_graph();
+    let machine = inst.machine();
+    let fr = TaskFrontiers::build(&g, &machine);
+    let caps = oracle_caps(inst);
+    let ramp = ramp_certified(&g, &machine, &fr, &caps);
+    let cold = percap_cold(&g, &machine, &fr, &caps);
+    diff_sweeps(&ramp, &cold, "oracle").map(|_| ())
+}
+
+/// Default random case count. Each case runs two full sweeps (ramp and a
+/// cold certified per-cap baseline), so this runs at a quarter of the
+/// shared `PCAP_ORACLE_CASES` knob the deep CI job raises.
+fn case_count() -> u32 {
+    std::env::var("PCAP_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|c| (c / 4).max(10))
+        .unwrap_or(50)
+}
+
+/// Random layered instances (same strategy shape as the bound-chain
+/// oracle): failures are shrunk to a minimal reproducer and persisted
+/// under `tests/seeds/` so they become permanent regression tests.
+#[test]
+fn random_instances_ramp_matches_percap() {
+    use pcap_core::TaskSpec;
+    use proptest::prelude::*;
+
+    fn task_spec() -> impl Strategy<Value = TaskSpec> {
+        (0.25..8.0f64, 0.0..0.9f64)
+            .prop_map(|(serial_s, mem_fraction)| TaskSpec { serial_s, mem_fraction })
+    }
+    let cap = prop_oneof![5.0..20.0f64, 20.0..60.0f64, 60.0..120.0f64];
+    let strat = (1usize..=3, 1usize..=2, any::<bool>(), cap).prop_flat_map(
+        |(ranks, layers, small_machine, cap_per_rank_w)| {
+            proptest::collection::vec(
+                proptest::collection::vec(task_spec(), ranks..=ranks),
+                layers..=layers,
+            )
+            .prop_map(move |layers| OracleInstance {
+                small_machine,
+                layers,
+                cap_per_rank_w,
+            })
+        },
+    );
+
+    let cases = case_count();
+    let mut rng = TestRng::for_test("ramp_differential::random_instances");
+    for case in 0..cases {
+        let inst = strat.generate(&mut rng);
+        if let Err(reason) = check_ramp(&inst) {
+            let minimal = shrink_instance(&inst, |i| check_ramp(i).is_err());
+            let min_reason = check_ramp(&minimal).expect_err("shrink preserves failure");
+            let persisted = persist_seed(&seeds_dir(), &minimal)
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|e| format!("<persist failed: {e}>"));
+            panic!(
+                "ramp differential failed on case {case}/{cases}: {reason}\n\
+                 original instance:\n{}\n\
+                 minimal reproducer ({min_reason}):\n{}\n\
+                 persisted to {persisted} — commit it so this stays a regression test",
+                inst.to_seed_string(),
+                minimal.to_seed_string(),
+            );
+        }
+    }
+}
+
+/// Every committed seed — each one a shrunk former failure of *some*
+/// differential — must also keep ramp == per-cap. This reuses the corpus
+/// the bound-chain and engine differentials maintain, so any seed added by
+/// either suite automatically guards the ramp too.
+#[test]
+fn committed_seeds_ramp_matches_percap() {
+    let seeds = load_seeds(&seeds_dir()).expect("tests/seeds must be readable");
+    assert!(!seeds.is_empty(), "the committed seed corpus must not be empty");
+    let mut failures = Vec::new();
+    for (path, inst) in &seeds {
+        if let Err(reason) = check_ramp(inst) {
+            failures.push(format!("{}: {reason}", path.display()));
+        }
+    }
+    assert!(failures.is_empty(), "committed seeds failed:\n{}", failures.join("\n"));
+}
+
+/// Deep-verification fine grid: 1 W/socket steps over the paper's full
+/// 30–80 W range (51 caps) on every benchmark, certified ramp vs cold
+/// per-cap. At this spacing most caps fall inside linearity intervals —
+/// the regime the ramp interpolates — while every breakpoint in the range
+/// gets crossed. Run by `.github/workflows/deep-verify.yml` via
+/// `cargo test -- --ignored`.
+#[test]
+#[ignore = "fine-grid pass for the scheduled deep-verify job"]
+fn fine_grid_ramp_matches_percap() {
+    const RANKS: u32 = 4;
+    let machine = MachineSpec::e5_2670();
+    let caps: Vec<f64> = (30..=80).map(|w| w as f64 * RANKS as f64).collect();
+    for bench in Benchmark::ALL {
+        let g = bench.generate(&AppParams { ranks: RANKS, iterations: 3, seed: 0x5C15 });
+        let fr = TaskFrontiers::build(&g, &machine);
+        let ramp = ramp_certified(&g, &machine, &fr, &caps);
+        let cold = percap_cold(&g, &machine, &fr, &caps);
+        let feasible = diff_sweeps(&ramp, &cold, bench.name()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(feasible >= 10, "{}: only {feasible} caps feasible", bench.name());
+        // On a 1 W grid across 50 W the frontier must kink somewhere.
+        assert!(
+            !ramp.breakpoints.is_empty(),
+            "{}: no breakpoints found across the whole 30-80 W range",
+            bench.name()
+        );
+    }
+}
